@@ -1,0 +1,82 @@
+"""C1 -- Section 4(1): range selection via B+-trees.
+
+Paper claim: after building B+-trees, range queries answer in O(log |D|).
+Series: per-query work for scan vs B+-tree range probe across sizes and
+selectivities.
+"""
+
+from conftest import format_table
+
+from repro.core import CostTracker
+from repro.queries import btree_range_scheme, range_selection_class
+
+SIZES = [2**k for k in range(10, 16)]
+SEED = 20130826
+
+
+def test_c1_shape_range_scan_vs_btree(benchmark, experiment_report):
+    query_class = range_selection_class()
+    scheme = btree_range_scheme()
+
+    def run():
+        rows = []
+        for size in SIZES:
+            data, queries = query_class.sample_workload(size, SEED, 16)
+            preprocessed = scheme.preprocess(data, CostTracker())
+            scan_tracker, probe_tracker = CostTracker(), CostTracker()
+            for query in queries:
+                query_class.evaluate(data, query, scan_tracker)
+                scheme.answer(preprocessed, query, probe_tracker)
+            rows.append(
+                (
+                    size,
+                    scan_tracker.work // 16,
+                    probe_tracker.work // 16,
+                    f"{scan_tracker.work / max(probe_tracker.work, 1):.0f}x",
+                )
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    experiment_report(
+        "C1 (Section 4(1)): Boolean range selection, scan vs B+-tree",
+        format_table(["|D|", "scan work/q", "probe work/q", "speedup"], rows),
+    )
+    assert rows[-1][1] > 20 * rows[0][1]  # scans grow linearly
+    assert rows[-1][2] < 4 * rows[0][2]  # probes stay logarithmic
+
+
+def test_c1_selectivity_independence(benchmark, experiment_report):
+    """A Boolean range probe costs O(log n) regardless of how many tuples
+    fall in the window -- only the leftmost candidate is inspected."""
+    query_class = range_selection_class()
+    scheme = btree_range_scheme()
+    data, _ = query_class.sample_workload(2**14, SEED, 1)
+    preprocessed = scheme.preprocess(data, CostTracker())
+    domain = 4 * 2**14
+
+    def run():
+        rows = []
+        for width_exp in (0, 4, 8, 12, 14):
+            width = 2**width_exp
+            tracker = CostTracker()
+            for start in range(0, domain - width, max(domain // 16, 1)):
+                scheme.answer(preprocessed, ("a", start, start + width), tracker)
+            rows.append((width, tracker.work))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    experiment_report(
+        "C1b: range probe work vs window width (Boolean probe is width-independent)",
+        format_table(["window width", "total probe work"], rows),
+    )
+    works = [row[1] for row in rows]
+    assert max(works) < 2 * min(works)
+
+
+def test_c1_wallclock_range_probe(benchmark):
+    query_class = range_selection_class()
+    scheme = btree_range_scheme()
+    data, queries = query_class.sample_workload(2**13, SEED, 16)
+    preprocessed = scheme.preprocess(data, CostTracker())
+    benchmark(lambda: [scheme.answer(preprocessed, q, CostTracker()) for q in queries])

@@ -1,0 +1,60 @@
+"""C2 -- Section 4(2): searching in a list (L1).
+
+Paper claim: sort M once (O(|M| log |M|)), then binary-search each element
+query in O(log |M|).
+"""
+
+from conftest import format_table
+
+from repro.core import CostTracker
+from repro.queries import membership_class, sorted_run_scheme
+
+SIZES = [2**k for k in range(10, 17)]
+SEED = 20130826
+
+
+def test_c2_shape_membership(benchmark, experiment_report):
+    query_class = membership_class()
+    scheme = sorted_run_scheme()
+
+    def run():
+        rows = []
+        for size in SIZES:
+            data, queries = query_class.sample_workload(size, SEED, 16)
+            prep = CostTracker()
+            preprocessed = scheme.preprocess(data, prep)
+            scan_tracker, search_tracker = CostTracker(), CostTracker()
+            for query in queries:
+                query_class.evaluate(data, query, scan_tracker)
+                scheme.answer(preprocessed, query, search_tracker)
+            rows.append(
+                (
+                    size,
+                    prep.work,
+                    scan_tracker.work // 16,
+                    search_tracker.work // 16,
+                )
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    experiment_report(
+        "C2 (Section 4(2)): list membership, linear scan vs sort + binary search",
+        format_table(["|M|", "sort work (once)", "scan work/q", "bsearch work/q"], rows),
+    )
+    assert rows[-1][2] > 30 * rows[0][2]
+    assert rows[-1][3] < 3 * rows[0][3]
+
+
+def test_c2_wallclock_binary_search(benchmark):
+    query_class = membership_class()
+    scheme = sorted_run_scheme()
+    data, queries = query_class.sample_workload(2**15, SEED, 32)
+    preprocessed = scheme.preprocess(data, CostTracker())
+    benchmark(lambda: [scheme.answer(preprocessed, q, CostTracker()) for q in queries])
+
+
+def test_c2_wallclock_linear_scan(benchmark):
+    query_class = membership_class()
+    data, queries = query_class.sample_workload(2**15, SEED, 4)
+    benchmark(lambda: [query_class.evaluate(data, q, CostTracker()) for q in queries])

@@ -1,0 +1,74 @@
+"""C3 -- Section 4(3): minimum range queries (L2, Fischer--Heun [18]).
+
+Paper claim: after PTIME preprocessing (an O(n)-bit structure in [18]; O(n)
+words here), every RMQ answers in O(1).  Series: per-query work of naive
+scan vs sparse table vs Fischer--Heun, and the preprocessing-space/work
+trade between the two structures.
+"""
+
+from conftest import format_table
+
+from repro.core import CostTracker
+from repro.queries import fischer_heun_scheme, rmq_class, sparse_table_scheme
+
+SIZES = [2**k for k in range(10, 16)]
+SEED = 20130826
+
+
+def test_c3_shape_three_regimes(benchmark, experiment_report):
+    query_class = rmq_class()
+    fischer = fischer_heun_scheme()
+    sparse = sparse_table_scheme()
+
+    def run():
+        rows = []
+        for size in SIZES:
+            data, queries = query_class.sample_workload(size, SEED, 16)
+            fh_prep, st_prep = CostTracker(), CostTracker()
+            fh = fischer.preprocess(data, fh_prep)
+            st = sparse.preprocess(data, st_prep)
+            naive_t, fh_t, st_t = CostTracker(), CostTracker(), CostTracker()
+            for query in queries:
+                query_class.evaluate(data, query, naive_t)
+                fischer.answer(fh, query, fh_t)
+                sparse.answer(st, query, st_t)
+            rows.append(
+                (
+                    size,
+                    naive_t.work // 16,
+                    st_t.work // 16,
+                    fh_t.work // 16,
+                    st_prep.work,
+                    fh_prep.work,
+                )
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    experiment_report(
+        "C3 (Section 4(3)): RMQ -- naive scan vs sparse table vs Fischer-Heun",
+        format_table(
+            ["n", "scan work/q", "sparse work/q", "F-H work/q", "sparse prep", "F-H prep"],
+            rows,
+        ),
+    )
+    # Queries O(1) for both structures; Fischer--Heun preprocessing is
+    # asymptotically lighter than the n log n sparse table.
+    assert rows[-1][2] < 3 * rows[0][2]
+    assert rows[-1][3] < 3 * rows[0][3]
+    assert rows[-1][5] < rows[-1][4]
+    assert rows[-1][1] > 20 * rows[0][1]
+
+
+def test_c3_wallclock_fischer_heun_query(benchmark):
+    query_class = rmq_class()
+    scheme = fischer_heun_scheme()
+    data, queries = query_class.sample_workload(2**14, SEED, 32)
+    preprocessed = scheme.preprocess(data, CostTracker())
+    benchmark(lambda: [scheme.answer(preprocessed, q, CostTracker()) for q in queries])
+
+
+def test_c3_wallclock_naive_query(benchmark):
+    query_class = rmq_class()
+    data, queries = query_class.sample_workload(2**14, SEED, 4)
+    benchmark(lambda: [query_class.evaluate(data, q, CostTracker()) for q in queries])

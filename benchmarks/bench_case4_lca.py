@@ -1,0 +1,84 @@
+"""C4 -- Section 4(4): lowest common ancestors (L3, [5]).
+
+Paper claim: trees and DAGs can be preprocessed (O(|G|^3) is quoted for
+DAGs) so LCA queries answer in O(1).  Series: per-query work of the
+recompute-per-query baseline vs the preprocessed indexes, trees and DAGs.
+"""
+
+from conftest import format_table
+
+from repro.core import CostTracker
+from repro.queries import (
+    dag_bitset_scheme,
+    dag_lca_class,
+    euler_tour_scheme,
+    tree_lca_class,
+)
+
+SIZES = [2**k for k in range(7, 12)]
+SEED = 20130826
+
+
+def _shape(query_class, scheme, sizes, query_count=12):
+    rows = []
+    for size in sizes:
+        data, queries = query_class.sample_workload(size, SEED, query_count)
+        prep = CostTracker()
+        preprocessed = scheme.preprocess(data, prep)
+        naive_t, indexed_t = CostTracker(), CostTracker()
+        for query in queries:
+            query_class.evaluate(data, query, naive_t)
+            scheme.answer(preprocessed, query, indexed_t)
+        rows.append(
+            (
+                size,
+                prep.work,
+                naive_t.work // query_count,
+                indexed_t.work // query_count,
+                f"{naive_t.work / max(indexed_t.work, 1):.0f}x",
+            )
+        )
+    return rows
+
+
+def test_c4_shape_tree_lca(benchmark, experiment_report):
+    rows = benchmark.pedantic(
+        lambda: _shape(tree_lca_class(), euler_tour_scheme(), SIZES),
+        rounds=1,
+        iterations=1,
+    )
+    experiment_report(
+        "C4a (Section 4(4)): tree LCA -- per-query recompute vs Euler tour + RMQ",
+        format_table(["n", "prep work", "naive work/q", "indexed work/q", "gap"], rows),
+    )
+    assert rows[-1][2] > 10 * rows[0][2]  # naive grows with n
+    assert rows[-1][3] < 3 * rows[0][3]  # indexed O(1)
+
+
+def test_c4_shape_dag_lca(benchmark, experiment_report):
+    rows = benchmark.pedantic(
+        lambda: _shape(dag_lca_class(), dag_bitset_scheme(), SIZES),
+        rounds=1,
+        iterations=1,
+    )
+    experiment_report(
+        "C4b (Section 4(4)): DAG LCA -- per-query recompute vs ancestor bitsets",
+        format_table(["n", "prep work", "naive work/q", "indexed work/q", "gap"], rows),
+    )
+    assert rows[-1][3] < 16 * rows[0][3]  # indexed polylog-ish
+
+
+def test_c4_wallclock_tree_lca_query(benchmark):
+    query_class = tree_lca_class()
+    scheme = euler_tour_scheme()
+    data, queries = query_class.sample_workload(2**11, SEED, 32)
+    preprocessed = scheme.preprocess(data, CostTracker())
+    benchmark(lambda: [scheme.answer(preprocessed, q, CostTracker()) for q in queries])
+
+
+def test_c4_wallclock_dag_lca_query(benchmark):
+    query_class = dag_lca_class()
+    scheme = dag_bitset_scheme()
+    data, queries = query_class.sample_workload(2**9, SEED, 32)
+    preprocessed = scheme.preprocess(data, CostTracker())
+    benchmark(lambda: [scheme.answer(preprocessed, q, CostTracker()) for q in queries])

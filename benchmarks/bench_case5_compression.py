@@ -1,0 +1,92 @@
+"""C5 -- Section 4(5): query-preserving compression.
+
+Paper claims: (a) query-preserving compression keeps only what the query
+class observes, so queries run on the compressed structure directly, and
+(b) it "often achieves a better compression ratio than lossless" *in
+effective terms* -- lossless output cannot be queried without paying the
+decompression back.  Series: compression ratios and per-query work of
+query-preserving vs lossless-then-BFS vs uncompressed-BFS on social-like
+graphs.
+"""
+
+import random
+
+from conftest import format_table
+
+from repro.compression import LosslessCompressedGraph, ReachabilityPreservingCompression
+from repro.core import CostTracker
+from repro.graphs import is_reachable, social_digraph
+
+SIZES = [2**k for k in range(7, 11)]
+SEED = 20130826
+
+
+def test_c5_shape_compression(benchmark, experiment_report):
+    def run():
+        rows = []
+        for size in SIZES:
+            rng = random.Random(SEED + size)
+            graph = social_digraph(size, rng)
+            preserving = ReachabilityPreservingCompression(graph)
+            lossless = LosslessCompressedGraph(graph)
+            queries = [(rng.randrange(size), rng.randrange(size)) for _ in range(12)]
+            qp_t, ll_t, bfs_t = CostTracker(), CostTracker(), CostTracker()
+            for u, v in queries:
+                assert preserving.reachable(u, v, qp_t) == is_reachable(graph, u, v, bfs_t)
+                lossless.reachable(u, v, ll_t)
+            rows.append(
+                (
+                    size,
+                    f"{graph.n}v/{graph.edge_count}e",
+                    f"{preserving.compressed_vertices}v/{preserving.compressed_edges}e",
+                    f"{preserving.compression_ratio():.2f}",
+                    f"{lossless.compression_ratio():.2f}",
+                    qp_t.work // 12,
+                    ll_t.work // 12,
+                    bfs_t.work // 12,
+                )
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    experiment_report(
+        "C5 (Section 4(5)): reachability -- query-preserving vs lossless compression",
+        format_table(
+            [
+                "n",
+                "original",
+                "compressed",
+                "qp ratio",
+                "lossless ratio",
+                "qp work/q",
+                "lossless work/q",
+                "plain BFS work/q",
+            ],
+            rows,
+        ),
+    )
+    # Query-preserving answers in O(1); lossless pays the full decode + BFS.
+    assert all(row[5] <= 8 for row in rows)
+    assert rows[-1][6] > 100 * rows[-1][5]
+
+
+def test_c5_wallclock_query_preserving(benchmark):
+    rng = random.Random(SEED)
+    graph = social_digraph(512, rng)
+    preserving = ReachabilityPreservingCompression(graph)
+    queries = [(rng.randrange(512), rng.randrange(512)) for _ in range(64)]
+    benchmark(lambda: [preserving.reachable(u, v) for u, v in queries])
+
+
+def test_c5_wallclock_lossless(benchmark):
+    rng = random.Random(SEED)
+    graph = social_digraph(512, rng)
+    lossless = LosslessCompressedGraph(graph)
+    queries = [(rng.randrange(512), rng.randrange(512)) for _ in range(4)]
+    benchmark(lambda: [lossless.reachable(u, v) for u, v in queries])
+
+
+def test_c5_wallclock_compression_build(benchmark):
+    rng = random.Random(SEED)
+    graph = social_digraph(512, rng)
+    benchmark(lambda: ReachabilityPreservingCompression(graph))

@@ -1,0 +1,81 @@
+"""C6 -- Section 4(6): query answering using views.
+
+Paper claim: if views can be materialized in PTIME and queries answered
+from V(D) alone in polylog time, the class is Pi-tractable; "in practice
+V(D) is often much smaller than D".  Series: per-query work of scan vs
+view answering across sizes and bucket counts.
+"""
+
+from conftest import format_table
+
+from repro.core import CostTracker
+from repro.queries import range_selection_class, views_scheme
+
+SIZES = [2**k for k in range(10, 15)]
+SEED = 20130826
+
+
+def test_c6_shape_views(benchmark, experiment_report):
+    query_class = range_selection_class()
+    scheme = views_scheme(bucket_count=16)
+
+    def run():
+        rows = []
+        for size in SIZES:
+            data, queries = query_class.sample_workload(size, SEED, 16)
+            prep = CostTracker()
+            preprocessed = scheme.preprocess(data, prep)
+            scan_t, view_t = CostTracker(), CostTracker()
+            for query in queries:
+                query_class.evaluate(data, query, scan_t)
+                scheme.answer(preprocessed, query, view_t)
+            rows.append(
+                (
+                    size,
+                    prep.work,
+                    scan_t.work // 16,
+                    view_t.work // 16,
+                    f"{scan_t.work / max(view_t.work, 1):.0f}x",
+                )
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    experiment_report(
+        "C6 (Section 4(6)): range selection answered from materialized views",
+        format_table(["|D|", "materialize work", "scan work/q", "views work/q", "gap"], rows),
+    )
+    assert rows[-1][2] > 10 * rows[0][2]
+    assert rows[-1][3] < 6 * rows[0][3]
+
+
+def test_c6_bucket_count_tradeoff(benchmark, experiment_report):
+    """More buckets -> narrower probes but more rewrite targets per range."""
+    query_class = range_selection_class()
+    data, queries = query_class.sample_workload(2**13, SEED, 16)
+
+    def run():
+        rows = []
+        for buckets in (2, 8, 32, 128):
+            scheme = views_scheme(bucket_count=buckets)
+            prep = CostTracker()
+            preprocessed = scheme.preprocess(data, prep)
+            query_t = CostTracker()
+            for query in queries:
+                scheme.answer(preprocessed, query, query_t)
+            rows.append((buckets, prep.work, query_t.work // 16))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    experiment_report(
+        "C6b: view-partition granularity ablation (bucket count sweep)",
+        format_table(["buckets", "materialize work", "views work/q"], rows),
+    )
+
+
+def test_c6_wallclock_view_answering(benchmark):
+    query_class = range_selection_class()
+    scheme = views_scheme(bucket_count=16)
+    data, queries = query_class.sample_workload(2**13, SEED, 16)
+    preprocessed = scheme.preprocess(data, CostTracker())
+    benchmark(lambda: [scheme.answer(preprocessed, q, CostTracker()) for q in queries])

@@ -1,0 +1,109 @@
+"""C7 -- Section 4(7): (bounded) incremental evaluation.
+
+Paper claims: incremental cost should be analysed against
+|CHANGED| = |dD| + |dO| [35] and, for bounded algorithms, be independent of
+|D|.  Series: (a) incremental index maintenance vs rebuild across |D|
+with |dD| fixed; (b) incremental transitive closure cost against |CHANGED|.
+"""
+
+import random
+
+from conftest import format_table
+
+from repro.core import CostTracker
+from repro.incremental import (
+    ChangeKind,
+    IncrementalSelectionIndex,
+    IncrementalTransitiveClosure,
+    TupleChange,
+)
+from repro.storage.relation import uniform_int_relation
+
+SIZES = [2**k for k in range(9, 14)]
+SEED = 20130826
+BATCH = 16
+
+
+def test_c7_shape_bounded_index_maintenance(benchmark, experiment_report):
+    def run():
+        rows = []
+        for size in SIZES:
+            rng = random.Random(SEED + size)
+            relation = uniform_int_relation(size, rng, value_range=(0, 10**9))
+            index = IncrementalSelectionIndex(relation, "a")
+            tracker = CostTracker()
+            batch = [
+                TupleChange(ChangeKind.INSERT, (2_000_000_000 + i, 0))
+                for i in range(BATCH)
+            ]
+            incremental = index.apply_batch(batch, tracker)
+            rebuild = IncrementalSelectionIndex.rebuild_cost(index.relation, "a")
+            rows.append(
+                (
+                    size,
+                    BATCH,
+                    incremental.work,
+                    rebuild.work,
+                    f"{rebuild.work / max(incremental.work, 1):.0f}x",
+                )
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    experiment_report(
+        "C7a (Section 4(7)): fixed |dD| batch -- incremental maintenance vs rebuild",
+        format_table(["|D|", "|dD|", "incremental work", "rebuild work", "gap"], rows),
+    )
+    # Rebuild grows linearly with |D|; the incremental batch only via log n.
+    assert rows[-1][3] > 20 * rows[0][3]
+    assert rows[-1][2] < 4 * rows[0][2]
+
+
+def test_c7_shape_closure_cost_tracks_changed(benchmark, experiment_report):
+    def run():
+        rng = random.Random(SEED)
+        closure = IncrementalTransitiveClosure(256)
+        buckets = {}  # |CHANGED| decade -> (total work, count)
+        for _ in range(500):
+            u, v = rng.randrange(256), rng.randrange(256)
+            if u == v:
+                continue
+            before = closure.log.changed
+            cost = closure.insert_edge(u, v, CostTracker())
+            delta = closure.log.changed - before
+            decade = len(str(max(delta, 1)))
+            work, count = buckets.get(decade, (0, 0))
+            buckets[decade] = (work + cost.work, count + 1)
+        return [
+            (f"10^{decade - 1}..10^{decade}", count, work // max(count, 1))
+            for decade, (work, count) in sorted(buckets.items())
+        ]
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    experiment_report(
+        "C7b (Section 4(7)): incremental closure -- mean work per |CHANGED| decade",
+        format_table(["|CHANGED| bucket", "#updates", "mean work"], rows),
+    )
+    # Work grows with |CHANGED|: each decade costs strictly more per update,
+    # and the top decade dwarfs the bottom one.
+    works = [row[2] for row in rows]
+    assert works[-1] > 50 * max(works[0], 1)
+    assert all(later >= earlier for earlier, later in zip(works, works[1:]))
+
+
+def test_c7_wallclock_incremental_insert(benchmark):
+    rng = random.Random(SEED)
+    relation = uniform_int_relation(2**12, rng, value_range=(0, 10**9))
+    index = IncrementalSelectionIndex(relation, "a")
+    counter = iter(range(10**9))
+
+    def insert_one():
+        index.apply(TupleChange(ChangeKind.INSERT, (3_000_000_000 + next(counter), 0)))
+
+    benchmark(insert_one)
+
+
+def test_c7_wallclock_rebuild(benchmark):
+    rng = random.Random(SEED)
+    relation = uniform_int_relation(2**12, rng, value_range=(0, 10**9))
+    benchmark(lambda: IncrementalSelectionIndex(relation, "a"))

@@ -1,0 +1,98 @@
+"""C8 -- Section 4(8): the Circuit Value Problem, factorized.
+
+Paper claim: under the factorization (circuit + inputs = data, designated
+output = query) CVP is Pi-tractable -- evaluate every gate once, then each
+query is O(1).  Series: per-query work of re-evaluation vs gate-table
+lookup across circuit sizes, plus layered-parallel depth showing why deep
+circuits resist NC evaluation (the P-completeness shape).
+"""
+
+import random
+
+from conftest import format_table
+
+from repro.circuits import deep_chain_circuit, evaluate_layered, layered_circuit, random_inputs
+from repro.core import CostTracker
+from repro.parallel import ParallelMachine
+from repro.queries import cvp_factorized_class, gate_table_scheme
+
+SIZES = [2**k for k in range(8, 14)]
+SEED = 20130826
+
+
+def test_c8_shape_gate_table(benchmark, experiment_report):
+    query_class = cvp_factorized_class()
+    scheme = gate_table_scheme()
+
+    def run():
+        rows = []
+        for size in SIZES:
+            data, queries = query_class.sample_workload(size, SEED, 16)
+            prep = CostTracker()
+            preprocessed = scheme.preprocess(data, prep)
+            naive_t, table_t = CostTracker(), CostTracker()
+            for query in queries:
+                query_class.evaluate(data, query, naive_t)
+                scheme.answer(preprocessed, query, table_t)
+            rows.append(
+                (
+                    size,
+                    prep.work,
+                    naive_t.work // 16,
+                    table_t.work // 16,
+                    f"{naive_t.work / max(table_t.work, 1):.0f}x",
+                )
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    experiment_report(
+        "C8 (Section 4(8)): CVP -- re-evaluate per query vs gate-value table",
+        format_table(
+            ["|alpha| (gates)", "prep work (once)", "re-eval work/q", "table work/q", "gap"],
+            rows,
+        ),
+    )
+    assert rows[-1][2] > 20 * rows[0][2]
+    assert all(row[3] <= 3 for row in rows)
+
+
+def test_c8_shape_depth_dichotomy(benchmark, experiment_report):
+    """Layered-parallel depth: deep chains are linear, shallow circuits are
+    not -- the NC-vs-P boundary CVP sits on."""
+
+    def run():
+        rng = random.Random(SEED)
+        rows = []
+        for size in (128, 512, 2048):
+            deep = deep_chain_circuit(size, rng)
+            shallow = layered_circuit(8, max(size // 8, 1), 8, rng)
+            t_deep, t_shallow = CostTracker(), CostTracker()
+            evaluate_layered(deep, random_inputs(deep.n_inputs, rng), ParallelMachine(t_deep))
+            evaluate_layered(
+                shallow, random_inputs(shallow.n_inputs, rng), ParallelMachine(t_shallow)
+            )
+            rows.append((size, t_deep.depth, t_shallow.depth))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    experiment_report(
+        "C8b: layered-parallel evaluation depth -- chain circuits vs depth-8 circuits",
+        format_table(["~gates", "deep-chain depth", "shallow depth"], rows),
+    )
+    assert rows[-1][1] > 10 * rows[0][1]  # chains: depth grows linearly
+    assert rows[-1][2] < 3 * rows[0][2]  # fixed-depth circuits: flat
+
+
+def test_c8_wallclock_gate_table_query(benchmark):
+    query_class = cvp_factorized_class()
+    scheme = gate_table_scheme()
+    data, queries = query_class.sample_workload(2**12, SEED, 64)
+    preprocessed = scheme.preprocess(data, CostTracker())
+    benchmark(lambda: [scheme.answer(preprocessed, q, CostTracker()) for q in queries])
+
+
+def test_c8_wallclock_reevaluation(benchmark):
+    query_class = cvp_factorized_class()
+    data, queries = query_class.sample_workload(2**12, SEED, 2)
+    benchmark(lambda: [query_class.evaluate(data, q, CostTracker()) for q in queries])

@@ -1,0 +1,78 @@
+"""C9 -- Section 4(9): Vertex Cover with Buss kernelization.
+
+Paper claim: instances preprocess in O(|E|) so that for fixed K the
+decision takes O(1) time in |G|.  Series: kernel size vs |G| (flat), and
+post-kernel decision work vs |G| (flat) against the no-preprocessing
+search (growing).
+"""
+
+from conftest import format_table
+
+from repro.core import CostTracker
+from repro.queries import kernel_scheme, vc_fixed_k_class
+
+SIZES = [2**k for k in range(7, 13)]
+SEED = 20130826
+
+
+def test_c9_shape_kernelization(benchmark, experiment_report):
+    query_class = vc_fixed_k_class()
+    scheme = kernel_scheme()
+
+    def run():
+        rows = []
+        for size in SIZES:
+            data, queries = query_class.sample_workload(size, SEED, 8)
+            prep = CostTracker()
+            kernels = scheme.preprocess(data, prep)
+            kernel_edges = max(k.kernel_edges for k in kernels.values())
+            naive_t, kernel_t = CostTracker(), CostTracker()
+            for query in queries:
+                query_class.evaluate(data, query, naive_t)
+                scheme.answer(kernels, query, kernel_t)
+            rows.append(
+                (
+                    size,
+                    prep.work,
+                    kernel_edges,
+                    naive_t.work // 8,
+                    kernel_t.work // 8,
+                )
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    experiment_report(
+        "C9 (Section 4(9)): VC with fixed K -- kernel size and decision work vs |G|",
+        format_table(
+            ["|G|", "kernelize work", "max kernel edges", "no-prep work/q", "kernel work/q"],
+            rows,
+        ),
+    )
+    # Kernel size depends on K only: flat as |G| grows 32x.
+    kernel_sizes = [row[2] for row in rows]
+    assert max(kernel_sizes) <= 36  # K_MAX^2
+    # Decision-on-kernel flat; search-on-G grows.
+    assert rows[-1][4] < 10 * max(rows[0][4], 1) + 10
+    assert rows[-1][3] > 10 * rows[0][3]
+
+
+def test_c9_wallclock_kernel_decide(benchmark):
+    query_class = vc_fixed_k_class()
+    scheme = kernel_scheme()
+    data, queries = query_class.sample_workload(2**10, SEED, 8)
+    kernels = scheme.preprocess(data, CostTracker())
+    benchmark(lambda: [scheme.answer(kernels, q, CostTracker()) for q in queries])
+
+
+def test_c9_wallclock_kernelize(benchmark):
+    query_class = vc_fixed_k_class()
+    scheme = kernel_scheme()
+    data, _ = query_class.sample_workload(2**10, SEED, 1)
+    benchmark(lambda: scheme.preprocess(data, CostTracker()))
+
+
+def test_c9_wallclock_no_preprocessing(benchmark):
+    query_class = vc_fixed_k_class()
+    data, queries = query_class.sample_workload(2**10, SEED, 2)
+    benchmark(lambda: [query_class.evaluate(data, q, CostTracker()) for q in queries])

@@ -1,0 +1,102 @@
+"""EX1 -- Example 1: point selection, scan vs B+-tree.
+
+Paper claim: a linear scan of 1 PB at 6 GB/s takes ~1.9 days; with a
+B+-tree the same Boolean point query answers in O(log |D|) -- "seconds".
+We reproduce (a) the measured scan-vs-probe gap over a size sweep, (b) the
+wall-clock microbenchmark of each regime, and (c) the paper's petabyte
+extrapolation computed from our measured per-tuple costs.
+"""
+
+import random
+
+from conftest import format_table
+
+from repro.core import CostTracker
+from repro.queries import btree_point_scheme, point_selection_class
+
+SIZES = [2**k for k in range(10, 17)]
+SEED = 20130826
+
+
+def _workload(size: int):
+    return point_selection_class().sample_workload(size, SEED, query_count=16)
+
+
+def test_ex1_shape_scan_vs_btree(benchmark, experiment_report):
+    query_class = point_selection_class()
+    scheme = btree_point_scheme()
+
+    def run():
+        rows = []
+        for size in SIZES:
+            data, queries = _workload(size)
+            preprocessed = scheme.preprocess(data, CostTracker())
+            scan_tracker, probe_tracker = CostTracker(), CostTracker()
+            for query in queries:
+                query_class.evaluate(data, query, scan_tracker)
+                scheme.answer(preprocessed, query, probe_tracker)
+            scan = scan_tracker.work // len(queries)
+            probe = probe_tracker.work // len(queries)
+            rows.append((size, scan, probe, f"{scan / max(probe, 1):.0f}x"))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    experiment_report(
+        "EX1 (Example 1): per-query work, linear scan vs B+-tree probe",
+        format_table(["|D| (tuples)", "scan work", "probe work", "speedup"], rows),
+    )
+    # Shape assertions: scan grows ~linearly, probe stays logarithmic.
+    assert rows[-1][1] > 30 * rows[0][1]
+    assert rows[-1][2] < 4 * rows[0][2]
+
+
+def test_ex1_petabyte_extrapolation(benchmark, experiment_report):
+    """The paper's opening arithmetic, recomputed from measured constants."""
+    scan_rate_bytes_per_s = 6e9  # the paper's fastest-SSD figure [38]
+    petabyte = 1e15
+    scan_seconds = petabyte / scan_rate_bytes_per_s
+    # Measured probe cost at the largest sweep size, extrapolated by log2.
+    import math
+
+    def measure_probe():
+        data, queries = _workload(SIZES[-1])
+        scheme = btree_point_scheme()
+        preprocessed = scheme.preprocess(data, CostTracker())
+        tracker = CostTracker()
+        for query in queries:
+            scheme.answer(preprocessed, query, tracker)
+        return tracker.work / len(queries)
+
+    probe_ops = benchmark.pedantic(measure_probe, rounds=1, iterations=1)
+    tuples_per_pb = petabyte / 100  # ~100 bytes per tuple
+    probe_ops_pb = probe_ops * math.log2(tuples_per_pb) / math.log2(SIZES[-1])
+    probe_seconds = probe_ops_pb * 100 / scan_rate_bytes_per_s  # ~1 tuple read/op
+    rows = [
+        ("linear scan", f"{scan_seconds:,.0f}", f"{scan_seconds / 3600:.1f} h", f"{scan_seconds / 86400:.1f} days"),
+        ("B+-tree probe", f"{probe_seconds:.6f}", "-", "instant"),
+    ]
+    experiment_report(
+        "EX1 extrapolation: answering one point query on 1 PB (paper: 1.9 days vs seconds)",
+        format_table(["regime", "seconds", "hours", "verdict"], rows),
+    )
+    assert scan_seconds > 1.8 * 86400  # the paper's "1.9 days"
+    assert probe_seconds < 1.0
+
+
+def test_ex1_wallclock_scan(benchmark):
+    data, queries = _workload(2**14)
+    query_class = point_selection_class()
+    benchmark(lambda: [query_class.evaluate(data, q, CostTracker()) for q in queries])
+
+
+def test_ex1_wallclock_btree_probe(benchmark):
+    data, queries = _workload(2**14)
+    scheme = btree_point_scheme()
+    preprocessed = scheme.preprocess(data, CostTracker())
+    benchmark(lambda: [scheme.answer(preprocessed, q, CostTracker()) for q in queries])
+
+
+def test_ex1_wallclock_preprocessing(benchmark):
+    data, _ = _workload(2**13)
+    scheme = btree_point_scheme()
+    benchmark(lambda: scheme.preprocess(data, CostTracker()))

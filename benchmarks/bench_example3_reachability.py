@@ -1,0 +1,94 @@
+"""EX3 -- Example 3: reachability (GAP) in three regimes.
+
+Paper claims: GAP is NL-complete, hence in NC -- answerable in parallel
+polylog time even without preprocessing; but precomputing the closure
+answers every query in O(1).  Series: per-query (work, depth) of
+per-query BFS vs NC matrix squaring vs closure lookup.
+"""
+
+from conftest import format_table
+
+from repro.core import CostTracker
+from repro.queries import closure_scheme, nc_squaring_scheme, reachability_class
+
+SIZES = [2**k for k in range(5, 10)]
+SEED = 20130826
+
+
+def test_ex3_shape_three_regimes(benchmark, experiment_report):
+    query_class = reachability_class()
+    closure = closure_scheme()
+    squaring = nc_squaring_scheme()
+
+    def run():
+        rows = []
+        for size in SIZES:
+            data, queries = query_class.sample_workload(size, SEED, 6)
+            closure_prep = CostTracker()
+            closure_index = closure.preprocess(data, closure_prep)
+            matrix = squaring.preprocess(data, CostTracker())
+            bfs_t, nc_t, lookup_t = CostTracker(), CostTracker(), CostTracker()
+            for query in queries:
+                query_class.evaluate(data, query, bfs_t)
+                squaring.answer(matrix, query, nc_t)
+                closure.answer(closure_index, query, lookup_t)
+            q = len(queries)
+            rows.append(
+                (
+                    size,
+                    bfs_t.work // q,
+                    bfs_t.depth // q,
+                    nc_t.work // q,
+                    nc_t.depth // q,
+                    lookup_t.work // q,
+                    closure_prep.work,
+                )
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    experiment_report(
+        "EX3 (Example 3): reachability -- BFS vs NC squaring vs closure lookup "
+        "(work/depth per query)",
+        format_table(
+            [
+                "n",
+                "BFS work",
+                "BFS depth",
+                "NC work",
+                "NC depth",
+                "lookup work",
+                "closure prep",
+            ],
+            rows,
+        ),
+    )
+    # The paper's three-way contrast:
+    # (1) BFS depth grows polynomially;
+    assert rows[-1][2] > 8 * rows[0][2]
+    # (2) NC squaring depth stays polylog (slow growth) despite huge work;
+    assert rows[-1][4] < 4 * rows[0][4]
+    assert rows[-1][3] > 1000 * rows[-1][1]
+    # (3) the closure lookup is O(1) after PTIME preprocessing.
+    assert all(row[5] == 1 for row in rows)
+
+
+def test_ex3_wallclock_closure_lookup(benchmark):
+    query_class = reachability_class()
+    scheme = closure_scheme()
+    data, queries = query_class.sample_workload(2**9, SEED, 64)
+    preprocessed = scheme.preprocess(data, CostTracker())
+    benchmark(lambda: [scheme.answer(preprocessed, q, CostTracker()) for q in queries])
+
+
+def test_ex3_wallclock_bfs(benchmark):
+    query_class = reachability_class()
+    data, queries = query_class.sample_workload(2**9, SEED, 8)
+    benchmark(lambda: [query_class.evaluate(data, q, CostTracker()) for q in queries])
+
+
+def test_ex3_wallclock_closure_build(benchmark):
+    query_class = reachability_class()
+    scheme = closure_scheme()
+    data, _ = query_class.sample_workload(2**9, SEED, 1)
+    benchmark(lambda: scheme.preprocess(data, CostTracker()))

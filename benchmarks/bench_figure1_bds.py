@@ -1,0 +1,91 @@
+"""FIG1 -- Figure 1: the two factorizations of BDS.
+
+Upsilon_BDS preprocesses the graph (one PTIME search) and answers order
+queries in O(log n); Upsilon' preprocesses nothing and pays a full search
+per query.  The paper's figure is a diagram; the reproduced artifact is the
+measured dichotomy between the two columns.
+"""
+
+from conftest import format_table
+
+from repro.core import CostTracker
+from repro.queries import (
+    bds_query_class,
+    no_preprocessing_scheme,
+    position_dict_scheme,
+    position_index_scheme,
+)
+
+SIZES = [2**k for k in range(8, 13)]
+SEED = 20130826
+QUERIES = 32
+
+
+def test_fig1_shape_two_factorizations(benchmark, experiment_report):
+    query_class = bds_query_class()
+    indexed = position_index_scheme()
+
+    def run():
+        rows = []
+        for size in SIZES:
+            data, queries = query_class.sample_workload(size, SEED, QUERIES)
+            prep_tracker = CostTracker()
+            preprocessed = indexed.preprocess(data, prep_tracker)
+            per_query_indexed = CostTracker()
+            per_query_naive = CostTracker()
+            for query in queries:
+                indexed.answer(preprocessed, query, per_query_indexed)
+                # Upsilon': the whole instance is the query; replay the search.
+                query_class.evaluate(data, query, per_query_naive)
+            rows.append(
+                (
+                    size,
+                    prep_tracker.work,
+                    per_query_indexed.work // QUERIES,
+                    per_query_naive.work // QUERIES,
+                    f"{per_query_naive.work / max(per_query_indexed.work, 1):.0f}x",
+                )
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    experiment_report(
+        "FIG1 (Figure 1): BDS under Upsilon_BDS (preprocess G) vs Upsilon' (nothing)",
+        format_table(
+            ["|G| (vertices)", "prep work (once)", "query work (indexed)", "query work (replay)", "gap"],
+            rows,
+        ),
+    )
+    # The gap must grow with |G| (replay is Theta(n + m), probe is O(log n)).
+    first_gap = rows[0][3] / max(rows[0][2], 1)
+    last_gap = rows[-1][3] / max(rows[-1][2], 1)
+    assert last_gap > 4 * first_gap
+
+
+def test_fig1_wallclock_indexed_query(benchmark):
+    query_class = bds_query_class()
+    data, queries = query_class.sample_workload(2**11, SEED, QUERIES)
+    scheme = position_index_scheme()
+    preprocessed = scheme.preprocess(data, CostTracker())
+    benchmark(lambda: [scheme.answer(preprocessed, q, CostTracker()) for q in queries])
+
+
+def test_fig1_wallclock_dict_query(benchmark):
+    query_class = bds_query_class()
+    data, queries = query_class.sample_workload(2**11, SEED, QUERIES)
+    scheme = position_dict_scheme()
+    preprocessed = scheme.preprocess(data, CostTracker())
+    benchmark(lambda: [scheme.answer(preprocessed, q, CostTracker()) for q in queries])
+
+
+def test_fig1_wallclock_replay_query(benchmark):
+    query_class = bds_query_class()
+    data, queries = query_class.sample_workload(2**11, SEED, 4)
+    benchmark(lambda: [query_class.evaluate(data, q, CostTracker()) for q in queries])
+
+
+def test_fig1_wallclock_preprocessing(benchmark):
+    query_class = bds_query_class()
+    data, _ = query_class.sample_workload(2**11, SEED, 1)
+    scheme = position_index_scheme()
+    benchmark(lambda: scheme.preprocess(data, CostTracker()))

@@ -1,0 +1,44 @@
+"""FIG2 -- Figure 2: the class landscape, verified on the registry.
+
+The reproduced artifact is the containment table over every implemented
+problem/class, with measured certificates as evidence, plus the check that
+no registered claim violates NC <= PiT0Q <= P = PiTP = PiTQ (Corollary 6)
+or Corollary 7.
+"""
+
+from repro.catalog import build_registry
+from repro.core import Membership, certify, figure2_report
+from repro.queries import membership_class, sorted_run_scheme
+
+
+def test_fig2_report(benchmark, experiment_report):
+    registry = benchmark.pedantic(
+        lambda: build_registry(certify_all=True, queries_per_size=8),
+        rounds=1,
+        iterations=1,
+    )
+    report = figure2_report(registry)
+    experiment_report("FIG2 (Figure 2): executable containment table", report.splitlines())
+    assert registry.check_containments() == []
+    # The landscape the paper draws: PiT0Q entries exist, P-but-not-PiT0Q
+    # entries exist (the separation), and an NP-complete outsider exists.
+    pit0q = {e.name for e in registry.with_claim(Membership.PI_T0Q)}
+    p_only = {
+        e.name
+        for e in registry.entries()
+        if Membership.P in e.claims and Membership.PI_T0Q not in e.claims
+    }
+    npc = {e.name for e in registry.with_claim(Membership.NP_COMPLETE)}
+    assert len(pit0q) >= 8
+    assert p_only >= {"bds-order-trivial", "cvp-trivial"}
+    assert npc == {"vertex-cover", "3SAT"}
+
+
+def test_fig2_wallclock_one_certification(benchmark):
+    """Wall-clock cost of certifying one (class, scheme) pair."""
+    sizes = [2**k for k in range(6, 10)]
+    benchmark(
+        lambda: certify(
+            membership_class(), sorted_run_scheme(), sizes=sizes, queries_per_size=6
+        )
+    )

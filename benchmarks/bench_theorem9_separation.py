@@ -1,0 +1,87 @@
+"""TH9 -- Theorem 9 / Proposition 10: the separation, measured.
+
+Under Upsilon_0 (empty data part), no preprocessing can reduce CVP's
+per-query cost: evaluation depth grows linearly in |q|.  Under
+Upsilon_CVP, the same instances answer in O(1) after PTIME preprocessing.
+The re-factorization reduction (Corollary 6) carries the one to the other.
+"""
+
+from conftest import format_table
+
+from repro.core import CostTracker, ScalingKind, certify, transfer_scheme
+from repro.queries import (
+    cvp_factorized_class,
+    cvp_trivial_class,
+    gate_table_scheme,
+    reevaluate_scheme,
+)
+from repro.reductions_zoo import refactorize_cvp
+
+SIZES = [2**k for k in range(5, 11)]
+SEED = 20130826
+
+
+def test_th9_shape_separation(benchmark, experiment_report):
+    trivial = cvp_trivial_class()
+    trivial_scheme = reevaluate_scheme()
+    factorized = cvp_factorized_class()
+    factorized_scheme = gate_table_scheme()
+
+    def run():
+        rows = []
+        for size in SIZES:
+            data0, queries0 = trivial.sample_workload(size, SEED, 6)
+            pre0 = trivial_scheme.preprocess(data0, CostTracker())
+            t0 = CostTracker()
+            for query in queries0:
+                trivial_scheme.answer(pre0, query, t0)
+
+            data1, queries1 = factorized.sample_workload(size, SEED, 6)
+            pre1 = factorized_scheme.preprocess(data1, CostTracker())
+            t1 = CostTracker()
+            for query in queries1:
+                factorized_scheme.answer(pre1, query, t1)
+            rows.append((size, t0.depth // 6, t1.depth // 6))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    experiment_report(
+        "TH9 (Theorem 9): CVP eval depth per query -- Upsilon_0 vs Upsilon_CVP",
+        format_table(["scale", "Upsilon_0 depth/q", "Upsilon_CVP depth/q"], rows),
+    )
+    assert rows[-1][1] > 10 * rows[0][1]  # Upsilon_0: grows with |q|
+    assert all(row[2] <= 2 for row in rows)  # Upsilon_CVP: O(1)
+
+
+def test_th9_certifier_verdicts(benchmark, experiment_report):
+    def run():
+        failing = certify(
+            cvp_trivial_class(), reevaluate_scheme(), sizes=SIZES[:5], queries_per_size=5
+        )
+        passing = certify(
+            cvp_factorized_class(), gate_table_scheme(), sizes=SIZES[:5], queries_per_size=5
+        )
+        return failing, passing
+
+    failing, passing = benchmark.pedantic(run, rounds=1, iterations=1)
+    experiment_report(
+        "TH9b: certifier verdicts for the two factorizations",
+        [
+            f"(CVP, Upsilon_0)   : Pi-tractable={failing.is_pi_tractable}  "
+            f"eval={failing.evaluation_depth.describe()}",
+            f"(CVP, Upsilon_CVP) : Pi-tractable={passing.is_pi_tractable}  "
+            f"eval={passing.evaluation_depth.describe()}",
+        ],
+    )
+    assert failing.evaluation_depth.kind is ScalingKind.POLYNOMIAL
+    assert passing.is_pi_tractable
+
+
+def test_th9_wallclock_refactorization_transfer(benchmark):
+    reduction = refactorize_cvp()
+    transferred = transfer_scheme(reduction, gate_table_scheme())
+    instance = reduction.source.sample_instances(128, seed=SEED, count=1)[0]
+    data = reduction.source_factorization.pi1(instance)
+    query = reduction.source_factorization.pi2(instance)
+    preprocessed = transferred.preprocess(data, CostTracker())
+    benchmark(lambda: transferred.answer(preprocessed, query, CostTracker()))

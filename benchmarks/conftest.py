@@ -1,0 +1,61 @@
+"""Shared benchmark infrastructure.
+
+Benchmarks have two outputs:
+
+* **wall-clock** numbers via pytest-benchmark (the tables pytest prints);
+* **shape** tables in the work--depth cost model -- the series the paper's
+  narrative predicts (who wins, by what factor, where the crossover is).
+
+Shape tables are registered through the ``experiment_report`` fixture and
+printed after the run by ``pytest_terminal_summary``, so
+``pytest benchmarks/ --benchmark-only | tee bench_output.txt`` captures both.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Sequence, Tuple
+
+import pytest
+
+_REPORTS: List[Tuple[str, List[str]]] = []
+
+
+@pytest.fixture(scope="session")
+def experiment_report() -> Callable[[str, Sequence[str]], None]:
+    """Register a shape table: ``experiment_report(title, lines)``."""
+
+    def record(title: str, lines: Sequence[str]) -> None:
+        _REPORTS.append((title, list(lines)))
+
+    return record
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    if not _REPORTS:
+        return
+    write = terminalreporter.write_line
+    write("")
+    write("=" * 90)
+    write("EXPERIMENT SHAPE TABLES (work--depth cost model; see EXPERIMENTS.md)")
+    write("=" * 90)
+    for title, lines in _REPORTS:
+        write("")
+        write(f"--- {title}")
+        for line in lines:
+            write(line)
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> List[str]:
+    """Plain fixed-width table used by every bench module."""
+    rendered = [[str(cell) for cell in row] for row in rows]
+    widths = [
+        max(len(headers[i]), *(len(row[i]) for row in rendered)) if rendered else len(headers[i])
+        for i in range(len(headers))
+    ]
+    lines = [
+        "  ".join(header.ljust(widths[i]) for i, header in enumerate(headers)),
+        "  ".join("-" * widths[i] for i in range(len(headers))),
+    ]
+    for row in rendered:
+        lines.append("  ".join(row[i].rjust(widths[i]) for i in range(len(row))))
+    return lines

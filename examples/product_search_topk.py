@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Top-k product search with early termination (paper, Section 8, issue (5)).
+
+Scenario: a product catalog scored on rating and popularity; the storefront
+asks "are there k products with weighted score at least theta?" for many
+(weights, k, theta) combinations.  The paper's closing section conjectures
+that top-k answering with early termination [14] can be made Pi-tractable
+"under certain conditions"; this example measures those conditions:
+
+* preprocessing builds per-attribute sorted lists (PTIME, once);
+* Fagin's Threshold Algorithm then answers most queries after touching a
+  tiny prefix of the lists -- unless the attributes are adversarially
+  anti-correlated, in which case TA (instance-optimally) degrades toward a
+  full scan.
+
+Run:  python examples/product_search_topk.py
+"""
+
+import random
+
+from repro.core import CostTracker
+from repro.queries import TopKIndex, topk_class
+
+CATALOG = 50_000
+
+
+def make_catalog(rng: random.Random, correlated: bool):
+    products = []
+    for _ in range(CATALOG):
+        rating = rng.randint(0, 1000)
+        if correlated:
+            popularity = min(1000, max(0, rating + rng.randint(-80, 80)))
+        else:
+            popularity = 1000 - rating
+        products.append((rating, popularity))
+    return tuple(products)
+
+
+def main() -> None:
+    rng = random.Random(13)
+    print("=" * 72)
+    print("Top-k with early termination (paper S8(5); Fagin's TA [14])")
+    print("=" * 72)
+
+    for label, correlated in (("correlated scores", True), ("anti-correlated scores", False)):
+        catalog = make_catalog(rng, correlated)
+        index = TopKIndex(catalog)
+        total_accesses = 0
+        queries = 0
+        for _ in range(30):
+            weights = (rng.randint(1, 3), rng.randint(1, 3))
+            k = rng.randint(1, 10)
+            theta = rng.randint(600, sum(weights) * 1000)
+            answer, accesses = index.kth_score_at_least(weights, k, theta)
+            total_accesses += accesses
+            queries += 1
+        mean = total_accesses // queries
+        print(
+            f"\n{label}: {CATALOG:,} products, {queries} queries\n"
+            f"  mean sorted accesses per query : {mean:>8,}"
+            f"  (full scan would touch {2 * CATALOG:,})\n"
+            f"  early-termination saving       : {2 * CATALOG / max(mean, 1):>8,.0f}x"
+        )
+
+    # Cross-check TA against the naive evaluator on a smaller catalog.
+    query_class = topk_class()
+    data, queries = query_class.sample_workload(2_000, seed=5, query_count=50)
+    index = TopKIndex(data)
+    mismatches = 0
+    for weights, k, theta in queries:
+        expected = query_class.pair_in_language(data, (weights, k, theta))
+        answer, _ = index.kth_score_at_least(weights, k, theta)
+        mismatches += answer != expected
+    print(f"\nCorrectness cross-check on 50 generated queries: {mismatches} mismatches")
+    print(
+        "\nVerdict: with preprocessing, top-k is feasible on big data when the\n"
+        "scoring attributes cooperate -- the 'certain conditions' of the\n"
+        "paper's open issue, made measurable."
+    )
+
+
+if __name__ == "__main__":
+    main()

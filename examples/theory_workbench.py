@@ -1,0 +1,123 @@
+#!/usr/bin/env python3
+"""Theory workbench: the paper's formal machinery, exercised end to end.
+
+Walks through the framework layer by layer:
+
+1. languages of pairs and factorizations (Section 3, Proposition 1);
+2. empirical Pi-tractability certification (Definition 1);
+3. F-reductions and Lemma 8 transfer (membership -> point -> range);
+4. Theorem 5: solve-and-emit reductions into BDS, Lemma 2 composition;
+5. Theorem 9: the measured separation between CVP's two factorizations;
+6. Figure 2: the full registry containment check.
+
+Run:  python examples/theory_workbench.py
+"""
+
+from repro.catalog import build_registry
+from repro.core import (
+    CostTracker,
+    certify,
+    compose,
+    compose_f,
+    figure2_report,
+    transfer_scheme_f,
+    verify_f_reduction,
+    verify_reduction,
+)
+from repro.queries import (
+    btree_range_scheme,
+    cvp_factorized_class,
+    cvp_trivial_class,
+    gate_table_scheme,
+    membership_class,
+    membership_factorization,
+    membership_problem,
+    reevaluate_scheme,
+    sorted_run_scheme,
+)
+from repro.reductions_zoo import (
+    membership_to_point_selection,
+    point_to_range_selection,
+    solve_and_emit_bds,
+)
+from repro.queries import bds_problem
+
+SMALL_SIZES = [2**k for k in range(6, 11)]
+
+
+def section(title: str) -> None:
+    print("\n" + "=" * 72)
+    print(title)
+    print("=" * 72)
+
+
+def main() -> None:
+    # 1. Factorizations and Proposition 1.
+    section("1. Factorizations (Section 3)")
+    problem = membership_problem()
+    factorization = membership_factorization()
+    instance = problem.sample_instances(32, seed=1, count=1)[0]
+    data, query = factorization.split(instance)
+    language = factorization.pair_language(problem)
+    print(f"instance split into |M|={len(data)} list and query e={query}")
+    print(
+        "Proposition 1: x in L iff <pi1(x), pi2(x)> in S(L, Upsilon): "
+        f"{problem.member(instance)} == {language.member(data, query)}"
+    )
+
+    # 2. Certification.
+    section("2. Empirical Pi-tractability (Definition 1)")
+    certificate = certify(
+        membership_class(), sorted_run_scheme(), sizes=SMALL_SIZES, queries_per_size=8
+    )
+    print(certificate.summary())
+
+    # 3. F-reductions.
+    section("3. F-reductions and Lemma 8 (Definition 7)")
+    chain = compose_f(membership_to_point_selection(), point_to_range_selection())
+    query_class = membership_class()
+    data = query_class.generate_data(64, __import__("random").Random(2))
+    pairs = [(data, q) for q in query_class.generate_queries(data, __import__("random").Random(3), 10)]
+    print(f"composite F-reduction: {chain.name}")
+    print(f"violations on 10 pairs: {len(verify_f_reduction(chain, pairs))}")
+    transferred = transfer_scheme_f(chain, btree_range_scheme())
+    preprocessed = transferred.preprocess(data, CostTracker())
+    probe = data[0]
+    print(
+        f"transferred B+-tree scheme answers membership({probe}) = "
+        f"{transferred.answer(preprocessed, probe, CostTracker())} "
+        "(a list query answered by a relational range index)"
+    )
+
+    # 4. Theorem 5.
+    section("4. Theorem 5: everything in P reduces to BDS")
+    reduction = solve_and_emit_bds(membership_problem())
+    instances = reduction.source.sample_instances(32, seed=4, count=8)
+    print(f"{reduction.name}: {len(verify_reduction(reduction, instances, cross_pairs=False))} violations")
+    composite = compose(reduction, solve_and_emit_bds(bds_problem()))
+    print(
+        f"Lemma 2 composite {composite.name}: "
+        f"{len(verify_reduction(composite, instances, cross_pairs=False))} violations"
+    )
+
+    # 5. Theorem 9.
+    section("5. Theorem 9: the separation, measured")
+    failing = certify(
+        cvp_trivial_class(), reevaluate_scheme(), sizes=SMALL_SIZES, queries_per_size=5
+    )
+    passing = certify(
+        cvp_factorized_class(), gate_table_scheme(), sizes=SMALL_SIZES, queries_per_size=5
+    )
+    print(f"(CVP, Upsilon_0)  : Pi-tractable={failing.is_pi_tractable}  "
+          f"[{failing.evaluation_depth.describe()}]")
+    print(f"(CVP, Upsilon_CVP): Pi-tractable={passing.is_pi_tractable}  "
+          f"[{passing.evaluation_depth.describe()}]")
+
+    # 6. Figure 2.
+    section("6. Figure 2: the registry, fully certified")
+    registry = build_registry(certify_all=True, queries_per_size=6)
+    print(figure2_report(registry))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setup shim for offline editable installs.
+
+The canonical metadata lives in pyproject.toml; this file exists so that
+``pip install -e . --no-use-pep517`` works in environments without the
+``wheel`` package (PEP 660 editable installs need it, the legacy path does
+not).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,178 @@
+"""Boolean circuits and the Circuit Value Problem substrate (Section 4(8)).
+
+A circuit is a DAG of gates; the paper's encoding "alpha-bar is a sequence of
+tuples, one for each node" is mirrored exactly: gates are stored in a list,
+each referring to strictly earlier gates (so the list order is a topological
+order and the encoding is the tuple sequence).
+
+Gate kinds: INPUT (reads one of the instance's input bits), CONST, NOT, AND,
+OR, NAND, NOR.  AND/OR/NAND/NOR are binary; NOT unary.  The *output* is a
+designated gate index (the paper's designated output y).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core import alphabet
+from repro.core.errors import CircuitError
+
+__all__ = ["GateOp", "Gate", "Circuit"]
+
+
+class GateOp(enum.Enum):
+    INPUT = "input"
+    CONST = "const"
+    NOT = "not"
+    AND = "and"
+    OR = "or"
+    NAND = "nand"
+    NOR = "nor"
+
+    @property
+    def arity(self) -> int:
+        if self in (GateOp.INPUT, GateOp.CONST):
+            return 0
+        if self is GateOp.NOT:
+            return 1
+        return 2
+
+    @property
+    def monotone(self) -> bool:
+        return self in (GateOp.INPUT, GateOp.CONST, GateOp.AND, GateOp.OR)
+
+    def apply(self, args: Sequence[bool]) -> bool:
+        if self is GateOp.NOT:
+            return not args[0]
+        if self is GateOp.AND:
+            return args[0] and args[1]
+        if self is GateOp.OR:
+            return args[0] or args[1]
+        if self is GateOp.NAND:
+            return not (args[0] and args[1])
+        if self is GateOp.NOR:
+            return not (args[0] or args[1])
+        raise CircuitError(f"gate op {self} has no Boolean function")
+
+
+@dataclass(frozen=True)
+class Gate:
+    """One node of the circuit DAG.
+
+    ``args`` are indices of earlier gates; ``payload`` is the input position
+    for INPUT gates and the constant (0/1) for CONST gates.
+    """
+
+    op: GateOp
+    args: Tuple[int, ...] = ()
+    payload: int = 0
+
+
+class Circuit:
+    """An encoded Boolean circuit: gate list + designated output."""
+
+    def __init__(self, n_inputs: int, gates: Sequence[Gate], output: Optional[int] = None):
+        self.n_inputs = n_inputs
+        self.gates: List[Gate] = list(gates)
+        self.output = output if output is not None else len(self.gates) - 1
+        self._validate()
+
+    def _validate(self) -> None:
+        if self.n_inputs < 0:
+            raise CircuitError("negative input count")
+        if not self.gates:
+            raise CircuitError("circuit must have at least one gate")
+        if not 0 <= self.output < len(self.gates):
+            raise CircuitError(f"output index {self.output} out of range")
+        for index, gate in enumerate(self.gates):
+            if len(gate.args) != gate.op.arity:
+                raise CircuitError(
+                    f"gate {index} ({gate.op.value}) expects arity "
+                    f"{gate.op.arity}, got {len(gate.args)}"
+                )
+            for argument in gate.args:
+                if not 0 <= argument < index:
+                    raise CircuitError(
+                        f"gate {index} refers to gate {argument}, which is "
+                        "not strictly earlier (list order must be topological)"
+                    )
+            if gate.op is GateOp.INPUT and not 0 <= gate.payload < self.n_inputs:
+                raise CircuitError(
+                    f"gate {index} reads input {gate.payload}, but the "
+                    f"circuit has {self.n_inputs} inputs"
+                )
+            if gate.op is GateOp.CONST and gate.payload not in (0, 1):
+                raise CircuitError(f"gate {index}: constant must be 0 or 1")
+
+    def __len__(self) -> int:
+        return len(self.gates)
+
+    @property
+    def is_monotone(self) -> bool:
+        return all(gate.op.monotone for gate in self.gates)
+
+    def depth(self) -> int:
+        """Longest gate-to-gate path ending at the output (levels)."""
+        level = [0] * len(self.gates)
+        for index, gate in enumerate(self.gates):
+            if gate.args:
+                level[index] = 1 + max(level[argument] for argument in gate.args)
+        return level[self.output]
+
+    def layers(self) -> List[List[int]]:
+        """Gate indices grouped by level; level L gates depend only on < L.
+
+        The layered-parallel evaluator maps over one layer at a time.
+        """
+        level = [0] * len(self.gates)
+        for index, gate in enumerate(self.gates):
+            if gate.args:
+                level[index] = 1 + max(level[argument] for argument in gate.args)
+        grouped: List[List[int]] = [[] for _ in range(max(level) + 1)] if level else []
+        for index, gate_level in enumerate(level):
+            grouped[gate_level].append(index)
+        return grouped
+
+    # -- Sigma* view -------------------------------------------------------------
+
+    def encode(self) -> str:
+        """The paper's alpha-bar: a sequence of per-gate tuples."""
+        return alphabet.encode(
+            (
+                self.n_inputs,
+                tuple(
+                    (gate.op.value, tuple(gate.args), gate.payload)
+                    for gate in self.gates
+                ),
+                self.output,
+            )
+        )
+
+    @staticmethod
+    def decode(text: str) -> "Circuit":
+        n_inputs, gate_tuples, output = alphabet.decode(text)
+        gates = [
+            Gate(op=GateOp(op), args=tuple(args), payload=payload)
+            for op, args, payload in gate_tuples
+        ]
+        return Circuit(n_inputs, gates, output)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Circuit):
+            return NotImplemented
+        return (
+            self.n_inputs == other.n_inputs
+            and self.gates == other.gates
+            and self.output == other.output
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.n_inputs, tuple(self.gates), self.output))
+
+    def __repr__(self) -> str:
+        return (
+            f"Circuit(inputs={self.n_inputs}, gates={len(self.gates)}, "
+            f"depth={self.depth()}, output={self.output})"
+        )

@@ -1,0 +1,97 @@
+"""Circuit evaluation: sequential CVP and the layered work--depth view.
+
+Three evaluators, matching the three roles circuits play in the paper:
+
+* :func:`evaluate` -- the plain PTIME CVP decision procedure (one pass over
+  the gate list); this is the per-query cost that Theorem 9 shows cannot be
+  preprocessed away under the empty-data factorization.
+* :func:`evaluate_all` -- evaluates *every* gate and returns the value
+  vector; this is the PTIME preprocessing step of the Section 4(8)
+  factorization (circuit + inputs as data, designated output as query).
+* :func:`evaluate_layered` -- evaluates level by level on the
+  :class:`~repro.parallel.pram.ParallelMachine`; its measured depth is the
+  circuit depth, making the P-completeness obstruction *visible*: for deep
+  circuits the depth is linear, for shallow (NC-like) circuits polylog.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.core.cost import CostTracker, ensure_tracker
+from repro.core.errors import CircuitError
+from repro.circuits.circuit import Circuit, Gate, GateOp
+from repro.parallel.pram import ParallelMachine
+
+__all__ = ["evaluate", "evaluate_all", "evaluate_layered", "gate_value"]
+
+
+def _check_inputs(circuit: Circuit, inputs: List[bool]) -> None:
+    if len(inputs) != circuit.n_inputs:
+        raise CircuitError(
+            f"expected {circuit.n_inputs} input bits, got {len(inputs)}"
+        )
+
+
+def gate_value(gate: Gate, values: List[bool], inputs: List[bool]) -> bool:
+    """The value of one gate given already-computed predecessor values."""
+    if gate.op is GateOp.INPUT:
+        return inputs[gate.payload]
+    if gate.op is GateOp.CONST:
+        return bool(gate.payload)
+    return gate.op.apply([values[argument] for argument in gate.args])
+
+
+def evaluate_all(
+    circuit: Circuit,
+    inputs: List[bool],
+    tracker: Optional[CostTracker] = None,
+) -> List[bool]:
+    """Value of every gate, one sequential pass; Theta(|circuit|)."""
+    tracker = ensure_tracker(tracker)
+    _check_inputs(circuit, inputs)
+    values: List[bool] = []
+    for gate in circuit.gates:
+        tracker.tick(1 + len(gate.args))
+        values.append(gate_value(gate, values, inputs))
+    return values
+
+
+def evaluate(
+    circuit: Circuit,
+    inputs: List[bool],
+    tracker: Optional[CostTracker] = None,
+) -> bool:
+    """CVP: the value of the designated output gate (PTIME, full pass)."""
+    return evaluate_all(circuit, inputs, tracker)[circuit.output]
+
+
+def evaluate_layered(
+    circuit: Circuit,
+    inputs: List[bool],
+    machine: ParallelMachine,
+) -> bool:
+    """Layer-parallel evaluation: depth = circuit depth, work = circuit size.
+
+    Each layer's gates evaluate concurrently (one processor per gate); the
+    layers themselves are inherently sequential.  For circuits of depth d
+    the measured PRAM depth is Theta(d) -- polylog only when the circuit is
+    shallow, which is exactly the NC-vs-P boundary CVP sits on.
+    """
+    _check_inputs(circuit, inputs)
+    values: List[Optional[bool]] = [None] * len(circuit.gates)
+
+    for layer in circuit.layers():
+
+        def eval_one(index: int, tracker: CostTracker) -> bool:
+            gate = circuit.gates[index]
+            tracker.tick(1 + len(gate.args))
+            return gate_value(gate, values, inputs)  # type: ignore[arg-type]
+
+        results = machine.pmap(eval_one, layer)
+        for index, value in zip(layer, results):
+            values[index] = value
+
+    output = values[circuit.output]
+    assert output is not None
+    return output

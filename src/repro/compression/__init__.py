@@ -1,0 +1,6 @@
+"""Query-preserving vs lossless compression (paper, Section 4(5))."""
+
+from repro.compression.dictionary import LosslessCompressedGraph
+from repro.compression.reachability_preserving import ReachabilityPreservingCompression
+
+__all__ = ["LosslessCompressedGraph", "ReachabilityPreservingCompression"]

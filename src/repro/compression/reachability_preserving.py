@@ -1,0 +1,145 @@
+"""Query-preserving compression for reachability (paper, Section 4(5)).
+
+The paper's strategy (5), instantiated for the reachability query class as
+in Fan et al., "Query preserving graph compression", SIGMOD 2012 [16]: find
+a smaller graph ``Dc`` such that every reachability query over ``D`` can be
+answered over ``Dc`` -- *without decompression*.  Two PTIME merges:
+
+1. **SCC contraction**: vertices in one strongly connected component are
+   mutually reachable, so the condensation preserves all answers;
+2. **Reachability-equivalence merge** on the condensation: DAG vertices with
+   identical (reflexive) ancestor *and* descendant sets are interchangeable
+   for every query not between themselves; in a DAG such vertices are
+   incomparable, so queries between two merged vertices are uniformly false
+   unless they shared an SCC.
+
+The answer translation is therefore:
+
+* same SCC -> True;
+* same equivalence class (different SCCs) -> False;
+* otherwise -> reachability between classes in the compressed graph.
+
+In contrast to *lossless* compression (see
+:mod:`repro.compression.dictionary`), queries run directly on the compressed
+structure; the paper notes this is why query-preserving schemes achieve
+better effective ratios -- they only keep what the query class can observe.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.cost import CostTracker, ensure_tracker
+from repro.graphs.graph import Digraph
+from repro.graphs.scc import condensation
+
+__all__ = ["ReachabilityPreservingCompression"]
+
+
+class ReachabilityPreservingCompression:
+    """Compress a digraph while preserving all reachability answers."""
+
+    def __init__(self, graph: Digraph, tracker: Optional[CostTracker] = None):
+        tracker = ensure_tracker(tracker)
+        self.original_vertices = graph.n
+        self.original_edges = graph.edge_count
+
+        dag, component_of = condensation(graph, tracker)
+        self._component_of = component_of
+
+        # Reflexive descendant and ancestor bitsets on the condensation.
+        n = dag.n
+        words = max(1, n // 64)
+        descendants = [0] * n
+        for vertex in range(n - 1, -1, -1):  # component ids are topological
+            bits = 1 << vertex
+            for successor in dag.neighbors(vertex):
+                bits |= descendants[successor]
+                tracker.tick(words)
+            descendants[vertex] = bits
+        ancestors = [0] * n
+        reverse = dag.reversed()
+        for vertex in range(n):
+            bits = 1 << vertex
+            for predecessor in reverse.neighbors(vertex):
+                bits |= ancestors[predecessor]
+                tracker.tick(words)
+            ancestors[vertex] = bits
+
+        # Group condensation vertices by (ancestors - self, descendants - self).
+        signature_to_class: Dict[Tuple[int, int], int] = {}
+        class_of_component: List[int] = [0] * n
+        for vertex in range(n):
+            self_bit = 1 << vertex
+            signature = (ancestors[vertex] ^ self_bit, descendants[vertex] ^ self_bit)
+            tracker.tick(words)
+            if signature not in signature_to_class:
+                signature_to_class[signature] = len(signature_to_class)
+            class_of_component[vertex] = signature_to_class[signature]
+        self._class_of_component = class_of_component
+
+        # The compressed graph on equivalence classes.
+        compressed = Digraph(len(signature_to_class))
+        seen = set()
+        for u, v in dag.edges():
+            tracker.tick(1)
+            cu, cv = class_of_component[u], class_of_component[v]
+            if cu != cv and (cu, cv) not in seen:
+                seen.add((cu, cv))
+                compressed.add_edge(cu, cv)
+        self.compressed = compressed
+
+        # Class-level closure, for O(1) answers on the compressed structure.
+        cn = compressed.n
+        cwords = max(1, cn // 64)
+        closure = [0] * cn
+        order = _topological(compressed)
+        for vertex in reversed(order):
+            bits = 1 << vertex
+            for successor in compressed.neighbors(vertex):
+                bits |= closure[successor]
+                tracker.tick(cwords)
+            closure[vertex] = bits
+        self._closure = closure
+
+    # -- accounting ---------------------------------------------------------------
+
+    @property
+    def compressed_vertices(self) -> int:
+        return self.compressed.n
+
+    @property
+    def compressed_edges(self) -> int:
+        return self.compressed.edge_count
+
+    def compression_ratio(self) -> float:
+        """(original n + m) / (compressed n + m); > 1 means smaller."""
+        original = self.original_vertices + self.original_edges
+        compressed = self.compressed_vertices + max(self.compressed_edges, 0)
+        return original / max(compressed, 1)
+
+    # -- querying ------------------------------------------------------------------
+
+    def class_of(self, vertex: int) -> int:
+        return self._class_of_component[self._component_of[vertex]]
+
+    def reachable(self, source: int, target: int, tracker: Optional[CostTracker] = None) -> bool:
+        """Answer ``source ->* target`` on the compressed structure; O(1)."""
+        tracker = ensure_tracker(tracker)
+        tracker.tick(3)
+        source_component = self._component_of[source]
+        target_component = self._component_of[target]
+        if source_component == target_component:
+            return True
+        source_class = self._class_of_component[source_component]
+        target_class = self._class_of_component[target_component]
+        if source_class == target_class:
+            # Equivalent but in different SCCs: incomparable in the DAG.
+            return False
+        return bool(self._closure[source_class] & (1 << target_class))
+
+
+def _topological(dag: Digraph) -> List[int]:
+    from repro.graphs.scc import topological_order
+
+    return topological_order(dag)

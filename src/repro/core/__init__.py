@@ -1,0 +1,131 @@
+"""Core framework: the paper's primary contribution, as executable objects.
+
+Layout (one concept per module):
+
+========================  ====================================================
+``alphabet``              Sigma* encodings, the ``D#Q`` form (Section 3)
+``cost``                  work--depth cost accounting (the PRAM yardstick)
+``fitting``               polylog-vs-polynomial scaling classification
+``query``                 :class:`QueryClass` and :class:`PiScheme`
+``language``              languages of pairs, decision problems, L_Q
+``factorization``         ``Upsilon = (pi1, pi2, rho)`` (Definitions 2-3)
+``tractability``          empirical certification of Definition 1
+``reductions``            ``<=NC_fa`` and ``<=NC_F`` (Definitions 4 and 7),
+                          Lemma 2/3/8 as executable constructions
+``classes``               the Figure 2 registry and containment checker
+========================  ====================================================
+"""
+
+from repro.core.alphabet import decode, decode_pair, encode, encode_pair, encoded_size
+from repro.core.classes import Membership, Registry, RegistryEntry, figure2_report
+from repro.core.cost import NULL_TRACKER, Cost, CostTracker, NullTracker, ensure_tracker
+from repro.core.errors import (
+    CertificationError,
+    CircuitError,
+    EncodingError,
+    FactorizationError,
+    GraphError,
+    ReductionError,
+    ReproError,
+    SchemaError,
+    ViewError,
+)
+from repro.core.factorization import (
+    EMPTY_DATA,
+    Factorization,
+    canonical_factorization,
+    identity_factorization,
+    trivial_factorization,
+)
+from repro.core.fitting import (
+    Fit,
+    ScalingKind,
+    ScalingVerdict,
+    classify_scaling,
+    fit_polylog,
+    fit_power,
+)
+from repro.core.language import (
+    DecisionProblem,
+    PairLanguage,
+    decision_problem_of,
+    pair_language_of,
+)
+from repro.core.query import PiScheme, QueryClass, default_sizes
+from repro.core.reductions import (
+    FReduction,
+    NCFactorReduction,
+    compose,
+    compose_f,
+    padded_factorization,
+    transfer_scheme,
+    transfer_scheme_f,
+    verify_f_reduction,
+    verify_reduction,
+)
+from repro.core.tractability import Certificate, SizeSample, certify
+
+__all__ = [
+    # alphabet
+    "encode",
+    "decode",
+    "encode_pair",
+    "decode_pair",
+    "encoded_size",
+    # cost
+    "Cost",
+    "CostTracker",
+    "NullTracker",
+    "NULL_TRACKER",
+    "ensure_tracker",
+    # fitting
+    "Fit",
+    "ScalingKind",
+    "ScalingVerdict",
+    "classify_scaling",
+    "fit_power",
+    "fit_polylog",
+    # query / language
+    "QueryClass",
+    "PiScheme",
+    "default_sizes",
+    "PairLanguage",
+    "DecisionProblem",
+    "pair_language_of",
+    "decision_problem_of",
+    # factorization
+    "Factorization",
+    "EMPTY_DATA",
+    "canonical_factorization",
+    "trivial_factorization",
+    "identity_factorization",
+    # tractability
+    "Certificate",
+    "SizeSample",
+    "certify",
+    # reductions
+    "NCFactorReduction",
+    "FReduction",
+    "compose",
+    "compose_f",
+    "padded_factorization",
+    "transfer_scheme",
+    "transfer_scheme_f",
+    "verify_reduction",
+    "verify_f_reduction",
+    # registry
+    "Membership",
+    "Registry",
+    "RegistryEntry",
+    "figure2_report",
+    # errors
+    "ReproError",
+    "EncodingError",
+    "FactorizationError",
+    "ReductionError",
+    "CertificationError",
+    "SchemaError",
+    "GraphError",
+    "CircuitError",
+    "ViewError",
+]

@@ -1,0 +1,59 @@
+"""Exception hierarchy for the repro package.
+
+All exceptions raised by this library derive from :class:`ReproError`, so
+callers can catch library failures with a single ``except`` clause without
+swallowing unrelated bugs.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class EncodingError(ReproError):
+    """Raised when a string in Sigma* cannot be decoded, or an object cannot
+    be encoded (Section 3 'Notations' of the paper)."""
+
+
+class FactorizationError(ReproError):
+    """Raised when a factorization violates its contract, e.g. the round-trip
+    law rho(pi1(x), pi2(x)) == x fails for some instance x."""
+
+
+class ReductionError(ReproError):
+    """Raised when a reduction is malformed or its factorizations are
+    incompatible (e.g. transferring a Pi-scheme across a reduction whose
+    target factorization differs from the scheme's factorization)."""
+
+
+class CertificationError(ReproError):
+    """Raised when the empirical Pi-tractability certifier cannot run, e.g.
+    not enough sizes to fit a scaling curve."""
+
+
+class SchemaError(ReproError):
+    """Raised on relational schema violations (unknown attribute, arity
+    mismatch, type mismatch)."""
+
+
+class IndexError_(ReproError):
+    """Raised on index misuse (e.g. querying an unbuilt index).
+
+    Named with a trailing underscore to avoid shadowing the builtin
+    ``IndexError``.
+    """
+
+
+class GraphError(ReproError):
+    """Raised on malformed graph input (unknown vertex, bad numbering)."""
+
+
+class CircuitError(ReproError):
+    """Raised on malformed Boolean circuits (cycles, bad fan-in, unknown
+    gate references)."""
+
+
+class ViewError(ReproError):
+    """Raised when a query cannot be answered from the available views."""

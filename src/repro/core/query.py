@@ -1,0 +1,160 @@
+"""Boolean query classes and Pi-schemes (paper, Definition 1).
+
+A *query class* Q is, in the paper, a language of pairs ``S = {<D, Q>}``
+with ``<D, Q> in S`` iff ``Q(D)`` is true.  This module gives the practical,
+object-level counterpart used throughout the reproduction:
+
+:class:`QueryClass`
+    bundles the reference (naive, PTIME) semantics ``evaluate(D, Q)`` with
+    deterministic generators for data and queries, and codecs to Sigma*.
+
+:class:`PiScheme`
+    a candidate witness of Pi-tractability: a PTIME ``preprocess`` function
+    Pi and an NC ``evaluate`` over the preprocessed structure.  Whether a
+    scheme really is such a witness is decided empirically by
+    :func:`repro.core.tractability.certify`.
+
+Both are plain data records of callables so that each case-study module
+(:mod:`repro.queries`) can define its classes declaratively.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Callable, List, Optional, Sequence
+
+from repro.core import alphabet
+from repro.core.cost import CostTracker
+
+__all__ = ["QueryClass", "PiScheme", "default_sizes", "stable_seed"]
+
+
+def stable_seed(*parts: Any) -> int:
+    """A run-independent seed from arbitrary parts (zlib.crc32, not hash)."""
+    import zlib
+
+    text = "\x1f".join(repr(part) for part in parts)
+    return zlib.crc32(text.encode("utf-8"))
+
+#: Evaluator signature: (data, query, tracker) -> bool
+Evaluator = Callable[[Any, Any, CostTracker], bool]
+#: Preprocessor signature: (data, tracker) -> preprocessed structure
+Preprocessor = Callable[[Any, CostTracker], Any]
+
+
+def default_sizes(small: bool = False) -> List[int]:
+    """The geometric size sweep used by certification and benchmarks."""
+    if small:
+        return [2**k for k in range(8, 13)]
+    return [2**k for k in range(10, 17)]
+
+
+@dataclass
+class QueryClass:
+    """A class of Boolean queries with reference semantics and generators.
+
+    Parameters
+    ----------
+    name:
+        Human-readable identifier, e.g. ``"point-selection"``.
+    evaluate:
+        The reference semantics ``Q(D)`` -- the naive PTIME evaluation used
+        both as the membership test of the language of pairs and as the
+        no-preprocessing baseline in experiments.
+    generate_data:
+        ``(size, rng) -> D``; deterministic given the rng.
+    generate_queries:
+        ``(D, rng, count) -> [Q]``; queries *defined on* D (the set Q_D of
+        the paper), mixing positive and negative answers.
+    encode_data / encode_query:
+        Sigma* codecs; default to :func:`repro.core.alphabet.encode`.
+    data_size:
+        ``|D|``; defaults to the length of the Sigma* encoding.
+    """
+
+    name: str
+    evaluate: Evaluator
+    generate_data: Callable[[int, random.Random], Any]
+    generate_queries: Callable[[Any, random.Random, int], List[Any]]
+    encode_data: Callable[[Any], str] = alphabet.encode
+    encode_query: Callable[[Any], str] = alphabet.encode
+    data_size: Optional[Callable[[Any], int]] = None
+    description: str = ""
+
+    def size_of_data(self, data: Any) -> int:
+        if self.data_size is not None:
+            return self.data_size(data)
+        return len(self.encode_data(data))
+
+    def pair_in_language(self, data: Any, query: Any, tracker: Optional[CostTracker] = None) -> bool:
+        """Membership of ``<D, Q>`` in the language of pairs S for this class."""
+        from repro.core.cost import ensure_tracker
+
+        return bool(self.evaluate(data, query, ensure_tracker(tracker)))
+
+    def sample_workload(
+        self, size: int, seed: int, query_count: int
+    ) -> tuple[Any, List[Any]]:
+        """Deterministic (data, queries) workload for experiments.
+
+        The per-size seed is derived with a *stable* hash (not Python's
+        per-process-salted ``hash``) so workloads are identical across runs.
+        """
+        rng = random.Random(stable_seed(seed, size, self.name))
+        data = self.generate_data(size, rng)
+        queries = self.generate_queries(data, rng, query_count)
+        return data, queries
+
+
+@dataclass
+class PiScheme:
+    """A preprocessing scheme: candidate witness that a class is in PiT0Q.
+
+    ``preprocess`` must run in PTIME in ``|D|`` and produce a structure of
+    polynomial size; ``evaluate`` must answer any query of the class over the
+    preprocessed structure in NC (polylog depth, polynomial work).  Both
+    requirements are checked empirically by the certifier rather than
+    trusted.
+
+    ``factorization_name`` records which factorization of the underlying
+    decision problem this scheme answers (needed by Lemma 3 transfer, see
+    :func:`repro.core.reductions.transfer_scheme`); ``None`` means the
+    canonical factorization of the query class itself.
+    """
+
+    name: str
+    preprocess: Preprocessor
+    evaluate: Evaluator
+    factorization_name: Optional[str] = None
+    description: str = ""
+    #: Optional PTIME query rewriting lambda: Q -> Q' (paper, remark under
+    #: Definition 1); identity when absent.
+    rewrite_query: Optional[Callable[[Any], Any]] = None
+
+    def answer(
+        self,
+        preprocessed: Any,
+        query: Any,
+        tracker: Optional[CostTracker] = None,
+    ) -> bool:
+        """Evaluate one query over the preprocessed structure."""
+        from repro.core.cost import ensure_tracker
+
+        effective_query = query if self.rewrite_query is None else self.rewrite_query(query)
+        return bool(self.evaluate(preprocessed, effective_query, ensure_tracker(tracker)))
+
+
+@dataclass
+class Workload:
+    """A concrete (data, queries) pair plus bookkeeping, used by benchmarks."""
+
+    query_class: QueryClass
+    data: Any
+    queries: Sequence[Any]
+    seed: int = 0
+    extras: dict = field(default_factory=dict)
+
+    @property
+    def size(self) -> int:
+        return self.query_class.size_of_data(self.data)

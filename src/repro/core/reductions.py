@@ -1,0 +1,338 @@
+"""NC-factor reductions and F-reductions (paper, Sections 5 and 7).
+
+Two transformation regimes are defined by the paper and implemented here as
+*executable* objects:
+
+:class:`NCFactorReduction` -- ``L1 <=NC_fa L2`` (Definition 4)
+    Picks factorizations ``Upsilon1`` of L1 and ``Upsilon2`` of L2 plus NC
+    functions ``alpha`` (on data parts) and ``beta`` (on query parts) with
+    ``<D, Q> in S(L1, Upsilon1)  iff  <alpha(D), beta(Q)> in S(L2, Upsilon2)``.
+    Re-factorization is allowed, which is what makes every PTIME problem
+    reducible to BDS (Theorem 5 / Corollary 6).
+
+:class:`FReduction` -- ``S1 <=NC_F S2`` (Definition 7)
+    The conservative form: operates on the languages of pairs themselves,
+    with no re-factorization.  Compatible with PiT0Q (Lemma 8), and the form
+    under which the Theorem 9 separation holds.
+
+Both come with executable versions of the paper's meta-theorems:
+
+* :func:`compose` implements Lemma 2's transitivity construction, including
+  the ``@``-padding trick (the composite's source factorization duplicates
+  the pair into both parts so that the second reduction can re-factorize);
+* :func:`transfer_scheme` implements the heart of Lemma 3: pulling a
+  Pi-scheme for the target back along a reduction to obtain a Pi-scheme for
+  the source (``Pi' = Pi . alpha``, ``eval' = eval . (id, beta)``);
+* :func:`verify_reduction` checks the Definition 4/7 equivalence empirically
+  on generated instances, including mismatched cross pairs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, List, Optional, Sequence, Tuple
+
+from repro.core.cost import CostTracker, ensure_tracker
+from repro.core.errors import FactorizationError, ReductionError
+from repro.core.factorization import Factorization
+from repro.core.language import DecisionProblem, PairLanguage
+from repro.core.query import PiScheme
+
+__all__ = [
+    "NCFactorReduction",
+    "FReduction",
+    "compose",
+    "compose_f",
+    "transfer_scheme",
+    "transfer_scheme_f",
+    "verify_reduction",
+    "verify_f_reduction",
+    "padded_factorization",
+]
+
+
+@dataclass
+class NCFactorReduction:
+    """``source <=NC_fa target`` via (Upsilon1, Upsilon2, alpha, beta)."""
+
+    name: str
+    source: DecisionProblem
+    target: DecisionProblem
+    source_factorization: Factorization
+    target_factorization: Factorization
+    alpha: Callable[[Any], Any]
+    beta: Callable[[Any], Any]
+    description: str = ""
+
+    def map_pair(self, data: Any, query: Any) -> Tuple[Any, Any]:
+        """``<D, Q> -> <alpha(D), beta(Q)>``."""
+        return self.alpha(data), self.beta(query)
+
+    def map_instance(self, instance: Any) -> Any:
+        """Push a whole source instance to a target instance.
+
+        Factorize with Upsilon1, map with (alpha, beta), reassemble with
+        Upsilon2's rho.  Sound by Definition 4 plus Proposition 1.
+        """
+        data, query = self.source_factorization.split(instance)
+        target_data, target_query = self.map_pair(data, query)
+        return self.target_factorization.rho(target_data, target_query)
+
+
+@dataclass
+class FReduction:
+    """``S1 <=NC_F S2``: pair-language to pair-language, no re-factorization."""
+
+    name: str
+    source: PairLanguage
+    target: PairLanguage
+    alpha: Callable[[Any], Any]
+    beta: Callable[[Any], Any]
+    description: str = ""
+
+    def map_pair(self, data: Any, query: Any) -> Tuple[Any, Any]:
+        return self.alpha(data), self.beta(query)
+
+
+# ---------------------------------------------------------------------------
+# Lemma 2: transitivity of <=NC_fa, with the padding construction
+# ---------------------------------------------------------------------------
+
+
+def padded_factorization(base: Factorization, name: Optional[str] = None) -> Factorization:
+    """The ``@``-padded factorization ``Upsilon'`` from the Lemma 2 proof.
+
+    ``sigma1(x) = sigma2(x) = (pi1(x), pi2(x))`` -- the *pair* is duplicated
+    into both the data and the query part (the paper concatenates the two
+    strings with the fresh symbol ``@``; at the object level a tuple plays
+    that role).  ``rho'((x1, x2), (x1, x2)) = rho(x1, x2)``.
+    """
+
+    def project(instance: Any) -> Tuple[Any, Any]:
+        return base.pi1(instance), base.pi2(instance)
+
+    def rho(data: Any, query: Any) -> Any:
+        if data != query:
+            raise FactorizationError(
+                "padded factorization requires identical data and query copies"
+            )
+        return base.rho(data[0], data[1])
+
+    return Factorization(
+        name=name or f"{base.name}@padded",
+        pi1=project,
+        pi2=project,
+        rho=rho,
+        description=f"Lemma 2 padding of {base.name}",
+    )
+
+
+def compose(
+    first: NCFactorReduction,
+    second: NCFactorReduction,
+    *,
+    name: Optional[str] = None,
+) -> NCFactorReduction:
+    """Lemma 2: from ``L1 <=NC_fa L2`` and ``L2 <=NC_fa L3``, build
+    ``L1 <=NC_fa L3``.
+
+    A naive function composition fails because ``second``'s alpha/beta may
+    depend on *both* parts produced by ``first``.  Following the paper's
+    proof, the composite's source factorization pads both parts with the
+    full (data, query) pair; alpha and beta each (i) apply the first
+    reduction, (ii) reassemble an L2 instance with ``first``'s target rho,
+    (iii) re-factorize it under ``second``'s source factorization, and
+    (iv) apply the second reduction's alpha / beta respectively.
+    """
+    if first.target.name != second.source.name:
+        raise ReductionError(
+            f"cannot compose {first.name} with {second.name}: "
+            f"{first.target.name} != {second.source.name}"
+        )
+
+    padded = padded_factorization(first.source_factorization)
+
+    def rebuild_intermediate(padded_part: Tuple[Any, Any]) -> Any:
+        source_data, source_query = padded_part
+        mid_data, mid_query = first.map_pair(source_data, source_query)
+        return first.target_factorization.rho(mid_data, mid_query)
+
+    def alpha(padded_data: Tuple[Any, Any]) -> Any:
+        intermediate = rebuild_intermediate(padded_data)
+        return second.alpha(second.source_factorization.pi1(intermediate))
+
+    def beta(padded_query: Tuple[Any, Any]) -> Any:
+        intermediate = rebuild_intermediate(padded_query)
+        return second.beta(second.source_factorization.pi2(intermediate))
+
+    return NCFactorReduction(
+        name=name or f"{first.name};{second.name}",
+        source=first.source,
+        target=second.target,
+        source_factorization=padded,
+        target_factorization=second.target_factorization,
+        alpha=alpha,
+        beta=beta,
+        description=f"Lemma 2 composition of {first.name} and {second.name}",
+    )
+
+
+def compose_f(
+    first: FReduction,
+    second: FReduction,
+    *,
+    name: Optional[str] = None,
+) -> FReduction:
+    """Transitivity of <=NC_F (Lemma 8): plain composition, no padding needed
+    because F-reductions map data to data and query to query independently."""
+    if first.target.name != second.source.name:
+        raise ReductionError(
+            f"cannot compose {first.name} with {second.name}: "
+            f"{first.target.name} != {second.source.name}"
+        )
+    return FReduction(
+        name=name or f"{first.name};{second.name}",
+        source=first.source,
+        target=second.target,
+        alpha=lambda data: second.alpha(first.alpha(data)),
+        beta=lambda query: second.beta(first.beta(query)),
+        description=f"Lemma 8 composition of {first.name} and {second.name}",
+    )
+
+
+# ---------------------------------------------------------------------------
+# Lemma 3 / Lemma 8: compatibility -- pulling schemes back along reductions
+# ---------------------------------------------------------------------------
+
+
+def transfer_scheme(
+    reduction: NCFactorReduction,
+    target_scheme: PiScheme,
+    *,
+    name: Optional[str] = None,
+) -> PiScheme:
+    """Lemma 3, constructive direction: a Pi-scheme for the target yields one
+    for the source.
+
+    ``Pi'(D1) = Pi(alpha(D1))`` and ``eval'(D', Q1) = eval(D', beta(Q1))``.
+    ``Pi'`` is PTIME because ``alpha`` is NC and NC is contained in P; the new
+    evaluator is NC because ``beta`` is NC and the target evaluator is NC.
+
+    The target scheme must answer the pair language of *this reduction's*
+    target factorization; the paper handles mismatches by re-deriving the
+    reduction (proof of Lemma 3) -- here we require the match explicitly and
+    raise :class:`ReductionError` otherwise.
+    """
+    expected = target_scheme.factorization_name
+    if expected is not None and expected != reduction.target_factorization.name:
+        raise ReductionError(
+            f"scheme {target_scheme.name!r} answers factorization "
+            f"{expected!r}, but reduction {reduction.name!r} targets "
+            f"{reduction.target_factorization.name!r}"
+        )
+
+    def preprocess(data: Any, tracker: CostTracker) -> Any:
+        return target_scheme.preprocess(reduction.alpha(data), tracker)
+
+    def evaluate(preprocessed: Any, query: Any, tracker: CostTracker) -> bool:
+        return target_scheme.answer(preprocessed, reduction.beta(query), tracker)
+
+    return PiScheme(
+        name=name or f"{target_scheme.name}<-{reduction.name}",
+        preprocess=preprocess,
+        evaluate=evaluate,
+        factorization_name=reduction.source_factorization.name,
+        description=f"Lemma 3 transfer of {target_scheme.name} along {reduction.name}",
+    )
+
+
+def transfer_scheme_f(
+    reduction: FReduction,
+    target_scheme: PiScheme,
+    *,
+    name: Optional[str] = None,
+) -> PiScheme:
+    """Lemma 8, constructive direction: same construction for F-reductions."""
+
+    def preprocess(data: Any, tracker: CostTracker) -> Any:
+        return target_scheme.preprocess(reduction.alpha(data), tracker)
+
+    def evaluate(preprocessed: Any, query: Any, tracker: CostTracker) -> bool:
+        return target_scheme.answer(preprocessed, reduction.beta(query), tracker)
+
+    return PiScheme(
+        name=name or f"{target_scheme.name}<-{reduction.name}",
+        preprocess=preprocess,
+        evaluate=evaluate,
+        description=f"Lemma 8 transfer of {target_scheme.name} along {reduction.name}",
+    )
+
+
+# ---------------------------------------------------------------------------
+# Empirical verification of the Definition 4 / Definition 7 equivalences
+# ---------------------------------------------------------------------------
+
+
+def verify_reduction(
+    reduction: NCFactorReduction,
+    instances: Sequence[Any],
+    *,
+    cross_pairs: bool = True,
+    tracker: Optional[CostTracker] = None,
+) -> List[str]:
+    """Check ``<D,Q> in S1 iff <alpha(D), beta(Q)> in S2`` on real instances.
+
+    Returns a list of human-readable violation descriptions (empty = all
+    checks passed).  With ``cross_pairs``, data and query parts of *different*
+    instances are recombined, exercising pairs that are typically
+    non-members.  Pairs whose recombination is rejected by ``rho`` (the
+    factorization's domain is violated) are skipped: Definition 4 quantifies
+    over Sigma* x Sigma*, but object-level rho functions are partial.
+    """
+    tracker = ensure_tracker(tracker)
+    violations: List[str] = []
+    source_pairs = reduction.source_factorization
+    target = reduction.target_factorization
+
+    def check(data: Any, query: Any, label: str) -> None:
+        try:
+            source_instance = source_pairs.rho(data, query)
+        except FactorizationError:
+            return
+        in_source = reduction.source.member(source_instance, tracker)
+        target_data, target_query = reduction.map_pair(data, query)
+        target_instance = target.rho(target_data, target_query)
+        in_target = reduction.target.member(target_instance, tracker)
+        if in_source != in_target:
+            violations.append(
+                f"{label}: source membership {in_source} but target {in_target}"
+            )
+
+    parts = [source_pairs.split(instance) for instance in instances]
+    for index, (data, query) in enumerate(parts):
+        check(data, query, f"instance #{index}")
+    if cross_pairs and len(parts) > 1:
+        for i, (data, _) in enumerate(parts):
+            j = (i + 1) % len(parts)
+            check(data, parts[j][1], f"cross pair #{i}x#{j}")
+    return violations
+
+
+def verify_f_reduction(
+    reduction: FReduction,
+    pairs: Sequence[Tuple[Any, Any]],
+    *,
+    tracker: Optional[CostTracker] = None,
+) -> List[str]:
+    """Check the Definition 7 equivalence on explicit (data, query) pairs."""
+    tracker = ensure_tracker(tracker)
+    violations: List[str] = []
+    for index, (data, query) in enumerate(pairs):
+        in_source = reduction.source.member(data, query, tracker)
+        target_data, target_query = reduction.map_pair(data, query)
+        in_target = reduction.target.member(target_data, target_query, tracker)
+        if in_source != in_target:
+            violations.append(
+                f"pair #{index}: source membership {in_source} but target {in_target}"
+            )
+    return violations

@@ -1,0 +1,64 @@
+"""Graph substrate: numbered graphs, traversals (incl. BDS), SCC, generators."""
+
+from repro.graphs.alternating import (
+    AlternatingDigraph,
+    AlternatingReachabilityIndex,
+    alternating_reachable,
+    random_alternating_digraph,
+)
+from repro.graphs.generators import (
+    gnm_digraph,
+    gnm_graph,
+    layered_dag,
+    random_connected_graph,
+    random_dag,
+    random_tree,
+    random_vertex_pairs,
+    social_digraph,
+)
+from repro.graphs.graph import Digraph, Graph, permute_vertices, random_permutation
+from repro.graphs.scc import (
+    condensation,
+    is_dag,
+    strongly_connected_components,
+    topological_order,
+)
+from repro.graphs.traversal import (
+    bfs_order,
+    breadth_depth_search,
+    breadth_depth_search_reference,
+    dfs_order,
+    is_reachable,
+    reachable_from,
+    visit_position,
+)
+
+__all__ = [
+    "AlternatingDigraph",
+    "AlternatingReachabilityIndex",
+    "alternating_reachable",
+    "random_alternating_digraph",
+    "Digraph",
+    "Graph",
+    "permute_vertices",
+    "random_permutation",
+    "gnm_digraph",
+    "gnm_graph",
+    "layered_dag",
+    "random_connected_graph",
+    "random_dag",
+    "random_tree",
+    "random_vertex_pairs",
+    "social_digraph",
+    "condensation",
+    "is_dag",
+    "strongly_connected_components",
+    "topological_order",
+    "bfs_order",
+    "breadth_depth_search",
+    "breadth_depth_search_reference",
+    "dfs_order",
+    "is_reachable",
+    "reachable_from",
+    "visit_position",
+]

@@ -1,0 +1,144 @@
+"""Strongly connected components and condensation (iterative Tarjan).
+
+Used by the query-preserving compression of Section 4(5): contracting each
+SCC to one vertex preserves all reachability answers, and the resulting
+condensation is a DAG on which further reachability-equivalence merging is
+performed.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.core.cost import CostTracker, ensure_tracker
+from repro.graphs.graph import Digraph
+
+__all__ = ["strongly_connected_components", "condensation", "topological_order", "is_dag"]
+
+
+def strongly_connected_components(
+    graph: Digraph,
+    tracker: CostTracker | None = None,
+) -> List[List[int]]:
+    """Tarjan's algorithm, iterative (safe for deep graphs).
+
+    Returns components in reverse topological order of the condensation
+    (a Tarjan invariant the condensation builder relies on).
+    """
+    tracker = ensure_tracker(tracker)
+    n = graph.n
+    index_counter = 0
+    indices = [-1] * n
+    lowlink = [0] * n
+    on_stack = [False] * n
+    stack: List[int] = []
+    components: List[List[int]] = []
+
+    for root in range(n):
+        if indices[root] != -1:
+            continue
+        # Each frame: (vertex, iterator position into its adjacency).
+        work: List[Tuple[int, int]] = [(root, 0)]
+        while work:
+            vertex, position = work.pop()
+            if position == 0:
+                indices[vertex] = lowlink[vertex] = index_counter
+                index_counter += 1
+                stack.append(vertex)
+                on_stack[vertex] = True
+            neighbors = graph.neighbors(vertex)
+            recursed = False
+            while position < len(neighbors):
+                successor = neighbors[position]
+                tracker.tick(1)
+                position += 1
+                if indices[successor] == -1:
+                    work.append((vertex, position))
+                    work.append((successor, 0))
+                    recursed = True
+                    break
+                if on_stack[successor]:
+                    lowlink[vertex] = min(lowlink[vertex], indices[successor])
+            if recursed:
+                continue
+            if lowlink[vertex] == indices[vertex]:
+                component: List[int] = []
+                while True:
+                    w = stack.pop()
+                    on_stack[w] = False
+                    component.append(w)
+                    if w == vertex:
+                        break
+                components.append(sorted(component))
+            if work:
+                parent = work[-1][0]
+                lowlink[parent] = min(lowlink[parent], lowlink[vertex])
+    return components
+
+
+def condensation(
+    graph: Digraph,
+    tracker: CostTracker | None = None,
+) -> Tuple[Digraph, List[int]]:
+    """Contract SCCs: returns (condensed DAG, vertex -> component id map).
+
+    Component ids are assigned in *topological* order of the condensation
+    (sources first), so downstream DAG algorithms may use ``range(n)`` as a
+    topological numbering.
+    """
+    tracker = ensure_tracker(tracker)
+    components = strongly_connected_components(graph, tracker)
+    # Tarjan emits components in reverse topological order; flip them.
+    components.reverse()
+    component_of = [-1] * graph.n
+    for component_id, members in enumerate(components):
+        for vertex in members:
+            component_of[vertex] = component_id
+    condensed = Digraph(len(components))
+    seen: set = set()
+    for u, v in graph.edges():
+        tracker.tick(1)
+        cu, cv = component_of[u], component_of[v]
+        if cu != cv and (cu, cv) not in seen:
+            seen.add((cu, cv))
+            condensed.add_edge(cu, cv)
+    return condensed, component_of
+
+
+def topological_order(graph: Digraph, tracker: CostTracker | None = None) -> List[int]:
+    """Kahn's algorithm; raises GraphError if the digraph has a cycle."""
+    from repro.core.errors import GraphError
+
+    tracker = ensure_tracker(tracker)
+    indegree = [0] * graph.n
+    for _, v in graph.edges():
+        tracker.tick(1)
+        indegree[v] += 1
+    # A heap keeps the order deterministic (smallest-vertex-first).
+    import heapq
+
+    frontier = [v for v in range(graph.n) if indegree[v] == 0]
+    heapq.heapify(frontier)
+    order: List[int] = []
+    while frontier:
+        vertex = heapq.heappop(frontier)
+        tracker.tick(1)
+        order.append(vertex)
+        for successor in graph.neighbors(vertex):
+            tracker.tick(1)
+            indegree[successor] -= 1
+            if indegree[successor] == 0:
+                heapq.heappush(frontier, successor)
+    if len(order) != graph.n:
+        raise GraphError("digraph has a cycle; no topological order exists")
+    return order
+
+
+def is_dag(graph: Digraph) -> bool:
+    from repro.core.errors import GraphError
+
+    try:
+        topological_order(graph)
+    except GraphError:
+        return False
+    return True

@@ -1,0 +1,14 @@
+"""Bounded incremental evaluation and preprocessing (paper, Section 4(7))."""
+
+from repro.incremental.changes import ChangeKind, ChangeLog, EdgeChange, TupleChange
+from repro.incremental.inc_reachability import IncrementalTransitiveClosure
+from repro.incremental.inc_selection import IncrementalSelectionIndex
+
+__all__ = [
+    "ChangeKind",
+    "ChangeLog",
+    "EdgeChange",
+    "TupleChange",
+    "IncrementalSelectionIndex",
+    "IncrementalTransitiveClosure",
+]

@@ -1,0 +1,57 @@
+"""Change representations for incremental evaluation (paper, Section 4(7)).
+
+Incremental algorithms are analysed against |CHANGED| = |dD| + |dO| [35]:
+the size of the input change plus the size of the output change.  The
+:class:`ChangeLog` accumulates both so experiments can test *boundedness* --
+cost a function of |CHANGED| alone, independent of |D|.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, List, Tuple
+
+__all__ = ["ChangeKind", "TupleChange", "EdgeChange", "ChangeLog"]
+
+
+class ChangeKind(enum.Enum):
+    INSERT = "insert"
+    DELETE = "delete"
+
+
+@dataclass(frozen=True)
+class TupleChange:
+    """One row inserted into / deleted from a relation."""
+
+    kind: ChangeKind
+    row: Tuple[Any, ...]
+
+
+@dataclass(frozen=True)
+class EdgeChange:
+    """One edge inserted into / deleted from a graph."""
+
+    kind: ChangeKind
+    source: int
+    target: int
+
+
+@dataclass
+class ChangeLog:
+    """Accounting of |dD| and |dO| across a batch of updates."""
+
+    input_changes: int = 0
+    output_changes: int = 0
+    details: List[str] = field(default_factory=list)
+
+    def record(self, input_delta: int, output_delta: int, note: str = "") -> None:
+        self.input_changes += input_delta
+        self.output_changes += output_delta
+        if note:
+            self.details.append(note)
+
+    @property
+    def changed(self) -> int:
+        """|CHANGED| = |dD| + |dO| (Ramalingam & Reps [35])."""
+        return self.input_changes + self.output_changes

@@ -1,0 +1,169 @@
+"""Lowest common ancestors in DAGs (paper, Section 4(4), citing [5]).
+
+The paper's L3: given a DAG G and nodes u, v, find a node w that is an
+ancestor of both (reflexively) and has no descendant that is also a common
+ancestor.  Such a *representative* LCA always exists when u and v share any
+ancestor: the common ancestor with the highest topological rank qualifies,
+because all of its proper descendants rank strictly higher and it is the
+highest-ranked common ancestor.
+
+Preprocessing (within the O(|G|^3) budget the paper quotes from [5]):
+
+* a topological order of G;
+* per-vertex *ancestor bitsets* in topological-rank space (reflexive), built
+  in one forward sweep -- O(n * m / wordsize) word operations using Python's
+  arbitrary-precision integers as bitsets;
+* optionally (``all_pairs=True``) the full n x n answer table, giving the
+  literal O(1) table lookup of [5].
+
+Queries: AND two ancestor bitsets, take the highest set bit (the
+topologically deepest common ancestor), map the rank back to a vertex.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.core.cost import CostTracker, ensure_tracker
+from repro.core.errors import GraphError
+from repro.graphs.graph import Digraph
+from repro.graphs.scc import topological_order
+
+__all__ = ["DagLCAIndex", "naive_dag_lca"]
+
+
+class DagLCAIndex:
+    """Representative-LCA index over a DAG."""
+
+    def __init__(
+        self,
+        dag: Digraph,
+        *,
+        all_pairs: bool = False,
+        tracker: Optional[CostTracker] = None,
+    ):
+        tracker = ensure_tracker(tracker)
+        self.n = dag.n
+        order = topological_order(dag, tracker)  # raises on cycles
+        self._rank = [0] * dag.n  # vertex -> topological rank
+        self._vertex_at = [0] * dag.n  # rank -> vertex
+        for rank, vertex in enumerate(order):
+            self._rank[vertex] = rank
+            self._vertex_at[rank] = vertex
+
+        # ancestors[rank of v] = bitset (over ranks) of reflexive ancestors.
+        words = max(1, dag.n // 64)
+        self._ancestors: List[int] = [0] * dag.n
+        for rank, vertex in enumerate(order):
+            bits = 1 << rank
+            # All ancestors of v are unions over in-edges; sweeping in
+            # topological order guarantees predecessors are final.
+            for predecessor_rank in _iter_bits(self._predecessor_mask(dag, vertex)):
+                bits |= self._ancestors[predecessor_rank]
+                tracker.tick(words)
+            self._ancestors[rank] = bits
+
+        self._table: Optional[List[List[int]]] = None
+        if all_pairs:
+            table = [[-1] * dag.n for _ in range(dag.n)]
+            for u in range(dag.n):
+                for v in range(dag.n):
+                    table[u][v] = self._lca_by_bitset(u, v, tracker)
+            self._table = table
+
+    def _predecessor_mask(self, dag: Digraph, vertex: int) -> int:
+        """Bitset of the *ranks* of vertex's direct predecessors."""
+        # Built on demand from the reversed adjacency walk: scanning all
+        # edges once per vertex would be O(nm); instead cache the reverse.
+        if not hasattr(self, "_reverse"):
+            reverse: List[List[int]] = [[] for _ in range(dag.n)]
+            for u, v in dag.edges():
+                reverse[v].append(u)
+            self._reverse = reverse
+        mask = 0
+        for predecessor in self._reverse[vertex]:
+            mask |= 1 << self._rank[predecessor]
+        return mask
+
+    def _lca_by_bitset(self, u: int, v: int, tracker: CostTracker) -> int:
+        import math
+
+        common = self._ancestors[self._rank[u]] & self._ancestors[self._rank[v]]
+        # PRAM view: the n-bit AND is depth O(1) with n processors, and the
+        # highest set bit is a max-reduction tree of depth O(log n).
+        log_n = max(1, math.ceil(math.log2(max(self.n, 2))))
+        tracker.tick(work=2 * max(1, self.n // 64) + log_n, depth=1 + log_n)
+        if common == 0:
+            return -1
+        return self._vertex_at[common.bit_length() - 1]
+
+    def lca(self, u: int, v: int, tracker: Optional[CostTracker] = None) -> int:
+        """A representative LCA of u and v, or -1 when none exists.
+
+        O(1) with the all-pairs table; O(n / wordsize) word operations (O(1)
+        PRAM depth after an OR-tree) with bitsets.
+        """
+        tracker = ensure_tracker(tracker)
+        if not (0 <= u < self.n and 0 <= v < self.n):
+            raise GraphError(f"vertex out of range: {u}, {v}")
+        if self._table is not None:
+            tracker.tick(1)
+            return self._table[u][v]
+        return self._lca_by_bitset(u, v, tracker)
+
+    def all_lcas(self, u: int, v: int) -> List[int]:
+        """Every LCA: common ancestors with no common-ancestor descendant.
+
+        Used by tests to check that :meth:`lca` returns a member of the full
+        answer set.  O(n^2 / wordsize).
+        """
+        common = self._ancestors[self._rank[u]] & self._ancestors[self._rank[v]]
+        result = []
+        for rank in _iter_bits(common):
+            # w is an LCA iff no *other* common ancestor has w as ancestor.
+            w_bit = 1 << rank
+            has_common_descendant = False
+            for other_rank in _iter_bits(common):
+                if other_rank != rank and self._ancestors[other_rank] & w_bit:
+                    has_common_descendant = True
+                    break
+            if not has_common_descendant:
+                result.append(self._vertex_at[rank])
+        return sorted(result)
+
+    def is_ancestor(self, u: int, v: int) -> bool:
+        """Reflexive ancestry test via the bitsets."""
+        return bool(self._ancestors[self._rank[v]] & (1 << self._rank[u]))
+
+
+def naive_dag_lca(
+    dag: Digraph,
+    u: int,
+    v: int,
+    tracker: Optional[CostTracker] = None,
+) -> int:
+    """Per-query baseline: two reverse-reachability BFS runs, Theta(n + m).
+
+    Computes both ancestor sets from scratch, intersects, and returns the
+    topologically-last member -- no preprocessing reused across queries.
+    """
+    from repro.graphs.traversal import reachable_from
+
+    tracker = ensure_tracker(tracker)
+    reverse = dag.reversed()
+    ancestors_u = reachable_from(reverse, u, tracker)
+    ancestors_v = reachable_from(reverse, v, tracker)
+    common = ancestors_u & ancestors_v
+    if not common:
+        return -1
+    order = topological_order(dag, tracker)
+    position = {vertex: rank for rank, vertex in enumerate(order)}
+    return max(common, key=lambda w: position[w])
+
+
+def _iter_bits(mask: int):
+    """Yield the positions of set bits, lowest first."""
+    while mask:
+        low = mask & -mask
+        yield low.bit_length() - 1
+        mask ^= low

@@ -1,0 +1,71 @@
+"""Hash index: O(1) expected point lookup.
+
+A dictionary-backed secondary index over one attribute.  Together with the
+B+-tree it lets the selection experiments contrast O(1) hash probes with
+O(log n) tree probes and O(n) scans.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Hashable, List, Optional, Sequence, Tuple
+
+from repro.core.cost import CostTracker, ensure_tracker
+
+__all__ = ["HashIndex"]
+
+
+class HashIndex:
+    """Key -> list-of-payloads map with cost-charged probes."""
+
+    def __init__(self) -> None:
+        self._buckets: Dict[Hashable, List[Any]] = {}
+        self._size = 0
+
+    @classmethod
+    def build(
+        cls,
+        entries: Sequence[Tuple[Hashable, Any]],
+        tracker: Optional[CostTracker] = None,
+    ) -> "HashIndex":
+        """PTIME preprocessing: one insert (O(1) expected) per entry."""
+        tracker = ensure_tracker(tracker)
+        index = cls()
+        for key, payload in entries:
+            index.insert(key, payload, tracker)
+        return index
+
+    def insert(self, key: Hashable, payload: Any, tracker: Optional[CostTracker] = None) -> None:
+        ensure_tracker(tracker).tick(1)
+        self._buckets.setdefault(key, []).append(payload)
+        self._size += 1
+
+    def delete(self, key: Hashable, payload: Any = None, tracker: Optional[CostTracker] = None) -> bool:
+        ensure_tracker(tracker).tick(1)
+        bucket = self._buckets.get(key)
+        if not bucket:
+            return False
+        if payload is None:
+            bucket.pop()
+        else:
+            try:
+                bucket.remove(payload)
+            except ValueError:
+                return False
+        if not bucket:
+            del self._buckets[key]
+        self._size -= 1
+        return True
+
+    def search(self, key: Hashable, tracker: Optional[CostTracker] = None) -> List[Any]:
+        ensure_tracker(tracker).tick(1)
+        return list(self._buckets.get(key, ()))
+
+    def contains(self, key: Hashable, tracker: Optional[CostTracker] = None) -> bool:
+        ensure_tracker(tracker).tick(1)
+        return key in self._buckets
+
+    def __len__(self) -> int:
+        return self._size
+
+    def distinct_keys(self) -> int:
+        return len(self._buckets)

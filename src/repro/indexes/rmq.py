@@ -1,0 +1,146 @@
+"""Fischer--Heun range-minimum structure: O(n) words, O(1) query.
+
+The MRQ case study (paper, Section 4(3)) cites Fischer & Heun [18]: a static
+array can be preprocessed in linear time into a structure answering every
+range-minimum query in constant time.  This is the standard block
+decomposition:
+
+* split A into blocks of b = max(1, floor(log2 n) / 4) elements;
+* a :class:`~repro.indexes.sparse_table.SparseTable` over the per-block
+  minima answers the block-aligned middle of any query;
+* within blocks, all blocks sharing a *Cartesian-tree signature* (the
+  push/pop sequence of the stack construction, a 2b-bit ballot string) have
+  identical argmin positions for every sub-range, so one lookup table per
+  distinct signature suffices.
+
+We store words, not bits: the O(n)-bit succinctness of [18] buys nothing for
+Pi-tractability (preprocessing stays PTIME, queries stay O(1)), as noted in
+DESIGN.md.  Ties resolve to the leftmost minimum everywhere, matching
+:func:`repro.indexes.sparse_table.naive_range_min`.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.cost import CostTracker, ensure_tracker
+from repro.core.errors import IndexError_
+from repro.indexes.sparse_table import SparseTable
+
+__all__ = ["FischerHeunRMQ"]
+
+
+def _cartesian_signature(block: Sequence) -> str:
+    """The ballot-sequence signature of a block's Cartesian tree.
+
+    Simulates the incremental Cartesian-tree stack: for each element, pop
+    strictly-greater stack entries then push.  Two blocks with equal
+    signatures agree on the *position* of the leftmost minimum of every
+    sub-range.
+    """
+    stack: List = []
+    bits: List[str] = []
+    for value in block:
+        while stack and stack[-1] > value:
+            stack.pop()
+            bits.append("0")
+        stack.append(value)
+        bits.append("1")
+    return "".join(bits)
+
+
+def _in_block_table(block: Sequence) -> List[List[int]]:
+    """``table[l][r - l]`` = leftmost argmin offset of block[l..r]."""
+    size = len(block)
+    table: List[List[int]] = []
+    for left in range(size):
+        row = [left]
+        best = left
+        for right in range(left + 1, size):
+            if block[right] < block[best]:
+                best = right
+            row.append(best)
+        table.append(row)
+    return table
+
+
+class FischerHeunRMQ:
+    """O(1) range-minimum queries after linear preprocessing."""
+
+    def __init__(self, array: Sequence, tracker: Optional[CostTracker] = None):
+        tracker = ensure_tracker(tracker)
+        self._array = list(array)
+        n = len(self._array)
+        self._block_size = max(1, int(math.log2(n)) // 4) if n >= 2 else 1
+
+        # Per-block minima (absolute positions) and signatures.
+        self._block_argmin: List[int] = []
+        self._signatures: List[str] = []
+        self._tables: Dict[str, List[List[int]]] = {}
+        b = self._block_size
+        for start in range(0, n, b):
+            block = self._array[start : start + b]
+            tracker.tick(len(block))
+            best = 0
+            for offset in range(1, len(block)):
+                if block[offset] < block[best]:
+                    best = offset
+            self._block_argmin.append(start + best)
+            signature = _cartesian_signature(block)
+            tracker.tick(len(block))
+            self._signatures.append(signature)
+            if signature not in self._tables:
+                self._tables[signature] = _in_block_table(block)
+                tracker.tick(len(block) ** 2)
+
+        block_min_values = [self._array[p] for p in self._block_argmin]
+        self._summary = SparseTable(block_min_values, tracker)
+
+    def __len__(self) -> int:
+        return len(self._array)
+
+    @property
+    def block_size(self) -> int:
+        return self._block_size
+
+    @property
+    def distinct_signatures(self) -> int:
+        return len(self._tables)
+
+    def _block_query(self, block_index: int, left_offset: int, right_offset: int) -> int:
+        table = self._tables[self._signatures[block_index]]
+        return (
+            block_index * self._block_size
+            + table[left_offset][right_offset - left_offset]
+        )
+
+    def argmin(self, low: int, high: int, tracker: Optional[CostTracker] = None) -> int:
+        """Leftmost position of min(A[low..high]); O(1) work and depth."""
+        tracker = ensure_tracker(tracker)
+        n = len(self._array)
+        if not 0 <= low <= high < n:
+            raise IndexError_(f"bad RMQ range [{low}, {high}] for n={n}")
+        b = self._block_size
+        first_block, last_block = low // b, high // b
+        tracker.tick(4)
+        if first_block == last_block:
+            return self._block_query(first_block, low % b, high % b)
+
+        candidates: List[int] = [
+            self._block_query(first_block, low % b, min(n - 1, (first_block + 1) * b - 1) % b),
+            self._block_query(last_block, 0, high % b),
+        ]
+        if first_block + 1 <= last_block - 1:
+            middle_block = self._summary.argmin(first_block + 1, last_block - 1, tracker)
+            candidates.append(self._block_argmin[middle_block])
+
+        best = min(
+            candidates,
+            key=lambda position: (self._array[position], position),
+        )
+        tracker.tick(len(candidates))
+        return best
+
+    def range_min(self, low: int, high: int, tracker: Optional[CostTracker] = None):
+        return self._array[self.argmin(low, high, tracker)]

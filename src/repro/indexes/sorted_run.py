@@ -1,0 +1,89 @@
+"""Sorted-run index: sort once, binary-search forever (paper, Section 4(2)).
+
+The "searching in a list" case study L1: preprocess an unordered list M by
+sorting it (O(|M| log |M|), PTIME), then decide membership of any element e
+by binary search in O(log |M|).  Also the structure behind the BDS position
+index of Example 5 (a run of (vertex, position) pairs sorted by vertex).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Generic, List, Optional, Sequence, Tuple, TypeVar
+
+from repro.core.cost import CostTracker, ensure_tracker
+from repro.parallel.primitives import parallel_binary_search
+
+__all__ = ["SortedRunIndex", "KeyedRunIndex"]
+
+K = TypeVar("K")
+V = TypeVar("V")
+
+
+class SortedRunIndex(Generic[K]):
+    """An immutable sorted array supporting O(log n) membership."""
+
+    def __init__(self, values: Sequence[K], tracker: Optional[CostTracker] = None):
+        """Sort the input (the PTIME preprocessing step).
+
+        Charges n * ceil(log2 n) comparisons -- the sequential sorting bound;
+        the NC view (a bitonic network) is available in
+        :func:`repro.parallel.primitives.parallel_sort`.
+        """
+        tracker = ensure_tracker(tracker)
+        n = len(values)
+        if n > 1:
+            tracker.tick(n * math.ceil(math.log2(n)))
+        self._run: List[K] = sorted(values)
+
+    def __len__(self) -> int:
+        return len(self._run)
+
+    def contains(self, key: K, tracker: Optional[CostTracker] = None) -> bool:
+        """Binary-search membership, O(log n) depth."""
+        tracker = ensure_tracker(tracker)
+        position = parallel_binary_search(self._run, key, tracker)
+        tracker.tick(1)
+        return position < len(self._run) and self._run[position] == key
+
+    def rank(self, key: K, tracker: Optional[CostTracker] = None) -> int:
+        """Number of elements strictly below ``key``."""
+        return parallel_binary_search(self._run, key, ensure_tracker(tracker))
+
+    def values(self) -> List[K]:
+        return list(self._run)
+
+
+class KeyedRunIndex(Generic[K, V]):
+    """A sorted run of (key, value) pairs with O(log n) value lookup.
+
+    Example 5 in one object: keys are vertices, values their BDS visit
+    positions; ``lookup(u) < lookup(v)`` answers "u before v" in O(log n).
+    """
+
+    def __init__(
+        self,
+        pairs: Sequence[Tuple[K, V]],
+        tracker: Optional[CostTracker] = None,
+    ):
+        tracker = ensure_tracker(tracker)
+        n = len(pairs)
+        if n > 1:
+            tracker.tick(n * math.ceil(math.log2(n)))
+        self._pairs: List[Tuple[K, V]] = sorted(pairs, key=lambda pair: pair[0])
+        self._keys: List[K] = [key for key, _ in self._pairs]
+
+    def __len__(self) -> int:
+        return len(self._pairs)
+
+    def lookup(self, key: K, tracker: Optional[CostTracker] = None) -> Optional[V]:
+        """The value stored under ``key``, or None; O(log n) depth."""
+        tracker = ensure_tracker(tracker)
+        position = parallel_binary_search(self._keys, key, tracker)
+        tracker.tick(1)
+        if position < len(self._keys) and self._keys[position] == key:
+            return self._pairs[position][1]
+        return None
+
+    def items(self) -> List[Tuple[K, V]]:
+        return list(self._pairs)

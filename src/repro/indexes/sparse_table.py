@@ -1,0 +1,94 @@
+"""Sparse table for range-minimum queries: O(n log n) build, O(1) query.
+
+The standard idempotent-operator sparse table: ``table[k][i]`` holds the
+position of the minimum of ``A[i : i + 2^k]``; a query [i, j] combines the
+two overlapping dyadic windows that cover it.  This is both (a) a direct
+preprocessing scheme for the MRQ case study (Section 4(3)) and (b) the
+building block of the Fischer--Heun structure in :mod:`repro.indexes.rmq`
+and of the Euler-tour LCA in :mod:`repro.indexes.euler_lca`.
+
+Ties break to the *leftmost* minimum position throughout, so every RMQ
+implementation in the package agrees exactly, not just up to value.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.core.cost import CostTracker, ensure_tracker
+from repro.core.errors import IndexError_
+
+__all__ = ["SparseTable", "naive_range_min"]
+
+
+class SparseTable:
+    """Positions-of-minima sparse table over a static array."""
+
+    def __init__(self, array: Sequence, tracker: Optional[CostTracker] = None):
+        tracker = ensure_tracker(tracker)
+        self._array = list(array)
+        n = len(self._array)
+        self._log = _floor_logs(n)
+        levels: List[List[int]] = [list(range(n))]
+        k = 1
+        while (1 << k) <= n:
+            previous = levels[k - 1]
+            width = 1 << (k - 1)
+            level = []
+            for i in range(n - (1 << k) + 1):
+                left = previous[i]
+                right = previous[i + width]
+                tracker.tick(1)
+                level.append(left if self._array[left] <= self._array[right] else right)
+            levels.append(level)
+            k += 1
+        self._levels = levels
+
+    def __len__(self) -> int:
+        return len(self._array)
+
+    def argmin(self, low: int, high: int, tracker: Optional[CostTracker] = None) -> int:
+        """Leftmost position of the minimum of ``A[low..high]`` (inclusive).
+
+        O(1): two table probes and one comparison.
+        """
+        tracker = ensure_tracker(tracker)
+        if not 0 <= low <= high < len(self._array):
+            raise IndexError_(f"bad RMQ range [{low}, {high}] for n={len(self._array)}")
+        span = high - low + 1
+        k = self._log[span]
+        left = self._levels[k][low]
+        right = self._levels[k][high - (1 << k) + 1]
+        tracker.tick(3)
+        if self._array[left] <= self._array[right]:
+            return left
+        return right
+
+    def range_min(self, low: int, high: int, tracker: Optional[CostTracker] = None):
+        return self._array[self.argmin(low, high, tracker)]
+
+
+def _floor_logs(n: int) -> List[int]:
+    """``log[v] = floor(log2 v)`` for v in [0, n]; log[0] unused."""
+    logs = [0] * (n + 1)
+    for v in range(2, n + 1):
+        logs[v] = logs[v // 2] + 1
+    return logs
+
+
+def naive_range_min(
+    array: Sequence,
+    low: int,
+    high: int,
+    tracker: Optional[CostTracker] = None,
+) -> int:
+    """Reference/baseline: leftmost argmin by linear scan, Theta(j - i)."""
+    tracker = ensure_tracker(tracker)
+    if not 0 <= low <= high < len(array):
+        raise IndexError_(f"bad RMQ range [{low}, {high}] for n={len(array)}")
+    best = low
+    for position in range(low + 1, high + 1):
+        tracker.tick(1)
+        if array[position] < array[best]:
+            best = position
+    return best

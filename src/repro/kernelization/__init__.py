@@ -1,0 +1,22 @@
+"""Kernelization as preprocessing (paper, Section 4(9): Vertex Cover)."""
+
+from repro.kernelization.approx import ApproximateVertexCoverOracle, maximal_matching
+from repro.kernelization.vertex_cover import (
+    BussKernel,
+    VCInstance,
+    buss_kernelize,
+    vc_branch_decide,
+    vc_brute_force,
+    vc_decide,
+)
+
+__all__ = [
+    "ApproximateVertexCoverOracle",
+    "maximal_matching",
+    "BussKernel",
+    "VCInstance",
+    "buss_kernelize",
+    "vc_branch_decide",
+    "vc_brute_force",
+    "vc_decide",
+]

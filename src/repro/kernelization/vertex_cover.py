@@ -1,0 +1,166 @@
+"""Vertex Cover and Buss kernelization (paper, Section 4(9)).
+
+VC is NP-complete, so by Corollary 7 it cannot be made Pi-tractable --
+*unless the parameter K is fixed*.  The paper cites Buss' kernelization
+[19]: in O(|E|) time an instance (G, K) shrinks to a kernel whose size
+depends on K alone (at most K^2 edges and K^2 + K vertices), after which
+deciding the kernel costs a function of K only.  For fixed K that is O(1)
+with respect to |G| -- the "VC is in PiTP when K is fixed" claim, which the
+case-9 experiment measures directly.
+
+Kernelization rules (Buss):
+
+1. a vertex of degree > K must be in every cover of size <= K: take it,
+   decrement K;
+2. isolated vertices never help: drop them;
+3. a graph with maximum degree <= K and more than K^2 edges has no cover of
+   size K: reject.
+
+The remaining kernel is decided by a bounded search tree (branch on either
+endpoint of an arbitrary edge, O(2^K * |kernel|)).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from repro.core.cost import CostTracker, ensure_tracker
+from repro.graphs.graph import Graph
+
+__all__ = ["VCInstance", "BussKernel", "buss_kernelize", "vc_branch_decide", "vc_decide", "vc_brute_force"]
+
+EdgeSet = FrozenSet[Tuple[int, int]]
+
+
+@dataclass(frozen=True)
+class VCInstance:
+    """A Vertex Cover instance (G, K)."""
+
+    graph: Graph
+    k: int
+
+
+@dataclass
+class BussKernel:
+    """The result of kernelization: either decided, or a small residual."""
+
+    decided: Optional[bool]
+    forced_vertices: Set[int]
+    residual_edges: Set[Tuple[int, int]]
+    residual_budget: int
+
+    @property
+    def kernel_vertices(self) -> int:
+        return len({v for edge in self.residual_edges for v in edge})
+
+    @property
+    def kernel_edges(self) -> int:
+        return len(self.residual_edges)
+
+
+def buss_kernelize(
+    instance: VCInstance,
+    tracker: Optional[CostTracker] = None,
+) -> BussKernel:
+    """O(|E|)-ish kernelization; kernel size bounded by K alone."""
+    tracker = ensure_tracker(tracker)
+    graph, budget = instance.graph, instance.k
+    if budget < 0:
+        return BussKernel(False, set(), set(), budget)
+
+    edges: Set[Tuple[int, int]] = set(graph.edges())
+    adjacency: Dict[int, Set[int]] = {}
+    for u, v in edges:
+        tracker.tick(1)
+        adjacency.setdefault(u, set()).add(v)
+        adjacency.setdefault(v, set()).add(u)
+
+    forced: Set[int] = set()
+    # Rule 1: repeatedly take vertices of degree > budget.
+    changed = True
+    while changed and budget >= 0:
+        changed = False
+        for vertex, neighbors in list(adjacency.items()):
+            tracker.tick(1)
+            if len(neighbors) > budget:
+                forced.add(vertex)
+                budget -= 1
+                for neighbor in list(neighbors):
+                    tracker.tick(1)
+                    adjacency[neighbor].discard(vertex)
+                    edge = (min(vertex, neighbor), max(vertex, neighbor))
+                    edges.discard(edge)
+                    if not adjacency[neighbor]:
+                        del adjacency[neighbor]
+                del adjacency[vertex]
+                changed = True
+                break
+
+    if budget < 0:
+        return BussKernel(False, forced, set(), budget)
+    if not edges:
+        return BussKernel(True, forced, set(), budget)
+    # Rule 3: too many low-degree edges -> no.
+    if len(edges) > budget * budget:
+        tracker.tick(1)
+        return BussKernel(False, forced, set(), budget)
+    return BussKernel(None, forced, edges, budget)
+
+
+def vc_branch_decide(
+    edges: Set[Tuple[int, int]],
+    budget: int,
+    tracker: Optional[CostTracker] = None,
+) -> bool:
+    """Bounded search tree on an edge set: O(2^budget * |edges|)."""
+    tracker = ensure_tracker(tracker)
+    tracker.tick(1)
+    if not edges:
+        return True
+    if budget <= 0:
+        return False
+    u, v = next(iter(edges))
+
+    def without(vertex: int) -> Set[Tuple[int, int]]:
+        return {edge for edge in edges if vertex not in edge}
+
+    tracker.tick(len(edges))
+    return vc_branch_decide(without(u), budget - 1, tracker) or vc_branch_decide(
+        without(v), budget - 1, tracker
+    )
+
+
+def vc_decide(
+    instance: VCInstance,
+    tracker: Optional[CostTracker] = None,
+    *,
+    kernelize: bool = True,
+) -> bool:
+    """Decide VC; with ``kernelize=False`` the search tree runs on the full
+    graph (the no-preprocessing baseline whose cost grows with |G|)."""
+    tracker = ensure_tracker(tracker)
+    if kernelize:
+        kernel = buss_kernelize(instance, tracker)
+        if kernel.decided is not None:
+            return kernel.decided
+        return vc_branch_decide(set(kernel.residual_edges), kernel.residual_budget, tracker)
+    return vc_branch_decide(set(instance.graph.edges()), instance.k, tracker)
+
+
+def vc_brute_force(instance: VCInstance) -> bool:
+    """Exhaustive reference for tests (tiny graphs only)."""
+    graph, k = instance.graph, instance.k
+    edges = list(graph.edges())
+    if not edges:
+        return k >= 0
+    if k >= graph.n:
+        return True
+    vertices = sorted({v for edge in edges for v in edge})
+    for size in range(0, min(k, len(vertices)) + 1):
+        for cover in itertools.combinations(vertices, size):
+            chosen = set(cover)
+            if all(u in chosen or v in chosen for u, v in edges):
+                return True
+    return False

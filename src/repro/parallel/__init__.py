@@ -1,0 +1,35 @@
+"""Work--depth PRAM simulation: the NC substrate of the reproduction.
+
+See :mod:`repro.parallel.pram` for the machine model and
+:mod:`repro.parallel.primitives` for executed/charged primitives.
+"""
+
+from repro.parallel.bsp import (
+    BSPMachine,
+    bsp_reachability_frontier,
+    bsp_reachability_squaring,
+)
+from repro.parallel.pram import ParallelMachine
+from repro.parallel.primitives import (
+    parallel_any,
+    parallel_binary_search,
+    parallel_max,
+    parallel_sort,
+    parallel_sum,
+    reachability_query_squaring,
+    transitive_closure_squaring,
+)
+
+__all__ = [
+    "BSPMachine",
+    "bsp_reachability_frontier",
+    "bsp_reachability_squaring",
+    "ParallelMachine",
+    "parallel_any",
+    "parallel_binary_search",
+    "parallel_max",
+    "parallel_sort",
+    "parallel_sum",
+    "reachability_query_squaring",
+    "transitive_closure_squaring",
+]

@@ -1,0 +1,132 @@
+"""The paper's case-study query classes, wired into the core framework.
+
+=====================  =====================================================
+``selection``          Example 1 / Section 4(1): point & range selection
+``membership``         Section 4(2): searching in a list (L1)
+``rmq``                Section 4(3): minimum range queries (L2)
+``lca``                Section 4(4): LCA in trees and DAGs (L3)
+``reachability``       Example 3: GAP / Q2
+``bds``                Examples 2/4/5, Figure 1, Theorem 5: BDS and Q_BDS
+``cvp``                Section 4(8) and Theorem 9: CVP factorizations
+``vertex_cover``       Section 4(9) and Corollary 7: VC and VC_K
+``strategies``         Section 4(5)-(6) as Pi-schemes (compression, views)
+``sat``                Corollary 7: 3SAT and the classic 3SAT -> VC reduction
+``agap``               extension: alternating reachability (P-complete)
+``topk``               extension: Section 8(5), top-k via Fagin's TA [14]
+=====================  =====================================================
+"""
+
+from repro.queries.agap import agap_class, agap_problem, winning_set_scheme
+from repro.queries.bds import (
+    bds_order,
+    bds_problem,
+    bds_query_class,
+    bds_trivial_query_class,
+    no_preprocessing_scheme,
+    position_dict_scheme,
+    position_index_scheme,
+    upsilon_bds,
+    upsilon_prime,
+)
+from repro.queries.cvp import (
+    cvp_factorized_class,
+    cvp_problem,
+    cvp_trivial_class,
+    gate_table_scheme,
+    reevaluate_scheme,
+    upsilon_cvp,
+    upsilon_zero,
+)
+from repro.queries.lca import (
+    dag_bitset_scheme,
+    dag_lca_class,
+    euler_tour_scheme,
+    tree_lca_class,
+)
+from repro.queries.membership import (
+    membership_class,
+    membership_factorization,
+    membership_problem,
+    sorted_run_scheme,
+)
+from repro.queries.reachability import (
+    closure_scheme,
+    nc_squaring_scheme,
+    reachability_class,
+)
+from repro.queries.rmq import fischer_heun_scheme, rmq_class, sparse_table_scheme
+from repro.queries.sat import (
+    Formula,
+    sat_decide,
+    three_sat_problem,
+    three_sat_to_vertex_cover,
+)
+from repro.queries.selection import (
+    btree_point_scheme,
+    btree_range_scheme,
+    hash_point_scheme,
+    point_selection_class,
+    range_selection_class,
+)
+from repro.queries.strategies import compression_scheme, views_scheme
+from repro.queries.topk import TopKIndex, threshold_algorithm_scheme, topk_class
+from repro.queries.vertex_cover import (
+    K_MAX,
+    kernel_scheme,
+    vc_fixed_k_class,
+    vc_problem,
+)
+
+__all__ = [
+    "agap_class",
+    "agap_problem",
+    "winning_set_scheme",
+    "TopKIndex",
+    "threshold_algorithm_scheme",
+    "topk_class",
+    "bds_order",
+    "bds_problem",
+    "bds_query_class",
+    "bds_trivial_query_class",
+    "no_preprocessing_scheme",
+    "position_dict_scheme",
+    "position_index_scheme",
+    "upsilon_bds",
+    "upsilon_prime",
+    "cvp_factorized_class",
+    "cvp_problem",
+    "cvp_trivial_class",
+    "gate_table_scheme",
+    "reevaluate_scheme",
+    "upsilon_cvp",
+    "upsilon_zero",
+    "dag_bitset_scheme",
+    "dag_lca_class",
+    "euler_tour_scheme",
+    "tree_lca_class",
+    "membership_class",
+    "membership_factorization",
+    "membership_problem",
+    "sorted_run_scheme",
+    "closure_scheme",
+    "nc_squaring_scheme",
+    "reachability_class",
+    "fischer_heun_scheme",
+    "rmq_class",
+    "sparse_table_scheme",
+    "Formula",
+    "sat_decide",
+    "three_sat_problem",
+    "three_sat_to_vertex_cover",
+    "btree_point_scheme",
+    "btree_range_scheme",
+    "hash_point_scheme",
+    "point_selection_class",
+    "range_selection_class",
+    "compression_scheme",
+    "views_scheme",
+    "K_MAX",
+    "kernel_scheme",
+    "vc_fixed_k_class",
+    "vc_problem",
+]

@@ -1,0 +1,108 @@
+"""Searching in a list: the decision problem L1 (paper, Section 4(2)).
+
+Input an unordered list M and an element e; does e appear in M?  The paper's
+factorization Upsilon1 treats M as data and e as the query; preprocessing
+sorts M in O(|M| log |M|) and every membership query becomes an O(log |M|)
+binary search.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Tuple
+
+from repro.core.cost import CostTracker
+from repro.core.factorization import Factorization
+from repro.core.language import DecisionProblem
+from repro.core.query import PiScheme, QueryClass
+from repro.indexes.sorted_run import SortedRunIndex
+
+__all__ = [
+    "membership_class",
+    "sorted_run_scheme",
+    "membership_problem",
+    "membership_factorization",
+]
+
+ListData = Tuple[int, ...]
+
+
+def _generate_list(size: int, rng: random.Random) -> ListData:
+    return tuple(rng.randint(0, 4 * size) for _ in range(size))
+
+
+def _generate_elements(data: ListData, rng: random.Random, count: int) -> List[int]:
+    queries = []
+    for index in range(count):
+        if data and index % 2 == 0:
+            queries.append(data[rng.randrange(len(data))])
+        else:
+            queries.append(rng.randint(0, 4 * max(len(data), 1)))
+    return queries
+
+
+def _naive_membership(data: ListData, element: int, tracker: CostTracker) -> bool:
+    for value in data:
+        tracker.tick(1)
+        if value == element:
+            return True
+    return False
+
+
+def membership_class() -> QueryClass:
+    """The query class of (L1, Upsilon1): lists as data, elements as queries."""
+    return QueryClass(
+        name="list-membership",
+        evaluate=_naive_membership,
+        generate_data=_generate_list,
+        generate_queries=_generate_elements,
+        data_size=len,
+        description="does element e appear in unordered list M (Section 4(2))",
+    )
+
+
+def sorted_run_scheme() -> PiScheme:
+    """Sort once (PTIME), binary-search per query (O(log n))."""
+
+    def preprocess(data: ListData, tracker: CostTracker) -> SortedRunIndex:
+        return SortedRunIndex(data, tracker)
+
+    def evaluate(index: SortedRunIndex, element: int, tracker: CostTracker) -> bool:
+        return index.contains(element, tracker)
+
+    return PiScheme(
+        name="sort+binary-search",
+        preprocess=preprocess,
+        evaluate=evaluate,
+        description="sort M, then O(log|M|) binary search (Section 4(2))",
+    )
+
+
+def membership_problem() -> DecisionProblem:
+    """L1 as a decision problem over instances (M, e)."""
+
+    def contains(instance: Tuple[ListData, int], tracker: CostTracker) -> bool:
+        data, element = instance
+        return _naive_membership(data, element, tracker)
+
+    def generate(size: int, rng: random.Random) -> Tuple[ListData, int]:
+        data = _generate_list(size, rng)
+        return data, _generate_elements(data, rng, 1)[0]
+
+    return DecisionProblem(
+        name="L1-list-search",
+        contains=contains,
+        generate=generate,
+        description="searching in a list (paper, Section 4(2))",
+    )
+
+
+def membership_factorization() -> Factorization:
+    """Upsilon1: pi1 = M, pi2 = e (paper, Section 4(2))."""
+    return Factorization(
+        name="Upsilon1[list-search]",
+        pi1=lambda instance: instance[0],
+        pi2=lambda instance: instance[1],
+        rho=lambda data, query: (data, query),
+        description="list as data, element as query",
+    )

@@ -1,0 +1,95 @@
+"""Minimum range queries: the problem L2 (paper, Section 4(3)).
+
+``RMQ_A(i, j)`` returns the position of the (leftmost) minimum of
+A[i..j].  L2 is a search problem; following the paper's remark it is
+converted to the Boolean class "is position p the leftmost argmin of
+A[i..j]?".  The Pi-scheme is the Fischer--Heun structure [18]: linear
+preprocessing, O(1) per query; the sparse table is provided as a second
+certified scheme.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Tuple
+
+from repro.core.cost import CostTracker
+from repro.core.query import PiScheme, QueryClass
+from repro.indexes.rmq import FischerHeunRMQ
+from repro.indexes.sparse_table import SparseTable, naive_range_min
+
+__all__ = ["rmq_class", "fischer_heun_scheme", "sparse_table_scheme"]
+
+ArrayData = Tuple[int, ...]
+RMQQuery = Tuple[int, int, int]  # (i, j, p): is p the leftmost argmin of A[i..j]?
+
+
+def _generate_array(size: int, rng: random.Random) -> ArrayData:
+    return tuple(rng.randint(-size, size) for _ in range(size))
+
+
+def _generate_rmq_queries(data: ArrayData, rng: random.Random, count: int) -> List[RMQQuery]:
+    n = len(data)
+    queries: List[RMQQuery] = []
+    for index in range(n and count):
+        i = rng.randrange(n)
+        j = rng.randrange(i, n)
+        if index % 2 == 0:
+            position = naive_range_min(data, i, j)  # a yes-instance
+        else:
+            position = rng.randrange(i, j + 1)  # usually a no-instance
+        queries.append((i, j, position))
+    return queries
+
+
+def _naive_rmq(data: ArrayData, query: RMQQuery, tracker: CostTracker) -> bool:
+    i, j, position = query
+    return naive_range_min(data, i, j, tracker) == position
+
+
+def rmq_class() -> QueryClass:
+    """Boolean MRQ: data is a static array, queries are (i, j, p) triples."""
+    return QueryClass(
+        name="minimum-range-query",
+        evaluate=_naive_rmq,
+        generate_data=_generate_array,
+        generate_queries=_generate_rmq_queries,
+        data_size=len,
+        description="is p the leftmost argmin of A[i..j] (paper, Section 4(3))",
+    )
+
+
+def fischer_heun_scheme() -> PiScheme:
+    """[18]: O(n) preprocessing, O(1) queries."""
+
+    def preprocess(data: ArrayData, tracker: CostTracker) -> FischerHeunRMQ:
+        return FischerHeunRMQ(data, tracker)
+
+    def evaluate(index: FischerHeunRMQ, query: RMQQuery, tracker: CostTracker) -> bool:
+        i, j, position = query
+        return index.argmin(i, j, tracker) == position
+
+    return PiScheme(
+        name="fischer-heun",
+        preprocess=preprocess,
+        evaluate=evaluate,
+        description="block decomposition + Cartesian signatures (O(1) query)",
+    )
+
+
+def sparse_table_scheme() -> PiScheme:
+    """The O(n log n)-space alternative with the same O(1) query bound."""
+
+    def preprocess(data: ArrayData, tracker: CostTracker) -> SparseTable:
+        return SparseTable(data, tracker)
+
+    def evaluate(index: SparseTable, query: RMQQuery, tracker: CostTracker) -> bool:
+        i, j, position = query
+        return index.argmin(i, j, tracker) == position
+
+    return PiScheme(
+        name="sparse-table",
+        preprocess=preprocess,
+        evaluate=evaluate,
+        description="dyadic-window sparse table (O(1) query)",
+    )

@@ -1,0 +1,179 @@
+"""Point- and range-selection query classes (paper, Example 1, Section 4(1)).
+
+The motivating case study: the class Q1 of Boolean point selections
+"exists t in D with t[A] = c" and its range extension
+"exists t with c1 <= t[A] <= c2".  Naive evaluation scans D (Theta(n));
+the Pi-schemes build a B+-tree (or hash index) per attribute in PTIME and
+answer any query in O(log n) (or O(1) expected) afterwards.
+
+Queries are (attribute, constant) pairs -- point -- or
+(attribute, low, high) triples -- range; data is a
+:class:`~repro.storage.relation.Relation`.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, List, Tuple
+
+from repro.core.cost import CostTracker
+from repro.core.query import PiScheme, QueryClass
+from repro.indexes.btree import BPlusTree
+from repro.indexes.hash_index import HashIndex
+from repro.storage.relation import Relation, uniform_int_relation
+
+__all__ = [
+    "point_selection_class",
+    "range_selection_class",
+    "btree_point_scheme",
+    "hash_point_scheme",
+    "btree_range_scheme",
+]
+
+PointQuery = Tuple[str, int]  # (A, c)
+RangeQuery = Tuple[str, int, int]  # (A, c1, c2)
+
+
+def _encode_relation(relation: Relation) -> str:
+    return relation.encode()
+
+
+def _generate_relation(size: int, rng: random.Random) -> Relation:
+    return uniform_int_relation(size, rng)
+
+
+def _point_queries(relation: Relation, rng: random.Random, count: int) -> List[PointQuery]:
+    attributes = relation.schema.attribute_names()
+    # Half the probes hit existing values, half are uniform (mostly misses).
+    rows = relation.rows()
+    queries: List[PointQuery] = []
+    for index in range(count):
+        attribute = attributes[rng.randrange(len(attributes))]
+        if rows and index % 2 == 0:
+            row = rows[rng.randrange(len(rows))]
+            constant = row[relation.schema.position_of(attribute)]
+        else:
+            constant = rng.randint(0, 4 * max(len(rows), 1))
+        queries.append((attribute, constant))
+    return queries
+
+
+def _range_queries(relation: Relation, rng: random.Random, count: int) -> List[RangeQuery]:
+    attributes = relation.schema.attribute_names()
+    domain_high = 4 * max(len(relation), 1)
+    queries: List[RangeQuery] = []
+    for index in range(count):
+        attribute = attributes[rng.randrange(len(attributes))]
+        if index % 2 == 0:
+            # Narrow window (often empty).
+            low = rng.randint(0, domain_high)
+            high = low + rng.randint(0, 3)
+        else:
+            low = rng.randint(0, domain_high)
+            high = min(domain_high, low + rng.randint(0, domain_high // 4))
+        queries.append((attribute, low, high))
+    return queries
+
+
+def _naive_point(relation: Relation, query: PointQuery, tracker: CostTracker) -> bool:
+    attribute, constant = query
+    position = relation.schema.position_of(attribute)
+    return relation.exists(lambda row: row[position] == constant, tracker)
+
+
+def _naive_range(relation: Relation, query: RangeQuery, tracker: CostTracker) -> bool:
+    attribute, low, high = query
+    position = relation.schema.position_of(attribute)
+    return relation.exists(lambda row: low <= row[position] <= high, tracker)
+
+
+def point_selection_class() -> QueryClass:
+    """Q1 of Example 1: Boolean point selections over a relation."""
+    return QueryClass(
+        name="point-selection",
+        evaluate=_naive_point,
+        generate_data=_generate_relation,
+        generate_queries=_point_queries,
+        encode_data=_encode_relation,
+        data_size=len,
+        description="exists t in D with t[A] = c (paper, Example 1)",
+    )
+
+
+def range_selection_class() -> QueryClass:
+    """Range selections of Section 4(1): exists t with c1 <= t[A] <= c2."""
+    return QueryClass(
+        name="range-selection",
+        evaluate=_naive_range,
+        generate_data=_generate_relation,
+        generate_queries=_range_queries,
+        encode_data=_encode_relation,
+        data_size=len,
+        description="exists t in D with c1 <= t[A] <= c2 (paper, Section 4(1))",
+    )
+
+
+def _build_btrees(relation: Relation, tracker: CostTracker) -> dict:
+    indexes = {}
+    for attribute in relation.schema.attribute_names():
+        position = relation.schema.position_of(attribute)
+        indexes[attribute] = BPlusTree.build(
+            [(row[position], row_id) for row_id, row in relation.scan(tracker)],
+            tracker=tracker,
+        )
+    return indexes
+
+
+def btree_point_scheme() -> PiScheme:
+    """Example 1's scheme: B+-trees on every attribute; O(log n) probes."""
+
+    def evaluate(indexes: dict, query: PointQuery, tracker: CostTracker) -> bool:
+        attribute, constant = query
+        return indexes[attribute].contains(constant, tracker)
+
+    return PiScheme(
+        name="btree-point",
+        preprocess=_build_btrees,
+        evaluate=evaluate,
+        description="B+-tree per attribute (paper, Example 1)",
+    )
+
+
+def btree_range_scheme() -> PiScheme:
+    """Section 4(1)'s scheme: the same B+-trees answer range queries."""
+
+    def evaluate(indexes: dict, query: RangeQuery, tracker: CostTracker) -> bool:
+        attribute, low, high = query
+        return indexes[attribute].range_nonempty(low, high, tracker)
+
+    return PiScheme(
+        name="btree-range",
+        preprocess=_build_btrees,
+        evaluate=evaluate,
+        description="B+-tree range probe (paper, Section 4(1))",
+    )
+
+
+def hash_point_scheme() -> PiScheme:
+    """Hash-index alternative: O(1) expected point probes."""
+
+    def preprocess(relation: Relation, tracker: CostTracker) -> dict:
+        indexes = {}
+        for attribute in relation.schema.attribute_names():
+            position = relation.schema.position_of(attribute)
+            indexes[attribute] = HashIndex.build(
+                [(row[position], row_id) for row_id, row in relation.scan(tracker)],
+                tracker,
+            )
+        return indexes
+
+    def evaluate(indexes: dict, query: PointQuery, tracker: CostTracker) -> bool:
+        attribute, constant = query
+        return indexes[attribute].contains(constant, tracker)
+
+    return PiScheme(
+        name="hash-point",
+        preprocess=preprocess,
+        evaluate=evaluate,
+        description="hash index per attribute; O(1) expected probes",
+    )

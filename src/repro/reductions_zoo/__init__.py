@@ -1,0 +1,32 @@
+"""Concrete reductions: the executable content of Sections 5-7.
+
+=====================  =====================================================
+``f_reductions``       membership -> point selection -> range selection
+                       (Definition 7 / Lemma 8 specimens)
+``to_bds``             Theorem 5 reductions into BDS: solve-and-emit, and
+                       the Figure 1 re-factorization
+``refactorize_cvp``    Corollary 6 for CVP: Upsilon_0 -> Upsilon_CVP
+=====================  =====================================================
+"""
+
+from repro.reductions_zoo.f_reductions import (
+    membership_to_point_selection,
+    point_to_range_selection,
+)
+from repro.reductions_zoo.refactorize_cvp import refactorize_cvp
+from repro.reductions_zoo.to_bds import (
+    refactorize_to_bds,
+    solve_and_emit_bds,
+    witness_graph,
+    witness_pair,
+)
+
+__all__ = [
+    "membership_to_point_selection",
+    "point_to_range_selection",
+    "refactorize_cvp",
+    "refactorize_to_bds",
+    "solve_and_emit_bds",
+    "witness_graph",
+    "witness_pair",
+]

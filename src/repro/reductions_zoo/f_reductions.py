@@ -1,0 +1,71 @@
+"""Concrete F-reductions (paper, Definition 7 / Lemma 8).
+
+F-reductions map data parts to data parts and query parts to query parts
+with *no* re-factorization; they are the conservative transformations under
+which PiT0Q is downward closed.  Two natural specimens:
+
+* ``list-membership <=NC_F point-selection``: a list becomes a unary
+  relation, an element becomes an (attribute, constant) probe;
+* ``point-selection <=NC_F range-selection``: a point probe becomes the
+  degenerate range [c, c].
+
+Composing them (Lemma 8's transitivity) gives
+``list-membership <=NC_F range-selection``, and transferring the B+-tree
+scheme backwards along the composite yields a certified Pi-scheme for list
+membership "for free" -- exercised in tests and the Theorem 5 benchmark.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.core.language import pair_language_of
+from repro.core.reductions import FReduction
+from repro.queries.membership import ListData, membership_class
+from repro.queries.selection import point_selection_class, range_selection_class
+from repro.storage.relation import Relation
+from repro.storage.schema import AttributeType, Schema
+
+__all__ = [
+    "membership_to_point_selection",
+    "point_to_range_selection",
+]
+
+#: The attribute name used when a list is re-encoded as a unary relation.
+LIST_ATTRIBUTE = "element"
+
+
+def _list_as_relation(data: ListData) -> Relation:
+    relation = Relation(Schema("M", [(LIST_ATTRIBUTE, AttributeType.INT)]))
+    for value in data:
+        relation.insert((value,))
+    return relation
+
+
+def membership_to_point_selection() -> FReduction:
+    """alpha: list -> unary relation; beta: element -> (attribute, element)."""
+    return FReduction(
+        name="membership<=F point-selection",
+        source=pair_language_of(membership_class()),
+        target=pair_language_of(point_selection_class()),
+        alpha=_list_as_relation,
+        beta=lambda element: (LIST_ATTRIBUTE, element),
+        description="lists are unary relations; membership is point selection",
+    )
+
+
+def point_to_range_selection() -> FReduction:
+    """alpha: identity; beta: (A, c) -> (A, c, c)."""
+
+    def beta(query: Tuple[str, int]) -> Tuple[str, int, int]:
+        attribute, constant = query
+        return attribute, constant, constant
+
+    return FReduction(
+        name="point<=F range-selection",
+        source=pair_language_of(point_selection_class()),
+        target=pair_language_of(range_selection_class()),
+        alpha=lambda relation: relation,
+        beta=beta,
+        description="a point probe is a width-zero range probe",
+    )

@@ -1,0 +1,57 @@
+"""Re-factorizing CVP: from the Theorem 9 shape to the Section 4(8) shape.
+
+The class ``cvp-trivial`` (data part epsilon) is not Pi-tractable unless
+P = NC; yet Corollary 6 promises it *can be made* Pi-tractable.  This module
+exhibits the witness: an NC-factor reduction from its decision problem to
+CVP under ``Upsilon_CVP``, whose only real content is the re-partition --
+the circuit and inputs move from the query part into the data part.  After
+Lemma 3 transfer of the gate-table scheme, the once-intractable class
+answers queries in O(1).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Tuple
+
+from repro.core.factorization import Factorization
+from repro.core.language import decision_problem_of
+from repro.core.reductions import NCFactorReduction
+from repro.queries.cvp import cvp_problem, cvp_trivial_class, upsilon_cvp
+
+__all__ = ["refactorize_cvp"]
+
+
+def refactorize_cvp() -> NCFactorReduction:
+    """``L[cvp-trivial] <=NC_fa CVP`` with identity alpha and projecting beta.
+
+    Source instances are ``(scale, (circuit, inputs, gate))``; the source
+    factorization re-partitions them as pi1 = (circuit, inputs) and
+    pi2 = (scale, gate), keeping the scale hint in the query part so the
+    round-trip law is exact.
+    """
+    trivial = cvp_trivial_class()
+    source = decision_problem_of(trivial)
+    target = cvp_problem()
+
+    refactorization = Factorization(
+        name=f"refactorized[{trivial.name}]",
+        pi1=lambda instance: (instance[1][0], instance[1][1]),
+        pi2=lambda instance: (instance[0], instance[1][2]),
+        rho=lambda data, query: (query[0], (data[0], data[1], query[1])),
+        description="re-partition: circuit and inputs become the data part",
+    )
+
+    def beta(query: Tuple[int, int]) -> int:
+        _, gate = query
+        return gate
+
+    return NCFactorReduction(
+        name=f"{trivial.name}<=fa CVP (refactorization)",
+        source=source,
+        target=target,
+        source_factorization=refactorization,
+        target_factorization=upsilon_cvp(),
+        alpha=lambda data: data,
+        beta=beta,
+        description="Corollary 6 for CVP: only the factorization changes",
+    )

@@ -1,0 +1,15 @@
+"""Relational storage substrate: schemas, relations, the catalog."""
+
+from repro.storage.catalog import Database
+from repro.storage.relation import Relation, Row, uniform_int_relation
+from repro.storage.schema import Attribute, AttributeType, Schema
+
+__all__ = [
+    "Attribute",
+    "AttributeType",
+    "Database",
+    "Relation",
+    "Row",
+    "Schema",
+    "uniform_int_relation",
+]

@@ -1,0 +1,81 @@
+"""A database catalog: named relations plus the indexes built over them.
+
+The catalog is the object a :class:`~repro.core.query.PiScheme` for
+relational queries produces as its preprocessed structure ``D' = Pi(D)``:
+the base relation together with whatever auxiliary access paths (B+-trees,
+hash indexes) the preprocessing step chose to build.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, Optional, Tuple
+
+from repro.core.errors import SchemaError
+from repro.storage.relation import Relation
+
+__all__ = ["Database"]
+
+
+class Database:
+    """Named relations and per-(relation, attribute) secondary indexes."""
+
+    def __init__(self) -> None:
+        self._relations: Dict[str, Relation] = {}
+        self._indexes: Dict[Tuple[str, str, str], Any] = {}
+
+    # -- relations -------------------------------------------------------------
+
+    def create(self, relation: Relation) -> Relation:
+        name = relation.schema.name
+        if name in self._relations:
+            raise SchemaError(f"relation {name!r} already exists")
+        self._relations[name] = relation
+        return relation
+
+    def relation(self, name: str) -> Relation:
+        try:
+            return self._relations[name]
+        except KeyError as exc:
+            raise SchemaError(f"no relation named {name!r}") from exc
+
+    def drop(self, name: str) -> None:
+        if name not in self._relations:
+            raise SchemaError(f"no relation named {name!r}")
+        del self._relations[name]
+        self._indexes = {
+            key: index for key, index in self._indexes.items() if key[0] != name
+        }
+
+    def relation_names(self) -> Iterable[str]:
+        return sorted(self._relations)
+
+    # -- indexes ---------------------------------------------------------------
+
+    def attach_index(self, relation: str, attribute: str, kind: str, index: Any) -> Any:
+        """Register an index over ``relation.attribute`` (e.g. kind='btree')."""
+        self.relation(relation).schema.position_of(attribute)  # validate
+        key = (relation, attribute, kind)
+        if key in self._indexes:
+            raise SchemaError(f"index {key} already exists")
+        self._indexes[key] = index
+        return index
+
+    def index(self, relation: str, attribute: str, kind: str) -> Any:
+        try:
+            return self._indexes[(relation, attribute, kind)]
+        except KeyError as exc:
+            raise SchemaError(
+                f"no {kind} index on {relation}.{attribute}"
+            ) from exc
+
+    def maybe_index(self, relation: str, attribute: str, kind: str) -> Optional[Any]:
+        return self._indexes.get((relation, attribute, kind))
+
+    def index_keys(self) -> Iterable[Tuple[str, str, str]]:
+        return sorted(self._indexes)
+
+    def __repr__(self) -> str:
+        return (
+            f"Database(relations={sorted(self._relations)}, "
+            f"indexes={len(self._indexes)})"
+        )

@@ -1,0 +1,19 @@
+"""Query answering using views (paper, Section 4(6))."""
+
+from repro.views.rewrite import (
+    RewrittenQuery,
+    answer_with_views,
+    rewrite_point,
+    rewrite_range,
+)
+from repro.views.view import MaterializedView, ViewDefinition, ViewSet
+
+__all__ = [
+    "MaterializedView",
+    "RewrittenQuery",
+    "ViewDefinition",
+    "ViewSet",
+    "answer_with_views",
+    "rewrite_point",
+    "rewrite_range",
+]

@@ -1,0 +1,64 @@
+"""Query rewriting over views (paper, Section 4(6), condition (b)).
+
+Given a selection query and a :class:`~repro.views.view.ViewSet`, rewrite
+the query into probes that touch only view extensions ``V(D)`` -- the
+"reformulation Q' referring only to V and V(D)" of the paper.  This is the
+one place the library uses the query-rewriting extension ``lambda(Q)``
+mentioned under Definition 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, List, Optional, Tuple
+
+from repro.core.cost import CostTracker, ensure_tracker
+from repro.views.view import MaterializedView, ViewSet
+
+__all__ = ["RewrittenQuery", "rewrite_point", "rewrite_range", "answer_with_views"]
+
+
+@dataclass
+class RewrittenQuery:
+    """A union of per-view probes equivalent to the original selection."""
+
+    probes: List[Tuple[MaterializedView, Any, Any]]  # (view, low, high)
+
+    def evaluate(self, tracker: Optional[CostTracker] = None) -> bool:
+        tracker = ensure_tracker(tracker)
+        for view, low, high in self.probes:
+            tracker.tick(1)
+            if view.range_nonempty(low, high, tracker):
+                return True
+        return False
+
+
+def rewrite_point(views: ViewSet, constant: Any) -> RewrittenQuery:
+    """sigma_{A = c} -> one probe on the unique covering view."""
+    covering = views.covering_views(constant, constant)
+    return RewrittenQuery(probes=[(covering[0], constant, constant)])
+
+
+def rewrite_range(views: ViewSet, low: Any, high: Any) -> RewrittenQuery:
+    """sigma_{low <= A <= high} -> clipped probes on each overlapped view."""
+    covering = views.covering_views(low, high)
+    probes = []
+    for view in covering:
+        probes.append(
+            (
+                view,
+                max(low, view.definition.low),
+                min(high, view.definition.high),
+            )
+        )
+    return RewrittenQuery(probes=probes)
+
+
+def answer_with_views(
+    views: ViewSet,
+    low: Any,
+    high: Any,
+    tracker: Optional[CostTracker] = None,
+) -> bool:
+    """End-to-end: rewrite, then evaluate only against view extensions."""
+    return rewrite_range(views, low, high).evaluate(tracker)

@@ -1,0 +1,56 @@
+"""Integration: Figure 2 as a machine-checked consistency property.
+
+Building the registry with full certification and checking containments is
+the reproduction of Figure 2: every implemented class lands in the region
+the paper assigns it, with measured evidence.
+"""
+
+import pytest
+
+from repro.catalog import build_registry
+from repro.core import Membership, figure2_report
+
+
+@pytest.fixture(scope="module")
+def registry():
+    return build_registry(certify_all=True, queries_per_size=8)
+
+
+def test_no_containment_violations(registry):
+    assert registry.check_containments() == []
+
+
+def test_every_pit0q_entry_is_certified(registry):
+    for entry in registry.with_claim(Membership.PI_T0Q):
+        assert any(c.is_pi_tractable for c in entry.certificates), entry.name
+
+
+def test_separation_witnesses_fail_as_predicted(registry):
+    # Figure 1 right side and Theorem 9: certificates exist and fail.
+    for name in ("bds-order-trivial", "cvp-trivial"):
+        entry = registry.get(name)
+        assert entry.certificates, name
+        assert not any(c.is_pi_tractable for c in entry.certificates), name
+        # Yet both carry the re-factorization evidence for PiTQ membership.
+        assert entry.reduction_to_complete is not None
+
+
+def test_np_complete_entry_has_no_scheme(registry):
+    entry = registry.get("vertex-cover")
+    assert Membership.NP_COMPLETE in entry.claims
+    assert not entry.schemes
+    assert Membership.PI_TP not in entry.claims
+
+
+def test_nc_entries_are_pi_tractable(registry):
+    # NC <= PiT0Q: the reachability class claims NC and must be certified.
+    entry = registry.get("reachability")
+    assert Membership.NC in entry.claims
+    assert any(c.is_pi_tractable for c in entry.certificates)
+
+
+def test_report_lists_every_entry(registry):
+    report = figure2_report(registry)
+    for entry in registry.entries():
+        assert entry.name in report
+    assert "consistent" in report

@@ -1,0 +1,94 @@
+"""Integration: Theorem 5 / Corollary 6 -- everything reduces to BDS.
+
+For every decision problem in the catalog's P fragment, build the
+solve-and-emit NC-factor reduction to BDS, verify the Definition 4
+equivalence on sampled instances, transfer BDS's Pi-scheme back along the
+reduction (Lemma 3), and check the transferred scheme answers correctly.
+"""
+
+import random
+
+import pytest
+
+from repro.core import CostTracker, compose, transfer_scheme, verify_reduction
+from repro.core.language import decision_problem_of
+from repro.queries import (
+    bds_problem,
+    bds_query_class,
+    cvp_problem,
+    membership_problem,
+    position_dict_scheme,
+    position_index_scheme,
+    rmq_class,
+    tree_lca_class,
+)
+from repro.reductions_zoo import solve_and_emit_bds
+
+PROBLEM_FACTORIES = [
+    membership_problem,
+    cvp_problem,
+    bds_problem,
+    lambda: decision_problem_of(rmq_class()),
+    lambda: decision_problem_of(tree_lca_class()),
+    lambda: decision_problem_of(bds_query_class()),
+]
+
+
+@pytest.mark.parametrize("factory", PROBLEM_FACTORIES, ids=lambda f: getattr(f, "__name__", "lambda"))
+def test_every_p_problem_reduces_to_bds(factory):
+    problem = factory()
+    reduction = solve_and_emit_bds(problem)
+    instances = problem.sample_instances(32, seed=100, count=10)
+    assert verify_reduction(reduction, instances, cross_pairs=False) == []
+
+
+@pytest.mark.parametrize("scheme_factory", [position_index_scheme, position_dict_scheme])
+def test_lemma3_transfer_answers_through_bds(scheme_factory):
+    problem = membership_problem()
+    reduction = solve_and_emit_bds(problem)
+    transferred = transfer_scheme(reduction, scheme_factory())
+    rng = random.Random(101)
+    for _ in range(15):
+        instance = problem.generate(48, rng)
+        # Identity factorization: both parts are the whole instance.
+        data = reduction.source_factorization.pi1(instance)
+        query = reduction.source_factorization.pi2(instance)
+        preprocessed = transferred.preprocess(data, CostTracker())
+        assert transferred.answer(preprocessed, query) == problem.member(instance)
+
+
+def test_transitive_chain_through_bds():
+    # Lemma 2 + Theorem 5: membership -> BDS -> BDS composes and stays
+    # correct, with the padded factorization handling the re-factorization.
+    problem = membership_problem()
+    composite = compose(
+        solve_and_emit_bds(problem), solve_and_emit_bds(bds_problem())
+    )
+    instances = problem.sample_instances(40, seed=102, count=8)
+    assert verify_reduction(composite, instances, cross_pairs=False) == []
+    # The composite still maps instances to correct BDS instances.
+    for instance in instances:
+        target_instance = composite.map_instance(instance)
+        assert composite.target.member(target_instance) == problem.member(instance)
+
+
+def test_transferred_scheme_cost_is_constant_in_source_size():
+    """After transfer, query cost must not grow with source data size.
+
+    The witness graph is constant, so the BDS scheme's evaluation cost is
+    O(1) regardless of how big the source instance was -- the degenerate
+    but instructive limit of Corollary 6.
+    """
+    problem = membership_problem()
+    reduction = solve_and_emit_bds(problem)
+    transferred = transfer_scheme(reduction, position_dict_scheme())
+    costs = []
+    for size in (32, 256, 2048):
+        instance = problem.generate(size, random.Random(size))
+        data = reduction.source_factorization.pi1(instance)
+        query = reduction.source_factorization.pi2(instance)
+        preprocessed = transferred.preprocess(data, CostTracker())
+        tracker = CostTracker()
+        transferred.answer(preprocessed, query, tracker)
+        costs.append(tracker.depth)
+    assert costs[0] == costs[1] == costs[2]

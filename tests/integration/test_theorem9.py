@@ -1,0 +1,81 @@
+"""Integration: Theorem 9's separation, measured.
+
+Under the fixed factorization Upsilon_0 (empty data part), CVP's per-query
+cost grows with |q| no matter what preprocessing does; under the proper
+Section 4(8) factorization the same instances answer in O(1) after PTIME
+preprocessing.  The re-factorization reduction connects the two (Cor. 6).
+"""
+
+import random
+
+import pytest
+
+from repro.core import CostTracker, ScalingKind, certify, transfer_scheme, verify_reduction
+from repro.queries import (
+    cvp_factorized_class,
+    cvp_trivial_class,
+    gate_table_scheme,
+    reevaluate_scheme,
+)
+from repro.reductions_zoo import refactorize_cvp
+
+SMALL = [2**k for k in range(5, 10)]
+
+
+def test_upsilon0_cost_grows_with_query_size():
+    query_class = cvp_trivial_class()
+    scheme = reevaluate_scheme()
+    depths = {}
+    for scale in (64, 512):
+        data, queries = query_class.sample_workload(scale, seed=7, query_count=4)
+        preprocessed = scheme.preprocess(data, CostTracker())
+        tracker = CostTracker()
+        for query in queries:
+            scheme.answer(preprocessed, query, tracker)
+        depths[scale] = tracker.depth
+    assert depths[512] > 5 * depths[64]
+
+
+def test_upsilon_cvp_cost_constant_in_circuit_size():
+    query_class = cvp_factorized_class()
+    scheme = gate_table_scheme()
+    depths = {}
+    for scale in (64, 4096):
+        data, queries = query_class.sample_workload(scale, seed=8, query_count=6)
+        preprocessed = scheme.preprocess(data, CostTracker())
+        tracker = CostTracker()
+        for query in queries:
+            scheme.answer(preprocessed, query, tracker)
+        depths[scale] = tracker.depth
+    assert depths[4096] == depths[64]
+
+
+def test_certificates_separate_the_two_factorizations():
+    failing = certify(
+        cvp_trivial_class(), reevaluate_scheme(), sizes=SMALL, queries_per_size=6
+    )
+    passing = certify(
+        cvp_factorized_class(), gate_table_scheme(), sizes=SMALL, queries_per_size=6
+    )
+    assert not failing.is_pi_tractable
+    assert failing.evaluation_depth.kind is ScalingKind.POLYNOMIAL
+    assert passing.is_pi_tractable
+
+
+def test_refactorization_restores_tractability():
+    # Corollary 6 in action: reduce the trivial class to proper CVP, verify,
+    # transfer the gate-table scheme, answer in O(1).
+    reduction = refactorize_cvp()
+    instances = reduction.source.sample_instances(48, seed=9, count=6)
+    assert verify_reduction(reduction, instances, cross_pairs=False) == []
+
+    transferred = transfer_scheme(reduction, gate_table_scheme())
+    rng = random.Random(10)
+    instance = reduction.source.generate(64, rng)
+    data = reduction.source_factorization.pi1(instance)
+    query = reduction.source_factorization.pi2(instance)
+    preprocessed = transferred.preprocess(data, CostTracker())
+    tracker = CostTracker()
+    answer = transferred.answer(preprocessed, query, tracker)
+    assert answer == reduction.source.member(instance)
+    assert tracker.depth <= 3  # O(1) table lookup, not Theta(|q|)

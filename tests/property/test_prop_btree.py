@@ -1,0 +1,58 @@
+"""Property tests: the B+-tree behaves like a sorted multiset of keys."""
+
+from collections import Counter
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.indexes.btree import BPlusTree
+
+keys = st.integers(min_value=-100, max_value=100)
+orders = st.sampled_from([4, 5, 8, 16])
+
+# An operation sequence: (op, key) with op in insert/delete.
+operations = st.lists(
+    st.tuples(st.sampled_from(["insert", "delete"]), keys),
+    max_size=250,
+)
+
+
+@given(st.lists(keys, max_size=300), orders)
+@settings(max_examples=60)
+def test_build_matches_sorted_input(key_list, order):
+    tree = BPlusTree.build([(k, None) for k in key_list], order=order)
+    assert tree.keys() == sorted(key_list)
+    tree.check_invariants()
+
+
+@given(operations, orders)
+@settings(max_examples=60)
+def test_interleaved_operations_match_multiset_model(ops, order):
+    tree = BPlusTree(order=order)
+    model: Counter = Counter()
+    for op, key in ops:
+        if op == "insert":
+            tree.insert(key, None)
+            model[key] += 1
+        else:
+            deleted = tree.delete(key)
+            assert deleted == (model[key] > 0)
+            if deleted:
+                model[key] -= 1
+    tree.check_invariants()
+    expected = sorted(model.elements())
+    assert tree.keys() == expected
+    assert len(tree) == sum(model.values())
+    for probe in range(-100, 101, 17):
+        assert tree.contains(probe) == (model[probe] > 0)
+
+
+@given(st.lists(keys, min_size=1, max_size=200), keys, keys, orders)
+@settings(max_examples=60)
+def test_range_queries_match_filter(key_list, low, high, order):
+    if low > high:
+        low, high = high, low
+    tree = BPlusTree.build([(k, k) for k in key_list], order=order)
+    expected = sorted(k for k in key_list if low <= k <= high)
+    assert [k for k, _ in tree.range_iter(low, high)] == expected
+    assert tree.range_nonempty(low, high) == bool(expected)

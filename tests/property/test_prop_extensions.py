@@ -1,0 +1,132 @@
+"""Property tests for the Section 8 extensions (AGAP, TA, approx VC)."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs import Digraph, gnm_graph, is_reachable
+from repro.graphs.alternating import (
+    AlternatingDigraph,
+    AlternatingReachabilityIndex,
+    alternating_reachable,
+)
+from repro.kernelization import (
+    ApproximateVertexCoverOracle,
+    VCInstance,
+    vc_brute_force,
+)
+from repro.queries import TopKIndex
+
+seeds = st.integers(min_value=0, max_value=2**30)
+
+
+@st.composite
+def alternating_digraphs(draw, max_n=24):
+    n = draw(st.integers(min_value=1, max_value=max_n))
+    seed = draw(seeds)
+    rng = random.Random(seed)
+    graph = Digraph(n)
+    for _ in range(draw(st.integers(min_value=0, max_value=3 * n))):
+        u, v = rng.randrange(n), rng.randrange(n)
+        if u != v:
+            graph.add_edge(u, v)
+    universal = [rng.random() < 0.4 for _ in range(n)]
+    return AlternatingDigraph(graph, universal)
+
+
+class TestAGAPProperties:
+    @given(alternating_digraphs(), st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_index_agrees_with_fixpoint(self, agraph, data):
+        index = AlternatingReachabilityIndex(agraph)
+        u = data.draw(st.integers(min_value=0, max_value=agraph.n - 1))
+        v = data.draw(st.integers(min_value=0, max_value=agraph.n - 1))
+        assert index.reachable(u, v) == alternating_reachable(agraph, u, v)
+
+    @given(alternating_digraphs(), st.data())
+    @settings(max_examples=50, deadline=None)
+    def test_alternating_implies_plain_reachability(self, agraph, data):
+        # Universal constraints only restrict: alternating-reachable pairs
+        # must also be plainly reachable.
+        u = data.draw(st.integers(min_value=0, max_value=agraph.n - 1))
+        v = data.draw(st.integers(min_value=0, max_value=agraph.n - 1))
+        if alternating_reachable(agraph, u, v):
+            assert is_reachable(agraph.graph, u, v)
+
+
+@st.composite
+def score_tables(draw):
+    n = draw(st.integers(min_value=1, max_value=50))
+    rows = draw(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=60),
+                st.integers(min_value=0, max_value=60),
+            ),
+            min_size=n,
+            max_size=n,
+        )
+    )
+    return tuple(rows)
+
+
+class TestTAProperties:
+    @given(score_tables(), st.data())
+    @settings(max_examples=80, deadline=None)
+    def test_ta_matches_brute_force(self, table, data):
+        index = TopKIndex(table)
+        weights = (
+            data.draw(st.integers(min_value=1, max_value=4)),
+            data.draw(st.integers(min_value=1, max_value=4)),
+        )
+        k = data.draw(st.integers(min_value=1, max_value=8))
+        theta = data.draw(st.integers(min_value=0, max_value=500))
+        aggregates = sorted(
+            (sum(w * v for w, v in zip(weights, row)) for row in table),
+            reverse=True,
+        )
+        expected = aggregates[min(k, len(aggregates)) - 1] >= theta
+        answer, accesses = index.kth_score_at_least(weights, k, theta)
+        assert answer == expected
+        # TA never exceeds the full-scan access budget.
+        assert accesses <= 2 * len(table)
+
+    @given(score_tables(), st.data())
+    @settings(max_examples=50, deadline=None)
+    def test_ta_is_monotone_in_theta(self, table, data):
+        index = TopKIndex(table)
+        k = data.draw(st.integers(min_value=1, max_value=5))
+        low = data.draw(st.integers(min_value=0, max_value=200))
+        high = data.draw(st.integers(min_value=low, max_value=400))
+        high_answer, _ = index.kth_score_at_least((1, 1), k, high)
+        low_answer, _ = index.kth_score_at_least((1, 1), k, low)
+        if high_answer:
+            assert low_answer  # lowering theta cannot flip yes to no
+
+
+class TestApproxVCProperties:
+    @given(seeds, st.integers(min_value=2, max_value=10), st.integers(min_value=0, max_value=5))
+    @settings(max_examples=80, deadline=None)
+    def test_one_sidedness(self, seed, n, k):
+        rng = random.Random(seed)
+        graph = gnm_graph(n, rng.randint(0, 2 * n), rng)
+        oracle = ApproximateVertexCoverOracle(graph)
+        exact = vc_brute_force(VCInstance(graph, k))
+        approx = oracle.probably_coverable(k)
+        if exact:
+            assert approx
+        if not approx:
+            assert not exact
+
+    @given(seeds, st.integers(min_value=2, max_value=16))
+    @settings(max_examples=60, deadline=None)
+    def test_factor_two_sandwich(self, seed, n):
+        rng = random.Random(seed)
+        graph = gnm_graph(n, rng.randint(0, 3 * n), rng)
+        oracle = ApproximateVertexCoverOracle(graph)
+        assert oracle.lower_bound <= oracle.upper_bound <= 2 * oracle.lower_bound or (
+            oracle.lower_bound == oracle.upper_bound == 0
+        )
+        cover = set(oracle.cover)
+        assert all(u in cover or v in cover for u, v in graph.edges())

@@ -1,0 +1,88 @@
+"""Property tests: RMQ structures and LCA indexes against their definitions."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs import Digraph, Graph
+from repro.indexes import (
+    DagLCAIndex,
+    EulerTourLCA,
+    FischerHeunRMQ,
+    SparseTable,
+    naive_dag_lca,
+    naive_range_min,
+    naive_tree_lca,
+)
+
+arrays = st.lists(st.integers(min_value=-50, max_value=50), min_size=1, max_size=200)
+
+
+@given(arrays, st.data())
+@settings(max_examples=80)
+def test_rmq_structures_agree_with_naive(array, data):
+    sparse = SparseTable(array)
+    fischer = FischerHeunRMQ(array)
+    i = data.draw(st.integers(min_value=0, max_value=len(array) - 1))
+    j = data.draw(st.integers(min_value=i, max_value=len(array) - 1))
+    expected = naive_range_min(array, i, j)
+    assert sparse.argmin(i, j) == expected
+    assert fischer.argmin(i, j) == expected
+
+
+@st.composite
+def random_trees(draw):
+    n = draw(st.integers(min_value=1, max_value=60))
+    seed = draw(st.integers(min_value=0, max_value=2**30))
+    rng = random.Random(seed)
+    tree = Graph(n)
+    for v in range(1, n):
+        tree.add_edge(rng.randrange(v), v)
+    return tree
+
+
+@given(random_trees(), st.data())
+@settings(max_examples=60)
+def test_euler_lca_matches_definition(tree, data):
+    index = EulerTourLCA(tree, 0)
+    u = data.draw(st.integers(min_value=0, max_value=tree.n - 1))
+    v = data.draw(st.integers(min_value=0, max_value=tree.n - 1))
+    w = index.lca(u, v)
+    assert w == naive_tree_lca(tree, 0, u, v)
+    # Definitional check: w is an ancestor of both...
+    assert index.is_ancestor(w, u)
+    assert index.is_ancestor(w, v)
+
+
+@st.composite
+def random_dags(draw):
+    n = draw(st.integers(min_value=2, max_value=40))
+    seed = draw(st.integers(min_value=0, max_value=2**30))
+    rng = random.Random(seed)
+    dag = Digraph(n)
+    for _ in range(draw(st.integers(min_value=0, max_value=3 * n))):
+        u, v = rng.randrange(n), rng.randrange(n)
+        if u < v:
+            dag.add_edge(u, v)
+    return dag
+
+
+@given(random_dags(), st.data())
+@settings(max_examples=60)
+def test_dag_lca_satisfies_paper_definition(dag, data):
+    index = DagLCAIndex(dag)
+    u = data.draw(st.integers(min_value=0, max_value=dag.n - 1))
+    v = data.draw(st.integers(min_value=0, max_value=dag.n - 1))
+    w = index.lca(u, v)
+    assert w == naive_dag_lca(dag, u, v)
+    if w == -1:
+        assert index.all_lcas(u, v) == []
+        return
+    # The paper's definition: w is a common (reflexive) ancestor with no
+    # descendant that is also a common ancestor.
+    assert index.is_ancestor(w, u) and index.is_ancestor(w, v)
+    for other in index.all_lcas(u, v):
+        if other != w:
+            assert not index.is_ancestor(w, other) or other == w
+    assert w in index.all_lcas(u, v)

@@ -1,0 +1,120 @@
+"""Unit tests for alternating graph accessibility (AGAP extension)."""
+
+import random
+
+import pytest
+
+from repro.core import CostTracker
+from repro.core.errors import GraphError
+from repro.graphs import Digraph
+from repro.graphs.alternating import (
+    AlternatingDigraph,
+    AlternatingReachabilityIndex,
+    alternating_reachable,
+    random_alternating_digraph,
+)
+from repro.queries import agap_class, winning_set_scheme
+
+
+def labelled(n, edges, universal):
+    graph = Digraph(n)
+    for u, v in edges:
+        graph.add_edge(u, v)
+    return AlternatingDigraph(graph, universal)
+
+
+class TestSemantics:
+    def test_reflexive(self):
+        agraph = labelled(2, [], [False, True])
+        assert alternating_reachable(agraph, 0, 0)
+        assert alternating_reachable(agraph, 1, 1)
+        assert not alternating_reachable(agraph, 0, 1)
+
+    def test_existential_needs_one_path(self):
+        # 0 (OR) -> 1, 0 -> 2; only 1 reaches t=1.
+        agraph = labelled(3, [(0, 1), (0, 2)], [False] * 3)
+        assert alternating_reachable(agraph, 0, 1)
+        assert alternating_reachable(agraph, 0, 2)
+
+    def test_universal_needs_all_successors(self):
+        # 0 (AND) -> 1, 0 -> 2; target 1: successor 2 does not reach 1.
+        agraph = labelled(3, [(0, 1), (0, 2)], [True, False, False])
+        assert not alternating_reachable(agraph, 0, 1)
+        # But if 2 -> 1 exists, both successors reach 1.
+        agraph2 = labelled(3, [(0, 1), (0, 2), (2, 1)], [True, False, False])
+        assert alternating_reachable(agraph2, 0, 1)
+
+    def test_universal_sink_fails(self):
+        # A universal vertex with no successors reaches only itself.
+        agraph = labelled(2, [], [True, False])
+        assert alternating_reachable(agraph, 0, 0)
+        assert not alternating_reachable(agraph, 0, 1)
+
+    def test_all_existential_equals_plain_reachability(self):
+        from repro.graphs import gnm_digraph, is_reachable
+
+        rng = random.Random(400)
+        for _ in range(10):
+            graph = gnm_digraph(25, 60, rng)
+            agraph = AlternatingDigraph(graph, [False] * 25)
+            for _ in range(40):
+                u, v = rng.randrange(25), rng.randrange(25)
+                assert alternating_reachable(agraph, u, v) == is_reachable(
+                    graph, u, v
+                )
+
+    def test_universal_is_restriction(self):
+        # Making vertices universal can only destroy accessibility.
+        rng = random.Random(401)
+        for _ in range(10):
+            agraph = random_alternating_digraph(20, 50, rng)
+            plain = AlternatingDigraph(agraph.graph, [False] * 20)
+            for _ in range(30):
+                u, v = rng.randrange(20), rng.randrange(20)
+                if alternating_reachable(agraph, u, v):
+                    assert alternating_reachable(plain, u, v)
+
+    def test_vertex_bounds(self):
+        agraph = labelled(2, [], [False, False])
+        with pytest.raises(GraphError):
+            alternating_reachable(agraph, 0, 9)
+
+    def test_label_vector_length_checked(self):
+        with pytest.raises(GraphError):
+            AlternatingDigraph(Digraph(3), [False])
+
+
+class TestIndex:
+    def test_matches_per_query_fixpoint(self):
+        rng = random.Random(402)
+        for _ in range(8):
+            agraph = random_alternating_digraph(30, 80, rng)
+            index = AlternatingReachabilityIndex(agraph)
+            for _ in range(60):
+                u, v = rng.randrange(30), rng.randrange(30)
+                assert index.reachable(u, v) == alternating_reachable(agraph, u, v)
+
+    def test_query_cost_constant(self):
+        rng = random.Random(403)
+        index = AlternatingReachabilityIndex(random_alternating_digraph(150, 400, rng))
+        tracker = CostTracker()
+        index.reachable(3, 140, tracker)
+        assert tracker.depth == 1
+
+
+class TestQueryClass:
+    def test_scheme_agrees_with_naive(self):
+        query_class = agap_class()
+        scheme = winning_set_scheme()
+        data, queries = query_class.sample_workload(64, seed=17, query_count=30)
+        preprocessed = scheme.preprocess(data, CostTracker())
+        for query in queries:
+            assert scheme.answer(preprocessed, query, CostTracker()) == (
+                query_class.pair_in_language(data, query)
+            )
+
+    def test_workload_mixes_answers(self):
+        query_class = agap_class()
+        data, queries = query_class.sample_workload(64, seed=18, query_count=40)
+        answers = {query_class.pair_in_language(data, q) for q in queries}
+        assert answers == {True, False}

@@ -1,0 +1,137 @@
+"""Unit tests for the B+-tree (repro.indexes.btree)."""
+
+import random
+
+import pytest
+
+from repro.core.cost import CostTracker
+from repro.core.errors import IndexError_
+from repro.indexes.btree import BPlusTree
+
+
+class TestBasics:
+    def test_rejects_tiny_order(self):
+        with pytest.raises(IndexError_):
+            BPlusTree(order=3)
+
+    def test_empty_tree(self):
+        tree = BPlusTree()
+        assert len(tree) == 0
+        assert not tree.contains(5)
+        assert tree.search(5) == []
+        assert list(tree.items()) == []
+        tree.check_invariants()
+
+    def test_single_insert(self):
+        tree = BPlusTree()
+        tree.insert(10, "a")
+        assert tree.contains(10)
+        assert tree.search(10) == ["a"]
+        assert len(tree) == 1
+
+    def test_duplicate_keys_accumulate_payloads(self):
+        tree = BPlusTree()
+        tree.insert(7, "x")
+        tree.insert(7, "y")
+        assert sorted(tree.search(7)) == ["x", "y"]
+        assert len(tree) == 2
+        tree.check_invariants()
+
+    def test_build_classmethod(self):
+        tree = BPlusTree.build([(i, i * 10) for i in range(100)], order=8)
+        assert len(tree) == 100
+        assert tree.search(42) == [420]
+        tree.check_invariants()
+
+
+class TestOrderedBehaviour:
+    def test_items_sorted(self):
+        rng = random.Random(1)
+        keys = [rng.randrange(1000) for _ in range(500)]
+        tree = BPlusTree.build([(k, None) for k in keys], order=6)
+        assert tree.keys() == sorted(keys)
+
+    def test_range_iter(self):
+        tree = BPlusTree.build([(i, str(i)) for i in range(0, 100, 3)], order=5)
+        got = [k for k, _ in tree.range_iter(10, 40)]
+        assert got == [k for k in range(0, 100, 3) if 10 <= k <= 40]
+
+    def test_range_iter_empty_window(self):
+        tree = BPlusTree.build([(i * 10, None) for i in range(10)], order=5)
+        assert list(tree.range_iter(41, 49)) == []
+
+    def test_range_nonempty(self):
+        tree = BPlusTree.build([(i * 10, None) for i in range(10)], order=5)
+        assert tree.range_nonempty(35, 50)
+        assert not tree.range_nonempty(41, 49)
+        assert tree.range_nonempty(0, 0)
+        assert not tree.range_nonempty(91, 200)
+
+    def test_range_nonempty_past_leaf_end(self):
+        # low larger than every key in its leaf but a later leaf qualifies.
+        tree = BPlusTree.build([(i, None) for i in range(64)], order=4)
+        assert tree.range_nonempty(62.5, 70)
+        assert not tree.range_nonempty(63.5, 70)
+
+
+class TestDeletion:
+    def test_delete_missing_returns_false(self):
+        tree = BPlusTree.build([(1, "a")])
+        assert not tree.delete(2)
+        assert not tree.delete(1, payload="zzz")
+        assert len(tree) == 1
+
+    def test_delete_specific_payload(self):
+        tree = BPlusTree()
+        tree.insert(5, "a")
+        tree.insert(5, "b")
+        assert tree.delete(5, payload="a")
+        assert tree.search(5) == ["b"]
+
+    def test_delete_everything_random_order(self):
+        rng = random.Random(2)
+        keys = list(range(300))
+        rng.shuffle(keys)
+        tree = BPlusTree.build([(k, k) for k in keys], order=6)
+        rng.shuffle(keys)
+        for key in keys:
+            assert tree.delete(key), key
+            tree.check_invariants()
+        assert len(tree) == 0
+
+    def test_interleaved_inserts_and_deletes(self):
+        rng = random.Random(3)
+        tree = BPlusTree(order=5)
+        model = {}
+        for step in range(2000):
+            key = rng.randrange(120)
+            if rng.random() < 0.55:
+                tree.insert(key, step)
+                model.setdefault(key, []).append(step)
+            else:
+                expected = bool(model.get(key))
+                assert tree.delete(key) == expected
+                if expected:
+                    model[key].pop()
+            if step % 200 == 0:
+                tree.check_invariants()
+        for key in range(120):
+            assert sorted(tree.search(key)) == sorted(model.get(key, []))
+
+
+class TestCostShape:
+    def test_probe_cost_logarithmic(self):
+        costs = {}
+        for exponent in (8, 12, 16):
+            n = 2**exponent
+            tree = BPlusTree.build([(i, None) for i in range(n)], order=32)
+            tracker = CostTracker()
+            tree.contains(n // 2, tracker)
+            costs[exponent] = tracker.depth
+        # Doubling the exponent should roughly double the probe cost,
+        # nowhere near the 256x of a scan.
+        assert costs[16] <= 3 * costs[8]
+
+    def test_height_grows_slowly(self):
+        tree = BPlusTree.build([(i, None) for i in range(10_000)], order=32)
+        assert tree.height <= 4

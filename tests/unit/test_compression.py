@@ -1,0 +1,95 @@
+"""Unit tests for query-preserving and lossless compression (Section 4(5))."""
+
+import random
+
+import pytest
+
+from repro.compression import LosslessCompressedGraph, ReachabilityPreservingCompression
+from repro.core.cost import CostTracker
+from repro.graphs import Digraph, gnm_digraph, is_reachable, social_digraph
+
+
+class TestReachabilityPreserving:
+    def test_scc_contraction(self):
+        # A 3-cycle plus a tail compresses to at most 2 classes.
+        graph = Digraph(4)
+        graph.add_edge(0, 1)
+        graph.add_edge(1, 2)
+        graph.add_edge(2, 0)
+        graph.add_edge(2, 3)
+        compressed = ReachabilityPreservingCompression(graph)
+        assert compressed.compressed_vertices <= 2
+        assert compressed.reachable(0, 3)
+        assert not compressed.reachable(3, 0)
+        assert compressed.reachable(1, 0)  # same SCC
+
+    def test_equivalence_merge(self):
+        # Two parallel middle vertices with identical neighbourhoods merge.
+        graph = Digraph(4)
+        graph.add_edge(0, 1)
+        graph.add_edge(0, 2)
+        graph.add_edge(1, 3)
+        graph.add_edge(2, 3)
+        compressed = ReachabilityPreservingCompression(graph)
+        assert compressed.class_of(1) == compressed.class_of(2)
+        assert compressed.compressed_vertices == 3
+        # Queries between merged-but-distinct vertices answer False.
+        assert not compressed.reachable(1, 2)
+        assert not compressed.reachable(2, 1)
+        assert compressed.reachable(1, 1)
+
+    def test_preserves_all_answers_on_random_graphs(self):
+        rng = random.Random(50)
+        for _ in range(6):
+            graph = social_digraph(80, rng)
+            compressed = ReachabilityPreservingCompression(graph)
+            for u in range(0, 80, 7):
+                for v in range(0, 80, 11):
+                    assert compressed.reachable(u, v) == is_reachable(graph, u, v)
+
+    def test_preserves_answers_on_sparse_dags(self):
+        rng = random.Random(51)
+        graph = gnm_digraph(60, 90, rng, allow_cycles=False)
+        compressed = ReachabilityPreservingCompression(graph)
+        for _ in range(400):
+            u, v = rng.randrange(60), rng.randrange(60)
+            assert compressed.reachable(u, v) == is_reachable(graph, u, v)
+
+    def test_ratio_reported(self):
+        rng = random.Random(52)
+        graph = social_digraph(100, rng)
+        compressed = ReachabilityPreservingCompression(graph)
+        assert compressed.compression_ratio() >= 1.0
+        assert compressed.compressed_vertices <= graph.n
+
+    def test_query_cost_constant(self):
+        rng = random.Random(53)
+        compressed = ReachabilityPreservingCompression(social_digraph(300, rng))
+        tracker = CostTracker()
+        compressed.reachable(5, 250, tracker)
+        assert tracker.depth <= 4
+
+
+class TestLossless:
+    def test_roundtrip(self):
+        rng = random.Random(54)
+        graph = gnm_digraph(40, 80, rng)
+        blob = LosslessCompressedGraph(graph)
+        assert blob.decompress() == graph
+
+    def test_compresses(self):
+        rng = random.Random(55)
+        graph = gnm_digraph(200, 600, rng)
+        blob = LosslessCompressedGraph(graph)
+        assert blob.compression_ratio() > 1.5
+
+    def test_queries_correct_but_linear(self):
+        rng = random.Random(56)
+        graph = gnm_digraph(50, 120, rng)
+        blob = LosslessCompressedGraph(graph)
+        tracker = CostTracker()
+        for _ in range(20):
+            u, v = rng.randrange(50), rng.randrange(50)
+            assert blob.reachable(u, v, tracker) == is_reachable(graph, u, v)
+        # Every query pays at least the decompression: linear in |D|.
+        assert tracker.work >= 20 * blob.original_bytes

@@ -1,0 +1,154 @@
+"""Unit tests for sorted runs, hash index, sparse table, Fischer--Heun RMQ."""
+
+import random
+
+import pytest
+
+from repro.core.cost import CostTracker
+from repro.core.errors import IndexError_
+from repro.indexes import (
+    FischerHeunRMQ,
+    HashIndex,
+    KeyedRunIndex,
+    SortedRunIndex,
+    SparseTable,
+    naive_range_min,
+)
+
+
+class TestSortedRun:
+    def test_membership(self):
+        index = SortedRunIndex([5, 3, 9, 3])
+        assert index.contains(3)
+        assert index.contains(9)
+        assert not index.contains(4)
+        assert len(index) == 4
+
+    def test_empty(self):
+        index = SortedRunIndex([])
+        assert not index.contains(1)
+
+    def test_rank(self):
+        index = SortedRunIndex([10, 20, 30])
+        assert index.rank(5) == 0
+        assert index.rank(20) == 1
+        assert index.rank(99) == 3
+
+    def test_query_cost_logarithmic(self):
+        big = SortedRunIndex(list(range(1 << 16)))
+        tracker = CostTracker()
+        big.contains(12345, tracker)
+        assert tracker.depth <= 20
+
+
+class TestKeyedRun:
+    def test_lookup(self):
+        index = KeyedRunIndex([(3, "c"), (1, "a"), (2, "b")])
+        assert index.lookup(1) == "a"
+        assert index.lookup(3) == "c"
+        assert index.lookup(9) is None
+
+    def test_items_sorted_by_key(self):
+        index = KeyedRunIndex([(3, "c"), (1, "a")])
+        assert index.items() == [(1, "a"), (3, "c")]
+
+
+class TestHashIndex:
+    def test_build_and_search(self):
+        index = HashIndex.build([(1, "a"), (1, "b"), (2, "c")])
+        assert sorted(index.search(1)) == ["a", "b"]
+        assert index.contains(2)
+        assert not index.contains(3)
+        assert len(index) == 3
+        assert index.distinct_keys() == 2
+
+    def test_delete(self):
+        index = HashIndex.build([(1, "a"), (1, "b")])
+        assert index.delete(1, "a")
+        assert index.search(1) == ["b"]
+        assert not index.delete(1, "zz")
+        assert index.delete(1)
+        assert not index.contains(1)
+        assert not index.delete(1)
+
+    def test_probe_cost_constant(self):
+        index = HashIndex.build([(i, None) for i in range(100_000)])
+        tracker = CostTracker()
+        index.contains(54321, tracker)
+        assert tracker.depth == 1
+
+
+class TestSparseTable:
+    def test_matches_naive_on_random_arrays(self):
+        rng = random.Random(4)
+        for _ in range(20):
+            array = [rng.randint(-9, 9) for _ in range(rng.randint(1, 120))]
+            table = SparseTable(array)
+            for _ in range(60):
+                i = rng.randrange(len(array))
+                j = rng.randrange(i, len(array))
+                assert table.argmin(i, j) == naive_range_min(array, i, j)
+
+    def test_leftmost_tie_break(self):
+        table = SparseTable([5, 1, 1, 1, 5])
+        assert table.argmin(0, 4) == 1
+        assert table.argmin(2, 4) == 2
+
+    def test_range_min_value(self):
+        table = SparseTable([4, 2, 7])
+        assert table.range_min(0, 2) == 2
+
+    def test_bad_range_raises(self):
+        table = SparseTable([1, 2, 3])
+        with pytest.raises(IndexError_):
+            table.argmin(2, 1)
+        with pytest.raises(IndexError_):
+            table.argmin(0, 3)
+
+    def test_query_cost_constant(self):
+        table = SparseTable(list(range(1 << 14, 0, -1)))
+        tracker = CostTracker()
+        table.argmin(17, 9000, tracker)
+        assert tracker.depth <= 5
+
+
+class TestFischerHeun:
+    def test_matches_naive_on_random_arrays(self):
+        rng = random.Random(5)
+        for _ in range(15):
+            array = [rng.randint(-20, 20) for _ in range(rng.randint(1, 400))]
+            rmq = FischerHeunRMQ(array)
+            for _ in range(80):
+                i = rng.randrange(len(array))
+                j = rng.randrange(i, len(array))
+                assert rmq.argmin(i, j) == naive_range_min(array, i, j), (
+                    array,
+                    i,
+                    j,
+                )
+
+    def test_single_element(self):
+        rmq = FischerHeunRMQ([42])
+        assert rmq.argmin(0, 0) == 0
+        assert rmq.range_min(0, 0) == 42
+
+    def test_signature_sharing(self):
+        # A long repetitive array has far fewer signatures than blocks.
+        array = [1, 2, 3, 0] * 256
+        rmq = FischerHeunRMQ(array)
+        if rmq.block_size > 1:
+            block_count = (len(array) + rmq.block_size - 1) // rmq.block_size
+            assert rmq.distinct_signatures < block_count
+
+    def test_bad_range_raises(self):
+        rmq = FischerHeunRMQ([1, 2])
+        with pytest.raises(IndexError_):
+            rmq.argmin(1, 0)
+
+    def test_query_cost_constant_as_n_grows(self):
+        small = FischerHeunRMQ(list(range(256, 0, -1)))
+        big = FischerHeunRMQ(list(range(65536, 0, -1)))
+        t_small, t_big = CostTracker(), CostTracker()
+        small.argmin(3, 250, t_small)
+        big.argmin(3, 65000, t_big)
+        assert t_big.depth <= 2 * max(t_small.depth, 4)

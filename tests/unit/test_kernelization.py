@@ -1,0 +1,115 @@
+"""Unit tests for Buss kernelization and VC deciders (Section 4(9))."""
+
+import random
+
+import pytest
+
+from repro.core.cost import CostTracker
+from repro.graphs import Graph, gnm_graph
+from repro.kernelization import (
+    VCInstance,
+    buss_kernelize,
+    vc_branch_decide,
+    vc_brute_force,
+    vc_decide,
+)
+
+
+def triangle() -> Graph:
+    graph = Graph(3)
+    graph.add_edge(0, 1)
+    graph.add_edge(1, 2)
+    graph.add_edge(0, 2)
+    return graph
+
+
+def star(leaves: int) -> Graph:
+    graph = Graph(leaves + 1)
+    for leaf in range(1, leaves + 1):
+        graph.add_edge(0, leaf)
+    return graph
+
+
+class TestBussKernel:
+    def test_high_degree_vertex_forced(self):
+        kernel = buss_kernelize(VCInstance(star(10), 3))
+        assert 0 in kernel.forced_vertices
+        assert kernel.decided is True  # removing the hub leaves no edges
+
+    def test_negative_budget_rejects(self):
+        kernel = buss_kernelize(VCInstance(triangle(), -1))
+        assert kernel.decided is False
+
+    def test_edgeless_graph_accepts(self):
+        kernel = buss_kernelize(VCInstance(Graph(5), 0))
+        assert kernel.decided is True
+
+    def test_too_many_edges_rejects(self):
+        rng = random.Random(80)
+        # max degree <= k is forced by using a large matching: 2k^2 + 2 edges
+        # of degree 1 each cannot be covered by k vertices.
+        k = 3
+        edge_count = k * k + 1
+        graph = Graph(2 * edge_count)
+        for i in range(edge_count):
+            graph.add_edge(2 * i, 2 * i + 1)
+        kernel = buss_kernelize(VCInstance(graph, k))
+        assert kernel.decided is False
+
+    def test_kernel_size_bounded_by_k_squared(self):
+        rng = random.Random(81)
+        for n in (50, 100, 200, 400):
+            graph = gnm_graph(n, 2 * n, rng)
+            for k in (2, 4, 6):
+                kernel = buss_kernelize(VCInstance(graph, k))
+                if kernel.decided is None:
+                    assert kernel.kernel_edges <= k * k
+                    assert kernel.kernel_vertices <= 2 * k * k
+
+    def test_kernelization_preserves_answers(self):
+        rng = random.Random(82)
+        for _ in range(150):
+            n = rng.randint(2, 11)
+            graph = gnm_graph(n, rng.randint(0, 2 * n), rng)
+            k = rng.randint(0, 5)
+            instance = VCInstance(graph, k)
+            assert vc_decide(instance) == vc_brute_force(instance)
+
+
+class TestBranchDecide:
+    def test_empty_edge_set(self):
+        assert vc_branch_decide(set(), 0)
+
+    def test_budget_exhausted(self):
+        assert not vc_branch_decide({(0, 1)}, 0)
+
+    def test_triangle_needs_two(self):
+        edges = set(triangle().edges())
+        assert not vc_branch_decide(set(edges), 1)
+        assert vc_branch_decide(set(edges), 2)
+
+
+class TestFixedParameterBehaviour:
+    def test_kernelized_query_cost_independent_of_graph_size(self):
+        rng = random.Random(83)
+        k = 4
+        costs = {}
+        for n in (100, 800):
+            graph = gnm_graph(n, n // 2, rng)
+            kernel = buss_kernelize(VCInstance(graph, k))
+            tracker = CostTracker()
+            if kernel.decided is None:
+                vc_branch_decide(set(kernel.residual_edges), kernel.residual_budget, tracker)
+            costs[n] = tracker.work
+        # Post-kernel decision cost must not scale with |G|: the kernel is
+        # bounded by k alone, so an 8x bigger graph stays within a small
+        # constant factor (kernel contents differ, hence some slack).
+        assert costs[800] <= 50 * max(costs[100], 1) + 1000
+
+    def test_no_preprocessing_cost_grows_with_graph(self):
+        rng = random.Random(84)
+        k = 4
+        small, big = CostTracker(), CostTracker()
+        vc_decide(VCInstance(gnm_graph(100, 50, rng), k), small, kernelize=False)
+        vc_decide(VCInstance(gnm_graph(1600, 800, rng), k), big, kernelize=False)
+        assert big.work > 4 * small.work

@@ -1,0 +1,157 @@
+"""Unit tests for tree and DAG LCA indexes."""
+
+import random
+
+import pytest
+
+from repro.core.cost import CostTracker
+from repro.core.errors import GraphError
+from repro.graphs import Digraph, Graph, random_dag, random_tree
+from repro.indexes import (
+    DagLCAIndex,
+    EulerTourLCA,
+    naive_dag_lca,
+    naive_tree_lca,
+    tree_parents,
+)
+
+
+class TestTreeParents:
+    def test_simple_chain(self):
+        tree = Graph(3)
+        tree.add_edge(0, 1)
+        tree.add_edge(1, 2)
+        assert tree_parents(tree, 0) == [-1, 0, 1]
+
+    def test_rejects_disconnected(self):
+        graph = Graph(3)
+        graph.add_edge(0, 1)
+        with pytest.raises(GraphError):
+            tree_parents(graph, 0)
+
+    def test_rejects_cycles(self):
+        graph = Graph(3)
+        graph.add_edge(0, 1)
+        graph.add_edge(1, 2)
+        graph.add_edge(2, 0)
+        with pytest.raises(GraphError):
+            tree_parents(graph, 0)
+
+
+class TestEulerTourLCA:
+    def test_chain(self):
+        tree = Graph(4)
+        for v in range(3):
+            tree.add_edge(v, v + 1)
+        lca = EulerTourLCA(tree, 0)
+        assert lca.lca(3, 1) == 1
+        assert lca.lca(2, 2) == 2
+        assert lca.lca(0, 3) == 0
+
+    def test_star(self):
+        tree = Graph(5)
+        for leaf in range(1, 5):
+            tree.add_edge(0, leaf)
+        lca = EulerTourLCA(tree, 0)
+        assert lca.lca(1, 2) == 0
+        assert lca.lca(4, 4) == 4
+
+    def test_matches_naive_on_random_trees(self):
+        rng = random.Random(20)
+        for _ in range(10):
+            tree = random_tree(rng.randint(2, 80), rng)
+            index = EulerTourLCA(tree, 0)
+            for _ in range(50):
+                u, v = rng.randrange(tree.n), rng.randrange(tree.n)
+                assert index.lca(u, v) == naive_tree_lca(tree, 0, u, v)
+
+    def test_is_ancestor(self):
+        tree = Graph(4)
+        tree.add_edge(0, 1)
+        tree.add_edge(1, 2)
+        tree.add_edge(0, 3)
+        index = EulerTourLCA(tree, 0)
+        assert index.is_ancestor(0, 2)
+        assert index.is_ancestor(2, 2)
+        assert not index.is_ancestor(3, 2)
+
+    def test_query_cost_constant(self):
+        rng = random.Random(21)
+        big = EulerTourLCA(random_tree(5000, rng), 0)
+        tracker = CostTracker()
+        big.lca(4321, 1234, tracker)
+        assert tracker.depth <= 12
+
+    def test_vertex_bounds_checked(self):
+        tree = Graph(2)
+        tree.add_edge(0, 1)
+        index = EulerTourLCA(tree, 0)
+        with pytest.raises(GraphError):
+            index.lca(0, 5)
+
+
+class TestDagLCA:
+    def test_diamond(self):
+        #   0 -> 1 -> 3, 0 -> 2 -> 3
+        dag = Digraph(4)
+        dag.add_edge(0, 1)
+        dag.add_edge(0, 2)
+        dag.add_edge(1, 3)
+        dag.add_edge(2, 3)
+        index = DagLCAIndex(dag)
+        assert index.lca(1, 2) == 0
+        assert index.lca(3, 1) == 1  # 1 is an ancestor of 3
+        assert index.all_lcas(1, 2) == [0]
+
+    def test_no_common_ancestor(self):
+        dag = Digraph(2)
+        index = DagLCAIndex(dag)
+        assert index.lca(0, 1) == -1
+        assert index.all_lcas(0, 1) == []
+        assert naive_dag_lca(dag, 0, 1) == -1
+
+    def test_multiple_lcas_returns_a_valid_one(self):
+        # Two incomparable common ancestors 0 and 1 of both 2 and 3.
+        dag = Digraph(4)
+        for ancestor in (0, 1):
+            for descendant in (2, 3):
+                dag.add_edge(ancestor, descendant)
+        index = DagLCAIndex(dag)
+        assert set(index.all_lcas(2, 3)) == {0, 1}
+        assert index.lca(2, 3) in (0, 1)
+
+    def test_representative_agrees_with_naive(self):
+        rng = random.Random(22)
+        for _ in range(10):
+            dag = random_dag(40, 100, rng)
+            index = DagLCAIndex(dag)
+            table = DagLCAIndex(dag, all_pairs=True)
+            for _ in range(60):
+                u, v = rng.randrange(40), rng.randrange(40)
+                representative = index.lca(u, v)
+                assert representative == naive_dag_lca(dag, u, v)
+                assert representative == table.lca(u, v)
+                if representative != -1:
+                    assert representative in index.all_lcas(u, v)
+
+    def test_is_ancestor(self):
+        dag = Digraph(3)
+        dag.add_edge(0, 1)
+        dag.add_edge(1, 2)
+        index = DagLCAIndex(dag)
+        assert index.is_ancestor(0, 2)
+        assert not index.is_ancestor(2, 0)
+
+    def test_rejects_cyclic_input(self):
+        graph = Digraph(2)
+        graph.add_edge(0, 1)
+        graph.add_edge(1, 0)
+        with pytest.raises(GraphError):
+            DagLCAIndex(graph)
+
+    def test_all_pairs_query_cost_constant(self):
+        rng = random.Random(23)
+        index = DagLCAIndex(random_dag(60, 150, rng), all_pairs=True)
+        tracker = CostTracker()
+        index.lca(10, 50, tracker)
+        assert tracker.depth == 1

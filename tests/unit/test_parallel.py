@@ -1,0 +1,153 @@
+"""Unit tests for the PRAM simulator (repro.parallel)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.cost import CostTracker
+from repro.parallel import (
+    ParallelMachine,
+    parallel_any,
+    parallel_binary_search,
+    parallel_max,
+    parallel_sort,
+    parallel_sum,
+    reachability_query_squaring,
+    transitive_closure_squaring,
+)
+
+
+@pytest.fixture
+def machine():
+    return ParallelMachine(CostTracker())
+
+
+class TestPmap:
+    def test_values(self, machine):
+        assert machine.pmap(lambda x, t: x * x, [1, 2, 3]) == [1, 4, 9]
+
+    def test_depth_is_max_not_sum(self):
+        tracker = CostTracker()
+        machine = ParallelMachine(tracker)
+
+        def cost_i(x, t):
+            t.tick(x)
+            return x
+
+        machine.pmap(cost_i, [1, 5, 10])
+        # depth: max branch (10 + 1 activation) + 1 overhead
+        assert tracker.depth == 12
+        assert tracker.work >= 16
+
+
+class TestReduce:
+    def test_empty_returns_identity(self, machine):
+        assert machine.preduce(lambda a, b, t: a + b, [], identity=0) == 0
+
+    def test_sum(self, machine):
+        assert parallel_sum(list(range(100)), machine) == sum(range(100))
+
+    def test_max(self, machine):
+        assert parallel_max([3, 1, 7, 2], machine) == 7
+        assert parallel_max([], machine) is None
+
+    def test_any(self, machine):
+        assert parallel_any([False, False, True], machine)
+        assert not parallel_any([False] * 10, machine)
+        assert not parallel_any([], machine)
+
+    def test_reduce_depth_is_logarithmic(self):
+        small, big = CostTracker(), CostTracker()
+        parallel_sum([1.0] * 64, ParallelMachine(small))
+        parallel_sum([1.0] * 4096, ParallelMachine(big))
+        # 64x more work but only ~2x more depth.
+        assert big.work > 30 * small.work
+        assert big.depth < 3 * small.depth
+
+
+class TestScan:
+    def test_prefix_sums(self, machine):
+        values = [1, 2, 3, 4, 5]
+        assert machine.pscan(lambda a, b: a + b, values) == [1, 3, 6, 10, 15]
+
+    def test_scan_depth_logarithmic(self):
+        tracker = CostTracker()
+        ParallelMachine(tracker).pscan(lambda a, b: a + b, list(range(1024)))
+        assert tracker.depth <= math.ceil(math.log2(1024)) + 1
+
+
+class TestListRank:
+    def test_chain_ranks(self, machine):
+        # 0 -> 1 -> 2 -> 3 -> None
+        successor = [1, 2, 3, None]
+        assert machine.list_rank(successor) == [3, 2, 1, 0]
+
+    def test_depth_logarithmic(self):
+        tracker = CostTracker()
+        n = 512
+        successor = [i + 1 for i in range(n - 1)] + [None]
+        ParallelMachine(tracker).list_rank(successor)
+        assert tracker.depth <= math.ceil(math.log2(n)) + 1
+
+
+class TestBinarySearch:
+    def test_positions(self):
+        run = [10, 20, 20, 30]
+        assert parallel_binary_search(run, 5) == 0
+        assert parallel_binary_search(run, 20) == 1
+        assert parallel_binary_search(run, 25) == 3
+        assert parallel_binary_search(run, 99) == 4
+
+    def test_cost_logarithmic(self):
+        tracker = CostTracker()
+        parallel_binary_search(list(range(4096)), 1234, tracker)
+        assert tracker.depth <= 13
+
+
+class TestSort:
+    def test_sorts(self, machine):
+        assert parallel_sort([3, 1, 2], machine) == [1, 2, 3]
+
+    def test_charges_polylog_depth(self):
+        tracker = CostTracker()
+        parallel_sort(list(range(1024, 0, -1)), ParallelMachine(tracker))
+        assert tracker.depth == math.ceil(math.log2(1024)) ** 2
+
+
+class TestMatrixSquaring:
+    def test_closure_matches_bfs(self):
+        rng = np.random.default_rng(5)
+        n = 30
+        adjacency = rng.random((n, n)) < 0.08
+        np.fill_diagonal(adjacency, False)
+        machine = ParallelMachine(CostTracker())
+        closure = transitive_closure_squaring(adjacency, machine)
+
+        # Reference closure by repeated relaxation.
+        reference = adjacency | np.eye(n, dtype=bool)
+        for _ in range(n):
+            reference = reference | (reference @ reference > 0)
+        assert (closure == reference).all()
+
+    def test_query(self):
+        adjacency = np.zeros((4, 4), dtype=bool)
+        adjacency[0, 1] = adjacency[1, 2] = True
+        machine = ParallelMachine(CostTracker())
+        assert reachability_query_squaring(adjacency, 0, 2, machine)
+        assert not reachability_query_squaring(adjacency, 2, 0, machine)
+
+    def test_depth_polylog_work_cubic(self):
+        n = 64
+        adjacency = np.zeros((n, n), dtype=bool)
+        tracker = CostTracker()
+        transitive_closure_squaring(adjacency, ParallelMachine(tracker))
+        log_n = math.ceil(math.log2(n))
+        assert tracker.depth == log_n * (log_n + 1)
+        assert tracker.work == log_n * n**3
+
+    def test_rejects_non_square(self):
+        with pytest.raises(ValueError):
+            transitive_closure_squaring(
+                np.zeros((2, 3), dtype=bool), ParallelMachine(CostTracker())
+            )

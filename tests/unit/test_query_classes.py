@@ -1,0 +1,124 @@
+"""Unit tests for the case-study query classes (naive semantics, generators,
+and scheme-vs-naive agreement on fixed workloads)."""
+
+import random
+
+import pytest
+
+from repro.core import CostTracker
+from repro.queries import (
+    bds_query_class,
+    bds_trivial_query_class,
+    btree_point_scheme,
+    btree_range_scheme,
+    closure_scheme,
+    compression_scheme,
+    cvp_factorized_class,
+    cvp_trivial_class,
+    dag_bitset_scheme,
+    dag_lca_class,
+    euler_tour_scheme,
+    fischer_heun_scheme,
+    gate_table_scheme,
+    hash_point_scheme,
+    kernel_scheme,
+    membership_class,
+    no_preprocessing_scheme,
+    point_selection_class,
+    position_dict_scheme,
+    position_index_scheme,
+    range_selection_class,
+    reachability_class,
+    reevaluate_scheme,
+    rmq_class,
+    sorted_run_scheme,
+    sparse_table_scheme,
+    tree_lca_class,
+    vc_fixed_k_class,
+    views_scheme,
+)
+
+#: Every (query class, scheme) pair in the catalog, exercised identically.
+CLASS_SCHEME_PAIRS = [
+    (point_selection_class, btree_point_scheme),
+    (point_selection_class, hash_point_scheme),
+    (range_selection_class, btree_range_scheme),
+    (range_selection_class, views_scheme),
+    (membership_class, sorted_run_scheme),
+    (rmq_class, fischer_heun_scheme),
+    (rmq_class, sparse_table_scheme),
+    (tree_lca_class, euler_tour_scheme),
+    (dag_lca_class, dag_bitset_scheme),
+    (reachability_class, closure_scheme),
+    (reachability_class, compression_scheme),
+    (bds_query_class, position_index_scheme),
+    (bds_query_class, position_dict_scheme),
+    (bds_trivial_query_class, no_preprocessing_scheme),
+    (cvp_factorized_class, gate_table_scheme),
+    (cvp_trivial_class, reevaluate_scheme),
+    (vc_fixed_k_class, kernel_scheme),
+]
+
+
+@pytest.mark.parametrize(
+    "make_class,make_scheme",
+    CLASS_SCHEME_PAIRS,
+    ids=[f"{c.__name__}/{s.__name__}" for c, s in CLASS_SCHEME_PAIRS],
+)
+def test_scheme_agrees_with_naive(make_class, make_scheme):
+    query_class = make_class()
+    scheme = make_scheme()
+    data, queries = query_class.sample_workload(size=96, seed=11, query_count=24)
+    preprocessed = scheme.preprocess(data, CostTracker())
+    for query in queries:
+        expected = query_class.pair_in_language(data, query)
+        assert scheme.answer(preprocessed, query, CostTracker()) == expected, query
+
+
+@pytest.mark.parametrize(
+    "make_class",
+    sorted({pair[0] for pair in CLASS_SCHEME_PAIRS}, key=lambda f: f.__name__),
+    ids=lambda f: f.__name__,
+)
+def test_workloads_are_deterministic_and_mixed(make_class):
+    query_class = make_class()
+    data_a, queries_a = query_class.sample_workload(size=80, seed=5, query_count=30)
+    data_b, queries_b = query_class.sample_workload(size=80, seed=5, query_count=30)
+    assert queries_a == queries_b
+    answers = {
+        query_class.pair_in_language(data_a, q) for q in queries_a
+    }
+    # Workloads must mix yes- and no-instances, or certification proves
+    # nothing about correctness.
+    assert answers == {True, False}, f"degenerate workload for {query_class.name}"
+
+
+def test_point_selection_naive_cost_linear():
+    query_class = point_selection_class()
+    rng = random.Random(12)
+    small = query_class.generate_data(128, rng)
+    big = query_class.generate_data(4096, rng)
+    t_small, t_big = CostTracker(), CostTracker()
+    # Miss probes force a full scan.
+    query_class.evaluate(small, ("a", -1), t_small)
+    query_class.evaluate(big, ("a", -1), t_big)
+    assert t_big.work == t_small.work * 32
+
+
+def test_bds_naive_is_linear_but_indexed_is_log():
+    query_class = bds_query_class()
+    data, queries = query_class.sample_workload(size=512, seed=13, query_count=4)
+    scheme = position_index_scheme()
+    preprocessed = scheme.preprocess(data, CostTracker())
+    naive_tracker, indexed_tracker = CostTracker(), CostTracker()
+    for query in queries:
+        query_class.evaluate(data, query, naive_tracker)
+        scheme.answer(preprocessed, query, indexed_tracker)
+    assert naive_tracker.work > 50 * indexed_tracker.work
+
+
+def test_data_sizes_report_the_sweep_axis():
+    for make_class in (point_selection_class, membership_class, rmq_class):
+        query_class = make_class()
+        data = query_class.generate_data(200, random.Random(14))
+        assert query_class.size_of_data(data) == 200

@@ -1,0 +1,84 @@
+"""Unit tests for the transitive-closure index (repro.indexes.reachability)."""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.core.cost import CostTracker
+from repro.core.errors import GraphError
+from repro.graphs import Digraph, gnm_digraph, is_reachable, social_digraph
+from repro.indexes import TransitiveClosureIndex
+from repro.parallel import ParallelMachine, transitive_closure_squaring
+
+
+class TestClosureIndex:
+    def test_chain(self):
+        graph = Digraph(4)
+        for v in range(3):
+            graph.add_edge(v, v + 1)
+        index = TransitiveClosureIndex(graph)
+        assert index.reachable(0, 3)
+        assert not index.reachable(3, 0)
+        assert index.reachable(2, 2)  # reflexive
+
+    def test_cycle_members_mutually_reachable(self):
+        graph = Digraph(4)
+        graph.add_edge(0, 1)
+        graph.add_edge(1, 0)
+        graph.add_edge(1, 2)
+        index = TransitiveClosureIndex(graph)
+        assert index.reachable(0, 1) and index.reachable(1, 0)
+        assert index.reachable(0, 2) and not index.reachable(2, 1)
+
+    def test_matches_bfs_on_random_digraphs(self):
+        rng = random.Random(30)
+        for _ in range(8):
+            graph = gnm_digraph(40, 100, rng)
+            index = TransitiveClosureIndex(graph)
+            for _ in range(80):
+                u, v = rng.randrange(40), rng.randrange(40)
+                assert index.reachable(u, v) == is_reachable(graph, u, v)
+
+    def test_descendants(self):
+        graph = Digraph(4)
+        graph.add_edge(0, 1)
+        graph.add_edge(1, 2)
+        index = TransitiveClosureIndex(graph)
+        assert index.descendants(0) == [0, 1, 2]
+        assert index.descendants(3) == [3]
+
+    def test_reachable_pair_count(self):
+        graph = Digraph(3)
+        graph.add_edge(0, 1)
+        index = TransitiveClosureIndex(graph)
+        # pairs: (0,0) (1,1) (2,2) (0,1)
+        assert index.reachable_pair_count() == 4
+
+    def test_pair_count_matches_matrix(self):
+        rng = random.Random(31)
+        graph = social_digraph(50, rng)
+        index = TransitiveClosureIndex(graph)
+        assert index.reachable_pair_count() == int(index.as_matrix().sum())
+
+    def test_as_matrix_matches_nc_squaring(self):
+        rng = random.Random(32)
+        graph = gnm_digraph(25, 60, rng)
+        index = TransitiveClosureIndex(graph)
+        adjacency = np.zeros((25, 25), dtype=bool)
+        for u, v in graph.edges():
+            adjacency[u, v] = True
+        closure = transitive_closure_squaring(adjacency, ParallelMachine(CostTracker()))
+        assert (index.as_matrix() == closure).all()
+
+    def test_query_cost_constant(self):
+        rng = random.Random(33)
+        index = TransitiveClosureIndex(gnm_digraph(400, 1200, rng))
+        tracker = CostTracker()
+        index.reachable(7, 311, tracker)
+        assert tracker.depth == 1
+
+    def test_vertex_bounds_checked(self):
+        index = TransitiveClosureIndex(Digraph(2))
+        with pytest.raises(GraphError):
+            index.reachable(0, 5)

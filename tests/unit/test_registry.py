@@ -1,0 +1,85 @@
+"""Unit tests for the Figure 2 registry machinery (repro.core.classes)."""
+
+import pytest
+
+from repro.core import Membership, Registry, RegistryEntry, figure2_report
+from repro.core.errors import ReproError
+
+
+def entry(name: str, claims: set, **kwargs) -> RegistryEntry:
+    return RegistryEntry(name=name, claims=claims, **kwargs)
+
+
+class TestRegistry:
+    def test_add_and_get(self):
+        registry = Registry()
+        added = registry.add(entry("x", {Membership.P}))
+        assert registry.get("x") is added
+        assert "x" in registry
+        assert "y" not in registry
+
+    def test_duplicate_rejected(self):
+        registry = Registry()
+        registry.add(entry("x", {Membership.P}))
+        with pytest.raises(ReproError):
+            registry.add(entry("x", {Membership.P}))
+
+    def test_missing_raises(self):
+        with pytest.raises(ReproError):
+            Registry().get("nope")
+
+    def test_with_claim(self):
+        registry = Registry()
+        registry.add(entry("a", {Membership.P, Membership.PI_TQ}))
+        registry.add(entry("b", {Membership.NP_COMPLETE}))
+        assert [e.name for e in registry.with_claim(Membership.P)] == ["a"]
+
+
+class TestContainments:
+    def test_nc_requires_pit0q_and_p(self):
+        registry = Registry()
+        registry.add(entry("bad", {Membership.NC}))
+        violations = registry.check_containments()
+        assert any("NC but not PiT0Q" in v for v in violations)
+        assert any("NC but not P" in v for v in violations)
+
+    def test_pit0q_requires_p(self):
+        registry = Registry()
+        registry.add(entry("bad", {Membership.PI_T0Q, Membership.PI_TQ}))
+        violations = registry.check_containments()
+        assert any("PiT0Q but not P" in v for v in violations)
+
+    def test_p_requires_made_tractable(self):
+        # Corollary 6: PiTP = P, so a P entry must claim PiTP or PiTQ.
+        registry = Registry()
+        registry.add(entry("bad", {Membership.P}))
+        violations = registry.check_containments()
+        assert any("Corollary 6" in v for v in violations)
+
+    def test_np_complete_plus_tractable_contradicts_corollary_7(self):
+        registry = Registry()
+        registry.add(
+            entry("bad", {Membership.NP_COMPLETE, Membership.PI_TP})
+        )
+        violations = registry.check_containments()
+        assert any("Corollary 7" in v for v in violations)
+
+    def test_clean_registry_has_no_violations(self):
+        registry = Registry()
+        registry.add(
+            entry(
+                "good",
+                {Membership.P, Membership.PI_T0Q, Membership.PI_TQ},
+            )
+        )
+        registry.add(entry("hard", {Membership.NP_COMPLETE}))
+        assert registry.check_containments() == []
+
+    def test_report_renders(self):
+        registry = Registry()
+        registry.add(
+            entry("good", {Membership.P, Membership.PI_T0Q, Membership.PI_TQ})
+        )
+        report = figure2_report(registry)
+        assert "good" in report
+        assert "uncertified" in report  # PiT0Q claimed, not measured

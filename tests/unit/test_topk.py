@@ -1,0 +1,97 @@
+"""Unit tests for top-k with early termination (paper S8(5) extension)."""
+
+import random
+
+import pytest
+
+from repro.core import CostTracker
+from repro.queries import TopKIndex, threshold_algorithm_scheme, topk_class
+
+
+def brute_force_kth(table, weights, k):
+    aggregates = sorted(
+        (sum(w * v for w, v in zip(weights, row)) for row in table), reverse=True
+    )
+    return aggregates[min(k, len(aggregates)) - 1]
+
+
+def random_table(rng, n, arity=2, high=100):
+    return tuple(
+        tuple(rng.randint(0, high) for _ in range(arity)) for _ in range(n)
+    )
+
+
+class TestThresholdAlgorithm:
+    def test_matches_brute_force_on_random_workloads(self):
+        rng = random.Random(500)
+        for _ in range(40):
+            table = random_table(rng, rng.randint(1, 60))
+            index = TopKIndex(table)
+            for _ in range(20):
+                weights = (rng.randint(1, 4), rng.randint(1, 4))
+                k = rng.randint(1, 8)
+                theta = rng.randint(0, 8 * 100)
+                expected = brute_force_kth(table, weights, k) >= theta
+                answer, _ = index.kth_score_at_least(weights, k, theta)
+                assert answer == expected, (table, weights, k, theta)
+
+    def test_early_termination_on_easy_queries(self):
+        # A clear winner: theta below the top scores decides in O(k) rounds.
+        table = tuple((1000 - i, 1000 - i) for i in range(5000))
+        index = TopKIndex(table)
+        answer, accesses = index.kth_score_at_least((1, 1), 3, 100)
+        assert answer
+        assert accesses < 50  # nowhere near 2 * 5000 sorted accesses
+
+    def test_early_termination_on_hopeless_thresholds(self):
+        table = tuple((i % 50, i % 37) for i in range(5000))
+        index = TopKIndex(table)
+        answer, accesses = index.kth_score_at_least((1, 1), 3, 10**9)
+        assert not answer
+        assert accesses < 50  # tau drops below theta immediately
+
+    def test_k_larger_than_table(self):
+        index = TopKIndex(((5, 5), (1, 1)))
+        answer, _ = index.kth_score_at_least((1, 1), 10, 2)
+        assert answer  # k clamps to 2; 2nd best = 2 >= 2
+
+    def test_bad_queries_rejected(self):
+        index = TopKIndex(((1, 2),))
+        with pytest.raises(ValueError):
+            index.kth_score_at_least((1,), 1, 0)  # wrong arity
+        with pytest.raises(ValueError):
+            index.kth_score_at_least((1, 1), 0, 0)  # k < 1
+
+    def test_empty_table_rejected(self):
+        with pytest.raises(ValueError):
+            TopKIndex(())
+
+
+class TestQueryClass:
+    def test_scheme_agrees_with_naive(self):
+        query_class = topk_class()
+        scheme = threshold_algorithm_scheme()
+        data, queries = query_class.sample_workload(200, seed=19, query_count=30)
+        preprocessed = scheme.preprocess(data, CostTracker())
+        for query in queries:
+            assert scheme.answer(preprocessed, query, CostTracker()) == (
+                query_class.pair_in_language(data, query)
+            ), query
+
+    def test_workload_mixes_answers(self):
+        query_class = topk_class()
+        data, queries = query_class.sample_workload(200, seed=20, query_count=30)
+        answers = {query_class.pair_in_language(data, q) for q in queries}
+        assert answers == {True, False}
+
+    def test_ta_beats_full_scan_on_decided_queries(self):
+        query_class = topk_class()
+        scheme = threshold_algorithm_scheme()
+        data, _ = query_class.sample_workload(4000, seed=21, query_count=1)
+        preprocessed = scheme.preprocess(data, CostTracker())
+        # A query decided at the top of the lists.
+        easy_true = ((1, 1), 1, 10)
+        naive_tracker, ta_tracker = CostTracker(), CostTracker()
+        query_class.evaluate(data, easy_true, naive_tracker)
+        scheme.answer(preprocessed, easy_true, ta_tracker)
+        assert ta_tracker.work * 20 < naive_tracker.work
