@@ -9,7 +9,7 @@ Not paper figures; these justify implementation parameters:
 
 import random
 
-from conftest import format_table
+from conftest import bench_points, bench_size, format_table
 
 from repro.core import CostTracker
 from repro.graphs import gnm_digraph
@@ -25,7 +25,7 @@ def test_abl_btree_order(benchmark, experiment_report):
     """A1: node order sweep.  Larger nodes -> shallower trees but more
     comparisons per node; the cost model shows the log_B(n) * log2(B)
     plateau that makes the choice a constant-factor one."""
-    n = 2**15
+    n = bench_size(15)
     rng = random.Random(SEED)
     entries = [(rng.randrange(4 * n), i) for i in range(n)]
     probes = [rng.randrange(4 * n) for _ in range(64)]
@@ -45,7 +45,7 @@ def test_abl_btree_order(benchmark, experiment_report):
 
     rows = benchmark.pedantic(run, rounds=1, iterations=1)
     experiment_report(
-        "ABL-A1: B+-tree order sweep (n = 2^15)",
+        f"ABL-A1: B+-tree order sweep (n = {n})",
         format_table(["order", "height", "build work", "probe work/q"], rows),
     )
     # Probe cost varies by at most ~2x across a 32x order range.
@@ -60,7 +60,7 @@ def test_abl_bds_position_representation(benchmark, experiment_report):
 
     def run():
         rows = []
-        for size in (2**9, 2**11, 2**13):
+        for size in bench_points(9, 11, 13):
             data, queries = query_class.sample_workload(size, SEED, 32)
             for scheme in (position_index_scheme(), position_dict_scheme()):
                 preprocessed = scheme.preprocess(data, CostTracker())

@@ -4,12 +4,12 @@ Paper claim: sort M once (O(|M| log |M|)), then binary-search each element
 query in O(log |M|).
 """
 
-from conftest import format_table
+from conftest import bench_size, bench_sizes, format_table
 
 from repro.core import CostTracker
 from repro.queries import membership_class, sorted_run_scheme
 
-SIZES = [2**k for k in range(10, 17)]
+SIZES = bench_sizes(10, 17)
 SEED = 20130826
 
 
@@ -49,12 +49,12 @@ def test_c2_shape_membership(benchmark, experiment_report):
 def test_c2_wallclock_binary_search(benchmark):
     query_class = membership_class()
     scheme = sorted_run_scheme()
-    data, queries = query_class.sample_workload(2**15, SEED, 32)
+    data, queries = query_class.sample_workload(bench_size(15), SEED, 32)
     preprocessed = scheme.preprocess(data, CostTracker())
     benchmark(lambda: [scheme.answer(preprocessed, q, CostTracker()) for q in queries])
 
 
 def test_c2_wallclock_linear_scan(benchmark):
     query_class = membership_class()
-    data, queries = query_class.sample_workload(2**15, SEED, 4)
+    data, queries = query_class.sample_workload(bench_size(15), SEED, 4)
     benchmark(lambda: [query_class.evaluate(data, q, CostTracker()) for q in queries])

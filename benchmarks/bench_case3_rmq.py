@@ -6,12 +6,12 @@ scan vs sparse table vs Fischer--Heun, and the preprocessing-space/work
 trade between the two structures.
 """
 
-from conftest import format_table
+from conftest import bench_size, bench_sizes, format_table
 
 from repro.core import CostTracker
 from repro.queries import fischer_heun_scheme, rmq_class, sparse_table_scheme
 
-SIZES = [2**k for k in range(10, 16)]
+SIZES = bench_sizes(10, 16)
 SEED = 20130826
 
 
@@ -63,12 +63,12 @@ def test_c3_shape_three_regimes(benchmark, experiment_report):
 def test_c3_wallclock_fischer_heun_query(benchmark):
     query_class = rmq_class()
     scheme = fischer_heun_scheme()
-    data, queries = query_class.sample_workload(2**14, SEED, 32)
+    data, queries = query_class.sample_workload(bench_size(14), SEED, 32)
     preprocessed = scheme.preprocess(data, CostTracker())
     benchmark(lambda: [scheme.answer(preprocessed, q, CostTracker()) for q in queries])
 
 
 def test_c3_wallclock_naive_query(benchmark):
     query_class = rmq_class()
-    data, queries = query_class.sample_workload(2**14, SEED, 4)
+    data, queries = query_class.sample_workload(bench_size(14), SEED, 4)
     benchmark(lambda: [query_class.evaluate(data, q, CostTracker()) for q in queries])

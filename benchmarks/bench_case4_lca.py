@@ -5,7 +5,7 @@ DAGs) so LCA queries answer in O(1).  Series: per-query work of the
 recompute-per-query baseline vs the preprocessed indexes, trees and DAGs.
 """
 
-from conftest import format_table
+from conftest import bench_size, bench_sizes, format_table
 
 from repro.core import CostTracker
 from repro.queries import (
@@ -15,7 +15,7 @@ from repro.queries import (
     tree_lca_class,
 )
 
-SIZES = [2**k for k in range(7, 12)]
+SIZES = bench_sizes(7, 12)
 SEED = 20130826
 
 
@@ -71,7 +71,7 @@ def test_c4_shape_dag_lca(benchmark, experiment_report):
 def test_c4_wallclock_tree_lca_query(benchmark):
     query_class = tree_lca_class()
     scheme = euler_tour_scheme()
-    data, queries = query_class.sample_workload(2**11, SEED, 32)
+    data, queries = query_class.sample_workload(bench_size(11), SEED, 32)
     preprocessed = scheme.preprocess(data, CostTracker())
     benchmark(lambda: [scheme.answer(preprocessed, q, CostTracker()) for q in queries])
 
@@ -79,6 +79,6 @@ def test_c4_wallclock_tree_lca_query(benchmark):
 def test_c4_wallclock_dag_lca_query(benchmark):
     query_class = dag_lca_class()
     scheme = dag_bitset_scheme()
-    data, queries = query_class.sample_workload(2**9, SEED, 32)
+    data, queries = query_class.sample_workload(bench_size(9), SEED, 32)
     preprocessed = scheme.preprocess(data, CostTracker())
     benchmark(lambda: [scheme.answer(preprocessed, q, CostTracker()) for q in queries])

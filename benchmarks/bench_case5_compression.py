@@ -11,13 +11,13 @@ graphs.
 
 import random
 
-from conftest import format_table
+from conftest import bench_sizes, format_table
 
 from repro.compression import LosslessCompressedGraph, ReachabilityPreservingCompression
 from repro.core import CostTracker
 from repro.graphs import is_reachable, social_digraph
 
-SIZES = [2**k for k in range(7, 11)]
+SIZES = bench_sizes(7, 11)
 SEED = 20130826
 
 

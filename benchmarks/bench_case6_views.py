@@ -6,12 +6,12 @@ V(D) is often much smaller than D".  Series: per-query work of scan vs
 view answering across sizes and bucket counts.
 """
 
-from conftest import format_table
+from conftest import bench_size, bench_sizes, format_table
 
 from repro.core import CostTracker
 from repro.queries import range_selection_class, views_scheme
 
-SIZES = [2**k for k in range(10, 15)]
+SIZES = bench_sizes(10, 15)
 SEED = 20130826
 
 
@@ -52,7 +52,7 @@ def test_c6_shape_views(benchmark, experiment_report):
 def test_c6_bucket_count_tradeoff(benchmark, experiment_report):
     """More buckets -> narrower probes but more rewrite targets per range."""
     query_class = range_selection_class()
-    data, queries = query_class.sample_workload(2**13, SEED, 16)
+    data, queries = query_class.sample_workload(bench_size(13), SEED, 16)
 
     def run():
         rows = []
@@ -76,6 +76,6 @@ def test_c6_bucket_count_tradeoff(benchmark, experiment_report):
 def test_c6_wallclock_view_answering(benchmark):
     query_class = range_selection_class()
     scheme = views_scheme(bucket_count=16)
-    data, queries = query_class.sample_workload(2**13, SEED, 16)
+    data, queries = query_class.sample_workload(bench_size(13), SEED, 16)
     preprocessed = scheme.preprocess(data, CostTracker())
     benchmark(lambda: [scheme.answer(preprocessed, q, CostTracker()) for q in queries])

@@ -9,14 +9,14 @@ circuits resist NC evaluation (the P-completeness shape).
 
 import random
 
-from conftest import format_table
+from conftest import bench_size, bench_sizes, format_table
 
 from repro.circuits import deep_chain_circuit, evaluate_layered, layered_circuit, random_inputs
 from repro.core import CostTracker
 from repro.parallel import ParallelMachine
 from repro.queries import cvp_factorized_class, gate_table_scheme
 
-SIZES = [2**k for k in range(8, 14)]
+SIZES = bench_sizes(8, 14)
 SEED = 20130826
 
 
@@ -87,12 +87,12 @@ def test_c8_shape_depth_dichotomy(benchmark, experiment_report):
 def test_c8_wallclock_gate_table_query(benchmark):
     query_class = cvp_factorized_class()
     scheme = gate_table_scheme()
-    data, queries = query_class.sample_workload(2**12, SEED, 64)
+    data, queries = query_class.sample_workload(bench_size(12), SEED, 64)
     preprocessed = scheme.preprocess(data, CostTracker())
     benchmark(lambda: [scheme.answer(preprocessed, q, CostTracker()) for q in queries])
 
 
 def test_c8_wallclock_reevaluation(benchmark):
     query_class = cvp_factorized_class()
-    data, queries = query_class.sample_workload(2**12, SEED, 2)
+    data, queries = query_class.sample_workload(bench_size(12), SEED, 2)
     benchmark(lambda: [query_class.evaluate(data, q, CostTracker()) for q in queries])

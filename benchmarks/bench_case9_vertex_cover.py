@@ -6,12 +6,12 @@ post-kernel decision work vs |G| (flat) against the no-preprocessing
 search (growing).
 """
 
-from conftest import format_table
+from conftest import bench_size, bench_sizes, format_table
 
 from repro.core import CostTracker
 from repro.queries import kernel_scheme, vc_fixed_k_class
 
-SIZES = [2**k for k in range(7, 13)]
+SIZES = bench_sizes(7, 13)
 SEED = 20130826
 
 
@@ -60,7 +60,7 @@ def test_c9_shape_kernelization(benchmark, experiment_report):
 def test_c9_wallclock_kernel_decide(benchmark):
     query_class = vc_fixed_k_class()
     scheme = kernel_scheme()
-    data, queries = query_class.sample_workload(2**10, SEED, 8)
+    data, queries = query_class.sample_workload(bench_size(10), SEED, 8)
     kernels = scheme.preprocess(data, CostTracker())
     benchmark(lambda: [scheme.answer(kernels, q, CostTracker()) for q in queries])
 
@@ -68,11 +68,11 @@ def test_c9_wallclock_kernel_decide(benchmark):
 def test_c9_wallclock_kernelize(benchmark):
     query_class = vc_fixed_k_class()
     scheme = kernel_scheme()
-    data, _ = query_class.sample_workload(2**10, SEED, 1)
+    data, _ = query_class.sample_workload(bench_size(10), SEED, 1)
     benchmark(lambda: scheme.preprocess(data, CostTracker()))
 
 
 def test_c9_wallclock_no_preprocessing(benchmark):
     query_class = vc_fixed_k_class()
-    data, queries = query_class.sample_workload(2**10, SEED, 2)
+    data, queries = query_class.sample_workload(bench_size(10), SEED, 2)
     benchmark(lambda: [query_class.evaluate(data, q, CostTracker()) for q in queries])

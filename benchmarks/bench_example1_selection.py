@@ -9,12 +9,12 @@ extrapolation computed from our measured per-tuple costs.
 
 import random
 
-from conftest import format_table
+from conftest import bench_size, bench_sizes, format_table
 
 from repro.core import CostTracker
 from repro.queries import btree_point_scheme, point_selection_class
 
-SIZES = [2**k for k in range(10, 17)]
+SIZES = bench_sizes(10, 17)
 SEED = 20130826
 
 
@@ -84,19 +84,19 @@ def test_ex1_petabyte_extrapolation(benchmark, experiment_report):
 
 
 def test_ex1_wallclock_scan(benchmark):
-    data, queries = _workload(2**14)
+    data, queries = _workload(bench_size(14))
     query_class = point_selection_class()
     benchmark(lambda: [query_class.evaluate(data, q, CostTracker()) for q in queries])
 
 
 def test_ex1_wallclock_btree_probe(benchmark):
-    data, queries = _workload(2**14)
+    data, queries = _workload(bench_size(14))
     scheme = btree_point_scheme()
     preprocessed = scheme.preprocess(data, CostTracker())
     benchmark(lambda: [scheme.answer(preprocessed, q, CostTracker()) for q in queries])
 
 
 def test_ex1_wallclock_preprocessing(benchmark):
-    data, _ = _workload(2**13)
+    data, _ = _workload(bench_size(13))
     scheme = btree_point_scheme()
     benchmark(lambda: scheme.preprocess(data, CostTracker()))

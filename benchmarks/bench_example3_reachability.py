@@ -6,12 +6,12 @@ answers every query in O(1).  Series: per-query (work, depth) of
 per-query BFS vs NC matrix squaring vs closure lookup.
 """
 
-from conftest import format_table
+from conftest import bench_size, bench_sizes, format_table
 
 from repro.core import CostTracker
 from repro.queries import closure_scheme, nc_squaring_scheme, reachability_class
 
-SIZES = [2**k for k in range(5, 10)]
+SIZES = bench_sizes(5, 10)
 SEED = 20130826
 
 
@@ -76,19 +76,19 @@ def test_ex3_shape_three_regimes(benchmark, experiment_report):
 def test_ex3_wallclock_closure_lookup(benchmark):
     query_class = reachability_class()
     scheme = closure_scheme()
-    data, queries = query_class.sample_workload(2**9, SEED, 64)
+    data, queries = query_class.sample_workload(bench_size(9), SEED, 64)
     preprocessed = scheme.preprocess(data, CostTracker())
     benchmark(lambda: [scheme.answer(preprocessed, q, CostTracker()) for q in queries])
 
 
 def test_ex3_wallclock_bfs(benchmark):
     query_class = reachability_class()
-    data, queries = query_class.sample_workload(2**9, SEED, 8)
+    data, queries = query_class.sample_workload(bench_size(9), SEED, 8)
     benchmark(lambda: [query_class.evaluate(data, q, CostTracker()) for q in queries])
 
 
 def test_ex3_wallclock_closure_build(benchmark):
     query_class = reachability_class()
     scheme = closure_scheme()
-    data, _ = query_class.sample_workload(2**9, SEED, 1)
+    data, _ = query_class.sample_workload(bench_size(9), SEED, 1)
     benchmark(lambda: scheme.preprocess(data, CostTracker()))

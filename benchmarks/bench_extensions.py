@@ -15,7 +15,7 @@
 import random
 
 import numpy as np
-from conftest import format_table
+from conftest import bench_points, bench_size, format_table
 
 from repro.core import CostTracker
 from repro.graphs import gnm_graph
@@ -70,7 +70,7 @@ def test_ext_topk_early_termination(benchmark, experiment_report):
     def run():
         rng = random.Random(SEED)
         rows = []
-        for n in (2**10, 2**12, 2**14):
+        for n in bench_points(10, 12, 14):
             correlated = tuple((s, s + rng.randint(0, 20)) for s in
                                sorted(rng.randint(0, 1000) for _ in range(n)))
             anti = tuple((s, 1000 - s) for s in
@@ -92,8 +92,11 @@ def test_ext_topk_early_termination(benchmark, experiment_report):
         "EXT-TOPK: Fagin's TA sorted accesses per query vs full-scan bound",
         format_table(["n", "data shape", "TA accesses/q", "full-scan accesses"], rows),
     )
-    correlated_rows = [row for row in rows if row[1] == "correlated"]
-    # On correlated data TA stops far short of scanning everything.
+    # On correlated data TA stops far short of scanning everything; below a
+    # few hundred rows the fixed k ~ 8 floor dominates, so only judge sizes
+    # where early termination has room to pay off.
+    correlated_rows = [row for row in rows if row[1] == "correlated" and row[0] >= 256]
+    assert correlated_rows
     assert all(row[2] < row[3] // 8 for row in correlated_rows)
 
 
@@ -136,7 +139,7 @@ def test_ext_approx_vc(benchmark, experiment_report):
     def run():
         rng = random.Random(SEED)
         rows = []
-        for n in (2**8, 2**10, 2**12):
+        for n in bench_points(8, 10, 12):
             graph = gnm_graph(n, n, rng)
             prep = CostTracker()
             oracle = ApproximateVertexCoverOracle(graph, prep)
@@ -176,7 +179,7 @@ def test_ext_approx_vc(benchmark, experiment_report):
 def test_ext_wallclock_agap_index_query(benchmark):
     query_class = agap_class()
     scheme = winning_set_scheme()
-    data, queries = query_class.sample_workload(2**8, SEED, 32)
+    data, queries = query_class.sample_workload(bench_size(8), SEED, 32)
     preprocessed = scheme.preprocess(data, CostTracker())
     benchmark(lambda: [scheme.answer(preprocessed, q, CostTracker()) for q in queries])
 
@@ -184,6 +187,6 @@ def test_ext_wallclock_agap_index_query(benchmark):
 def test_ext_wallclock_ta_query(benchmark):
     query_class = topk_class()
     scheme = threshold_algorithm_scheme()
-    data, queries = query_class.sample_workload(2**12, SEED, 8)
+    data, queries = query_class.sample_workload(bench_size(12), SEED, 8)
     preprocessed = scheme.preprocess(data, CostTracker())
     benchmark(lambda: [scheme.answer(preprocessed, q, CostTracker()) for q in queries])

@@ -6,7 +6,7 @@ per query.  The paper's figure is a diagram; the reproduced artifact is the
 measured dichotomy between the two columns.
 """
 
-from conftest import format_table
+from conftest import bench_size, bench_sizes, format_table
 
 from repro.core import CostTracker
 from repro.queries import (
@@ -16,7 +16,7 @@ from repro.queries import (
     position_index_scheme,
 )
 
-SIZES = [2**k for k in range(8, 13)]
+SIZES = bench_sizes(8, 13)
 SEED = 20130826
 QUERIES = 32
 
@@ -64,7 +64,7 @@ def test_fig1_shape_two_factorizations(benchmark, experiment_report):
 
 def test_fig1_wallclock_indexed_query(benchmark):
     query_class = bds_query_class()
-    data, queries = query_class.sample_workload(2**11, SEED, QUERIES)
+    data, queries = query_class.sample_workload(bench_size(11), SEED, QUERIES)
     scheme = position_index_scheme()
     preprocessed = scheme.preprocess(data, CostTracker())
     benchmark(lambda: [scheme.answer(preprocessed, q, CostTracker()) for q in queries])
@@ -72,7 +72,7 @@ def test_fig1_wallclock_indexed_query(benchmark):
 
 def test_fig1_wallclock_dict_query(benchmark):
     query_class = bds_query_class()
-    data, queries = query_class.sample_workload(2**11, SEED, QUERIES)
+    data, queries = query_class.sample_workload(bench_size(11), SEED, QUERIES)
     scheme = position_dict_scheme()
     preprocessed = scheme.preprocess(data, CostTracker())
     benchmark(lambda: [scheme.answer(preprocessed, q, CostTracker()) for q in queries])
@@ -80,12 +80,12 @@ def test_fig1_wallclock_dict_query(benchmark):
 
 def test_fig1_wallclock_replay_query(benchmark):
     query_class = bds_query_class()
-    data, queries = query_class.sample_workload(2**11, SEED, 4)
+    data, queries = query_class.sample_workload(bench_size(11), SEED, 4)
     benchmark(lambda: [query_class.evaluate(data, q, CostTracker()) for q in queries])
 
 
 def test_fig1_wallclock_preprocessing(benchmark):
     query_class = bds_query_class()
-    data, _ = query_class.sample_workload(2**11, SEED, 1)
+    data, _ = query_class.sample_workload(bench_size(11), SEED, 1)
     scheme = position_index_scheme()
     benchmark(lambda: scheme.preprocess(data, CostTracker()))

@@ -6,6 +6,8 @@ no registered claim violates NC <= PiT0Q <= P = PiTP = PiTQ (Corollary 6)
 or Corollary 7.
 """
 
+from conftest import bench_sizes
+
 from repro.catalog import build_registry
 from repro.core import Membership, certify, figure2_report
 from repro.queries import membership_class, sorted_run_scheme
@@ -36,7 +38,7 @@ def test_fig2_report(benchmark, experiment_report):
 
 def test_fig2_wallclock_one_certification(benchmark):
     """Wall-clock cost of certifying one (class, scheme) pair."""
-    sizes = [2**k for k in range(6, 10)]
+    sizes = bench_sizes(6, 10)
     benchmark(
         lambda: certify(
             membership_class(), sorted_run_scheme(), sizes=sizes, queries_per_size=6

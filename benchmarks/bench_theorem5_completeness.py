@@ -7,7 +7,7 @@ transferred scheme's query cost, which is *constant* -- the degenerate
 limit of re-factorization, since the witness graph carries one bit.
 """
 
-from conftest import format_table
+from conftest import bench_points, format_table
 
 from repro.core import CostTracker, transfer_scheme, verify_reduction
 from repro.core.language import decision_problem_of
@@ -84,7 +84,7 @@ def test_th5_shape_refactorization_gap(benchmark, experiment_report):
         reduction = refactorize_to_bds(trivial)
         transferred = transfer_scheme(reduction, position_dict_scheme())
         rows = []
-        for size in (128, 512, 2048):
+        for size in bench_points(7, 9, 11):
             instances = reduction.source.sample_instances(size, seed=SEED, count=4)
             replay_t, transferred_t = CostTracker(), CostTracker()
             for instance in instances:

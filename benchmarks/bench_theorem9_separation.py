@@ -6,7 +6,7 @@ Upsilon_CVP, the same instances answer in O(1) after PTIME preprocessing.
 The re-factorization reduction (Corollary 6) carries the one to the other.
 """
 
-from conftest import format_table
+from conftest import bench_sizes, format_table
 
 from repro.core import CostTracker, ScalingKind, certify, transfer_scheme
 from repro.queries import (
@@ -17,7 +17,7 @@ from repro.queries import (
 )
 from repro.reductions_zoo import refactorize_cvp
 
-SIZES = [2**k for k in range(5, 11)]
+SIZES = bench_sizes(5, 11)
 SEED = 20130826
 
 

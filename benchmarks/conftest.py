@@ -9,15 +9,84 @@ Benchmarks have two outputs:
 Shape tables are registered through the ``experiment_report`` fixture and
 printed after the run by ``pytest_terminal_summary``, so
 ``pytest benchmarks/ --benchmark-only | tee bench_output.txt`` captures both.
+
+CI smoke mode
+-------------
+``pytest benchmarks/ --bench-smoke`` shrinks every size sweep (see
+:func:`bench_sizes` / :func:`bench_size`) so the whole suite runs in seconds,
+and writes the machine-readable perf record ``BENCH_engine.json`` (cold vs.
+warm latency percentiles and hit rate, recorded via the ``bench_json``
+fixture by :mod:`bench_case10_engine`).  ``--bench-json PATH`` overrides the
+output path; without ``--bench-smoke`` no JSON is written unless a path is
+given explicitly.
 """
 
 from __future__ import annotations
 
-from typing import Callable, List, Sequence, Tuple
+import json
+from typing import Callable, Dict, List, Sequence, Tuple
 
 import pytest
 
 _REPORTS: List[Tuple[str, List[str]]] = []
+_JSON_SECTIONS: Dict[str, dict] = {}
+_SMOKE = False
+_JSON_PATH: str | None = None
+
+#: Largest size exponent smoke mode allows (2**9 = 512 elements).
+SMOKE_CAP_EXP = 9
+
+
+def pytest_addoption(parser):
+    group = parser.getgroup("bench")
+    group.addoption(
+        "--bench-smoke",
+        action="store_true",
+        default=False,
+        help="shrink benchmark sweeps to smoke-test sizes and emit BENCH_engine.json",
+    )
+    group.addoption(
+        "--bench-json",
+        default=None,
+        help="path for the machine-readable benchmark record "
+        "(default BENCH_engine.json in smoke mode)",
+    )
+
+
+def pytest_configure(config):
+    global _SMOKE, _JSON_PATH
+    _SMOKE = bool(config.getoption("--bench-smoke"))
+    path = config.getoption("--bench-json")
+    if path is None and _SMOKE:
+        path = "BENCH_engine.json"
+    _JSON_PATH = path
+
+
+def bench_sizes(low_exp: int, high_exp: int) -> List[int]:
+    """The sweep ``[2**low_exp, 2**high_exp)``, shifted down in smoke mode.
+
+    Smoke mode slides the exponent window so the largest size is at most
+    ``2**SMOKE_CAP_EXP``, preserving the number of points and the ratios
+    between them -- growth-shape assertions keep holding, wall-clock drops
+    by orders of magnitude.
+    """
+    if _SMOKE and high_exp - 1 > SMOKE_CAP_EXP:
+        shift = high_exp - 1 - SMOKE_CAP_EXP
+        low_exp, high_exp = max(2, low_exp - shift), SMOKE_CAP_EXP + 1
+    return [2**k for k in range(low_exp, high_exp)]
+
+
+def bench_size(exp: int) -> int:
+    """A single workload size ``2**exp``, capped in smoke mode."""
+    return 2 ** min(exp, SMOKE_CAP_EXP) if _SMOKE else 2**exp
+
+
+def bench_points(*exps: int) -> List[int]:
+    """Specific sizes ``2**e`` per exponent, shifted down uniformly in smoke
+    mode so the largest fits the cap and the ratios between points survive
+    (growth assertions depend on the spread, not the magnitudes)."""
+    shift = max(0, max(exps) - SMOKE_CAP_EXP) if _SMOKE else 0
+    return [2 ** max(2, e - shift) for e in exps]
 
 
 @pytest.fixture(scope="session")
@@ -30,10 +99,31 @@ def experiment_report() -> Callable[[str, Sequence[str]], None]:
     return record
 
 
+@pytest.fixture(scope="session")
+def bench_json() -> Callable[[str, dict], None]:
+    """Record a JSON section: ``bench_json(name, payload)``.
+
+    Sections end up in the machine-readable benchmark record written at the
+    end of the run (smoke mode or ``--bench-json``), so the perf trajectory
+    of the serving stack is tracked across commits.
+    """
+
+    def record(section: str, payload: dict) -> None:
+        _JSON_SECTIONS[section] = payload
+
+    return record
+
+
 def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    write = terminalreporter.write_line
+    if _JSON_PATH and _JSON_SECTIONS:
+        record = {"smoke": _SMOKE, "sections": _JSON_SECTIONS}
+        with open(_JSON_PATH, "w", encoding="utf-8") as handle:
+            json.dump(record, handle, indent=2, sort_keys=True)
+        write("")
+        write(f"benchmark record written to {_JSON_PATH}")
     if not _REPORTS:
         return
-    write = terminalreporter.write_line
     write("")
     write("=" * 90)
     write("EXPERIMENT SHAPE TABLES (work--depth cost model; see EXPERIMENTS.md)")

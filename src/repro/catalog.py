@@ -67,7 +67,7 @@ from repro.queries import (
 from repro.queries.sat import three_sat_problem
 from repro.reductions_zoo import refactorize_cvp, refactorize_to_bds, solve_and_emit_bds
 
-__all__ = ["build_registry", "CERTIFICATION_SIZES"]
+__all__ = ["build_registry", "build_query_engine", "CERTIFICATION_SIZES"]
 
 #: Size sweep used when ``certify_all=True``; small enough for CI, large
 #: enough for the scaling classifier to separate polylog from polynomial.
@@ -278,3 +278,17 @@ def build_registry(
         "(repro.queries.sat.three_sat_to_vertex_cover)",
     )
     return registry
+
+
+def build_query_engine(**engine_kwargs):
+    """A :class:`~repro.service.engine.QueryEngine` serving the full catalog.
+
+    Every registry entry with a query class and a scheme becomes a query
+    kind of the engine, keyed by the entry's name (``"point-selection"``,
+    ``"reachability"``, ...).  Keyword arguments are forwarded to the engine
+    constructor -- pass ``store=ArtifactStore(path)`` to persist artifacts
+    across processes.
+    """
+    from repro.service.engine import QueryEngine
+
+    return QueryEngine.from_registry(build_registry(), **engine_kwargs)

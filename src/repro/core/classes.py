@@ -63,6 +63,18 @@ class RegistryEntry:
         """At least one certificate was measured for this entry."""
         return bool(self.certificates)
 
+    def serving_scheme(self) -> Optional[PiScheme]:
+        """The scheme a query engine should serve this entry with.
+
+        Prefers the first *serializable* scheme (its artifacts can live in
+        the store and survive the process); falls back to the first scheme,
+        which the engine can still build and cache in memory.
+        """
+        for scheme in self.schemes:
+            if scheme.serializable:
+                return scheme
+        return self.schemes[0] if self.schemes else None
+
     def evidence_gaps(self) -> List[str]:
         """Claims whose supporting evidence is *failing* or contradictory.
 

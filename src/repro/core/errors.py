@@ -57,3 +57,21 @@ class CircuitError(ReproError):
 
 class ViewError(ReproError):
     """Raised when a query cannot be answered from the available views."""
+
+
+class ArtifactError(ReproError):
+    """Base class for preprocessing-artifact store failures."""
+
+
+class ArtifactCorruptionError(ArtifactError):
+    """Raised when a stored artifact fails its integrity checks (bad magic,
+    truncated header, checksum mismatch, or key mismatch)."""
+
+
+class ArtifactVersionError(ArtifactError):
+    """Raised when a stored artifact was written under an incompatible store
+    format or scheme artifact version."""
+
+
+class ServiceError(ReproError):
+    """Raised on query-engine misuse (unknown query kind, closed engine)."""

@@ -27,7 +27,7 @@ from typing import Any, Callable, List, Optional, Sequence
 from repro.core import alphabet
 from repro.core.cost import CostTracker
 
-__all__ = ["QueryClass", "PiScheme", "default_sizes", "stable_seed"]
+__all__ = ["QueryClass", "PiScheme", "default_sizes", "stable_seed", "state_codec"]
 
 
 def stable_seed(*parts: Any) -> int:
@@ -121,6 +121,15 @@ class PiScheme:
     decision problem this scheme answers (needed by Lemma 3 transfer, see
     :func:`repro.core.reductions.transfer_scheme`); ``None`` means the
     canonical factorization of the query class itself.
+
+    ``dump``/``load`` make the scheme *servable*: they round-trip the
+    preprocessed structure through bytes so the artifact store
+    (:mod:`repro.service.artifacts`) can persist Pi(D) once and every later
+    process can serve queries without re-running ``preprocess``.  Schemes
+    without a codec are still usable by the engine but are rebuilt per
+    process (cached in memory only).  ``artifact_version`` must be bumped
+    whenever the byte layout changes, so stale artifacts are rejected
+    instead of mis-loaded.
     """
 
     name: str
@@ -131,6 +140,16 @@ class PiScheme:
     #: Optional PTIME query rewriting lambda: Q -> Q' (paper, remark under
     #: Definition 1); identity when absent.
     rewrite_query: Optional[Callable[[Any], Any]] = None
+    #: Optional artifact codec: preprocessed structure <-> bytes.
+    dump: Optional[Callable[[Any], bytes]] = None
+    load: Optional[Callable[[bytes], Any]] = None
+    #: Version of the dumped byte layout (part of the artifact identity).
+    artifact_version: int = 1
+
+    @property
+    def serializable(self) -> bool:
+        """True when the preprocessed structure can round-trip through bytes."""
+        return self.dump is not None and self.load is not None
 
     def answer(
         self,
@@ -143,6 +162,34 @@ class PiScheme:
 
         effective_query = query if self.rewrite_query is None else self.rewrite_query(query)
         return bool(self.evaluate(preprocessed, effective_query, ensure_tracker(tracker)))
+
+
+def state_codec(
+    from_state: Callable[[Any], Any],
+    to_state: Optional[Callable[[Any], Any]] = None,
+) -> tuple[Callable[[Any], bytes], Callable[[bytes], Any]]:
+    """Build a ``(dump, load)`` pair from plain-state converters.
+
+    ``to_state`` maps the preprocessed structure to plain picklable data
+    (defaults to calling the structure's own ``to_state()``); ``from_state``
+    rebuilds the structure.  The byte layer is pickle of the *plain state*,
+    never of the live object graph -- linked structures like the B+-tree leaf
+    chain would otherwise exceed the recursion limit, and plain state keeps
+    the layout stable across refactors of the in-memory classes.
+
+    Artifacts are trusted local files (the store detects corruption, not
+    malice); do not load artifacts from untrusted sources.
+    """
+    import pickle
+
+    def dump(structure: Any) -> bytes:
+        state = structure.to_state() if to_state is None else to_state(structure)
+        return pickle.dumps(state, protocol=4)
+
+    def load(blob: bytes) -> Any:
+        return from_state(pickle.loads(blob))
+
+    return dump, load
 
 
 @dataclass

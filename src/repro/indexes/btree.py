@@ -348,6 +348,77 @@ class BPlusTree:
         parent.keys.pop(left_index)
         parent.children.pop(left_index + 1)
 
+    # -- serialization ----------------------------------------------------------------
+
+    def to_state(self) -> dict:
+        """Plain-data snapshot for artifact persistence.
+
+        Leaves are flattened into one key-ordered ``(key, payloads)`` run;
+        the internal structure is *not* stored because :meth:`from_state`
+        rebuilds it bottom-up in linear time.  A flat run also sidesteps the
+        recursion depth a naive pickle of the leaf chain would hit.
+        """
+        entries = []
+        node: Optional[_Node] = self._root
+        while not node.leaf:
+            node = node.children[0]
+        while node is not None:
+            for key, payloads in zip(node.keys, node.values):
+                entries.append((key, list(payloads)))
+            node = node.next
+        return {"order": self.order, "entries": entries}
+
+    @classmethod
+    def from_state(cls, state: dict) -> "BPlusTree":
+        """Rebuild from :meth:`to_state` output by bottom-up bulk loading.
+
+        O(n): leaves are cut from the sorted run, then each internal level
+        groups the one below, using the smallest key of each right subtree
+        as the separator.  An undersized tail chunk is merged into its left
+        neighbour; the merged node stays under ``order`` because chunks are
+        cut at roughly half capacity.
+        """
+        tree = cls(order=int(state["order"]))
+        entries: List[Tuple[Any, List[Any]]] = list(state["entries"])
+        if not entries:
+            return tree
+
+        def chunk(items: List[Any], size: int, minimum: int) -> List[List[Any]]:
+            chunks = [items[i : i + size] for i in range(0, len(items), size)]
+            if len(chunks) > 1 and len(chunks[-1]) < minimum:
+                tail = chunks.pop()
+                chunks[-1] = chunks[-1] + tail
+            return chunks
+
+        minimum = tree._min_keys()
+        fill = max(minimum + 1, tree.order // 2)
+        leaves: List[_Node] = []
+        for group in chunk(entries, fill, minimum):
+            leaf = _Node(leaf=True)
+            leaf.keys = [key for key, _ in group]
+            leaf.values = [list(payloads) for _, payloads in group]
+            if leaves:
+                leaves[-1].next = leaf
+            leaves.append(leaf)
+
+        level: List[_Node] = leaves
+        lows: List[Any] = [node.keys[0] for node in level]
+        while len(level) > 1:
+            parents: List[_Node] = []
+            parent_lows: List[Any] = []
+            start = 0
+            for group in chunk(level, fill + 1, minimum + 1):
+                parent = _Node(leaf=False)
+                parent.children = group
+                parent.keys = lows[start + 1 : start + len(group)]
+                parents.append(parent)
+                parent_lows.append(lows[start])
+                start += len(group)
+            level, lows = parents, parent_lows
+        tree._root = level[0]
+        tree._size = sum(len(payloads) for _, payloads in entries)
+        return tree
+
     # -- invariants (used by property tests) ----------------------------------------
 
     def check_invariants(self) -> None:

@@ -135,6 +135,30 @@ class DagLCAIndex:
         """Reflexive ancestry test via the bitsets."""
         return bool(self._ancestors[self._rank[v]] & (1 << self._rank[u]))
 
+    # -- serialization --------------------------------------------------------
+
+    def to_state(self) -> dict:
+        """Plain-data snapshot: ranks and ancestor bitsets (Python ints),
+        plus the all-pairs table when it was built."""
+        return {
+            "n": self.n,
+            "rank": list(self._rank),
+            "vertex_at": list(self._vertex_at),
+            "ancestors": list(self._ancestors),
+            "table": None if self._table is None else [list(row) for row in self._table],
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "DagLCAIndex":
+        index = cls.__new__(cls)
+        index.n = int(state["n"])
+        index._rank = list(state["rank"])
+        index._vertex_at = list(state["vertex_at"])
+        index._ancestors = list(state["ancestors"])
+        table = state["table"]
+        index._table = None if table is None else [list(row) for row in table]
+        return index
+
 
 def naive_dag_lca(
     dag: Digraph,

@@ -107,6 +107,28 @@ class EulerTourLCA:
         """Is u an ancestor of v (reflexive)?  O(1) via one LCA query."""
         return self.lca(u, v, tracker) == u
 
+    # -- serialization --------------------------------------------------------
+
+    def to_state(self) -> dict:
+        """Plain-data snapshot: tour, first occurrences and the depth RMQ."""
+        return {
+            "root": self.root,
+            "parent": list(self.parent),
+            "tour": list(self._tour),
+            "first": list(self._first),
+            "rmq": self._rmq.to_state(),
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "EulerTourLCA":
+        index = cls.__new__(cls)
+        index.root = int(state["root"])
+        index.parent = list(state["parent"])
+        index._tour = list(state["tour"])
+        index._first = list(state["first"])
+        index._rmq = SparseTable.from_state(state["rmq"])
+        return index
+
 
 def naive_tree_lca(
     tree: Graph,

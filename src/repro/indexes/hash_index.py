@@ -69,3 +69,17 @@ class HashIndex:
 
     def distinct_keys(self) -> int:
         return len(self._buckets)
+
+    # -- serialization --------------------------------------------------------
+
+    def to_state(self) -> dict:
+        """Plain-data snapshot for artifact persistence."""
+        return {"buckets": [(key, list(bucket)) for key, bucket in self._buckets.items()]}
+
+    @classmethod
+    def from_state(cls, state: dict) -> "HashIndex":
+        index = cls()
+        for key, bucket in state["buckets"]:
+            index._buckets[key] = list(bucket)
+            index._size += len(bucket)
+        return index

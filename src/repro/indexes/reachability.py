@@ -88,6 +88,26 @@ class TransitiveClosureIndex:
             total += component_sizes[component] * reachable_vertices
         return total
 
+    # -- serialization --------------------------------------------------------
+
+    def to_state(self) -> dict:
+        """Plain-data snapshot: the condensation map and closure bitsets."""
+        return {
+            "n": self.n,
+            "component_of": list(self._component_of),
+            "closure": list(self._closure),
+            "dag_size": self._dag_size,
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "TransitiveClosureIndex":
+        index = cls.__new__(cls)
+        index.n = int(state["n"])
+        index._component_of = list(state["component_of"])
+        index._closure = list(state["closure"])
+        index._dag_size = int(state["dag_size"])
+        return index
+
     def as_matrix(self) -> np.ndarray:
         """The vertex-level reflexive closure as a Boolean numpy matrix."""
         matrix = np.zeros((self.n, self.n), dtype=bool)

@@ -144,3 +144,30 @@ class FischerHeunRMQ:
 
     def range_min(self, low: int, high: int, tracker: Optional[CostTracker] = None):
         return self._array[self.argmin(low, high, tracker)]
+
+    # -- serialization --------------------------------------------------------
+
+    def to_state(self) -> dict:
+        """Plain-data snapshot: blocks, signatures, shared in-block tables and
+        the summary sparse table, so load restores O(1) queries directly."""
+        return {
+            "array": list(self._array),
+            "block_size": self._block_size,
+            "block_argmin": list(self._block_argmin),
+            "signatures": list(self._signatures),
+            "tables": {sig: [list(row) for row in table] for sig, table in self._tables.items()},
+            "summary": self._summary.to_state(),
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "FischerHeunRMQ":
+        rmq = cls.__new__(cls)
+        rmq._array = list(state["array"])
+        rmq._block_size = int(state["block_size"])
+        rmq._block_argmin = list(state["block_argmin"])
+        rmq._signatures = list(state["signatures"])
+        rmq._tables = {
+            sig: [list(row) for row in table] for sig, table in state["tables"].items()
+        }
+        rmq._summary = SparseTable.from_state(state["summary"])
+        return rmq

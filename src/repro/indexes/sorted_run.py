@@ -53,6 +53,18 @@ class SortedRunIndex(Generic[K]):
     def values(self) -> List[K]:
         return list(self._run)
 
+    # -- serialization --------------------------------------------------------
+
+    def to_state(self) -> dict:
+        """Plain-data snapshot; the run is stored sorted so load skips the sort."""
+        return {"run": list(self._run)}
+
+    @classmethod
+    def from_state(cls, state: dict) -> "SortedRunIndex":
+        index = cls.__new__(cls)
+        index._run = list(state["run"])
+        return index
+
 
 class KeyedRunIndex(Generic[K, V]):
     """A sorted run of (key, value) pairs with O(log n) value lookup.
@@ -87,3 +99,15 @@ class KeyedRunIndex(Generic[K, V]):
 
     def items(self) -> List[Tuple[K, V]]:
         return list(self._pairs)
+
+    # -- serialization --------------------------------------------------------
+
+    def to_state(self) -> dict:
+        return {"pairs": [tuple(pair) for pair in self._pairs]}
+
+    @classmethod
+    def from_state(cls, state: dict) -> "KeyedRunIndex":
+        index = cls.__new__(cls)
+        index._pairs = [tuple(pair) for pair in state["pairs"]]
+        index._keys = [key for key, _ in index._pairs]
+        return index

@@ -67,6 +67,21 @@ class SparseTable:
     def range_min(self, low: int, high: int, tracker: Optional[CostTracker] = None):
         return self._array[self.argmin(low, high, tracker)]
 
+    # -- serialization --------------------------------------------------------
+
+    def to_state(self) -> dict:
+        """Plain-data snapshot: the array plus every precomputed level, so
+        load restores O(1) queries without redoing the O(n log n) build."""
+        return {"array": list(self._array), "levels": [list(level) for level in self._levels]}
+
+    @classmethod
+    def from_state(cls, state: dict) -> "SparseTable":
+        table = cls.__new__(cls)
+        table._array = list(state["array"])
+        table._levels = [list(level) for level in state["levels"]]
+        table._log = _floor_logs(len(table._array))
+        return table
+
 
 def _floor_logs(n: int) -> List[int]:
     """``log[v] = floor(log2 v)`` for v in [0, n]; log[0] unused."""

@@ -20,7 +20,7 @@ import random
 from typing import List, Tuple
 
 from repro.core.cost import CostTracker
-from repro.core.query import PiScheme, QueryClass
+from repro.core.query import PiScheme, QueryClass, state_codec
 from repro.graphs.generators import random_dag, random_tree
 from repro.graphs.graph import Digraph, Graph
 from repro.indexes.dag_lca import DagLCAIndex, naive_dag_lca
@@ -117,11 +117,14 @@ def euler_tour_scheme() -> PiScheme:
         u, v, w = query
         return index.lca(u, v, tracker) == w
 
+    dump, load = state_codec(EulerTourLCA.from_state)
     return PiScheme(
         name="euler-tour-rmq",
         preprocess=preprocess,
         evaluate=evaluate,
         description="Euler tour + sparse-table RMQ (O(1) LCA)",
+        dump=dump,
+        load=load,
     )
 
 
@@ -136,9 +139,12 @@ def dag_bitset_scheme(*, all_pairs: bool = False) -> PiScheme:
         return index.lca(u, v, tracker) == w
 
     suffix = "all-pairs" if all_pairs else "bitset"
+    dump, load = state_codec(DagLCAIndex.from_state)
     return PiScheme(
         name=f"dag-lca-{suffix}",
         preprocess=preprocess,
         evaluate=evaluate,
         description="ancestor bitsets in topological-rank space",
+        dump=dump,
+        load=load,
     )

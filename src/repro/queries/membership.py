@@ -14,7 +14,7 @@ from typing import List, Tuple
 from repro.core.cost import CostTracker
 from repro.core.factorization import Factorization
 from repro.core.language import DecisionProblem
-from repro.core.query import PiScheme, QueryClass
+from repro.core.query import PiScheme, QueryClass, state_codec
 from repro.indexes.sorted_run import SortedRunIndex
 
 __all__ = [
@@ -70,11 +70,14 @@ def sorted_run_scheme() -> PiScheme:
     def evaluate(index: SortedRunIndex, element: int, tracker: CostTracker) -> bool:
         return index.contains(element, tracker)
 
+    dump, load = state_codec(SortedRunIndex.from_state)
     return PiScheme(
         name="sort+binary-search",
         preprocess=preprocess,
         evaluate=evaluate,
         description="sort M, then O(log|M|) binary search (Section 4(2))",
+        dump=dump,
+        load=load,
     )
 
 

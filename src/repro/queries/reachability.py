@@ -20,7 +20,7 @@ from typing import List, Tuple
 import numpy as np
 
 from repro.core.cost import CostTracker
-from repro.core.query import PiScheme, QueryClass
+from repro.core.query import PiScheme, QueryClass, state_codec
 from repro.graphs.generators import gnm_digraph, random_vertex_pairs
 from repro.graphs.graph import Digraph
 from repro.graphs.traversal import is_reachable
@@ -73,11 +73,14 @@ def closure_scheme() -> PiScheme:
         source, target = query
         return index.reachable(source, target, tracker)
 
+    dump, load = state_codec(TransitiveClosureIndex.from_state)
     return PiScheme(
         name="transitive-closure",
         preprocess=preprocess,
         evaluate=evaluate,
         description="precomputed all-pairs reachability matrix; O(1) lookups",
+        dump=dump,
+        load=load,
     )
 
 

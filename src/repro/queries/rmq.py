@@ -14,7 +14,7 @@ import random
 from typing import List, Tuple
 
 from repro.core.cost import CostTracker
-from repro.core.query import PiScheme, QueryClass
+from repro.core.query import PiScheme, QueryClass, state_codec
 from repro.indexes.rmq import FischerHeunRMQ
 from repro.indexes.sparse_table import SparseTable, naive_range_min
 
@@ -69,11 +69,14 @@ def fischer_heun_scheme() -> PiScheme:
         i, j, position = query
         return index.argmin(i, j, tracker) == position
 
+    dump, load = state_codec(FischerHeunRMQ.from_state)
     return PiScheme(
         name="fischer-heun",
         preprocess=preprocess,
         evaluate=evaluate,
         description="block decomposition + Cartesian signatures (O(1) query)",
+        dump=dump,
+        load=load,
     )
 
 
@@ -87,9 +90,12 @@ def sparse_table_scheme() -> PiScheme:
         i, j, position = query
         return index.argmin(i, j, tracker) == position
 
+    dump, load = state_codec(SparseTable.from_state)
     return PiScheme(
         name="sparse-table",
         preprocess=preprocess,
         evaluate=evaluate,
         description="dyadic-window sparse table (O(1) query)",
+        dump=dump,
+        load=load,
     )

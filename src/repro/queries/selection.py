@@ -17,7 +17,7 @@ import random
 from typing import Any, List, Tuple
 
 from repro.core.cost import CostTracker
-from repro.core.query import PiScheme, QueryClass
+from repro.core.query import PiScheme, QueryClass, state_codec
 from repro.indexes.btree import BPlusTree
 from repro.indexes.hash_index import HashIndex
 from repro.storage.relation import Relation, uniform_int_relation
@@ -124,6 +124,13 @@ def _build_btrees(relation: Relation, tracker: CostTracker) -> dict:
     return indexes
 
 
+def _btree_codec():
+    return state_codec(
+        lambda state: {a: BPlusTree.from_state(s) for a, s in state.items()},
+        lambda indexes: {a: tree.to_state() for a, tree in indexes.items()},
+    )
+
+
 def btree_point_scheme() -> PiScheme:
     """Example 1's scheme: B+-trees on every attribute; O(log n) probes."""
 
@@ -131,11 +138,14 @@ def btree_point_scheme() -> PiScheme:
         attribute, constant = query
         return indexes[attribute].contains(constant, tracker)
 
+    dump, load = _btree_codec()
     return PiScheme(
         name="btree-point",
         preprocess=_build_btrees,
         evaluate=evaluate,
         description="B+-tree per attribute (paper, Example 1)",
+        dump=dump,
+        load=load,
     )
 
 
@@ -146,11 +156,14 @@ def btree_range_scheme() -> PiScheme:
         attribute, low, high = query
         return indexes[attribute].range_nonempty(low, high, tracker)
 
+    dump, load = _btree_codec()
     return PiScheme(
         name="btree-range",
         preprocess=_build_btrees,
         evaluate=evaluate,
         description="B+-tree range probe (paper, Section 4(1))",
+        dump=dump,
+        load=load,
     )
 
 
@@ -171,9 +184,15 @@ def hash_point_scheme() -> PiScheme:
         attribute, constant = query
         return indexes[attribute].contains(constant, tracker)
 
+    dump, load = state_codec(
+        lambda state: {a: HashIndex.from_state(s) for a, s in state.items()},
+        lambda indexes: {a: index.to_state() for a, index in indexes.items()},
+    )
     return PiScheme(
         name="hash-point",
         preprocess=preprocess,
         evaluate=evaluate,
         description="hash index per attribute; O(1) expected probes",
+        dump=dump,
+        load=load,
     )

@@ -26,7 +26,7 @@ import random
 from typing import Dict, List, Sequence, Tuple
 
 from repro.core.cost import CostTracker, ensure_tracker
-from repro.core.query import PiScheme, QueryClass
+from repro.core.query import PiScheme, QueryClass, state_codec
 
 __all__ = ["TopKIndex", "topk_class", "threshold_algorithm_scheme"]
 
@@ -60,6 +60,25 @@ class TopKIndex:
 
     def __len__(self) -> int:
         return len(self.rows)
+
+    # -- serialization --------------------------------------------------------
+
+    def to_state(self) -> dict:
+        """Plain-data snapshot: rows plus the descending sorted lists."""
+        return {
+            "rows": [tuple(row) for row in self.rows],
+            "sorted_lists": [list(entries) for entries in self.sorted_lists],
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "TopKIndex":
+        index = cls.__new__(cls)
+        index.rows = tuple(tuple(row) for row in state["rows"])
+        index.arity = len(index.rows[0])
+        index.sorted_lists = [
+            [tuple(entry) for entry in entries] for entries in state["sorted_lists"]
+        ]
+        return index
 
     def kth_score_at_least(
         self,
@@ -182,9 +201,12 @@ def threshold_algorithm_scheme() -> PiScheme:
         answer, _ = index.kth_score_at_least(weights, k, theta, tracker)
         return answer
 
+    dump, load = state_codec(TopKIndex.from_state)
     return PiScheme(
         name="threshold-algorithm",
         preprocess=preprocess,
         evaluate=evaluate,
         description="TA with early termination over sorted score lists [14]",
+        dump=dump,
+        load=load,
     )

@@ -1,0 +1,34 @@
+"""The serving half of the paper's economics: preprocess once, serve many.
+
+The paper's Pi-structures are computed once in PTIME and amortized over many
+polylog queries -- but an index that dies with the process amortizes nothing.
+This package persists built structures and serves query batches against them:
+
+:mod:`repro.service.artifacts`
+    :class:`ArtifactStore` -- Pi-structures on disk, keyed by (dataset
+    fingerprint, scheme name, params), with versioned headers and
+    corruption detection.
+
+:mod:`repro.service.cache`
+    :class:`LRUArtifactCache` -- a bounded in-process cache in front of the
+    store, so hot artifacts skip even the deserialization cost.
+
+:mod:`repro.service.engine`
+    :class:`QueryEngine` -- accepts batches of mixed queries, resolves each
+    to a cached artifact (building and persisting on miss), executes
+    batches on a thread pool, and keeps per-scheme serving statistics.
+"""
+
+from repro.service.artifacts import ArtifactKey, ArtifactStore
+from repro.service.cache import LRUArtifactCache
+from repro.service.engine import EngineStats, QueryEngine, QueryRequest, SchemeStats
+
+__all__ = [
+    "ArtifactKey",
+    "ArtifactStore",
+    "LRUArtifactCache",
+    "EngineStats",
+    "QueryEngine",
+    "QueryRequest",
+    "SchemeStats",
+]

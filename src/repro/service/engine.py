@@ -1,0 +1,372 @@
+"""The concurrent query engine: batches of mixed queries over cached artifacts.
+
+This is the "serve many" half of the paper's amortization argument made
+operational.  Each :class:`QueryRequest` names a registered query *kind*
+(e.g. ``"list-membership"``), the dataset it targets, and one query.  The
+engine resolves the request to a Pi-structure through three layers:
+
+1. the in-process :class:`~repro.service.cache.LRUArtifactCache` (hot);
+2. the on-disk :class:`~repro.service.artifacts.ArtifactStore`, when the
+   scheme is serializable (warm: pay deserialization, skip the build);
+3. ``scheme.preprocess`` (cold: pay the PTIME build, then persist + cache).
+
+Batches run on a thread pool.  Pure-Python evaluators contend on the GIL, so
+the pool buys overlap rather than true parallelism -- but the engine is the
+concurrency *correctness* boundary: per-key build locks guarantee one build
+per artifact under concurrent misses, and all counters are lock-protected.
+Per-scheme statistics separate build time from serve time, which is exactly
+the cost split (PTIME once vs. polylog each) the paper's Definition 1 is
+about.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, replace
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.cost import CostTracker
+from repro.core.errors import ArtifactError, ServiceError
+from repro.core.query import PiScheme, QueryClass
+from repro.service.artifacts import ArtifactKey, ArtifactStore
+from repro.service.cache import CacheStats, LRUArtifactCache
+from repro.storage.fingerprint import dataset_fingerprint
+
+__all__ = ["QueryRequest", "SchemeStats", "EngineStats", "QueryEngine"]
+
+
+@dataclass(frozen=True)
+class QueryRequest:
+    """One query against one dataset, under a registered kind.
+
+    The engine treats ``data`` as **immutable while served**: requests are
+    resolved by content fingerprint, and repeated requests for the *same
+    object* reuse the memoized fingerprint without re-hashing.  After
+    mutating a dataset in place, call :meth:`QueryEngine.invalidate` (or
+    pass a fresh object) so the next request re-fingerprints and rebuilds.
+    """
+
+    kind: str
+    data: Any
+    query: Any
+
+
+@dataclass
+class SchemeStats:
+    """Serving counters for one registered kind."""
+
+    scheme: str = ""
+    queries: int = 0
+    cache_hits: int = 0
+    store_hits: int = 0
+    builds: int = 0
+    build_seconds: float = 0.0
+    serve_seconds: float = 0.0
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of artifact resolutions that skipped the build."""
+        resolutions = self.cache_hits + self.store_hits + self.builds
+        if not resolutions:
+            return 0.0
+        return (self.cache_hits + self.store_hits) / resolutions
+
+
+@dataclass(frozen=True)
+class EngineStats:
+    """Immutable snapshot: per-kind scheme stats plus cache counters."""
+
+    per_kind: Dict[str, SchemeStats]
+    cache: CacheStats
+
+    def total_queries(self) -> int:
+        return sum(stats.queries for stats in self.per_kind.values())
+
+
+@dataclass(frozen=True)
+class _Registration:
+    query_class: QueryClass
+    scheme: PiScheme
+    params: str
+
+
+class QueryEngine:
+    """Resolve-and-serve engine over registered (query class, Pi-scheme) pairs."""
+
+    def __init__(
+        self,
+        *,
+        store: Optional[ArtifactStore] = None,
+        cache_entries: int = 64,
+        max_workers: int = 4,
+    ):
+        self._store = store
+        self._cache = LRUArtifactCache(cache_entries)
+        self._registrations: Dict[str, _Registration] = {}
+        self._stats: Dict[str, SchemeStats] = {}
+        self._stats_lock = threading.Lock()
+        self._build_locks: Dict[ArtifactKey, threading.Lock] = {}
+        self._build_locks_guard = threading.Lock()
+        self._fingerprints: "OrderedDict[int, Tuple[Any, str]]" = OrderedDict()
+        self._fingerprints_lock = threading.Lock()
+        self._max_workers = max(1, max_workers)
+        self._pool: Optional[ThreadPoolExecutor] = None
+        self._pool_guard = threading.Lock()
+        self._closed = False
+
+    # -- registration ----------------------------------------------------------
+
+    def register(
+        self,
+        kind: str,
+        query_class: QueryClass,
+        scheme: PiScheme,
+        *,
+        params: str = "",
+    ) -> None:
+        """Expose ``scheme`` for serving queries of ``kind``.
+
+        ``params`` distinguishes variant builds of the same scheme; the
+        scheme's ``artifact_version`` is appended so layout changes never
+        alias old artifacts.
+        """
+        if kind in self._registrations:
+            raise ServiceError(f"kind {kind!r} is already registered")
+        token = f"{params}|v{scheme.artifact_version}"
+        self._registrations[kind] = _Registration(query_class, scheme, token)
+        self._stats[kind] = SchemeStats(scheme=scheme.name)
+
+    @classmethod
+    def from_registry(cls, registry: Any, **engine_kwargs: Any) -> "QueryEngine":
+        """An engine serving every servable entry of a Figure 2 registry.
+
+        Each :class:`~repro.core.classes.RegistryEntry` with a query class
+        and at least one scheme is registered under the entry's name, using
+        its first *serializable* scheme when one exists (so the artifact
+        store can be used), else its first scheme (memory-cache only).
+        """
+        engine = cls(**engine_kwargs)
+        for entry in registry.entries():
+            scheme = entry.serving_scheme()
+            if entry.query_class is None or scheme is None:
+                continue
+            engine.register(entry.name, entry.query_class, scheme)
+        return engine
+
+    def kinds(self) -> List[str]:
+        return sorted(self._registrations)
+
+    def registration(self, kind: str) -> Tuple[QueryClass, PiScheme]:
+        registration = self._registration(kind)
+        return registration.query_class, registration.scheme
+
+    def _registration(self, kind: str) -> _Registration:
+        try:
+            return self._registrations[kind]
+        except KeyError as exc:
+            raise ServiceError(
+                f"no scheme registered for query kind {kind!r}; "
+                f"known kinds: {self.kinds()}"
+            ) from exc
+
+    # -- artifact resolution ---------------------------------------------------
+
+    def _fingerprint(self, data: Any) -> str:
+        """Content fingerprint with a small identity memo.
+
+        The memo pins a strong reference to each memoized dataset, so an
+        ``id()`` can never be recycled while its entry is alive.  It is what
+        keeps the warm path O(polylog): without it every request would pay
+        an O(|D|) re-hash.  The cost is the immutability contract spelled
+        out on :class:`QueryRequest` -- in-place mutation of a memoized
+        dataset must be followed by :meth:`invalidate`.
+        """
+        key = id(data)
+        with self._fingerprints_lock:
+            entry = self._fingerprints.get(key)
+            if entry is not None and entry[0] is data:
+                self._fingerprints.move_to_end(key)
+                return entry[1]
+        fingerprint = dataset_fingerprint(data)
+        with self._fingerprints_lock:
+            self._fingerprints[key] = (data, fingerprint)
+            self._fingerprints.move_to_end(key)
+            while len(self._fingerprints) > 32:
+                self._fingerprints.popitem(last=False)
+        return fingerprint
+
+    def artifact_key(self, kind: str, data: Any) -> ArtifactKey:
+        registration = self._registration(kind)
+        return ArtifactKey(
+            fingerprint=self._fingerprint(data),
+            scheme=registration.scheme.name,
+            params=registration.params,
+        )
+
+    def _build_lock(self, key: ArtifactKey) -> threading.Lock:
+        with self._build_locks_guard:
+            lock = self._build_locks.get(key)
+            if lock is None:
+                lock = self._build_locks[key] = threading.Lock()
+            return lock
+
+    def resolve(self, kind: str, data: Any) -> Any:
+        """The Pi-structure for (kind, data): cache, then store, then build."""
+        registration = self._registration(kind)
+        key = self.artifact_key(kind, data)
+        structure = self._cache.get(key)
+        if structure is not None:
+            self._bump(kind, cache_hits=1)
+            return structure
+        try:
+            with self._build_lock(key):
+                # Recheck without recording: this lookup was already counted
+                # as a miss above, and a hit here only means another thread
+                # finished the build first.
+                structure = self._cache.get(key, record=False)
+                if structure is not None:
+                    self._bump(kind, cache_hits=1)
+                    return structure
+                structure = self._load_from_store(kind, registration, key)
+                if structure is None:
+                    started = time.perf_counter()
+                    structure = registration.scheme.preprocess(data, CostTracker())
+                    self._bump(
+                        kind, builds=1, build_seconds=time.perf_counter() - started
+                    )
+                    if self._store is not None and registration.scheme.dump is not None:
+                        self._store.put(key, registration.scheme.dump(structure))
+                self._cache.put(key, structure)
+        finally:
+            # Drop the per-key lock so the map stays bounded by in-flight
+            # builds, not by every key ever seen.  A thread still blocked on
+            # the dropped lock serializes against its cohort; a later misser
+            # gets a fresh lock and finds the cache populated on recheck --
+            # worst case one redundant build, never a wrong answer.
+            with self._build_locks_guard:
+                self._build_locks.pop(key, None)
+        return structure
+
+    def _load_from_store(
+        self, kind: str, registration: _Registration, key: ArtifactKey
+    ) -> Optional[Any]:
+        if self._store is None or registration.scheme.load is None:
+            return None
+        try:
+            payload = self._store.get(key)
+        except ArtifactError:
+            # Corrupt or incompatible artifact: drop it and rebuild.
+            self._store.delete(key)
+            return None
+        if payload is None:
+            return None
+        structure = registration.scheme.load(payload)
+        self._bump(kind, store_hits=1)
+        return structure
+
+    def warm(self, kind: str, data: Any) -> ArtifactKey:
+        """Pre-build (and persist) the artifact for (kind, data)."""
+        self.resolve(kind, data)
+        return self.artifact_key(kind, data)
+
+    def invalidate(self, data: Any) -> None:
+        """Forget a dataset after in-place mutation.
+
+        Drops the memoized fingerprint for this object (and the cached
+        structure built from its old content, for every registered kind),
+        so the next request re-fingerprints the new content and builds or
+        loads the matching artifact.  Artifacts for the *old* content stay
+        in the store -- they are still correct for that content.
+        """
+        with self._fingerprints_lock:
+            entry = self._fingerprints.pop(id(data), None)
+        if entry is None:
+            return
+        _, fingerprint = entry
+        for registration in self._registrations.values():
+            self._cache.invalidate(
+                ArtifactKey(
+                    fingerprint=fingerprint,
+                    scheme=registration.scheme.name,
+                    params=registration.params,
+                )
+            )
+
+    # -- execution -------------------------------------------------------------
+
+    def execute(self, request: QueryRequest) -> bool:
+        """Answer one request through the artifact layers."""
+        if self._closed:
+            raise ServiceError("engine is closed")
+        registration = self._registration(request.kind)
+        structure = self.resolve(request.kind, request.data)
+        started = time.perf_counter()
+        answer = registration.scheme.answer(structure, request.query)
+        self._bump(
+            request.kind, queries=1, serve_seconds=time.perf_counter() - started
+        )
+        return answer
+
+    def execute_batch(
+        self,
+        requests: Sequence[QueryRequest],
+        *,
+        concurrent: bool = True,
+    ) -> List[bool]:
+        """Answer a batch of mixed requests; order of answers matches input.
+
+        With ``concurrent=True`` requests are spread over the thread pool;
+        answers are identical to sequential execution because evaluators
+        never mutate the preprocessed structures and builds are serialized
+        per artifact key.
+        """
+        requests = list(requests)
+        if not concurrent or len(requests) <= 1:
+            return [self.execute(request) for request in requests]
+        return list(self._ensure_pool().map(self.execute, requests))
+
+    def _ensure_pool(self) -> ThreadPoolExecutor:
+        if self._closed:
+            raise ServiceError("engine is closed")
+        with self._pool_guard:
+            if self._pool is None:
+                self._pool = ThreadPoolExecutor(
+                    max_workers=self._max_workers,
+                    thread_name_prefix="repro-engine",
+                )
+            return self._pool
+
+    # -- statistics and lifecycle ----------------------------------------------
+
+    def _bump(self, kind: str, **deltas: Any) -> None:
+        with self._stats_lock:
+            stats = self._stats[kind]
+            for name, delta in deltas.items():
+                setattr(stats, name, getattr(stats, name) + delta)
+
+    def stats(self) -> EngineStats:
+        with self._stats_lock:
+            per_kind = {kind: replace(stats) for kind, stats in self._stats.items()}
+        return EngineStats(per_kind=per_kind, cache=self._cache.stats())
+
+    def reset_stats(self) -> None:
+        """Zero the per-kind counters (cache counters are cumulative)."""
+        with self._stats_lock:
+            for kind, stats in self._stats.items():
+                self._stats[kind] = SchemeStats(scheme=stats.scheme)
+
+    def close(self) -> None:
+        self._closed = True
+        with self._pool_guard:
+            if self._pool is not None:
+                self._pool.shutdown(wait=True)
+                self._pool = None
+
+    def __enter__(self) -> "QueryEngine":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()

@@ -1,6 +1,7 @@
 """Relational storage substrate: schemas, relations, the catalog."""
 
 from repro.storage.catalog import Database
+from repro.storage.fingerprint import canonical_bytes, dataset_fingerprint
 from repro.storage.relation import Relation, Row, uniform_int_relation
 from repro.storage.schema import Attribute, AttributeType, Schema
 
@@ -11,5 +12,7 @@ __all__ = [
     "Relation",
     "Row",
     "Schema",
+    "canonical_bytes",
+    "dataset_fingerprint",
     "uniform_int_relation",
 ]

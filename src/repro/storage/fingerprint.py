@@ -1,0 +1,52 @@
+"""Dataset fingerprints: content addresses for preprocessing artifacts.
+
+The artifact store keys a persisted Pi-structure by *what data it was built
+over*, not by object identity: two processes that load the same relation must
+resolve to the same artifact.  ``dataset_fingerprint`` therefore hashes a
+canonical byte rendering of the dataset:
+
+* objects with an ``encode()`` method (:class:`~repro.storage.relation.Relation`,
+  the graph classes) use their deterministic Sigma* encoding;
+* plain nested sequences of ints/strings/bools/None -- the array, list and
+  score-table datasets -- use the same Sigma* codec directly;
+* anything else falls back to ``repr``, which is deterministic for the value
+  types this library generates (``PYTHONHASHSEED`` does not affect it).
+
+The type name is mixed in so that, e.g., a Graph and a Digraph with equal
+edge sets do not collide.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Any
+
+from repro.core import alphabet
+from repro.core.errors import EncodingError
+
+__all__ = ["dataset_fingerprint", "canonical_bytes"]
+
+
+def canonical_bytes(data: Any) -> bytes:
+    """A deterministic byte rendering of a dataset (not reversible)."""
+    encode = getattr(data, "encode", None)
+    if callable(encode) and not isinstance(data, (str, bytes)):
+        rendered = encode()
+        if isinstance(rendered, bytes):
+            return rendered
+        return str(rendered).encode("utf-8")
+    if isinstance(data, bytes):
+        return data
+    try:
+        return alphabet.encode(data).encode("utf-8")
+    except EncodingError:
+        return repr(data).encode("utf-8")
+
+
+def dataset_fingerprint(data: Any) -> str:
+    """SHA-256 hex digest identifying a dataset's content and type."""
+    digest = hashlib.sha256()
+    digest.update(type(data).__name__.encode("ascii", "replace"))
+    digest.update(b"\x00")
+    digest.update(canonical_bytes(data))
+    return digest.hexdigest()

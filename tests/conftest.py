@@ -1,0 +1,21 @@
+"""Shared test configuration: hypothesis profiles.
+
+The ``ci`` profile (selected via ``HYPOTHESIS_PROFILE=ci``, as the GitHub
+workflow does) disables the per-example deadline: shared CI runners have
+noisy wall-clocks and a deadline flake tells us nothing about correctness.
+Local runs keep hypothesis defaults.
+"""
+
+import os
+
+from hypothesis import HealthCheck, settings
+
+settings.register_profile(
+    "ci",
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+_profile = os.environ.get("HYPOTHESIS_PROFILE")
+if _profile:
+    settings.load_profile(_profile)

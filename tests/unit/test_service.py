@@ -1,0 +1,306 @@
+"""Unit tests for the serving subsystem: store, cache, engine (ISSUE 1).
+
+The headline regression guard is ``test_concurrent_batches_match_sequential``:
+the engine under concurrent mixed batches must return exactly the answers of
+sequential execution (and of the naive reference semantics), with one build
+per artifact even when many threads miss at once.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.catalog import build_query_engine
+from repro.core.cost import CostTracker
+from repro.core.errors import (
+    ArtifactCorruptionError,
+    ArtifactVersionError,
+    ServiceError,
+)
+from repro.core.query import PiScheme
+from repro.queries import membership_class, sorted_run_scheme
+from repro.service.artifacts import FORMAT_VERSION, MAGIC, ArtifactKey, ArtifactStore
+from repro.service.cache import LRUArtifactCache
+from repro.service.engine import QueryEngine, QueryRequest
+
+MIXED_KINDS = (
+    "point-selection",
+    "range-selection",
+    "list-membership",
+    "minimum-range-query",
+    "tree-lca",
+    "dag-lca",
+    "reachability",
+    "topk-threshold",
+)
+
+
+def _mixed_batch(engine, *, size=128, seed=11, per_kind=6):
+    """Requests across all kinds plus the naive ground-truth answers."""
+    requests, expected = [], []
+    for kind in MIXED_KINDS:
+        query_class, _ = engine.registration(kind)
+        data, queries = query_class.sample_workload(size, seed, per_kind)
+        for query in queries:
+            requests.append(QueryRequest(kind, data, query))
+            expected.append(query_class.pair_in_language(data, query))
+    return requests, expected
+
+
+# -- LRU cache ---------------------------------------------------------------
+
+
+def test_lru_cache_evicts_least_recently_used():
+    cache = LRUArtifactCache(capacity=2)
+    cache.put("a", 1)
+    cache.put("b", 2)
+    assert cache.get("a") == 1  # refresh "a"; "b" is now the LRU entry
+    cache.put("c", 3)
+    assert cache.get("b") is None
+    assert cache.get("a") == 1
+    assert cache.get("c") == 3
+    stats = cache.stats()
+    assert stats.evictions == 1
+    assert stats.hits == 3
+    assert stats.misses == 1
+    assert 0 < stats.hit_rate < 1
+
+
+def test_lru_cache_invalidate_and_bounds():
+    cache = LRUArtifactCache(capacity=1)
+    cache.put("a", 1)
+    assert "a" in cache and len(cache) == 1
+    assert cache.invalidate("a")
+    assert not cache.invalidate("a")
+    with pytest.raises(ValueError):
+        LRUArtifactCache(capacity=0)
+
+
+# -- artifact store ----------------------------------------------------------
+
+
+def _key(params="p|v1"):
+    return ArtifactKey(fingerprint="0" * 64, scheme="unit-scheme", params=params)
+
+
+def test_store_put_get_delete_roundtrip(tmp_path):
+    store = ArtifactStore(tmp_path)
+    key = _key()
+    assert store.get(key) is None
+    path = store.put(key, b"payload-bytes")
+    assert path.is_file()
+    assert store.get(key) == b"payload-bytes"
+    assert store.size_bytes() == path.stat().st_size
+    assert store.delete(key)
+    assert not store.delete(key)
+    assert store.get(key) is None
+
+
+def test_store_rejects_payload_corruption(tmp_path):
+    store = ArtifactStore(tmp_path)
+    key = _key()
+    path = store.put(key, b"sensitive-structure")
+    blob = bytearray(path.read_bytes())
+    blob[-1] ^= 0xFF
+    path.write_bytes(bytes(blob))
+    with pytest.raises(ArtifactCorruptionError, match="checksum"):
+        store.get(key)
+
+
+def test_store_rejects_bad_magic_and_truncation(tmp_path):
+    store = ArtifactStore(tmp_path)
+    key = _key()
+    path = store.put(key, b"x" * 64)
+    original = path.read_bytes()
+
+    path.write_bytes(b"NOTANARTIFACT" + original[13:])
+    with pytest.raises(ArtifactCorruptionError, match="magic"):
+        store.get(key)
+
+    path.write_bytes(original[: len(MAGIC) + 3])
+    with pytest.raises(ArtifactCorruptionError, match="truncated"):
+        store.get(key)
+
+
+def test_store_rejects_version_mismatch(tmp_path):
+    store = ArtifactStore(tmp_path)
+    key = _key()
+    path = store.put(key, b"payload")
+    blob = bytearray(path.read_bytes())
+    # The two bytes after the magic are the big-endian format version.
+    blob[len(MAGIC) : len(MAGIC) + 2] = (FORMAT_VERSION + 1).to_bytes(2, "big")
+    path.write_bytes(bytes(blob))
+    with pytest.raises(ArtifactVersionError):
+        store.get(key)
+
+
+def test_store_rejects_key_mismatch(tmp_path):
+    store = ArtifactStore(tmp_path)
+    key = _key()
+    other = ArtifactKey(fingerprint="f" * 64, scheme="unit-scheme", params="p|v1")
+    path = store.put(key, b"payload")
+    hijacked = path.parent / other.filename()
+    path.rename(hijacked)
+    with pytest.raises(ArtifactCorruptionError, match="fingerprint"):
+        store.get(other)
+
+
+def test_scheme_artifact_version_changes_artifact_identity():
+    engine = QueryEngine()
+    engine.register("m1", membership_class(), sorted_run_scheme())
+    bumped = sorted_run_scheme()
+    bumped.artifact_version = 2
+    engine.register("m2", membership_class(), bumped)
+    data = (3, 1, 2)
+    assert engine.artifact_key("m1", data) != engine.artifact_key("m2", data)
+    assert engine.artifact_key("m1", data).fingerprint == engine.artifact_key("m2", data).fingerprint
+
+
+# -- query engine ------------------------------------------------------------
+
+
+def test_unknown_kind_raises_service_error():
+    engine = QueryEngine()
+    with pytest.raises(ServiceError, match="no scheme registered"):
+        engine.execute(QueryRequest("nope", (1, 2), 1))
+    with pytest.raises(ServiceError, match="already registered"):
+        engine.register("m", membership_class(), sorted_run_scheme())
+        engine.register("m", membership_class(), sorted_run_scheme())
+
+
+def test_concurrent_batches_match_sequential(tmp_path):
+    """Thread-safety regression guard (ISSUE 1 satellite): concurrent mixed
+    batches return the same answers as sequential execution, starting cold so
+    concurrent misses race on the build path."""
+    store = ArtifactStore(tmp_path)
+    with build_query_engine(store=store, max_workers=8) as engine:
+        requests, expected = _mixed_batch(engine)
+        concurrent = engine.execute_batch(requests)  # cold: builds race
+        sequential = engine.execute_batch(requests, concurrent=False)
+        assert concurrent == sequential == expected
+        stats = engine.stats()
+        # One build per (kind, dataset) pair despite the concurrent misses.
+        for kind in MIXED_KINDS:
+            assert stats.per_kind[kind].builds == 1
+            assert stats.per_kind[kind].queries == 2 * len(requests) // len(MIXED_KINDS)
+        assert stats.total_queries() == 2 * len(requests)
+
+
+def test_second_engine_serves_from_store_without_builds(tmp_path):
+    store = ArtifactStore(tmp_path)
+    with build_query_engine(store=store) as first:
+        requests, expected = _mixed_batch(first, size=96, seed=5)
+        assert first.execute_batch(requests) == expected
+
+    with build_query_engine(store=store) as second:
+        assert second.execute_batch(requests) == expected
+        stats = second.stats()
+        assert sum(s.builds for s in stats.per_kind.values()) == 0
+        assert sum(s.store_hits for s in stats.per_kind.values()) == len(MIXED_KINDS)
+
+
+def test_engine_recovers_from_corrupt_artifact(tmp_path):
+    store = ArtifactStore(tmp_path)
+    data = tuple(range(64))
+    with QueryEngine(store=store) as engine:
+        engine.register("membership", membership_class(), sorted_run_scheme())
+        key = engine.warm("membership", data)
+        path = store._path(key)
+        blob = bytearray(path.read_bytes())
+        blob[-1] ^= 0x01
+        path.write_bytes(bytes(blob))
+
+    with QueryEngine(store=store) as engine:
+        engine.register("membership", membership_class(), sorted_run_scheme())
+        assert engine.execute(QueryRequest("membership", data, 63)) is True
+        assert engine.execute(QueryRequest("membership", data, 64)) is False
+        stats = engine.stats().per_kind["membership"]
+        assert stats.builds == 1  # corrupt artifact dropped, rebuilt, re-persisted
+        assert store.get(key) is not None  # healthy artifact re-written
+
+
+def test_non_serializable_scheme_is_memory_cached_only(tmp_path):
+    store = ArtifactStore(tmp_path)
+    builds = []
+
+    def preprocess(data, tracker):
+        builds.append(1)
+        return set(data)
+
+    scheme = PiScheme(
+        name="opaque-set",
+        preprocess=preprocess,
+        evaluate=lambda structure, query, tracker: query in structure,
+    )
+    assert not scheme.serializable
+    with QueryEngine(store=store) as engine:
+        engine.register("opaque", membership_class(), scheme)
+        data = (1, 2, 3)
+        assert engine.execute(QueryRequest("opaque", data, 2)) is True
+        assert engine.execute(QueryRequest("opaque", data, 9)) is False
+        assert len(builds) == 1  # memory cache reused; nothing hit the disk
+        assert list(store.keys()) == []
+
+
+def test_engine_closed_rejects_work():
+    engine = QueryEngine()
+    engine.register("membership", membership_class(), sorted_run_scheme())
+    engine.close()
+    with pytest.raises(ServiceError, match="closed"):
+        engine.execute(QueryRequest("membership", (1,), 1))
+
+
+def test_fingerprint_memo_is_content_based():
+    engine = QueryEngine()
+    engine.register("membership", membership_class(), sorted_run_scheme())
+    left = engine.artifact_key("membership", (1, 2, 3))
+    right = engine.artifact_key("membership", tuple([1, 2, 3]))  # distinct object
+    assert left == right
+    assert left != engine.artifact_key("membership", (1, 2, 4))
+
+
+def test_invalidate_after_in_place_mutation():
+    engine = QueryEngine()
+    engine.register("membership", membership_class(), sorted_run_scheme())
+    data = [1, 2, 3]
+    assert engine.execute(QueryRequest("membership", data, 4)) is False
+    data.append(4)
+    engine.invalidate(data)  # the documented contract for in-place mutation
+    assert engine.execute(QueryRequest("membership", data, 4)) is True
+    engine.invalidate(object())  # unknown objects are a no-op
+    assert engine.stats().per_kind["membership"].builds == 2
+
+
+def test_cache_stats_count_one_miss_per_cold_resolve(tmp_path):
+    with QueryEngine(store=ArtifactStore(tmp_path)) as engine:
+        engine.register("membership", membership_class(), sorted_run_scheme())
+        data = (1, 2, 3)
+        engine.execute(QueryRequest("membership", data, 1))  # cold: one miss
+        engine.execute(QueryRequest("membership", data, 2))  # warm: one hit
+        cache = engine.stats().cache
+        assert (cache.hits, cache.misses) == (1, 1)
+        assert cache.hit_rate == pytest.approx(0.5)
+
+
+def test_stats_reset_keeps_registrations():
+    engine = QueryEngine()
+    engine.register("membership", membership_class(), sorted_run_scheme())
+    engine.execute(QueryRequest("membership", (5, 6), 5))
+    assert engine.stats().per_kind["membership"].queries == 1
+    engine.reset_stats()
+    stats = engine.stats().per_kind["membership"]
+    assert stats.queries == 0 and stats.scheme == "sort+binary-search"
+
+
+def test_build_time_and_serve_time_are_separated(tmp_path):
+    with QueryEngine(store=ArtifactStore(tmp_path)) as engine:
+        engine.register("membership", membership_class(), sorted_run_scheme())
+        data = tuple(range(4096))
+        for element in (0, 17, 4096, 5000):
+            engine.execute(QueryRequest("membership", data, element))
+        stats = engine.stats().per_kind["membership"]
+        assert stats.builds == 1
+        assert stats.queries == 4
+        assert stats.build_seconds > 0
+        assert stats.serve_seconds > 0
+        assert stats.hit_rate == pytest.approx(3 / 4)
