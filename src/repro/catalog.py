@@ -280,7 +280,7 @@ def build_registry(
     return registry
 
 
-def build_query_engine(**engine_kwargs):
+def build_query_engine(*, shards: int = 1, **engine_kwargs):
     """A :class:`~repro.service.engine.QueryEngine` serving the full catalog.
 
     Every registry entry with a query class and a scheme becomes a query
@@ -288,7 +288,16 @@ def build_query_engine(**engine_kwargs):
     ``"reachability"``, ...).  Keyword arguments are forwarded to the engine
     constructor -- pass ``store=ArtifactStore(path)`` to persist artifacts
     across processes.
+
+    Parameters
+    ----------
+    shards:
+        With ``shards=K > 1``, every kind whose serving scheme declares a
+        :class:`~repro.service.merge.ShardSpec` (point/range selection,
+        list membership, minimum range query, top-k) is served from K
+        per-shard Pi-structures by scatter-gather; the remaining kinds keep
+        the monolithic path.
     """
     from repro.service.engine import QueryEngine
 
-    return QueryEngine.from_registry(build_registry(), **engine_kwargs)
+    return QueryEngine.from_registry(build_registry(), shards=shards, **engine_kwargs)

@@ -130,6 +130,13 @@ class PiScheme:
     process (cached in memory only).  ``artifact_version`` must be bumped
     whenever the byte layout changes, so stale artifacts are rejected
     instead of mis-loaded.
+
+    ``sharding`` makes the scheme *partitionable*: a
+    :class:`repro.service.merge.ShardSpec` declaring how datasets split into
+    shards and how per-shard answers merge (union / k-way merge / monoid
+    combine).  Kinds registered with ``shards=K`` on the engine require it;
+    schemes without a spec simply cannot be sharded.  Typed ``Any`` to keep
+    :mod:`repro.core` free of service-layer imports.
     """
 
     name: str
@@ -145,6 +152,9 @@ class PiScheme:
     load: Optional[Callable[[bytes], Any]] = None
     #: Version of the dumped byte layout (part of the artifact identity).
     artifact_version: int = 1
+    #: Optional ShardSpec (see :mod:`repro.service.merge`) enabling sharded
+    #: scatter-gather serving of this scheme.
+    sharding: Optional[Any] = None
 
     @property
     def serializable(self) -> bool:

@@ -25,8 +25,7 @@ import math
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.cost import CostTracker, ensure_tracker
-from repro.core.errors import IndexError_
-from repro.indexes.sparse_table import SparseTable
+from repro.indexes.sparse_table import SparseTable, check_rmq_range
 
 __all__ = ["FischerHeunRMQ"]
 
@@ -119,8 +118,7 @@ class FischerHeunRMQ:
         """Leftmost position of min(A[low..high]); O(1) work and depth."""
         tracker = ensure_tracker(tracker)
         n = len(self._array)
-        if not 0 <= low <= high < n:
-            raise IndexError_(f"bad RMQ range [{low}, {high}] for n={n}")
+        check_rmq_range(low, high, n)
         b = self._block_size
         first_block, last_block = low // b, high // b
         tracker.tick(4)
@@ -144,6 +142,10 @@ class FischerHeunRMQ:
 
     def range_min(self, low: int, high: int, tracker: Optional[CostTracker] = None):
         return self._array[self.argmin(low, high, tracker)]
+
+    def value_at(self, position: int):
+        """The array value at ``position`` (for partial-aggregate merging)."""
+        return self._array[position]
 
     # -- serialization --------------------------------------------------------
 

@@ -18,7 +18,18 @@ from typing import List, Optional, Sequence
 from repro.core.cost import CostTracker, ensure_tracker
 from repro.core.errors import IndexError_
 
-__all__ = ["SparseTable", "naive_range_min"]
+__all__ = ["SparseTable", "check_rmq_range", "naive_range_min"]
+
+
+def check_rmq_range(low: int, high: int, size: int) -> None:
+    """Validate an inclusive RMQ window [low, high] against an array size.
+
+    The single bounds check shared by every RMQ surface (sparse table,
+    Fischer--Heun, the naive baseline, and the sharded window router), so
+    all paths reject malformed windows with the identical error.
+    """
+    if not 0 <= low <= high < size:
+        raise IndexError_(f"bad RMQ range [{low}, {high}] for n={size}")
 
 
 class SparseTable:
@@ -53,8 +64,7 @@ class SparseTable:
         O(1): two table probes and one comparison.
         """
         tracker = ensure_tracker(tracker)
-        if not 0 <= low <= high < len(self._array):
-            raise IndexError_(f"bad RMQ range [{low}, {high}] for n={len(self._array)}")
+        check_rmq_range(low, high, len(self._array))
         span = high - low + 1
         k = self._log[span]
         left = self._levels[k][low]
@@ -66,6 +76,10 @@ class SparseTable:
 
     def range_min(self, low: int, high: int, tracker: Optional[CostTracker] = None):
         return self._array[self.argmin(low, high, tracker)]
+
+    def value_at(self, position: int):
+        """The array value at ``position`` (for partial-aggregate merging)."""
+        return self._array[position]
 
     # -- serialization --------------------------------------------------------
 
@@ -99,8 +113,7 @@ def naive_range_min(
 ) -> int:
     """Reference/baseline: leftmost argmin by linear scan, Theta(j - i)."""
     tracker = ensure_tracker(tracker)
-    if not 0 <= low <= high < len(array):
-        raise IndexError_(f"bad RMQ range [{low}, {high}] for n={len(array)}")
+    check_rmq_range(low, high, len(array))
     best = low
     for position in range(low + 1, high + 1):
         tracker.tick(1)

@@ -47,6 +47,7 @@ from repro.queries.membership import (
     membership_class,
     membership_factorization,
     membership_problem,
+    membership_shard_spec,
     sorted_run_scheme,
 )
 from repro.queries.reachability import (
@@ -54,7 +55,12 @@ from repro.queries.reachability import (
     nc_squaring_scheme,
     reachability_class,
 )
-from repro.queries.rmq import fischer_heun_scheme, rmq_class, sparse_table_scheme
+from repro.queries.rmq import (
+    fischer_heun_scheme,
+    rmq_class,
+    rmq_shard_spec,
+    sparse_table_scheme,
+)
 from repro.queries.sat import (
     Formula,
     sat_decide,
@@ -67,9 +73,15 @@ from repro.queries.selection import (
     hash_point_scheme,
     point_selection_class,
     range_selection_class,
+    selection_shard_spec,
 )
 from repro.queries.strategies import compression_scheme, views_scheme
-from repro.queries.topk import TopKIndex, threshold_algorithm_scheme, topk_class
+from repro.queries.topk import (
+    TopKIndex,
+    threshold_algorithm_scheme,
+    topk_class,
+    topk_shard_spec,
+)
 from repro.queries.vertex_cover import (
     K_MAX,
     kernel_scheme,
@@ -84,6 +96,7 @@ __all__ = [
     "TopKIndex",
     "threshold_algorithm_scheme",
     "topk_class",
+    "topk_shard_spec",
     "bds_order",
     "bds_problem",
     "bds_query_class",
@@ -107,12 +120,14 @@ __all__ = [
     "membership_class",
     "membership_factorization",
     "membership_problem",
+    "membership_shard_spec",
     "sorted_run_scheme",
     "closure_scheme",
     "nc_squaring_scheme",
     "reachability_class",
     "fischer_heun_scheme",
     "rmq_class",
+    "rmq_shard_spec",
     "sparse_table_scheme",
     "Formula",
     "sat_decide",
@@ -123,6 +138,7 @@ __all__ = [
     "hash_point_scheme",
     "point_selection_class",
     "range_selection_class",
+    "selection_shard_spec",
     "compression_scheme",
     "views_scheme",
     "K_MAX",

@@ -16,9 +16,11 @@ from repro.core.factorization import Factorization
 from repro.core.language import DecisionProblem
 from repro.core.query import PiScheme, QueryClass, state_codec
 from repro.indexes.sorted_run import SortedRunIndex
+from repro.service.merge import ShardPiece, ShardSpec, stable_bucket, union_merge
 
 __all__ = [
     "membership_class",
+    "membership_shard_spec",
     "sorted_run_scheme",
     "membership_problem",
     "membership_factorization",
@@ -61,6 +63,43 @@ def membership_class() -> QueryClass:
     )
 
 
+def _split_list(data: ListData, shards: int) -> List[ShardPiece]:
+    """Hash-partition M into ``shards`` buckets (all K pieces kept, possibly
+    empty, so the element router can index by bucket)."""
+    buckets: List[List[int]] = [[] for _ in range(shards)]
+    for value in data:
+        buckets[stable_bucket(value, shards)].append(value)
+    return [
+        ShardPiece(index=i, count=shards, data=tuple(bucket))
+        for i, bucket in enumerate(buckets)
+    ]
+
+
+def _route_element(element: int, pieces) -> List[int]:
+    """An element can only live in its own hash bucket: scatter to one shard."""
+    return [stable_bucket(element, len(pieces))]
+
+
+def _locate_element(element, pieces):
+    return stable_bucket(element, len(pieces))
+
+
+def membership_shard_spec() -> ShardSpec:
+    """Union sharding for L1: hash-bucket the list, route e to its bucket.
+
+    Membership is existential, so the gather is plain disjunction -- and
+    because the partition is by element content, both queries and change
+    batches route to exactly one shard.
+    """
+    return ShardSpec(
+        policy="hash",
+        split=_split_list,
+        merge=union_merge(),
+        route=_route_element,
+        locate=_locate_element,
+    )
+
+
 def sorted_run_scheme() -> PiScheme:
     """Sort once (PTIME), binary-search per query (O(log n))."""
 
@@ -78,6 +117,7 @@ def sorted_run_scheme() -> PiScheme:
         description="sort M, then O(log|M|) binary search (Section 4(2))",
         dump=dump,
         load=load,
+        sharding=membership_shard_spec(),
     )
 
 

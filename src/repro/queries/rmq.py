@@ -16,9 +16,10 @@ from typing import List, Tuple
 from repro.core.cost import CostTracker
 from repro.core.query import PiScheme, QueryClass, state_codec
 from repro.indexes.rmq import FischerHeunRMQ
-from repro.indexes.sparse_table import SparseTable, naive_range_min
+from repro.indexes.sparse_table import SparseTable, check_rmq_range, naive_range_min
+from repro.service.merge import ShardPiece, ShardSpec, monoid_merge, range_blocks
 
-__all__ = ["rmq_class", "fischer_heun_scheme", "sparse_table_scheme"]
+__all__ = ["rmq_class", "rmq_shard_spec", "fischer_heun_scheme", "sparse_table_scheme"]
 
 ArrayData = Tuple[int, ...]
 RMQQuery = Tuple[int, int, int]  # (i, j, p): is p the leftmost argmin of A[i..j]?
@@ -59,6 +60,87 @@ def rmq_class() -> QueryClass:
     )
 
 
+def _split_array(data: ArrayData, shards: int) -> List[ShardPiece]:
+    """Range-partition A into balanced contiguous blocks (offset metadata).
+
+    Block boundaries depend only on ``(len(A), shards)``, so an in-place
+    point write leaves every other block's content-addressed artifact warm.
+    """
+    return [
+        ShardPiece(
+            index=i,
+            count=shards,
+            data=tuple(data[offset : offset + length]),
+            meta={"offset": offset, "length": length},
+        )
+        for i, (offset, length) in enumerate(range_blocks(len(data), shards))
+    ]
+
+
+def _route_window(query: RMQQuery, pieces) -> List[int]:
+    """Scatter only to blocks overlapping the query window [i, j].
+
+    Malformed windows raise exactly like the monolithic indexes do, so the
+    sharded path never silently clamps a query the scheme would reject.
+    """
+    i, j, _position = query
+    check_rmq_range(i, j, sum(piece.meta["length"] for piece in pieces))
+    return [
+        position
+        for position, piece in enumerate(pieces)
+        if piece.meta["offset"] <= j
+        and piece.meta["offset"] + piece.meta["length"] - 1 >= i
+    ]
+
+
+def _rmq_partial(index, query: RMQQuery, meta, tracker: CostTracker):
+    """A block's partial aggregate: (min value, leftmost *global* argmin).
+
+    The query window is rebased into block-local coordinates; a block the
+    window misses entirely contributes the monoid identity (None).
+    """
+    i, j, _position = query
+    low = max(i - meta["offset"], 0)
+    high = min(j - meta["offset"], meta["length"] - 1)
+    if low > high:
+        return None
+    local = index.argmin(low, high, tracker)
+    return (index.value_at(local), meta["offset"] + local)
+
+
+def _locate_position(item, pieces):
+    """Route a changed array position to its block (non-int items unroutable)."""
+    if not isinstance(item, int):
+        return None
+    for position, piece in enumerate(pieces):
+        offset = piece.meta["offset"]
+        if offset <= item < offset + piece.meta["length"]:
+            return position
+    return None
+
+
+def rmq_shard_spec() -> ShardSpec:
+    """Monoid-combine sharding for L2: fold (value, position) minima.
+
+    Lexicographic ``min`` over ``(value, global position)`` pairs is
+    associative and commutative and ties break leftmost -- exactly the
+    semantics of :func:`repro.indexes.sparse_table.naive_range_min` -- so
+    the gather answers "is p the leftmost argmin of A[i..j]?" exactly.
+    """
+    return ShardSpec(
+        policy="range",
+        split=_split_array,
+        merge=monoid_merge(
+            _rmq_partial,
+            fold=min,
+            finalize=lambda best, query: best is not None and best[1] == query[2],
+            name="monoid[min,leftmost]",
+        ),
+        route=_route_window,
+        locate=_locate_position,
+    )
+
+
 def fischer_heun_scheme() -> PiScheme:
     """[18]: O(n) preprocessing, O(1) queries."""
 
@@ -77,6 +159,7 @@ def fischer_heun_scheme() -> PiScheme:
         description="block decomposition + Cartesian signatures (O(1) query)",
         dump=dump,
         load=load,
+        sharding=rmq_shard_spec(),
     )
 
 
@@ -98,4 +181,5 @@ def sparse_table_scheme() -> PiScheme:
         description="dyadic-window sparse table (O(1) query)",
         dump=dump,
         load=load,
+        sharding=rmq_shard_spec(),
     )

@@ -20,6 +20,13 @@ from repro.core.cost import CostTracker
 from repro.core.query import PiScheme, QueryClass, state_codec
 from repro.indexes.btree import BPlusTree
 from repro.indexes.hash_index import HashIndex
+from repro.service.merge import (
+    ShardPiece,
+    ShardSpec,
+    locate_by_content,
+    stable_bucket,
+    union_merge,
+)
 from repro.storage.relation import Relation, uniform_int_relation
 
 __all__ = [
@@ -28,6 +35,7 @@ __all__ = [
     "btree_point_scheme",
     "hash_point_scheme",
     "btree_range_scheme",
+    "selection_shard_spec",
 ]
 
 PointQuery = Tuple[str, int]  # (A, c)
@@ -113,6 +121,33 @@ def range_selection_class() -> QueryClass:
     )
 
 
+def _split_relation(relation: Relation, shards: int) -> List[ShardPiece]:
+    """Hash-partition rows into ``shards`` sub-relations under the same schema.
+
+    Partitioning by row *content* (not row id) means an inserted or deleted
+    tuple changes exactly one shard's fingerprint, so change batches rebuild
+    one shard.  Queries probe by attribute value, which the row hash cannot
+    route, so selection scatters to every shard.
+    """
+    buckets = [Relation(relation.schema) for _ in range(shards)]
+    for row in relation.rows():
+        buckets[stable_bucket(row, shards)].insert(row)
+    return [
+        ShardPiece(index=i, count=shards, data=bucket)
+        for i, bucket in enumerate(buckets)
+    ]
+
+
+def selection_shard_spec() -> ShardSpec:
+    """Union sharding for Example 1 / Section 4(1): exists-queries disjoin."""
+    return ShardSpec(
+        policy="hash",
+        split=_split_relation,
+        merge=union_merge(),
+        locate=locate_by_content,
+    )
+
+
 def _build_btrees(relation: Relation, tracker: CostTracker) -> dict:
     indexes = {}
     for attribute in relation.schema.attribute_names():
@@ -146,6 +181,7 @@ def btree_point_scheme() -> PiScheme:
         description="B+-tree per attribute (paper, Example 1)",
         dump=dump,
         load=load,
+        sharding=selection_shard_spec(),
     )
 
 
@@ -164,6 +200,7 @@ def btree_range_scheme() -> PiScheme:
         description="B+-tree range probe (paper, Section 4(1))",
         dump=dump,
         load=load,
+        sharding=selection_shard_spec(),
     )
 
 
@@ -195,4 +232,5 @@ def hash_point_scheme() -> PiScheme:
         description="hash index per attribute; O(1) expected probes",
         dump=dump,
         load=load,
+        sharding=selection_shard_spec(),
     )

@@ -27,8 +27,16 @@ from typing import Dict, List, Sequence, Tuple
 
 from repro.core.cost import CostTracker, ensure_tracker
 from repro.core.query import PiScheme, QueryClass, state_codec
+from repro.service.merge import (
+    ShardPiece,
+    ShardSpec,
+    kway_merge,
+    locate_by_content,
+    merge_sorted_desc,
+    stable_bucket,
+)
 
-__all__ = ["TopKIndex", "topk_class", "threshold_algorithm_scheme"]
+__all__ = ["TopKIndex", "topk_class", "topk_shard_spec", "threshold_algorithm_scheme"]
 
 #: Data: a list of score rows (one score per attribute, floats kept as ints
 #: for exact arithmetic).  Query: (weights, k, theta).
@@ -80,6 +88,41 @@ class TopKIndex:
         ]
         return index
 
+    def _ta_rounds(self, weights: Sequence[int], k: int, tracker: CostTracker):
+        """The TA sorted-access walk, one round per depth.
+
+        Yields ``(tau, top_scores, accesses)`` after each round: the current
+        frontier bound, the (live) min-heap of the best <= k aggregates seen,
+        and the cumulative sorted-access count.  Both the theta-deciding
+        evaluator and the per-shard top-k partial consume this single walk,
+        differing only in their stop condition.
+        """
+        n = len(self.rows)
+        seen: Dict[int, int] = {}
+        top_scores: List[int] = []  # min-heap of the best k aggregates
+        accesses = 0
+        for depth in range(n):
+            frontier = []
+            for entries in self.sorted_lists:
+                score, row_id = entries[depth]
+                accesses += 1
+                tracker.tick(1)
+                frontier.append(score)
+                if row_id not in seen:
+                    aggregate = sum(
+                        weight * value
+                        for weight, value in zip(weights, self.rows[row_id])
+                    )
+                    tracker.tick(self.arity)
+                    seen[row_id] = aggregate
+                    if len(top_scores) < k:
+                        heapq.heappush(top_scores, aggregate)
+                    elif aggregate > top_scores[0]:
+                        heapq.heapreplace(top_scores, aggregate)
+            tau = sum(weight * score for weight, score in zip(weights, frontier))
+            tracker.tick(self.arity)
+            yield tau, top_scores, accesses
+
     def kth_score_at_least(
         self,
         weights: Sequence[int],
@@ -99,31 +142,9 @@ class TopKIndex:
         tracker = ensure_tracker(tracker)
         if k < 1 or len(weights) != self.arity:
             raise ValueError("bad top-k query")
-        n = len(self.rows)
-        k = min(k, n)
-        seen: Dict[int, int] = {}
-        top_scores: List[int] = []  # min-heap of the best k aggregates
-        accesses = 0
-        for depth in range(n):
-            frontier = []
-            for attribute, entries in enumerate(self.sorted_lists):
-                score, row_id = entries[depth]
-                accesses += 1
-                tracker.tick(1)
-                frontier.append(score)
-                if row_id not in seen:
-                    aggregate = sum(
-                        weight * value
-                        for weight, value in zip(weights, self.rows[row_id])
-                    )
-                    tracker.tick(self.arity)
-                    seen[row_id] = aggregate
-                    if len(top_scores) < k:
-                        heapq.heappush(top_scores, aggregate)
-                    elif aggregate > top_scores[0]:
-                        heapq.heapreplace(top_scores, aggregate)
-            tau = sum(weight * score for weight, score in zip(weights, frontier))
-            tracker.tick(self.arity)
+        k = min(k, len(self.rows))
+        kth_best, accesses = None, 0
+        for tau, top_scores, accesses in self._ta_rounds(weights, k, tracker):
             kth_best = top_scores[0] if len(top_scores) == k else None
             # Early decisions against theta.
             if kth_best is not None and kth_best >= theta:
@@ -135,8 +156,80 @@ class TopKIndex:
             # Classic TA stop: the k-th best dominates the frontier bound.
             if kth_best is not None and kth_best >= tau:
                 return kth_best >= theta, accesses
-        kth_best = top_scores[0] if len(top_scores) == k else None
         return (kth_best is not None and kth_best >= theta), accesses
+
+    def top_aggregates(
+        self,
+        weights: Sequence[int],
+        k: int,
+        tracker: CostTracker | None = None,
+    ) -> List[int]:
+        """The exact top-``min(k, n)`` weighted aggregates, descending.
+
+        The same TA sorted-access walk as :meth:`kth_score_at_least`, stopped
+        by the classic TA condition alone (k-th best dominates the frontier
+        bound tau), so the returned run is exact regardless of any theta.
+        This is the per-shard *partial* of the k-way merge operator: the
+        global top-k is contained in the union of per-shard top-k runs.
+        """
+        tracker = ensure_tracker(tracker)
+        if k < 1 or len(weights) != self.arity:
+            raise ValueError("bad top-k request")
+        k = min(k, len(self.rows))
+        best: List[int] = []
+        for tau, top_scores, _accesses in self._ta_rounds(weights, k, tracker):
+            best = top_scores
+            if len(top_scores) == k and top_scores[0] >= tau:
+                break
+        return sorted(best, reverse=True)
+
+
+def _split_table(table: ScoreTable, shards: int) -> List[ShardPiece]:
+    """Hash-partition score rows; duplicates co-locate but stay distinct rows."""
+    buckets: List[List[Tuple[int, ...]]] = [[] for _ in range(shards)]
+    for row in table:
+        buckets[stable_bucket(row, shards)].append(row)
+    return [
+        ShardPiece(index=i, count=shards, data=tuple(bucket))
+        for i, bucket in enumerate(buckets)
+    ]
+
+
+def _topk_partial(index: "TopKIndex", query: TopKQuery, meta, tracker: CostTracker):
+    """A shard's partial: (descending top-k run, shard cardinality).
+
+    Invalid requests (k < 1, wrong weight arity) raise inside
+    :meth:`TopKIndex.top_aggregates`, mirroring the monolithic evaluator.
+    """
+    weights, k, _theta = query
+    return index.top_aggregates(weights, k, tracker), len(index)
+
+
+def _topk_finalize(partials, query: TopKQuery) -> bool:
+    """K-way merge the per-shard runs and test the global k-th aggregate."""
+    _weights, k, theta = query
+    total = sum(size for _run, size in partials)
+    if total == 0:
+        # Every shard was empty: the monolithic path cannot even build.
+        raise ValueError("top-k index needs at least one row")
+    k = min(k, total)
+    merged = merge_sorted_desc([run for run, _size in partials], k)
+    return len(merged) == k and merged[k - 1] >= theta
+
+
+def topk_shard_spec() -> ShardSpec:
+    """K-way-merge sharding for Section 8(5): local TA runs, global k-th test.
+
+    Every shard emits its exact local top-k (TA with early termination);
+    the gather k-way merges the sorted runs, so the global k-th weighted
+    aggregate -- and hence the Boolean theta comparison -- is exact.
+    """
+    return ShardSpec(
+        policy="hash",
+        split=_split_table,
+        merge=kway_merge(_topk_partial, _topk_finalize, name="kway[topk]"),
+        locate=locate_by_content,
+    )
 
 
 def _generate_table(size: int, rng: random.Random) -> ScoreTable:
@@ -209,4 +302,5 @@ def threshold_algorithm_scheme() -> PiScheme:
         description="TA with early termination over sorted score lists [14]",
         dump=dump,
         load=load,
+        sharding=topk_shard_spec(),
     )

@@ -17,11 +17,38 @@ This package persists built structures and serves query batches against them:
     :class:`QueryEngine` -- accepts batches of mixed queries, resolves each
     to a cached artifact (building and persisting on miss), executes
     batches on a thread pool, and keeps per-scheme serving statistics.
+
+:mod:`repro.service.merge`
+    :class:`ShardSpec` and the merge-operator families (union, monoid
+    combine, k-way merge) that schemes declare to become shardable.
+
+:mod:`repro.service.sharding`
+    :class:`ShardPlanner` -- partitions datasets into K shards, builds
+    per-shard Pi-structures in parallel, persists each as an independent
+    content-addressed artifact, and serves queries by scatter-gather.
 """
 
 from repro.service.artifacts import ArtifactKey, ArtifactStore
 from repro.service.cache import LRUArtifactCache
 from repro.service.engine import EngineStats, QueryEngine, QueryRequest, SchemeStats
+from repro.service.merge import (
+    MergeOperator,
+    ShardPiece,
+    ShardSpec,
+    kway_merge,
+    monoid_merge,
+    range_blocks,
+    stable_bucket,
+    union_merge,
+)
+from repro.service.sharding import (
+    PlannedShard,
+    ShardedStructure,
+    ShardPlan,
+    ShardPlanner,
+    plan_diff,
+    touched_shards,
+)
 
 __all__ = [
     "ArtifactKey",
@@ -31,4 +58,18 @@ __all__ = [
     "QueryEngine",
     "QueryRequest",
     "SchemeStats",
+    "MergeOperator",
+    "ShardPiece",
+    "ShardSpec",
+    "kway_merge",
+    "monoid_merge",
+    "range_blocks",
+    "stable_bucket",
+    "union_merge",
+    "PlannedShard",
+    "ShardedStructure",
+    "ShardPlan",
+    "ShardPlanner",
+    "plan_diff",
+    "touched_shards",
 ]

@@ -20,6 +20,16 @@ Version mismatches (the store format or a scheme's ``artifact_version``)
 raise :class:`~repro.core.errors.ArtifactVersionError` -- the caller treats
 that exactly like a miss and rebuilds, which is always safe because
 artifacts are pure caches of PTIME-recomputable state.
+
+    >>> import tempfile
+    >>> from repro.service.artifacts import ArtifactKey, ArtifactStore
+    >>> store = ArtifactStore(tempfile.mkdtemp())
+    >>> key = ArtifactKey(fingerprint="ab" * 32, scheme="demo-scheme", params="|v1")
+    >>> _ = store.put(key, b"pi-structure-bytes")
+    >>> store.get(key)
+    b'pi-structure-bytes'
+    >>> store.contains(key), store.delete(key), store.contains(key)
+    (True, True, False)
 """
 
 from __future__ import annotations

@@ -4,7 +4,18 @@ The artifact store removes the *build* cost from warm serving; this cache
 also removes the *load* (deserialization) cost for artifacts that are hot
 within one process.  Capacity is counted in entries, not bytes -- the
 structures here are polynomial-size by construction and the engine's working
-set is a handful of (dataset, scheme) pairs.
+set is a handful of (dataset, scheme) pairs.  Sharded kinds cache one entry
+per shard, so hot shards of a cold dataset still serve from memory.
+
+    >>> from repro.service.cache import LRUArtifactCache
+    >>> cache = LRUArtifactCache(capacity=2)
+    >>> cache.put("pi-structure-key", [1, 2, 3])
+    >>> cache.get("pi-structure-key")
+    [1, 2, 3]
+    >>> cache.get("never-seen") is None
+    True
+    >>> cache.stats().hits, cache.stats().misses
+    (1, 1)
 """
 
 from __future__ import annotations
@@ -67,7 +78,10 @@ class LRUArtifactCache:
             return value
 
     def put(self, key: Hashable, value: Any) -> None:
-        """Insert or refresh; evicts the least-recently-used entry when full."""
+        """Insert or refresh ``key``; evicts the least-recently-used when full.
+
+        Returns nothing; eviction is recorded in :meth:`stats`.
+        """
         with self._lock:
             if key in self._entries:
                 self._entries.move_to_end(key)
@@ -79,10 +93,12 @@ class LRUArtifactCache:
             self._entries[key] = value
 
     def invalidate(self, key: Hashable) -> bool:
+        """Drop ``key``; returns True when an entry was actually removed."""
         with self._lock:
             return self._entries.pop(key, _MISS) is not _MISS
 
     def clear(self) -> None:
+        """Drop every entry (counters are kept; they are cumulative)."""
         with self._lock:
             self._entries.clear()
 
@@ -95,6 +111,7 @@ class LRUArtifactCache:
             return key in self._entries
 
     def stats(self) -> CacheStats:
+        """An immutable snapshot of hit/miss/eviction counters and occupancy."""
         with self._lock:
             return CacheStats(
                 hits=self._hits,

@@ -17,6 +17,22 @@ per artifact under concurrent misses, and all counters are lock-protected.
 Per-scheme statistics separate build time from serve time, which is exactly
 the cost split (PTIME once vs. polylog each) the paper's Definition 1 is
 about.
+
+Registering a kind with ``shards=K`` (for schemes that declare a
+:class:`~repro.service.merge.ShardSpec`) swaps the monolithic path for the
+:class:`~repro.service.sharding.ShardPlanner`: K per-shard structures built
+in parallel, persisted independently, and served by scatter-gather.
+
+    >>> from repro.queries import membership_class, sorted_run_scheme
+    >>> from repro.service.engine import QueryEngine, QueryRequest
+    >>> engine = QueryEngine()
+    >>> engine.register("membership", membership_class(), sorted_run_scheme())
+    >>> engine.execute(QueryRequest("membership", (3, 1, 4), 4))
+    True
+    >>> engine.execute(QueryRequest("membership", (3, 1, 4), 9))
+    False
+    >>> engine.stats().per_kind["membership"].builds  # built once, served twice
+    1
 """
 
 from __future__ import annotations
@@ -33,6 +49,7 @@ from repro.core.errors import ArtifactError, ServiceError
 from repro.core.query import PiScheme, QueryClass
 from repro.service.artifacts import ArtifactKey, ArtifactStore
 from repro.service.cache import CacheStats, LRUArtifactCache
+from repro.service.sharding import ShardPlanner
 from repro.storage.fingerprint import dataset_fingerprint
 
 __all__ = ["QueryRequest", "SchemeStats", "EngineStats", "QueryEngine"]
@@ -56,7 +73,15 @@ class QueryRequest:
 
 @dataclass
 class SchemeStats:
-    """Serving counters for one registered kind."""
+    """Serving counters for one registered kind.
+
+    The plain counters (``builds``, ``cache_hits``, ``store_hits``) count
+    monolithic artifact resolutions; the ``shard_*`` counters count
+    *per-shard* resolutions for kinds registered with ``shards=K`` (a single
+    cold sharded resolve bumps ``shard_builds`` once per non-empty shard).
+    ``shard_serve_seconds`` accumulates scatter-gather time, already included
+    in ``serve_seconds``.
+    """
 
     scheme: str = ""
     queries: int = 0
@@ -65,14 +90,21 @@ class SchemeStats:
     builds: int = 0
     build_seconds: float = 0.0
     serve_seconds: float = 0.0
+    shards: int = 1
+    shard_builds: int = 0
+    shard_cache_hits: int = 0
+    shard_store_hits: int = 0
+    shard_build_seconds: float = 0.0
+    shard_serve_seconds: float = 0.0
 
     @property
     def hit_rate(self) -> float:
-        """Fraction of artifact resolutions that skipped the build."""
-        resolutions = self.cache_hits + self.store_hits + self.builds
+        """Fraction of artifact resolutions (monolithic or shard) that skipped a build."""
+        hits = self.cache_hits + self.store_hits + self.shard_cache_hits + self.shard_store_hits
+        resolutions = hits + self.builds + self.shard_builds
         if not resolutions:
             return 0.0
-        return (self.cache_hits + self.store_hits) / resolutions
+        return hits / resolutions
 
 
 @dataclass(frozen=True)
@@ -83,6 +115,7 @@ class EngineStats:
     cache: CacheStats
 
     def total_queries(self) -> int:
+        """Queries answered across every registered kind since the last reset."""
         return sum(stats.queries for stats in self.per_kind.values())
 
 
@@ -91,10 +124,23 @@ class _Registration:
     query_class: QueryClass
     scheme: PiScheme
     params: str
+    shards: int = 1
 
 
 class QueryEngine:
-    """Resolve-and-serve engine over registered (query class, Pi-scheme) pairs."""
+    """Resolve-and-serve engine over registered (query class, Pi-scheme) pairs.
+
+    Parameters
+    ----------
+    store:
+        Optional :class:`~repro.service.artifacts.ArtifactStore` for durable
+        artifacts; without one, structures live in the memory cache only.
+    cache_entries:
+        Capacity of the in-process LRU artifact cache.
+    max_workers:
+        Thread-pool width for :meth:`execute_batch` and for parallel shard
+        builds.
+    """
 
     def __init__(
         self,
@@ -113,6 +159,7 @@ class QueryEngine:
         self._fingerprints: "OrderedDict[int, Tuple[Any, str]]" = OrderedDict()
         self._fingerprints_lock = threading.Lock()
         self._max_workers = max(1, max_workers)
+        self._planner = ShardPlanner(self, max_workers=self._max_workers)
         self._pool: Optional[ThreadPoolExecutor] = None
         self._pool_guard = threading.Lock()
         self._closed = False
@@ -126,40 +173,83 @@ class QueryEngine:
         scheme: PiScheme,
         *,
         params: str = "",
+        shards: int = 1,
     ) -> None:
         """Expose ``scheme`` for serving queries of ``kind``.
 
-        ``params`` distinguishes variant builds of the same scheme; the
-        scheme's ``artifact_version`` is appended so layout changes never
-        alias old artifacts.
+        Parameters
+        ----------
+        kind:
+            Name requests use; must be unused.
+        query_class:
+            Reference semantics (kept for workload generation and testing).
+        scheme:
+            The Pi-scheme that builds and answers.
+        params:
+            Distinguishes variant builds of the same scheme; the scheme's
+            ``artifact_version`` is appended so layout changes never alias
+            old artifacts.
+        shards:
+            ``1`` (default) serves one monolithic structure per dataset;
+            ``K > 1`` partitions each dataset into K shards and serves by
+            scatter-gather -- the scheme must declare a
+            :class:`~repro.service.merge.ShardSpec` via ``scheme.sharding``.
         """
         if kind in self._registrations:
             raise ServiceError(f"kind {kind!r} is already registered")
+        if shards < 1:
+            raise ServiceError(f"shards must be >= 1, got {shards}")
+        if shards > 1 and scheme.sharding is None:
+            raise ServiceError(
+                f"scheme {scheme.name!r} declares no ShardSpec; register "
+                f"kind {kind!r} with shards=1 or add a sharding spec "
+                "(see repro.service.merge)"
+            )
         token = f"{params}|v{scheme.artifact_version}"
-        self._registrations[kind] = _Registration(query_class, scheme, token)
-        self._stats[kind] = SchemeStats(scheme=scheme.name)
+        self._registrations[kind] = _Registration(query_class, scheme, token, shards)
+        self._stats[kind] = SchemeStats(scheme=scheme.name, shards=shards)
 
     @classmethod
-    def from_registry(cls, registry: Any, **engine_kwargs: Any) -> "QueryEngine":
+    def from_registry(
+        cls, registry: Any, *, shards: int = 1, **engine_kwargs: Any
+    ) -> "QueryEngine":
         """An engine serving every servable entry of a Figure 2 registry.
 
         Each :class:`~repro.core.classes.RegistryEntry` with a query class
         and at least one scheme is registered under the entry's name, using
         its first *serializable* scheme when one exists (so the artifact
         store can be used), else its first scheme (memory-cache only).
+
+        Parameters
+        ----------
+        shards:
+            Shard count applied to every kind whose serving scheme declares
+            a :class:`~repro.service.merge.ShardSpec`; kinds without one
+            keep the monolithic path.
         """
         engine = cls(**engine_kwargs)
         for entry in registry.entries():
             scheme = entry.serving_scheme()
             if entry.query_class is None or scheme is None:
                 continue
-            engine.register(entry.name, entry.query_class, scheme)
+            kind_shards = shards if shards > 1 and scheme.sharding is not None else 1
+            engine.register(entry.name, entry.query_class, scheme, shards=kind_shards)
         return engine
 
     def kinds(self) -> List[str]:
+        """Sorted names of every registered query kind."""
         return sorted(self._registrations)
 
+    def shardable_kinds(self) -> List[str]:
+        """Registered kinds whose scheme declares a ShardSpec (sorted)."""
+        return sorted(
+            kind
+            for kind, registration in self._registrations.items()
+            if registration.scheme.sharding is not None
+        )
+
     def registration(self, kind: str) -> Tuple[QueryClass, PiScheme]:
+        """The ``(query class, scheme)`` pair registered under ``kind``."""
         registration = self._registration(kind)
         return registration.query_class, registration.scheme
 
@@ -199,6 +289,12 @@ class QueryEngine:
         return fingerprint
 
     def artifact_key(self, kind: str, data: Any) -> ArtifactKey:
+        """The monolithic artifact identity of ``(kind, data)``.
+
+        For sharded kinds this is still the *dataset-level* identity (useful
+        as a stable handle); the per-shard keys derive from it via
+        :meth:`~repro.service.sharding.ShardPlanner.shard_key`.
+        """
         registration = self._registration(kind)
         return ArtifactKey(
             fingerprint=self._fingerprint(data),
@@ -214,13 +310,41 @@ class QueryEngine:
             return lock
 
     def resolve(self, kind: str, data: Any) -> Any:
-        """The Pi-structure for (kind, data): cache, then store, then build."""
+        """The Pi-structure for ``(kind, data)``: cache, then store, then build.
+
+        Returns the scheme's preprocessed structure -- or, for a kind
+        registered with ``shards=K``, a
+        :class:`~repro.service.sharding.ShardedStructure` bundling the plan
+        with every per-shard structure (missing shards built in parallel).
+        """
+        if self._closed:
+            raise ServiceError("engine is closed")
         registration = self._registration(kind)
+        if registration.shards > 1:
+            return self._planner.resolve(kind, registration, data)
         key = self.artifact_key(kind, data)
         structure = self._cache.get(key)
         if structure is not None:
             self._bump(kind, cache_hits=1)
             return structure
+        return self._resolve_miss(kind, registration, key, data)
+
+    def _resolve_miss(
+        self,
+        kind: str,
+        registration: _Registration,
+        key: ArtifactKey,
+        data: Any,
+        *,
+        shard: bool = False,
+    ) -> Any:
+        """Cache-miss path shared by monolithic and per-shard resolution.
+
+        The caller has already probed the cache (and recorded the miss);
+        this takes the per-key build lock, rechecks, then loads from the
+        store or builds and persists.  ``shard=True`` routes the counters to
+        the ``shard_*`` statistics.
+        """
         try:
             with self._build_lock(key):
                 # Recheck without recording: this lookup was already counted
@@ -228,15 +352,17 @@ class QueryEngine:
                 # finished the build first.
                 structure = self._cache.get(key, record=False)
                 if structure is not None:
-                    self._bump(kind, cache_hits=1)
+                    self._bump(kind, **{("shard_cache_hits" if shard else "cache_hits"): 1})
                     return structure
-                structure = self._load_from_store(kind, registration, key)
+                structure = self._load_from_store(kind, registration, key, shard=shard)
                 if structure is None:
                     started = time.perf_counter()
                     structure = registration.scheme.preprocess(data, CostTracker())
-                    self._bump(
-                        kind, builds=1, build_seconds=time.perf_counter() - started
-                    )
+                    elapsed = time.perf_counter() - started
+                    if shard:
+                        self._bump(kind, shard_builds=1, shard_build_seconds=elapsed)
+                    else:
+                        self._bump(kind, builds=1, build_seconds=elapsed)
                     if self._store is not None and registration.scheme.dump is not None:
                         self._store.put(key, registration.scheme.dump(structure))
                 self._cache.put(key, structure)
@@ -251,7 +377,12 @@ class QueryEngine:
         return structure
 
     def _load_from_store(
-        self, kind: str, registration: _Registration, key: ArtifactKey
+        self,
+        kind: str,
+        registration: _Registration,
+        key: ArtifactKey,
+        *,
+        shard: bool = False,
     ) -> Optional[Any]:
         if self._store is None or registration.scheme.load is None:
             return None
@@ -264,28 +395,35 @@ class QueryEngine:
         if payload is None:
             return None
         structure = registration.scheme.load(payload)
-        self._bump(kind, store_hits=1)
+        self._bump(kind, **{("shard_store_hits" if shard else "store_hits"): 1})
         return structure
 
     def warm(self, kind: str, data: Any) -> ArtifactKey:
-        """Pre-build (and persist) the artifact for (kind, data)."""
+        """Pre-build (and persist) the artifact(s) for ``(kind, data)``.
+
+        For sharded kinds this builds every shard; the returned key is the
+        dataset-level identity (see :meth:`artifact_key`).
+        """
         self.resolve(kind, data)
         return self.artifact_key(kind, data)
 
     def invalidate(self, data: Any) -> None:
         """Forget a dataset after in-place mutation.
 
-        Drops the memoized fingerprint for this object (and the cached
-        structure built from its old content, for every registered kind),
-        so the next request re-fingerprints the new content and builds or
-        loads the matching artifact.  Artifacts for the *old* content stay
-        in the store -- they are still correct for that content.
+        Drops the memoized fingerprint for this object, the cached monolithic
+        structures built from its old content (for every registered kind),
+        and any memoized shard plans -- so the next request re-fingerprints
+        the new content and builds or loads the matching artifacts.  Shard
+        artifacts are content-addressed, so shards whose content survived the
+        mutation still resolve warm; artifacts for the *old* content stay in
+        the store -- they are still correct for that content.
         """
         with self._fingerprints_lock:
             entry = self._fingerprints.pop(id(data), None)
         if entry is None:
             return
         _, fingerprint = entry
+        self._planner.forget(fingerprint)
         for registration in self._registrations.values():
             self._cache.invalidate(
                 ArtifactKey(
@@ -298,10 +436,23 @@ class QueryEngine:
     # -- execution -------------------------------------------------------------
 
     def execute(self, request: QueryRequest) -> bool:
-        """Answer one request through the artifact layers."""
+        """Answer one request through the artifact layers.
+
+        Returns the Boolean answer; serve time (including scatter-gather for
+        sharded kinds) is recorded per kind.
+        """
         if self._closed:
             raise ServiceError("engine is closed")
         registration = self._registration(request.kind)
+        if registration.shards > 1:
+            # Route-aware scatter-gather: the query is rewritten and routed
+            # once, and only the shards it scatters to are resolved (cold
+            # shards build lazily, in parallel).
+            answer, serve_seconds = self._planner.serve(
+                request.kind, registration, request.data, request.query
+            )
+            self._bump(request.kind, queries=1, serve_seconds=serve_seconds)
+            return answer
         structure = self.resolve(request.kind, request.data)
         started = time.perf_counter()
         answer = registration.scheme.answer(structure, request.query)
@@ -321,7 +472,8 @@ class QueryEngine:
         With ``concurrent=True`` requests are spread over the thread pool;
         answers are identical to sequential execution because evaluators
         never mutate the preprocessed structures and builds are serialized
-        per artifact key.
+        per artifact key.  (Shard builds run on the planner's separate pool,
+        so concurrent sharded requests cannot starve the serving pool.)
         """
         requests = list(requests)
         if not concurrent or len(requests) <= 1:
@@ -348,6 +500,7 @@ class QueryEngine:
                 setattr(stats, name, getattr(stats, name) + delta)
 
     def stats(self) -> EngineStats:
+        """An immutable snapshot of per-kind and cache counters."""
         with self._stats_lock:
             per_kind = {kind: replace(stats) for kind, stats in self._stats.items()}
         return EngineStats(per_kind=per_kind, cache=self._cache.stats())
@@ -356,10 +509,12 @@ class QueryEngine:
         """Zero the per-kind counters (cache counters are cumulative)."""
         with self._stats_lock:
             for kind, stats in self._stats.items():
-                self._stats[kind] = SchemeStats(scheme=stats.scheme)
+                self._stats[kind] = SchemeStats(scheme=stats.scheme, shards=stats.shards)
 
     def close(self) -> None:
+        """Shut down the serving and shard-build pools; further work errors."""
         self._closed = True
+        self._planner.close()
         with self._pool_guard:
             if self._pool is not None:
                 self._pool.shutdown(wait=True)

@@ -1,0 +1,458 @@
+"""Sharded Pi-structures: partitioned preprocessing with scatter-gather serving.
+
+A monolithic Pi-structure makes build cost and memory scale with a single
+process.  The :class:`ShardPlanner` instead partitions a dataset into K
+shards (policy declared per scheme via
+:class:`~repro.service.merge.ShardSpec`), builds one small Pi-structure per
+shard *in parallel*, persists each as an independent
+:class:`~repro.service.artifacts.ArtifactStore` artifact, and serves queries
+by scatter-gather through the scheme's merge operator.
+
+Shard artifacts are **content-addressed**: each is keyed by the shard's own
+dataset fingerprint plus ``(shard id, K, scheme, params)``.  That is what
+makes shard-level invalidation automatic -- after an
+:mod:`repro.incremental` change batch mutates a dataset, re-planning yields
+identical fingerprints for every untouched shard, so their artifacts are
+cache/store hits and only the touched shards pay a rebuild
+(:func:`touched_shards` predicts which, :func:`plan_diff` verifies after the
+fact).
+
+    >>> from repro.queries import membership_class, sorted_run_scheme
+    >>> from repro.service.engine import QueryEngine, QueryRequest
+    >>> engine = QueryEngine()
+    >>> engine.register("membership", membership_class(), sorted_run_scheme(),
+    ...                 shards=4)
+    >>> data = tuple(range(100))
+    >>> _ = engine.warm("membership", data)  # builds all four shards in parallel
+    >>> engine.stats().per_kind["membership"].shard_builds
+    4
+    >>> engine.execute(QueryRequest("membership", data, 17))  # routed: 1 probe
+    True
+    >>> engine.close()
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.core.cost import ensure_tracker
+from repro.service.artifacts import ArtifactKey
+from repro.service.merge import ShardPiece, ShardSpec
+from repro.storage.fingerprint import dataset_fingerprint
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.service.engine import QueryEngine, _Registration
+
+__all__ = [
+    "PlannedShard",
+    "ShardPlan",
+    "ShardedStructure",
+    "ShardPlanner",
+    "touched_shards",
+    "plan_diff",
+]
+
+
+@dataclass(frozen=True)
+class PlannedShard:
+    """One shard of a plan: the piece plus its content fingerprint."""
+
+    piece: ShardPiece
+    fingerprint: str
+
+
+@dataclass(frozen=True)
+class ShardPlan:
+    """The partition of one dataset for one query kind.
+
+    ``planned`` is ordered; merge routers address shards by *position* in
+    this sequence.  The plan is pure data -- re-planning the same content
+    yields the same fingerprints, which is what shard artifact reuse and
+    :func:`plan_diff` rely on.
+    """
+
+    kind: str
+    shards: int
+    policy: str
+    planned: Tuple[PlannedShard, ...]
+
+    def fingerprints(self) -> Tuple[str, ...]:
+        """Per-shard content fingerprints, in plan order."""
+        return tuple(planned.fingerprint for planned in self.planned)
+
+
+@dataclass(frozen=True)
+class ShardedStructure:
+    """A resolved plan: per-shard structures aligned with ``plan.planned``.
+
+    ``structures[i]`` is ``None`` exactly when ``plan.planned[i]`` is an
+    empty piece (no structure is built for it; the merge operator's
+    ``empty`` partial stands in at gather time).
+    """
+
+    plan: ShardPlan
+    structures: Tuple[Optional[Any], ...]
+
+    def built_count(self) -> int:
+        """Number of shards holding a live structure."""
+        return sum(1 for structure in self.structures if structure is not None)
+
+
+class ShardPlanner:
+    """Plan, build and serve sharded Pi-structures for a :class:`QueryEngine`.
+
+    The planner is engine-internal (the engine constructs one and routes
+    every ``shards > 1`` registration through it); it reuses the engine's
+    cache -> store -> build resolution per shard, so each shard artifact gets
+    the same corruption handling and double-checked build locking as a
+    monolithic artifact.
+
+    Shard builds run on a pool **separate from the engine's serving pool**:
+    a serving worker that waited on sibling tasks in its own pool could
+    deadlock once all workers wait on builds that cannot be scheduled.
+    Build tasks never submit further work, so the planner pool cannot
+    deadlock against itself.
+    """
+
+    #: Bound on the (kind, dataset fingerprint, K) -> plan memo.
+    PLAN_MEMO_ENTRIES = 32
+
+    def __init__(self, engine: "QueryEngine", max_workers: int = 4):
+        self._engine = engine
+        self._max_workers = max(1, max_workers)
+        self._plans: "OrderedDict[Tuple[str, str, int], ShardPlan]" = OrderedDict()
+        self._plans_lock = threading.Lock()
+        self._pool: Optional[ThreadPoolExecutor] = None
+        self._pool_guard = threading.Lock()
+        self._closed = False
+
+    # -- planning --------------------------------------------------------------
+
+    def plan(
+        self,
+        kind: str,
+        registration: "_Registration",
+        data: Any,
+        data_fingerprint: str,
+    ) -> ShardPlan:
+        """The shard plan for (kind, data): split + per-shard fingerprints.
+
+        Plans are memoized by ``(kind, dataset fingerprint, K)`` -- content
+        addressed, so two objects with equal content share a plan and an
+        in-place mutation (new fingerprint) naturally misses.
+        """
+        memo_key = (kind, data_fingerprint, registration.shards)
+        with self._plans_lock:
+            plan = self._plans.get(memo_key)
+            if plan is not None:
+                self._plans.move_to_end(memo_key)
+                return plan
+        spec = self._spec(registration)
+        pieces = spec.split(data, registration.shards)
+        planned = tuple(
+            PlannedShard(
+                piece=piece,
+                fingerprint="empty"
+                if piece.is_empty()
+                else dataset_fingerprint(piece.data),
+            )
+            for piece in pieces
+        )
+        plan = ShardPlan(
+            kind=kind,
+            shards=registration.shards,
+            policy=spec.policy,
+            planned=planned,
+        )
+        with self._plans_lock:
+            self._plans[memo_key] = plan
+            self._plans.move_to_end(memo_key)
+            while len(self._plans) > self.PLAN_MEMO_ENTRIES:
+                self._plans.popitem(last=False)
+        return plan
+
+    def forget(self, fingerprint: str) -> None:
+        """Drop memoized plans for a dataset fingerprint (after mutation)."""
+        with self._plans_lock:
+            stale = [key for key in self._plans if key[1] == fingerprint]
+            for key in stale:
+                del self._plans[key]
+
+    def shard_key(
+        self, registration: "_Registration", plan: ShardPlan, planned: PlannedShard
+    ) -> ArtifactKey:
+        """Artifact identity of one shard: content fingerprint + shard id."""
+        return ArtifactKey(
+            fingerprint=planned.fingerprint,
+            scheme=registration.scheme.name,
+            params=f"{registration.params}|s{planned.piece.index}/{plan.shards}",
+        )
+
+    # -- building --------------------------------------------------------------
+
+    def _rewrite(self, registration: "_Registration", query: Any) -> Any:
+        if registration.scheme.rewrite_query is not None:
+            return registration.scheme.rewrite_query(query)
+        return query
+
+    def _route(
+        self, registration: "_Registration", plan: ShardPlan, effective_query: Any
+    ) -> List[int]:
+        """Plan positions an (already rewritten) query scatters to."""
+        spec = self._spec(registration)
+        if spec.route is None:
+            return list(range(len(plan.planned)))
+        pieces = [planned.piece for planned in plan.planned]
+        return list(spec.route(effective_query, pieces))
+
+    def _resolve_positions(
+        self,
+        kind: str,
+        registration: "_Registration",
+        plan: ShardPlan,
+        positions: Iterable[int],
+    ) -> List[Optional[Any]]:
+        """Structures for the given plan positions (cache, store, or build).
+
+        Returns a plan-length list, ``None`` outside ``positions`` and for
+        empty pieces.  Misses are dispatched to the planner pool in parallel.
+        """
+        engine = self._engine
+        structures: List[Optional[Any]] = [None] * len(plan.planned)
+        misses: List[Tuple[int, PlannedShard, ArtifactKey]] = []
+        for position in positions:
+            planned = plan.planned[position]
+            if planned.piece.is_empty():
+                continue
+            key = self.shard_key(registration, plan, planned)
+            structure = engine._cache.get(key)
+            if structure is not None:
+                engine._bump(kind, shard_cache_hits=1)
+                structures[position] = structure
+            else:
+                misses.append((position, planned, key))
+        if len(misses) == 1:
+            position, planned, key = misses[0]
+            structures[position] = engine._resolve_miss(
+                kind, registration, key, planned.piece.data, shard=True
+            )
+        elif misses:
+            pool = self._ensure_pool()
+            futures = [
+                (
+                    position,
+                    pool.submit(
+                        engine._resolve_miss,
+                        kind,
+                        registration,
+                        key,
+                        planned.piece.data,
+                        shard=True,
+                    ),
+                )
+                for position, planned, key in misses
+            ]
+            for position, future in futures:
+                structures[position] = future.result()
+        return structures
+
+    def resolve(
+        self, kind: str, registration: "_Registration", data: Any
+    ) -> ShardedStructure:
+        """All shard structures for (kind, data), building misses in parallel.
+
+        Warm path: one memoized plan lookup plus one cache probe per shard.
+        Cold path: every missing shard build is dispatched to the planner
+        pool (engine stats record per-shard build counts and seconds).
+        """
+        plan = self.plan(kind, registration, data, self._engine._fingerprint(data))
+        structures = self._resolve_positions(
+            kind, registration, plan, range(len(plan.planned))
+        )
+        return ShardedStructure(plan=plan, structures=tuple(structures))
+
+    # -- serving ---------------------------------------------------------------
+
+    def serve(
+        self,
+        kind: str,
+        registration: "_Registration",
+        data: Any,
+        query: Any,
+        tracker: Any = None,
+    ) -> Tuple[bool, float]:
+        """Answer one query end to end: route once, resolve routed shards,
+        scatter-gather.
+
+        The query is rewritten and routed exactly once; only the routed
+        shards are resolved (cold shards build lazily, in parallel).
+        Returns ``(answer, scatter_seconds)`` -- the time spent evaluating
+        partials and merging, which the engine records as the serve cost.
+        """
+        plan = self.plan(kind, registration, data, self._engine._fingerprint(data))
+        effective = self._rewrite(registration, query)
+        positions = self._route(registration, plan, effective)
+        structures = self._resolve_positions(kind, registration, plan, positions)
+        answer, elapsed = self._scatter_gather(
+            registration, plan, structures, positions, effective, tracker
+        )
+        self._engine._bump(kind, shard_serve_seconds=elapsed)
+        return answer, elapsed
+
+    def answer(
+        self,
+        kind: str,
+        registration: "_Registration",
+        sharded: ShardedStructure,
+        query: Any,
+        tracker: Any = None,
+    ) -> bool:
+        """Scatter the query over an already-resolved :class:`ShardedStructure`.
+
+        A statistics-neutral primitive (no query/serve counters are bumped;
+        :meth:`serve` is the accounted path the engine uses).  Returns the
+        Boolean answer; identical to evaluating the scheme over the
+        monolithic structure (the K-vs-1 equivalence property test in
+        ``tests/property/test_prop_sharding.py`` enforces this for every
+        shardable kind).
+        """
+        effective = self._rewrite(registration, query)
+        positions = self._route(registration, sharded.plan, effective)
+        answer, _seconds = self._scatter_gather(
+            registration,
+            sharded.plan,
+            list(sharded.structures),
+            positions,
+            effective,
+            tracker,
+        )
+        return answer
+
+    def _scatter_gather(
+        self,
+        registration: "_Registration",
+        plan: ShardPlan,
+        structures: List[Optional[Any]],
+        positions: Iterable[int],
+        effective_query: Any,
+        tracker: Any = None,
+    ) -> Tuple[bool, float]:
+        """Evaluate partials over ``positions`` and gather with the merge
+        operator; returns ``(answer, elapsed_seconds)``.  Pure with respect
+        to engine statistics -- callers decide what to record."""
+        scheme = registration.scheme
+        merge = self._spec(registration).merge
+        tracker = ensure_tracker(tracker)
+        pieces = [planned.piece for planned in plan.planned]
+        started = time.perf_counter()
+        partials: List[Any] = []
+        for position in positions:
+            structure = structures[position]
+            if structure is None:
+                partials.append(
+                    merge.empty(effective_query) if merge.empty is not None else None
+                )
+            elif merge.partial is not None:
+                partials.append(
+                    merge.partial(
+                        structure, effective_query, pieces[position].meta, tracker
+                    )
+                )
+            else:
+                partials.append(
+                    bool(scheme.evaluate(structure, effective_query, tracker))
+                )
+        answer = bool(merge.combine(partials, effective_query))
+        return answer, time.perf_counter() - started
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def _spec(self, registration: "_Registration") -> ShardSpec:
+        spec = registration.scheme.sharding
+        if spec is None:  # pragma: no cover - register() rejects this upfront
+            from repro.core.errors import ServiceError
+
+            raise ServiceError(
+                f"scheme {registration.scheme.name!r} declares no ShardSpec"
+            )
+        return spec
+
+    def _ensure_pool(self) -> ThreadPoolExecutor:
+        with self._pool_guard:
+            if self._closed:
+                from repro.core.errors import ServiceError
+
+                raise ServiceError("engine is closed")
+            if self._pool is None:
+                self._pool = ThreadPoolExecutor(
+                    max_workers=self._max_workers,
+                    thread_name_prefix="repro-shard-build",
+                )
+            return self._pool
+
+    def close(self) -> None:
+        """Shut down the shard-build pool; further builds error (idempotent)."""
+        with self._pool_guard:
+            self._closed = True
+            if self._pool is not None:
+                self._pool.shutdown(wait=True)
+                self._pool = None
+
+
+def _change_item(change: Any) -> Any:
+    """The shard-routable payload of one incremental change record."""
+    from repro.incremental.changes import EdgeChange, TupleChange
+
+    if isinstance(change, TupleChange):
+        return change.row
+    if isinstance(change, EdgeChange):
+        return (change.source, change.target)
+    return change
+
+
+def touched_shards(plan: ShardPlan, changes: Iterable[Any], spec: ShardSpec) -> Set[int]:
+    """Plan positions a change batch touches (shard-level invalidation).
+
+    Accepts :class:`~repro.incremental.changes.TupleChange` /
+    :class:`~repro.incremental.changes.EdgeChange` records or raw changed
+    items, routes each through ``spec.locate``, and returns the set of plan
+    positions whose shard must be rebuilt.  Any change the spec cannot
+    locate degrades conservatively to "all shards".
+    """
+    pieces = [planned.piece for planned in plan.planned]
+    everything = set(range(len(pieces)))
+    if spec.locate is None:
+        return everything
+    touched: Set[int] = set()
+    for change in changes:
+        position = spec.locate(_change_item(change), pieces)
+        if position is None:
+            return everything
+        touched.add(position)
+    return touched
+
+
+def plan_diff(old: ShardPlan, new: ShardPlan) -> Tuple[Set[int], Set[int]]:
+    """``(reused, rebuilt)`` plan positions between two plans of the same kind.
+
+    A shard is *reused* when a shard with the same id carries the same
+    content fingerprint in both plans (its artifact resolves warm); anything
+    else in the new plan is *rebuilt*.  Used by tests and the sharding
+    benchmark to verify that change batches only rebuild touched shards.
+    """
+    old_by_id: Dict[int, str] = {
+        planned.piece.index: planned.fingerprint for planned in old.planned
+    }
+    reused: Set[int] = set()
+    rebuilt: Set[int] = set()
+    for position, planned in enumerate(new.planned):
+        if old_by_id.get(planned.piece.index) == planned.fingerprint:
+            reused.add(position)
+        else:
+            rebuilt.add(position)
+    return reused, rebuilt

@@ -1,0 +1,312 @@
+"""Unit tests for sharded Pi-structures (ISSUE 2).
+
+Covers the merge-operator algebra, the shard planner (policies, routing,
+content-addressed shard artifacts), engine integration (``shards=K``
+registration, shard statistics, concurrent scatter-gather), and shard-level
+invalidation: change batches must rebuild only the shards they touch.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.catalog import build_query_engine
+from repro.core.errors import ServiceError
+from repro.incremental.changes import ChangeKind, TupleChange
+from repro.queries import (
+    membership_class,
+    rmq_class,
+    sorted_run_scheme,
+    tree_lca_class,
+    euler_tour_scheme,
+)
+from repro.service.artifacts import ArtifactStore
+from repro.service.engine import QueryEngine, QueryRequest
+from repro.service.merge import (
+    merge_sorted_desc,
+    monoid_merge,
+    range_blocks,
+    stable_bucket,
+    union_merge,
+)
+from repro.service.sharding import plan_diff, touched_shards
+
+SHARDABLE_KINDS = (
+    "point-selection",
+    "range-selection",
+    "list-membership",
+    "minimum-range-query",
+    "topk-threshold",
+)
+
+
+# -- merge operators -----------------------------------------------------------
+
+
+def test_stable_bucket_is_deterministic_and_bounded():
+    for value in (0, 17, "x", (1, 2), -5):
+        bucket = stable_bucket(value, 8)
+        assert 0 <= bucket < 8
+        assert bucket == stable_bucket(value, 8)
+    with pytest.raises(ValueError):
+        stable_bucket(1, 0)
+
+
+def test_range_blocks_are_balanced_and_cover():
+    blocks = range_blocks(10, 4)
+    assert blocks == [(0, 3), (3, 3), (6, 2), (8, 2)]
+    assert sum(length for _, length in blocks) == 10
+    # More shards than slots: empty blocks are omitted.
+    assert range_blocks(2, 8) == [(0, 1), (1, 1)]
+    assert range_blocks(0, 4) == []
+    with pytest.raises(ValueError):
+        range_blocks(4, 0)
+
+
+def test_union_merge_semantics():
+    merge = union_merge()
+    assert merge.combine([False, True], None) is True
+    assert merge.combine([False, False], None) is False
+    assert merge.combine([], None) is False
+    assert merge.empty(None) is False
+    assert merge.partial is None  # the scheme's own evaluator is the partial
+
+
+def test_monoid_merge_folds_and_skips_identity():
+    merge = monoid_merge(
+        partial=lambda structure, query, meta, tracker: None,
+        fold=min,
+        finalize=lambda best, query: best is not None and best == query,
+    )
+    assert merge.combine([(3, 1), None, (2, 9)], (2, 9)) is True
+    assert merge.combine([None, None], (2, 9)) is False  # all-identity folds to None
+    assert merge.empty(None) is None
+
+
+def test_merge_sorted_desc_is_a_kway_merge():
+    runs = [[9, 4, 1], [8, 8, 2], [7]]
+    assert merge_sorted_desc(runs, 5) == [9, 8, 8, 7, 4]
+    assert merge_sorted_desc([], 3) == []
+
+
+# -- registration --------------------------------------------------------------
+
+
+def test_shards_require_a_shard_spec():
+    engine = QueryEngine()
+    with pytest.raises(ServiceError, match="no ShardSpec"):
+        engine.register("lca", tree_lca_class(), euler_tour_scheme(), shards=4)
+    with pytest.raises(ServiceError, match="shards must be"):
+        engine.register("m", membership_class(), sorted_run_scheme(), shards=0)
+
+
+def test_shardable_kinds_lists_spec_carriers():
+    with build_query_engine(shards=4) as engine:
+        assert set(SHARDABLE_KINDS) <= set(engine.shardable_kinds())
+        for kind in SHARDABLE_KINDS:
+            assert engine.stats().per_kind[kind].shards == 4
+        # Kinds without a spec silently keep the monolithic path.
+        assert engine.stats().per_kind["tree-lca"].shards == 1
+
+
+# -- serving equivalence and statistics ----------------------------------------
+
+
+def _workloads(engine, *, size=96, seed=13, per_kind=8):
+    requests, expected = [], []
+    for kind in SHARDABLE_KINDS:
+        query_class, _ = engine.registration(kind)
+        data, queries = query_class.sample_workload(size, seed, per_kind)
+        for query in queries:
+            requests.append(QueryRequest(kind, data, query))
+            expected.append(query_class.pair_in_language(data, query))
+    return requests, expected
+
+
+def test_concurrent_sharded_batches_match_sequential(tmp_path):
+    """Cold concurrent scatter-gather: no deadlock between the serving pool
+    and the shard-build pool, answers identical to sequential and naive."""
+    store = ArtifactStore(tmp_path)
+    with build_query_engine(store=store, shards=4, max_workers=6) as engine:
+        requests, expected = _workloads(engine)
+        concurrent = engine.execute_batch(requests)
+        sequential = engine.execute_batch(requests, concurrent=False)
+        assert concurrent == sequential == expected
+
+
+def test_shard_stats_track_builds_and_serve_time(tmp_path):
+    with build_query_engine(store=ArtifactStore(tmp_path), shards=4) as engine:
+        kind = "minimum-range-query"
+        query_class, _ = engine.registration(kind)
+        data, queries = query_class.sample_workload(64, 7, 6)
+        for query in queries:
+            engine.execute(QueryRequest(kind, data, query))
+        stats = engine.stats().per_kind[kind]
+        assert stats.shards == 4
+        assert stats.shard_builds == 4  # one build per block, once
+        assert stats.builds == 0  # the monolithic path never ran
+        assert stats.queries == len(queries)
+        assert stats.shard_build_seconds > 0
+        assert stats.shard_serve_seconds > 0
+        assert stats.serve_seconds >= stats.shard_serve_seconds
+
+
+def test_second_engine_serves_shards_from_store(tmp_path):
+    store = ArtifactStore(tmp_path)
+    kind = "topk-threshold"
+    with build_query_engine(store=store, shards=4) as first:
+        query_class, _ = first.registration(kind)
+        data, queries = query_class.sample_workload(64, 3, 6)
+        expected = [first.execute(QueryRequest(kind, data, q)) for q in queries]
+
+    with build_query_engine(store=store, shards=4) as second:
+        got = [second.execute(QueryRequest(kind, data, q)) for q in queries]
+        assert got == expected
+        stats = second.stats().per_kind[kind]
+        assert stats.shard_builds == 0
+        assert stats.shard_store_hits == 4  # every shard loaded, none rebuilt
+
+
+def test_routed_membership_probes_one_shard():
+    with build_query_engine(shards=4) as engine:
+        data = tuple(range(256))
+        engine.warm("list-membership", data)  # builds all 4 buckets
+        engine.reset_stats()
+        assert engine.execute(QueryRequest("list-membership", data, 100)) is True
+        stats = engine.stats().per_kind["list-membership"]
+        # Route-aware resolve: one cache probe, zero builds.
+        assert stats.shard_cache_hits == 1
+        assert stats.shard_builds == 0
+
+
+def test_resolve_then_answer_matches_execute_and_keeps_stats_invariant():
+    """The resolve()/answer() primitive pair equals execute() and stays
+    statistics-neutral (shard_serve_seconds never exceeds serve_seconds)."""
+    with build_query_engine(shards=4) as engine:
+        kind = "minimum-range-query"
+        query_class, _ = engine.registration(kind)
+        data, queries = query_class.sample_workload(48, 21, 6)
+        registration = engine._registration(kind)
+        sharded = engine.resolve(kind, data)  # a full ShardedStructure
+        for query in queries:
+            assert engine._planner.answer(kind, registration, sharded, query) == \
+                engine.execute(QueryRequest(kind, data, query))
+        stats = engine.stats().per_kind[kind]
+        assert stats.queries == len(queries)  # answer() bumped nothing
+        assert stats.serve_seconds >= stats.shard_serve_seconds
+
+
+def test_empty_shards_answer_correctly():
+    with build_query_engine(shards=8) as engine:
+        data = (5, 9)  # 8 buckets, at most 2 occupied
+        assert engine.execute(QueryRequest("list-membership", data, 5)) is True
+        assert engine.execute(QueryRequest("list-membership", data, 6)) is False
+        assert engine.stats().per_kind["list-membership"].shard_builds <= 2
+
+
+def test_numeric_alias_queries_route_like_they_compare():
+    """1 == 1.0 == True, so hash routing must co-bucket the aliases; a float
+    probe against int data must match the monolithic answer."""
+    assert stable_bucket(1, 8) == stable_bucket(1.0, 8) == stable_bucket(True, 8)
+    assert stable_bucket((1, 2), 8) == stable_bucket((1.0, 2.0), 8)
+    with build_query_engine(shards=4) as sharded, build_query_engine() as mono:
+        data = tuple(range(16))
+        for probe in (1.0, True, 7, 7.0, 3.5):
+            assert (
+                sharded.execute(QueryRequest("list-membership", data, probe))
+                == mono.execute(QueryRequest("list-membership", data, probe))
+            ), probe
+
+
+def test_sharded_rmq_rejects_malformed_windows_like_monolithic():
+    from repro.core.errors import IndexError_
+
+    with build_query_engine(shards=4) as engine:
+        data = tuple(range(8))
+        with pytest.raises(IndexError_, match="bad RMQ range"):
+            engine.execute(QueryRequest("minimum-range-query", data, (0, 100, 0)))
+        with pytest.raises(IndexError_, match="bad RMQ range"):
+            engine.execute(QueryRequest("minimum-range-query", data, (5, 2, 3)))
+
+
+def test_sharded_topk_rejects_invalid_k_like_monolithic():
+    with build_query_engine(shards=4) as engine:
+        data = tuple((i, 100 - i) for i in range(16))
+        with pytest.raises(ValueError, match="bad top-k"):
+            engine.execute(QueryRequest("topk-threshold", data, ((1, 1), 0, 5)))
+
+
+# -- shard-level invalidation --------------------------------------------------
+
+
+def test_point_change_rebuilds_only_its_block():
+    """Range policy: an in-place point write leaves K-1 block artifacts warm."""
+    with build_query_engine(shards=4) as engine:
+        kind = "minimum-range-query"
+        query_class, scheme = engine.registration(kind)
+        data, queries = query_class.sample_workload(64, 11, 4)
+        engine.warm(kind, data)
+        assert engine.stats().per_kind[kind].shard_builds == 4
+
+        changed = list(data)
+        changed[20] = changed[20] - 1000  # block 1 of 4 (offsets 16..31)
+        changed = tuple(changed)
+        registration = engine._registration(kind)
+        old_plan = engine._planner.plan(kind, registration, data, engine._fingerprint(data))
+        new_plan = engine._planner.plan(kind, registration, changed, engine._fingerprint(changed))
+        reused, rebuilt = plan_diff(old_plan, new_plan)
+        assert rebuilt == {1} and reused == {0, 2, 3}
+        # The spec's change router predicts the same shard.
+        assert touched_shards(old_plan, [20], scheme.sharding) == {1}
+
+        engine.warm(kind, changed)
+        assert engine.stats().per_kind[kind].shard_builds == 5  # one rebuild, not four
+        for query in queries:
+            assert engine.execute(QueryRequest(kind, changed, query)) == \
+                query_class.pair_in_language(changed, query)
+
+
+def test_tuple_change_batch_rebuilds_only_touched_relation_shards():
+    """Hash policy: an incremental TupleChange batch routes to its buckets."""
+    with build_query_engine(shards=4) as engine:
+        kind = "point-selection"
+        query_class, scheme = engine.registration(kind)
+        data, _ = query_class.sample_workload(80, 5, 1)
+        engine.warm(kind, data)
+        cold_builds = engine.stats().per_kind[kind].shard_builds
+        assert cold_builds == 4
+
+        row = (123456, 654321)
+        changes = [TupleChange(ChangeKind.INSERT, row)]
+        registration = engine._registration(kind)
+        old_plan = engine._planner.plan(kind, registration, data, engine._fingerprint(data))
+        predicted = touched_shards(old_plan, changes, scheme.sharding)
+        assert len(predicted) == 1
+
+        data.insert(row)
+        engine.invalidate(data)  # in-place mutation contract
+        engine.warm(kind, data)
+        stats = engine.stats().per_kind[kind]
+        assert stats.shard_builds == cold_builds + len(predicted)
+        assert engine.execute(QueryRequest(kind, data, ("a", 123456))) is True
+
+
+def test_touched_shards_degrades_to_all_without_locate():
+    with build_query_engine(shards=4) as engine:
+        kind = "minimum-range-query"
+        registration = engine._registration(kind)
+        data = tuple(range(32))
+        plan = engine._planner.plan(kind, registration, data, engine._fingerprint(data))
+        spec = registration.scheme.sharding
+        # An unroutable change (not an array position) is conservative.
+        assert touched_shards(plan, ["not-a-position"], spec) == {0, 1, 2, 3}
+
+
+def test_invalidate_drops_shard_plans_for_mutated_lists():
+    with build_query_engine(shards=4) as engine:
+        kind = "list-membership"
+        data = [1, 2, 3]
+        assert engine.execute(QueryRequest(kind, data, 4)) is False
+        data.append(4)
+        engine.invalidate(data)
+        assert engine.execute(QueryRequest(kind, data, 4)) is True
