@@ -75,3 +75,14 @@ class ArtifactVersionError(ArtifactError):
 
 class ServiceError(ReproError):
     """Raised on query-engine misuse (unknown query kind, closed engine)."""
+
+
+class DeltaError(ReproError):
+    """Raised by a scheme's ``apply_delta`` hook when a change batch cannot
+    be applied incrementally (unsupported change kind, out-of-range target,
+    or a batch that would leave the structure unbuildable).
+
+    The hook must raise *before* mutating the structure, so the caller --
+    :class:`repro.service.mutable.DatasetHandle` -- can fall back to a
+    rebuild of the whole batch without observing a half-applied structure.
+    """

@@ -137,6 +137,17 @@ class PiScheme:
     combine).  Kinds registered with ``shards=K`` on the engine require it;
     schemes without a spec simply cannot be sharded.  Typed ``Any`` to keep
     :mod:`repro.core` free of service-layer imports.
+
+    ``apply_delta`` makes the scheme *delta-maintainable* (paper, Section
+    4(7)): ``apply_delta(structure, changes, tracker) -> structure`` folds a
+    batch of :mod:`repro.incremental.changes` records into an already-built
+    structure in O(|CHANGED| * polylog) instead of re-running ``preprocess``
+    over the whole dataset.  The hook owns the structure it is handed (the
+    serving layer gives every mutable dataset a private copy) and must be
+    batch-atomic: raise :class:`repro.core.errors.DeltaError` *before*
+    mutating anything when the batch contains a change it cannot apply, so
+    the caller can fall back to a rebuild without ever observing a
+    half-applied structure.
     """
 
     name: str
@@ -155,11 +166,19 @@ class PiScheme:
     #: Optional ShardSpec (see :mod:`repro.service.merge`) enabling sharded
     #: scatter-gather serving of this scheme.
     sharding: Optional[Any] = None
+    #: Optional delta-maintenance hook: ``(structure, changes, tracker) ->
+    #: structure``, batch-atomic (raise DeltaError before mutating).
+    apply_delta: Optional[Callable[[Any, Sequence[Any], CostTracker], Any]] = None
 
     @property
     def serializable(self) -> bool:
         """True when the preprocessed structure can round-trip through bytes."""
         return self.dump is not None and self.load is not None
+
+    @property
+    def supports_delta(self) -> bool:
+        """True when built structures can be maintained under change batches."""
+        return self.apply_delta is not None
 
     def answer(
         self,

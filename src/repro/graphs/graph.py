@@ -55,6 +55,33 @@ class _BaseGraph:
             return
         adjacency.insert(position, v)
 
+    @staticmethod
+    def _remove_sorted(adjacency: List[int], v: int) -> bool:
+        """Remove ``v`` from a sorted adjacency; False when absent."""
+        import bisect
+
+        position = bisect.bisect_left(adjacency, v)
+        if position < len(adjacency) and adjacency[position] == v:
+            del adjacency[position]
+            return True
+        return False
+
+    def remove_edge(self, u: int, v: int) -> bool:
+        """Delete edge ``(u, v)`` if present; returns whether one was removed.
+
+        The mutation counterpart of :meth:`add_edge`, used by the mutable
+        serving layer to maintain working graph copies under
+        :class:`~repro.incremental.changes.EdgeChange` batches.
+        """
+        self._check_vertex(u)
+        self._check_vertex(v)
+        removed = self._remove_sorted(self._adj[u], v)
+        if removed:
+            if not self.directed and u != v:
+                self._remove_sorted(self._adj[v], u)
+            self._edge_count -= 1
+        return removed
+
     def has_edge(self, u: int, v: int) -> bool:
         self._check_vertex(u)
         self._check_vertex(v)

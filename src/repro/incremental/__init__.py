@@ -1,6 +1,12 @@
 """Bounded incremental evaluation and preprocessing (paper, Section 4(7))."""
 
-from repro.incremental.changes import ChangeKind, ChangeLog, EdgeChange, TupleChange
+from repro.incremental.changes import (
+    ChangeKind,
+    ChangeLog,
+    EdgeChange,
+    PointWrite,
+    TupleChange,
+)
 from repro.incremental.inc_reachability import IncrementalTransitiveClosure
 from repro.incremental.inc_selection import IncrementalSelectionIndex
 
@@ -8,6 +14,7 @@ __all__ = [
     "ChangeKind",
     "ChangeLog",
     "EdgeChange",
+    "PointWrite",
     "TupleChange",
     "IncrementalSelectionIndex",
     "IncrementalTransitiveClosure",

@@ -12,7 +12,7 @@ import enum
 from dataclasses import dataclass, field
 from typing import Any, List, Tuple
 
-__all__ = ["ChangeKind", "TupleChange", "EdgeChange", "ChangeLog"]
+__all__ = ["ChangeKind", "TupleChange", "EdgeChange", "PointWrite", "ChangeLog"]
 
 
 class ChangeKind(enum.Enum):
@@ -35,6 +35,19 @@ class EdgeChange:
     kind: ChangeKind
     source: int
     target: int
+
+
+@dataclass(frozen=True)
+class PointWrite:
+    """One in-place overwrite of a positional dataset: ``A[position] = value``.
+
+    The natural update for array-shaped data (the RMQ case study): the
+    dataset keeps its length, exactly one slot changes, so |dD| = 1 and the
+    delta-maintenance hooks can localize the repair to the touched block.
+    """
+
+    position: int
+    value: Any
 
 
 @dataclass

@@ -147,6 +147,40 @@ class FischerHeunRMQ:
         """The array value at ``position`` (for partial-aggregate merging)."""
         return self._array[position]
 
+    # -- delta maintenance (paper, Section 4(7)) ------------------------------
+
+    def point_update(self, position: int, value, tracker: Optional[CostTracker] = None) -> None:
+        """``A[position] = value``: re-sign one block, repair the summary.
+
+        A point write lands in exactly one block: its Cartesian signature and
+        argmin are recomputed in O(b) = O(log n), a missing lookup table is
+        materialized in O(b^2) = O(log^2 n), and the block-minima summary is
+        repaired through :meth:`SparseTable.point_update` in O(n / b).
+        Everything else -- every other block's signature and table -- is
+        untouched, which is what makes this a |CHANGED|-bounded repair
+        instead of the O(n) rebuild.
+        """
+        tracker = ensure_tracker(tracker)
+        check_rmq_range(position, position, len(self._array))
+        self._array[position] = value
+        b = self._block_size
+        block_index = position // b
+        start = block_index * b
+        block = self._array[start : start + b]
+        tracker.tick(len(block))
+        best = 0
+        for offset in range(1, len(block)):
+            if block[offset] < block[best]:
+                best = offset
+        self._block_argmin[block_index] = start + best
+        signature = _cartesian_signature(block)
+        tracker.tick(len(block))
+        self._signatures[block_index] = signature
+        if signature not in self._tables:
+            self._tables[signature] = _in_block_table(block)
+            tracker.tick(len(block) ** 2)
+        self._summary.point_update(block_index, block[best], tracker)
+
     # -- serialization --------------------------------------------------------
 
     def to_state(self) -> dict:

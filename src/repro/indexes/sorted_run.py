@@ -53,6 +53,37 @@ class SortedRunIndex(Generic[K]):
     def values(self) -> List[K]:
         return list(self._run)
 
+    # -- delta maintenance (paper, Section 4(7)) ------------------------------
+
+    def insert_value(self, key: K, tracker: Optional[CostTracker] = None) -> None:
+        """Add one element, keeping the run sorted.
+
+        O(log n) comparisons to locate the slot (the charged cost -- the
+        incremental analogue of one binary search); the list shift underneath
+        is a memmove, which is the price of the array layout, not of the
+        algorithm.  Duplicates accumulate, matching list (bag) semantics.
+        """
+        tracker = ensure_tracker(tracker)
+        import bisect
+
+        tracker.tick(max(1, math.ceil(math.log2(max(len(self._run), 2)))))
+        bisect.insort(self._run, key)
+
+    def delete_value(self, key: K, tracker: Optional[CostTracker] = None) -> bool:
+        """Remove one occurrence of ``key``; False when it was absent.
+
+        Same O(log n) locate cost as :meth:`insert_value`.
+        """
+        tracker = ensure_tracker(tracker)
+        import bisect
+
+        tracker.tick(max(1, math.ceil(math.log2(max(len(self._run), 2)))))
+        position = bisect.bisect_left(self._run, key)
+        if position < len(self._run) and self._run[position] == key:
+            del self._run[position]
+            return True
+        return False
+
     # -- serialization --------------------------------------------------------
 
     def to_state(self) -> dict:

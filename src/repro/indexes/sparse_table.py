@@ -81,6 +81,32 @@ class SparseTable:
         """The array value at ``position`` (for partial-aggregate merging)."""
         return self._array[position]
 
+    # -- delta maintenance (paper, Section 4(7)) ------------------------------
+
+    def point_update(self, position: int, value, tracker: Optional[CostTracker] = None) -> None:
+        """``A[position] = value``: repair only the dyadic windows covering it.
+
+        Level k holds at most ``2^(k-1)`` windows containing ``position``,
+        each repaired from its two children in O(1), so the total work is
+        O(n) -- a log-factor below the O(n log n) rebuild, and far below it
+        in wall-clock because nothing is re-allocated.
+        """
+        tracker = ensure_tracker(tracker)
+        n = len(self._array)
+        check_rmq_range(position, position, n)
+        self._array[position] = value
+        for k in range(1, len(self._levels)):
+            previous = self._levels[k - 1]
+            level = self._levels[k]
+            width = 1 << (k - 1)
+            low = max(0, position - (1 << k) + 1)
+            high = min(position, n - (1 << k))
+            for i in range(low, high + 1):
+                left = previous[i]
+                right = previous[i + width]
+                tracker.tick(1)
+                level[i] = left if self._array[left] <= self._array[right] else right
+
     # -- serialization --------------------------------------------------------
 
     def to_state(self) -> dict:

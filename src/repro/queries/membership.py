@@ -12,9 +12,11 @@ import random
 from typing import List, Tuple
 
 from repro.core.cost import CostTracker
+from repro.core.errors import DeltaError
 from repro.core.factorization import Factorization
 from repro.core.language import DecisionProblem
 from repro.core.query import PiScheme, QueryClass, state_codec
+from repro.incremental.changes import ChangeKind, TupleChange
 from repro.indexes.sorted_run import SortedRunIndex
 from repro.service.merge import ShardPiece, ShardSpec, stable_bucket, union_merge
 
@@ -100,6 +102,27 @@ def membership_shard_spec() -> ShardSpec:
     )
 
 
+def _apply_list_delta(index: SortedRunIndex, changes, tracker: CostTracker) -> SortedRunIndex:
+    """Fold a TupleChange batch into the sorted run: O(log n) locate each.
+
+    Elements travel as one-tuples (``TupleChange(kind, (value,))``), the row
+    shape :class:`~repro.service.mutable.DatasetHandle` uses for flat value
+    lists.  Deleting an absent element is a no-op (bag semantics).
+    """
+    for change in changes:
+        if not isinstance(change, TupleChange) or len(change.row) != 1:
+            raise DeltaError(
+                "sort+binary-search maintains TupleChange((value,)) batches "
+                f"only, got {change!r}"
+            )
+    for change in changes:
+        if change.kind is ChangeKind.INSERT:
+            index.insert_value(change.row[0], tracker)
+        else:
+            index.delete_value(change.row[0], tracker)
+    return index
+
+
 def sorted_run_scheme() -> PiScheme:
     """Sort once (PTIME), binary-search per query (O(log n))."""
 
@@ -118,6 +141,7 @@ def sorted_run_scheme() -> PiScheme:
         dump=dump,
         load=load,
         sharding=membership_shard_spec(),
+        apply_delta=_apply_list_delta,
     )
 
 

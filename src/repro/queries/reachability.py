@@ -20,6 +20,7 @@ from typing import List, Tuple
 import numpy as np
 
 from repro.core.cost import CostTracker
+from repro.core.errors import DeltaError
 from repro.core.query import PiScheme, QueryClass, state_codec
 from repro.graphs.generators import gnm_digraph, random_vertex_pairs
 from repro.graphs.graph import Digraph
@@ -63,6 +64,36 @@ def reachability_class() -> QueryClass:
     )
 
 
+def _apply_edge_delta(index: TransitiveClosureIndex, changes, tracker: CostTracker):
+    """Fold an insert-only EdgeChange batch into the closure (Section 4(7)).
+
+    Each insert runs the Italiano-style bounded repair of
+    :meth:`~repro.indexes.reachability.TransitiveClosureIndex.insert_edge`
+    (work proportional to the closure pairs that appear).  Deletions can
+    shrink the closure non-locally, so they raise
+    :class:`~repro.core.errors.DeltaError` -- before anything mutates -- and
+    the caller falls back to a rebuild for the whole batch.
+    """
+    from repro.incremental.changes import ChangeKind, EdgeChange
+
+    for change in changes:
+        if not isinstance(change, EdgeChange):
+            raise DeltaError(
+                f"closure maintenance accepts EdgeChange batches only, "
+                f"got {type(change).__name__}"
+            )
+        if change.kind is not ChangeKind.INSERT:
+            raise DeltaError("closure maintenance is insert-only; deletes rebuild")
+        if not (0 <= change.source < index.n and 0 <= change.target < index.n):
+            raise DeltaError(
+                f"edge ({change.source}, {change.target}) outside vertex range "
+                f"[0, {index.n})"
+            )
+    for change in changes:
+        index.insert_edge(change.source, change.target, tracker)
+    return index
+
+
 def closure_scheme() -> PiScheme:
     """Example 3's scheme: precompute the closure, answer in O(1)."""
 
@@ -81,6 +112,7 @@ def closure_scheme() -> PiScheme:
         description="precomputed all-pairs reachability matrix; O(1) lookups",
         dump=dump,
         load=load,
+        apply_delta=_apply_edge_delta,
     )
 
 

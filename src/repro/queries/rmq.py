@@ -14,7 +14,9 @@ import random
 from typing import List, Tuple
 
 from repro.core.cost import CostTracker
+from repro.core.errors import DeltaError
 from repro.core.query import PiScheme, QueryClass, state_codec
+from repro.incremental.changes import PointWrite
 from repro.indexes.rmq import FischerHeunRMQ
 from repro.indexes.sparse_table import SparseTable, check_rmq_range, naive_range_min
 from repro.service.merge import ShardPiece, ShardSpec, monoid_merge, range_blocks
@@ -141,6 +143,29 @@ def rmq_shard_spec() -> ShardSpec:
     )
 
 
+def _apply_array_delta(index, changes, tracker: CostTracker):
+    """Fold a PointWrite batch into an RMQ structure (batch-atomic).
+
+    Arrays keep their length under maintenance (L2 is defined over a static
+    index space), so only :class:`~repro.incremental.changes.PointWrite`
+    records are accepted; inserts/deletes fall back to a rebuild.  Both RMQ
+    structures repair locally -- one block re-signature plus a summary fix
+    for Fischer--Heun, the covering dyadic windows for the sparse table.
+    """
+    size = len(index)
+    for change in changes:
+        if not isinstance(change, PointWrite):
+            raise DeltaError(
+                f"RMQ structures maintain PointWrite batches only, "
+                f"got {type(change).__name__}"
+            )
+        if not 0 <= change.position < size:
+            raise DeltaError(f"point write at {change.position} outside [0, {size})")
+    for change in changes:
+        index.point_update(change.position, change.value, tracker)
+    return index
+
+
 def fischer_heun_scheme() -> PiScheme:
     """[18]: O(n) preprocessing, O(1) queries."""
 
@@ -160,6 +185,7 @@ def fischer_heun_scheme() -> PiScheme:
         dump=dump,
         load=load,
         sharding=rmq_shard_spec(),
+        apply_delta=_apply_array_delta,
     )
 
 
@@ -182,4 +208,5 @@ def sparse_table_scheme() -> PiScheme:
         dump=dump,
         load=load,
         sharding=rmq_shard_spec(),
+        apply_delta=_apply_array_delta,
     )

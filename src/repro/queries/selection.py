@@ -17,7 +17,9 @@ import random
 from typing import Any, List, Tuple
 
 from repro.core.cost import CostTracker
+from repro.core.errors import DeltaError
 from repro.core.query import PiScheme, QueryClass, state_codec
+from repro.incremental.changes import ChangeKind, TupleChange
 from repro.indexes.btree import BPlusTree
 from repro.indexes.hash_index import HashIndex
 from repro.service.merge import (
@@ -166,6 +168,37 @@ def _btree_codec():
     )
 
 
+def _apply_relation_delta(indexes: dict, changes, tracker: CostTracker) -> dict:
+    """Fold a TupleChange batch into the per-attribute indexes (Section 4(7)).
+
+    One O(log n) (B+-tree) or O(1) expected (hash) update per attribute per
+    change -- the textbook index maintenance of
+    :mod:`repro.incremental.inc_selection`, applied to the serving structure.
+    The per-attribute indexes store one payload per row occurrence, so the
+    caller must only send DELETE changes for rows that are actually live
+    (the :class:`~repro.service.mutable.DatasetHandle` screens deletes
+    against its working dataset); a delete of a phantom row would strip a
+    payload that another live row still accounts for.
+    """
+    arity = len(indexes)
+    for change in changes:
+        if not isinstance(change, TupleChange):
+            raise DeltaError(
+                f"selection indexes maintain TupleChange batches only, "
+                f"got {type(change).__name__}"
+            )
+        if len(change.row) != arity:
+            raise DeltaError(f"row arity {len(change.row)} != schema arity {arity}")
+    for change in changes:
+        for position, index in enumerate(indexes.values()):
+            key = change.row[position]
+            if change.kind is ChangeKind.INSERT:
+                index.insert(key, None, tracker)
+            else:
+                index.delete(key, None, tracker)
+    return indexes
+
+
 def btree_point_scheme() -> PiScheme:
     """Example 1's scheme: B+-trees on every attribute; O(log n) probes."""
 
@@ -182,6 +215,7 @@ def btree_point_scheme() -> PiScheme:
         dump=dump,
         load=load,
         sharding=selection_shard_spec(),
+        apply_delta=_apply_relation_delta,
     )
 
 
@@ -201,6 +235,7 @@ def btree_range_scheme() -> PiScheme:
         dump=dump,
         load=load,
         sharding=selection_shard_spec(),
+        apply_delta=_apply_relation_delta,
     )
 
 
@@ -233,4 +268,5 @@ def hash_point_scheme() -> PiScheme:
         dump=dump,
         load=load,
         sharding=selection_shard_spec(),
+        apply_delta=_apply_relation_delta,
     )

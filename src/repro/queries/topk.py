@@ -26,7 +26,9 @@ import random
 from typing import Dict, List, Sequence, Tuple
 
 from repro.core.cost import CostTracker, ensure_tracker
+from repro.core.errors import IndexError_
 from repro.core.query import PiScheme, QueryClass, state_codec
+from repro.incremental.changes import ChangeKind, TupleChange
 from repro.service.merge import (
     ShardPiece,
     ShardSpec,
@@ -45,47 +47,123 @@ TopKQuery = Tuple[Tuple[int, ...], int, int]
 
 
 class TopKIndex:
-    """Per-attribute descending sorted lists + random access (TA's inputs)."""
+    """Per-attribute descending sorted lists + random access (TA's inputs).
+
+    Rows live in a dict keyed by a stable, never-reused row id, so delta
+    maintenance (Section 4(7)) can insert and delete rows without renumbering
+    the ``(score, row id)`` entries of the sorted lists.  Every sorted list
+    holds exactly one entry per live row, which is the invariant the TA walk
+    (``range(len(self.rows))`` sorted-access rounds) relies on.
+    """
 
     def __init__(self, table: ScoreTable, tracker: CostTracker | None = None):
         tracker = ensure_tracker(tracker)
         if not table:
             raise ValueError("top-k index needs at least one row")
         self.arity = len(table[0])
-        self.rows = table
+        self.rows: Dict[int, Tuple[int, ...]] = {
+            row_id: tuple(row) for row_id, row in enumerate(table)
+        }
+        self._next_id = len(table)
         self.sorted_lists: List[List[Tuple[int, int]]] = []
         n = len(table)
         import math
 
         for attribute in range(self.arity):
             entries = sorted(
-                ((row[attribute], row_id) for row_id, row in enumerate(table)),
+                ((row[attribute], row_id) for row_id, row in self.rows.items()),
                 reverse=True,
             )
             if n > 1:
                 tracker.tick(n * math.ceil(math.log2(n)))
             self.sorted_lists.append(entries)
+        self._ids_by_row = self._derive_ids_by_row()
+
+    def _derive_ids_by_row(self) -> Dict[Tuple[int, ...], List[int]]:
+        ids: Dict[Tuple[int, ...], List[int]] = {}
+        for row_id, row in self.rows.items():
+            ids.setdefault(row, []).append(row_id)
+        return ids
 
     def __len__(self) -> int:
         return len(self.rows)
 
+    # -- delta maintenance (paper, Section 4(7)) ------------------------------
+
+    @staticmethod
+    def _desc_key(entry: Tuple[int, int]) -> Tuple[int, int]:
+        # The sorted lists are descending tuples; bisect needs an ascending
+        # view, so compare by the negated entry.
+        return (-entry[0], -entry[1])
+
+    def insert_row(self, row: Sequence[int], tracker: CostTracker | None = None) -> None:
+        """Add one score row: O(log n) locate per attribute list."""
+        tracker = ensure_tracker(tracker)
+        as_tuple = tuple(row)
+        if len(as_tuple) != self.arity:
+            raise ValueError(f"row arity {len(as_tuple)} != index arity {self.arity}")
+        import bisect
+        import math
+
+        row_id = self._next_id
+        self._next_id += 1
+        self.rows[row_id] = as_tuple
+        self._ids_by_row.setdefault(as_tuple, []).append(row_id)
+        cost = max(1, math.ceil(math.log2(max(len(self.rows), 2))))
+        for attribute, entries in enumerate(self.sorted_lists):
+            bisect.insort(entries, (as_tuple[attribute], row_id), key=self._desc_key)
+            tracker.tick(cost)
+
+    def delete_row(self, row: Sequence[int], tracker: CostTracker | None = None) -> bool:
+        """Remove one occurrence of ``row``; False when it was absent."""
+        tracker = ensure_tracker(tracker)
+        as_tuple = tuple(row)
+        ids = self._ids_by_row.get(as_tuple)
+        if not ids:
+            return False
+        import bisect
+        import math
+
+        row_id = ids.pop()
+        if not ids:
+            del self._ids_by_row[as_tuple]
+        del self.rows[row_id]
+        cost = max(1, math.ceil(math.log2(max(len(self.rows) + 1, 2))))
+        for attribute, entries in enumerate(self.sorted_lists):
+            target = (as_tuple[attribute], row_id)
+            position = bisect.bisect_left(entries, self._desc_key(target), key=self._desc_key)
+            if position >= len(entries) or entries[position] != target:
+                # Survives ``python -O``: a desync here means the one-entry-
+                # per-live-row invariant is already broken and deleting a
+                # neighbor would silently corrupt the TA walk.
+                raise IndexError_(
+                    f"top-k sorted list {attribute} out of sync with rows "
+                    f"(missing entry {target!r})"
+                )
+            del entries[position]
+            tracker.tick(cost)
+        return True
+
     # -- serialization --------------------------------------------------------
 
     def to_state(self) -> dict:
-        """Plain-data snapshot: rows plus the descending sorted lists."""
+        """Plain-data snapshot: id-keyed rows plus the descending sorted lists."""
         return {
-            "rows": [tuple(row) for row in self.rows],
+            "rows": sorted((row_id, tuple(row)) for row_id, row in self.rows.items()),
+            "next_id": self._next_id,
             "sorted_lists": [list(entries) for entries in self.sorted_lists],
         }
 
     @classmethod
     def from_state(cls, state: dict) -> "TopKIndex":
         index = cls.__new__(cls)
-        index.rows = tuple(tuple(row) for row in state["rows"])
-        index.arity = len(index.rows[0])
+        index.rows = {row_id: tuple(row) for row_id, row in state["rows"]}
+        index._next_id = int(state["next_id"])
+        index.arity = len(next(iter(index.rows.values())))
         index.sorted_lists = [
             [tuple(entry) for entry in entries] for entries in state["sorted_lists"]
         ]
+        index._ids_by_row = index._derive_ids_by_row()
         return index
 
     def _ta_rounds(self, weights: Sequence[int], k: int, tracker: CostTracker):
@@ -283,6 +361,38 @@ def topk_class() -> QueryClass:
     )
 
 
+def _apply_table_delta(index: TopKIndex, changes, tracker: CostTracker) -> TopKIndex:
+    """Fold a TupleChange batch into the TA index (batch-atomic).
+
+    Inserts and deletes cost O(log n) per attribute list; a batch that would
+    delete the last row raises :class:`~repro.core.errors.DeltaError` before
+    touching anything (the monolithic path cannot even build on an empty
+    table, so there is no correct structure to maintain towards).
+    """
+    from repro.core.errors import DeltaError
+
+    balance = 0
+    for change in changes:
+        if not isinstance(change, TupleChange):
+            raise DeltaError(
+                f"threshold-algorithm maintains TupleChange batches only, "
+                f"got {type(change).__name__}"
+            )
+        if len(change.row) != index.arity:
+            raise DeltaError(
+                f"row arity {len(change.row)} != index arity {index.arity}"
+            )
+        balance += 1 if change.kind is ChangeKind.INSERT else -1
+    if len(index) + balance < 1:
+        raise DeltaError("change batch would empty the top-k index")
+    for change in changes:
+        if change.kind is ChangeKind.INSERT:
+            index.insert_row(change.row, tracker)
+        else:
+            index.delete_row(change.row, tracker)
+    return index
+
+
 def threshold_algorithm_scheme() -> PiScheme:
     """Fagin's TA over preprocessed sorted lists, with early termination."""
 
@@ -302,5 +412,8 @@ def threshold_algorithm_scheme() -> PiScheme:
         description="TA with early termination over sorted score lists [14]",
         dump=dump,
         load=load,
+        # v2: rows became id-keyed (delta maintenance); v1 artifacts never alias.
+        artifact_version=2,
         sharding=topk_shard_spec(),
+        apply_delta=_apply_table_delta,
     )

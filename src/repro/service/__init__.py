@@ -26,11 +26,19 @@ This package persists built structures and serves query batches against them:
     :class:`ShardPlanner` -- partitions datasets into K shards, builds
     per-shard Pi-structures in parallel, persists each as an independent
     content-addressed artifact, and serves queries by scatter-gather.
+
+:mod:`repro.service.mutable`
+    :class:`DatasetHandle` -- versioned, snapshot-consistent serving of
+    *mutable* datasets: change batches fold into the live Pi-structure
+    through per-scheme ``apply_delta`` hooks in O(|CHANGED| * polylog)
+    (falling back to touched-shard or full rebuilds), with write-behind
+    persistence of dirty artifacts.
 """
 
 from repro.service.artifacts import ArtifactKey, ArtifactStore
 from repro.service.cache import LRUArtifactCache
 from repro.service.engine import EngineStats, QueryEngine, QueryRequest, SchemeStats
+from repro.service.mutable import DatasetHandle, SnapshotLatch
 from repro.service.merge import (
     MergeOperator,
     ShardPiece,
@@ -54,6 +62,8 @@ __all__ = [
     "ArtifactKey",
     "ArtifactStore",
     "LRUArtifactCache",
+    "DatasetHandle",
+    "SnapshotLatch",
     "EngineStats",
     "QueryEngine",
     "QueryRequest",

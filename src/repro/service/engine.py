@@ -23,6 +23,12 @@ Registering a kind with ``shards=K`` (for schemes that declare a
 :class:`~repro.service.sharding.ShardPlanner`: K per-shard structures built
 in parallel, persisted independently, and served by scatter-gather.
 
+Datasets that *mutate* are served through
+:meth:`QueryEngine.open_dataset` -> :class:`~repro.service.mutable.DatasetHandle`:
+change batches fold into the live structure via per-scheme ``apply_delta``
+hooks (falling back to touched-shard or full rebuilds), behind a versioned
+snapshot latch with write-behind persistence.
+
     >>> from repro.queries import membership_class, sorted_run_scheme
     >>> from repro.service.engine import QueryEngine, QueryRequest
     >>> engine = QueryEngine()
@@ -42,7 +48,7 @@ import time
 from collections import OrderedDict
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, replace
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.cost import CostTracker
 from repro.core.errors import ArtifactError, ServiceError
@@ -51,6 +57,9 @@ from repro.service.artifacts import ArtifactKey, ArtifactStore
 from repro.service.cache import CacheStats, LRUArtifactCache
 from repro.service.sharding import ShardPlanner
 from repro.storage.fingerprint import dataset_fingerprint
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.service.mutable import DatasetHandle
 
 __all__ = ["QueryRequest", "SchemeStats", "EngineStats", "QueryEngine"]
 
@@ -80,7 +89,10 @@ class SchemeStats:
     *per-shard* resolutions for kinds registered with ``shards=K`` (a single
     cold sharded resolve bumps ``shard_builds`` once per non-empty shard).
     ``shard_serve_seconds`` accumulates scatter-gather time, already included
-    in ``serve_seconds``.
+    in ``serve_seconds``.  The ``delta_*`` counters track the mutable-dataset
+    write path (:mod:`repro.service.mutable`): batches folded in place by the
+    scheme's ``apply_delta`` hook versus ``fallback_rebuilds`` that resolved
+    the post-batch content from scratch.
     """
 
     scheme: str = ""
@@ -96,6 +108,10 @@ class SchemeStats:
     shard_store_hits: int = 0
     shard_build_seconds: float = 0.0
     shard_serve_seconds: float = 0.0
+    delta_batches: int = 0
+    delta_changes: int = 0
+    delta_seconds: float = 0.0
+    fallback_rebuilds: int = 0
 
     @property
     def hit_rate(self) -> float:
@@ -162,6 +178,9 @@ class QueryEngine:
         self._planner = ShardPlanner(self, max_workers=self._max_workers)
         self._pool: Optional[ThreadPoolExecutor] = None
         self._pool_guard = threading.Lock()
+        self._persist_pool: Optional[ThreadPoolExecutor] = None
+        self._handles: List[Any] = []
+        self._handles_guard = threading.Lock()
         self._closed = False
 
     # -- registration ----------------------------------------------------------
@@ -412,11 +431,14 @@ class QueryEngine:
 
         Drops the memoized fingerprint for this object, the cached monolithic
         structures built from its old content (for every registered kind),
-        and any memoized shard plans -- so the next request re-fingerprints
-        the new content and builds or loads the matching artifacts.  Shard
-        artifacts are content-addressed, so shards whose content survived the
-        mutation still resolve warm; artifacts for the *old* content stay in
-        the store -- they are still correct for that content.
+        any memoized shard plans, and any idle per-key build-lock entries for
+        the old content -- so the next request re-fingerprints the new
+        content and builds or loads the matching artifacts, and a long-lived
+        engine cannot accumulate lock entries for keys that will never be
+        resolved again.  Shard artifacts are content-addressed, so shards
+        whose content survived the mutation still resolve warm; artifacts
+        for the *old* content stay in the store -- they are still correct
+        for that content.
         """
         with self._fingerprints_lock:
             entry = self._fingerprints.pop(id(data), None)
@@ -425,13 +447,56 @@ class QueryEngine:
         _, fingerprint = entry
         self._planner.forget(fingerprint)
         for registration in self._registrations.values():
-            self._cache.invalidate(
-                ArtifactKey(
-                    fingerprint=fingerprint,
-                    scheme=registration.scheme.name,
-                    params=registration.params,
-                )
+            key = ArtifactKey(
+                fingerprint=fingerprint,
+                scheme=registration.scheme.name,
+                params=registration.params,
             )
+            self._cache.invalidate(key)
+            # A lock entry whose build is still in flight is owned by the
+            # builder's own finally-pop; evicting here only matters for idle
+            # entries, and double-pops are harmless (pop is idempotent).
+            with self._build_locks_guard:
+                self._build_locks.pop(key, None)
+
+    # -- mutable datasets --------------------------------------------------------
+
+    def open_dataset(self, kind: str, data: Any) -> "DatasetHandle":
+        """A mutable, versioned handle on ``(kind, data)``.
+
+        The returned :class:`~repro.service.mutable.DatasetHandle` owns a
+        private working copy of ``data`` (the caller's object is never
+        touched) and serves snapshot-consistent answers while
+        ``apply_changes`` batches mutate the underlying Pi-structure in
+        place -- or, for sharded kinds and schemes without an
+        ``apply_delta`` hook, rebuild through the ordinary artifact layers.
+        Close the handle (or the engine) to flush write-behind state.
+        """
+        if self._closed:
+            raise ServiceError("engine is closed")
+        from repro.service.mutable import DatasetHandle
+
+        registration = self._registration(kind)
+        handle = DatasetHandle(self, kind, registration, data)
+        with self._handles_guard:
+            self._handles.append(handle)
+        return handle
+
+    def _forget_handle(self, handle: Any) -> None:
+        with self._handles_guard:
+            if handle in self._handles:
+                self._handles.remove(handle)
+
+    def _ensure_persist_pool(self) -> ThreadPoolExecutor:
+        """The single-worker pool draining write-behind persists in order."""
+        with self._pool_guard:
+            if self._closed:
+                raise ServiceError("engine is closed")
+            if self._persist_pool is None:
+                self._persist_pool = ThreadPoolExecutor(
+                    max_workers=1, thread_name_prefix="repro-persist"
+                )
+            return self._persist_pool
 
     # -- execution -------------------------------------------------------------
 
@@ -512,10 +577,19 @@ class QueryEngine:
                 self._stats[kind] = SchemeStats(scheme=stats.scheme, shards=stats.shards)
 
     def close(self) -> None:
-        """Shut down the serving and shard-build pools; further work errors."""
+        """Close open dataset handles (flushing write-behind state), then
+        shut down the serving, shard-build and persist pools; further work
+        errors."""
+        with self._handles_guard:
+            handles = list(self._handles)
+        for handle in handles:
+            handle.close()
         self._closed = True
         self._planner.close()
         with self._pool_guard:
+            if self._persist_pool is not None:
+                self._persist_pool.shutdown(wait=True)
+                self._persist_pool = None
             if self._pool is not None:
                 self._pool.shutdown(wait=True)
                 self._pool = None

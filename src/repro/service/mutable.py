@@ -1,0 +1,598 @@
+"""Mutable datasets: delta-maintained Pi-structures behind versioned handles.
+
+The paper's amortization argument (preprocess once in PTIME, serve many
+polylog queries) meets production traffic here: datasets *mutate*.  Section
+4(7) analyses incremental evaluation against |CHANGED| = |dD| + |dO| -- the
+payoff of preprocessing survives updates only if maintaining Pi(D) costs a
+function of the change, not of |D|.  A :class:`DatasetHandle` makes that
+operational for the serving layer:
+
+* ``QueryEngine.open_dataset(kind, data)`` returns a handle owning a private
+  working copy of the dataset and a private Pi-structure;
+* ``handle.apply_changes(batch)`` routes a batch of
+  :mod:`repro.incremental.changes` records to the scheme's
+  ``PiScheme.apply_delta`` hook, mutating the structure in place in
+  O(|CHANGED| * polylog).  Schemes without a hook -- and sharded
+  registrations -- fall back automatically to a rebuild through the engine,
+  where content-addressed shard artifacts turn the rebuild into a
+  touched-shards-only build;
+* every handle carries a **monotonic version counter** folded into its
+  artifact fingerprint, and a reader--writer latch guarantees *snapshot
+  serving*: a query always answers against a fully-applied version, never a
+  half-applied batch;
+* dirty structures are **re-persisted asynchronously** (write-behind) to the
+  engine's :class:`~repro.service.artifacts.ArtifactStore` under the
+  versioned key; ``flush()``/``close()`` force the write.
+
+    >>> from repro.queries import membership_class, sorted_run_scheme
+    >>> from repro.service.engine import QueryEngine
+    >>> from repro.incremental.changes import ChangeKind, TupleChange
+    >>> engine = QueryEngine()
+    >>> engine.register("membership", membership_class(), sorted_run_scheme())
+    >>> handle = engine.open_dataset("membership", (3, 1, 4))
+    >>> handle.query(9)
+    False
+    >>> _ = handle.apply_changes([TupleChange(ChangeKind.INSERT, (9,))])
+    >>> handle.query(9), handle.version
+    (True, 1)
+    >>> engine.stats().per_kind["membership"].delta_batches
+    1
+    >>> handle.close(); engine.close()
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+import time
+from collections import Counter
+from contextlib import contextmanager
+from typing import TYPE_CHECKING, Any, Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.cost import CostTracker
+from repro.core.errors import DeltaError, SchemaError, ServiceError
+from repro.incremental.changes import (
+    ChangeKind,
+    ChangeLog,
+    EdgeChange,
+    PointWrite,
+    TupleChange,
+)
+from repro.service.artifacts import ArtifactKey
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.service.engine import QueryEngine, _Registration
+
+__all__ = ["SnapshotLatch", "DatasetHandle"]
+
+
+class SnapshotLatch:
+    """A writer-preferring reader--writer latch for snapshot serving.
+
+    Readers share the latch, so queries run concurrently; a writer excludes
+    everyone, so a change batch is applied atomically with respect to every
+    reader -- a query observes the version before the batch or the version
+    after it, never the middle.  Writer preference (new readers queue behind
+    a waiting writer) bounds writer latency under heavy read traffic.
+    """
+
+    def __init__(self) -> None:
+        self._condition = threading.Condition()
+        self._readers = 0
+        self._writer_active = False
+        self._writers_waiting = 0
+
+    @contextmanager
+    def read(self):
+        """Shared acquisition: any number of concurrent readers."""
+        with self._condition:
+            while self._writer_active or self._writers_waiting:
+                self._condition.wait()
+            self._readers += 1
+        try:
+            yield
+        finally:
+            with self._condition:
+                self._readers -= 1
+                if not self._readers:
+                    self._condition.notify_all()
+
+    @contextmanager
+    def write(self):
+        """Exclusive acquisition: waits out readers, blocks new ones."""
+        with self._condition:
+            self._writers_waiting += 1
+            try:
+                while self._writer_active or self._readers:
+                    self._condition.wait()
+            finally:
+                self._writers_waiting -= 1
+            self._writer_active = True
+        try:
+            yield
+        finally:
+            with self._condition:
+                self._writer_active = False
+                self._condition.notify_all()
+
+
+def _is_graph(data: Any) -> bool:
+    return hasattr(data, "add_edge") and hasattr(data, "edges") and hasattr(data, "n")
+
+
+def _is_relation(data: Any) -> bool:
+    return hasattr(data, "schema") and hasattr(data, "insert") and hasattr(data, "rows")
+
+
+class DatasetHandle:
+    """One mutable dataset served under snapshot isolation.
+
+    Created by :meth:`repro.service.engine.QueryEngine.open_dataset`; not
+    meant to be constructed directly.  The handle owns
+
+    * a **working copy** of the dataset (list / relation / graph), so the
+      caller's object is never mutated and a fallback rebuild always has the
+      post-batch content;
+    * a **private structure** -- for delta-capable monolithic schemes the
+      resolved structure is re-privatized through the scheme codec, so
+      in-place maintenance can never corrupt structures shared through the
+      engine cache;
+    * the **version counter** and the write-behind persistence state.
+
+    Thread safety: any number of threads may call :meth:`query`
+    concurrently with one writer calling :meth:`apply_changes`; the
+    :class:`SnapshotLatch` serializes them.  Multiple concurrent writers are
+    also safe (they serialize on the latch), though batches then apply in
+    latch-acquisition order.
+    """
+
+    def __init__(
+        self,
+        engine: "QueryEngine",
+        kind: str,
+        registration: "_Registration",
+        data: Any,
+    ) -> None:
+        self._engine = engine
+        self._kind = kind
+        self._registration = registration
+        self._latch = SnapshotLatch()
+        self._persist_guard = threading.Lock()
+        self._persist_future = None
+        self._persisted_version = 0
+        self._version = 0
+        self._closed = False
+        self.tracker = CostTracker()
+        self.log = ChangeLog()
+
+        self._working, self._row_shaped = self._copy_dataset(data)
+        self._counts: Counter = self._initial_counts()
+        self._row_ids = self._initial_row_ids()
+        self._base_fingerprint = engine._fingerprint(data)
+        self._lineage = self._base_fingerprint
+        self._structure = self._private_structure(data)
+
+    # -- dataset working copies ------------------------------------------------
+
+    def _copy_dataset(self, data: Any) -> Tuple[Any, bool]:
+        """A private mutable copy of ``data`` plus its element shape.
+
+        ``row_shaped`` is True when elements are rows (tuples) rather than
+        flat values -- it decides how ``TupleChange.row`` maps to elements.
+        """
+        if _is_relation(data):
+            copy = type(data)(data.schema)
+            for row in data.rows():
+                copy.insert(row)
+            return copy, True
+        if _is_graph(data):
+            return type(data)(data.n, data.edges()), False
+        if isinstance(data, (tuple, list)):
+            working = list(data)
+            row_shaped = bool(working) and isinstance(working[0], (tuple, list))
+            return working, row_shaped
+        raise ServiceError(
+            f"open_dataset supports sequence, relation and graph datasets; "
+            f"got {type(data).__name__}"
+        )
+
+    def _initial_counts(self) -> Counter:
+        if _is_relation(self._working):
+            return Counter(self._working.rows())
+        if _is_graph(self._working):
+            return Counter()
+        return Counter(self._working)
+
+    def _initial_row_ids(self) -> Optional[dict]:
+        """Live row -> row-id list for relations, so deletes are O(1) lookups
+        instead of an O(|D|) scan under the write latch."""
+        if not _is_relation(self._working):
+            return None
+        row_ids: dict = {}
+        for row_id, row in self._working.scan(self.tracker):
+            row_ids.setdefault(row, []).append(row_id)
+        return row_ids
+
+    def _element(self, row: Sequence[Any]) -> Any:
+        """The dataset element a ``TupleChange.row`` denotes."""
+        if self._row_shaped:
+            return tuple(row)
+        if len(row) != 1:
+            raise DeltaError(
+                f"flat datasets take one-tuple rows, got arity {len(row)}"
+            )
+        return row[0]
+
+    def _canonical_dataset(self) -> Any:
+        """A fresh snapshot of the working data, typed like the original.
+
+        Always a new object, so the engine's identity-memoized fingerprints
+        can never alias a mutated working copy.
+        """
+        if _is_relation(self._working):
+            copy = type(self._working)(self._working.schema)
+            for row in self._working.rows():
+                copy.insert(row)
+            return copy
+        if _is_graph(self._working):
+            return type(self._working)(self._working.n, self._working.edges())
+        return tuple(self._working)
+
+    # -- structure ownership ---------------------------------------------------
+
+    def _private_structure(self, data: Any) -> Any:
+        """Resolve ``(kind, data)`` and privatize when maintenance mutates.
+
+        Sharded registrations and schemes without ``apply_delta`` never
+        mutate structures, so the engine-shared resolution is safe to hold.
+        Delta-capable monolithic schemes get a private copy: a codec
+        round-trip when serializable (keeps warm cache/store resolution),
+        else a fresh private build.
+        """
+        scheme = self._registration.scheme
+        if self._registration.shards > 1 or scheme.apply_delta is None:
+            return self._engine.resolve(self._kind, data)
+        if scheme.serializable:
+            return scheme.load(scheme.dump(self._engine.resolve(self._kind, data)))
+        started = time.perf_counter()
+        structure = scheme.preprocess(data, self.tracker)
+        self._engine._bump(
+            self._kind, builds=1, build_seconds=time.perf_counter() - started
+        )
+        return structure
+
+    # -- identity and versions -------------------------------------------------
+
+    @property
+    def kind(self) -> str:
+        return self._kind
+
+    @property
+    def version(self) -> int:
+        """Monotonic count of applied (non-empty) change batches."""
+        return self._version
+
+    @property
+    def dirty(self) -> bool:
+        """True while a delta-maintained version awaits persistence."""
+        return self._persisted_version < self._version
+
+    def fingerprint(self) -> str:
+        """The versioned content identity: a lineage hash of the history.
+
+        Version 0 is the plain dataset fingerprint (the handle aliases the
+        engine's ordinary artifact); each applied batch chains the version
+        counter *and the batch content* into the digest, in O(|CHANGED|)
+        instead of an O(|D|) re-hash.  Two handles over equal base data
+        therefore share a key exactly when their change histories agree --
+        in which case their structures encode the same logical dataset and a
+        write-behind overwrite is harmless -- while divergent histories can
+        never clobber each other's persisted artifacts.
+        """
+        return self._lineage
+
+    def _advance_lineage(self, effective: Sequence[Any]) -> None:
+        digest = hashlib.sha256()
+        digest.update(self._lineage.encode("ascii"))
+        digest.update(f"|delta-v{self._version}|".encode("ascii"))
+        for change in effective:
+            digest.update(repr(change).encode("utf-8"))
+            digest.update(b"\x1f")
+        self._lineage = digest.hexdigest()
+
+    def artifact_key(self) -> ArtifactKey:
+        """Identity of this version's artifact in cache/store terms."""
+        return ArtifactKey(
+            fingerprint=self.fingerprint(),
+            scheme=self._registration.scheme.name,
+            params=self._registration.params,
+        )
+
+    def dataset(self) -> Any:
+        """A consistent snapshot of the current dataset content."""
+        with self._latch.read():
+            return self._canonical_dataset()
+
+    # -- serving ---------------------------------------------------------------
+
+    def _answer(self, query: Any) -> bool:
+        """Evaluate one query over the current structure (latch held)."""
+        registration = self._registration
+        started = time.perf_counter()
+        if registration.shards > 1:
+            answer = self._engine._planner.answer(
+                self._kind, registration, self._structure, query, self.tracker
+            )
+        else:
+            answer = registration.scheme.answer(self._structure, query, self.tracker)
+        self._engine._bump(
+            self._kind, queries=1, serve_seconds=time.perf_counter() - started
+        )
+        return bool(answer)
+
+    def query(self, query: Any) -> bool:
+        """Answer one query against the current version (snapshot-consistent).
+
+        Concurrent with other readers; serialized against writers by the
+        latch, so the answer reflects a fully-applied version.
+        """
+        with self._latch.read():
+            self._check_open()
+            return self._answer(query)
+
+    def query_batch(self, queries: Iterable[Any]) -> List[bool]:
+        """Answer several queries against **one** version (batch-atomic).
+
+        The read latch is held across the whole batch, so every answer
+        reflects the same fully-applied version -- the multi-probe
+        counterpart of :meth:`query`'s snapshot guarantee (and what the
+        torn-snapshot stress test in ``tests/unit/test_mutable_engine.py``
+        pins down).
+        """
+        with self._latch.read():
+            self._check_open()
+            return [self._answer(query) for query in queries]
+
+    # -- mutation --------------------------------------------------------------
+
+    def apply_changes(self, changes: Iterable[Any]) -> ChangeLog:
+        """Apply one change batch atomically; returns the cumulative log.
+
+        The batch is validated up front (malformed changes raise
+        :class:`~repro.core.errors.DeltaError` with nothing applied), no-op
+        deletes are screened out, and the remainder goes to the scheme's
+        ``apply_delta`` hook -- O(|CHANGED| * polylog) in-place maintenance.
+        When the scheme has no hook, the hook refuses the batch, or the kind
+        is sharded, the handle falls back to resolving the post-batch
+        content through the engine: sharded kinds rebuild only the touched
+        shards (content-addressed artifacts), monolithic kinds rebuild in
+        full.  Either way readers never observe an intermediate state.
+        """
+        batch = list(changes)
+        with self._latch.write():
+            self._check_open()
+            self._validate(batch)
+            effective = self._screen(batch)
+            if not effective:
+                # Every screened change was already logged by _screen.
+                self.log.record(0, 0, "batch screened to no-ops")
+                return self.log
+            registration = self._registration
+            scheme = registration.scheme
+            applied_by_delta = False
+            started = time.perf_counter()
+            if registration.shards == 1 and scheme.apply_delta is not None:
+                try:
+                    self._structure = scheme.apply_delta(
+                        self._structure, effective, self.tracker
+                    )
+                    applied_by_delta = True
+                except DeltaError:
+                    applied_by_delta = False
+            for change in effective:
+                self._apply_to_working(change)
+            self._version += 1
+            self._advance_lineage(effective)
+            elapsed = time.perf_counter() - started
+            if applied_by_delta:
+                self._engine._bump(
+                    self._kind,
+                    delta_batches=1,
+                    delta_changes=len(effective),
+                    delta_seconds=elapsed,
+                )
+                self._schedule_persist()
+            else:
+                self._structure = self._private_structure(self._canonical_dataset())
+                self._engine._bump(self._kind, fallback_rebuilds=1)
+                if self._store_ready():
+                    # Uniform durability: the rebuilt structure also lands
+                    # under this version's key (the resolve above already
+                    # persisted it content-addressed).
+                    self._schedule_persist()
+                else:
+                    self._persisted_version = self._version
+            self.log.record(
+                len(effective),
+                0,
+                f"v{self._version}: {len(effective)} change(s) via "
+                f"{'delta' if applied_by_delta else 'rebuild'}"
+                + (f", {len(batch) - len(effective)} screened" if len(batch) != len(effective) else ""),
+            )
+            return self.log
+
+    def _validate(self, batch: Sequence[Any]) -> None:
+        """Reject malformed batches before anything mutates (batch atomicity)."""
+        for change in batch:
+            if isinstance(change, TupleChange):
+                element = self._element(change.row)
+                if (
+                    _is_relation(self._working)
+                    and change.kind is ChangeKind.INSERT
+                ):
+                    try:
+                        self._working.schema.validate_row(tuple(change.row))
+                    except SchemaError as exc:
+                        raise DeltaError(f"bad row {change.row!r}: {exc}") from exc
+                elif self._row_shaped and self._counts:
+                    arity = len(next(iter(self._counts)))
+                    if len(tuple(element)) != arity:
+                        raise DeltaError(
+                            f"row arity {len(tuple(element))} != dataset arity {arity}"
+                        )
+            elif isinstance(change, EdgeChange):
+                if not _is_graph(self._working):
+                    raise DeltaError("EdgeChange targets a non-graph dataset")
+                n = self._working.n
+                if not (0 <= change.source < n and 0 <= change.target < n):
+                    raise DeltaError(
+                        f"edge ({change.source}, {change.target}) outside [0, {n})"
+                    )
+            elif isinstance(change, PointWrite):
+                if _is_graph(self._working) or _is_relation(self._working):
+                    raise DeltaError("PointWrite targets a non-positional dataset")
+                if not 0 <= change.position < len(self._working):
+                    raise DeltaError(
+                        f"point write at {change.position} outside "
+                        f"[0, {len(self._working)})"
+                    )
+                try:
+                    hash(change.value)
+                except TypeError as exc:
+                    raise DeltaError(
+                        f"point-write value {change.value!r} is not hashable"
+                    ) from exc
+            else:
+                raise DeltaError(f"unknown change record {type(change).__name__}")
+
+    def _screen(self, batch: Sequence[Any]) -> List[Any]:
+        """Drop no-op deletes (absent elements/edges) and track the bag counts.
+
+        Phantom deletes must never reach a delta hook: the per-attribute
+        selection indexes, for instance, would strip a payload a live row
+        still accounts for.  The handle's element counter makes the check
+        O(1) per change.
+        """
+        effective: List[Any] = []
+        overlay: dict = {}  # PointWrite positions already seen in this batch
+        for change in batch:
+            if isinstance(change, TupleChange):
+                element = self._element(change.row)
+                if change.kind is ChangeKind.DELETE:
+                    if not self._counts[element]:
+                        self.log.record(1, 0, f"no-op delete {element!r}")
+                        continue
+                    self._counts[element] -= 1
+                else:
+                    self._counts[element] += 1
+            elif isinstance(change, EdgeChange) and change.kind is ChangeKind.DELETE:
+                if not self._working.has_edge(change.source, change.target):
+                    self.log.record(
+                        1, 0, f"no-op delete edge ({change.source}, {change.target})"
+                    )
+                    continue
+            elif isinstance(change, PointWrite):
+                # An overwrite swaps one element of the bag for another; the
+                # overlay keeps repeated writes to one slot in step before
+                # the working copy itself is updated.
+                old = overlay.get(change.position, self._working[change.position])
+                self._counts[old] -= 1
+                self._counts[change.value] += 1
+                overlay[change.position] = change.value
+            effective.append(change)
+        return effective
+
+    def _apply_to_working(self, change: Any) -> None:
+        """Fold one (validated, screened) change into the working dataset."""
+        if isinstance(change, TupleChange):
+            element = self._element(change.row)
+            if _is_relation(self._working):
+                if change.kind is ChangeKind.INSERT:
+                    row_id = self._working.insert(element)
+                    self._row_ids.setdefault(element, []).append(row_id)
+                else:
+                    # Screened: the element is live, so the id map has it.
+                    self._working.delete(self._row_ids[element].pop())
+            elif change.kind is ChangeKind.INSERT:
+                self._working.append(element)
+            else:
+                self._working.remove(element)
+        elif isinstance(change, EdgeChange):
+            if change.kind is ChangeKind.INSERT:
+                self._working.add_edge(change.source, change.target)
+            else:
+                self._working.remove_edge(change.source, change.target)
+        else:  # PointWrite
+            self._working[change.position] = change.value
+
+    # -- write-behind persistence ----------------------------------------------
+
+    def _store_ready(self) -> bool:
+        return (
+            self._engine._store is not None
+            and self._registration.shards == 1
+            and self._registration.scheme.dump is not None
+        )
+
+    def _schedule_persist(self) -> None:
+        """Queue an asynchronous re-persist of the current dirty version."""
+        if not self._store_ready():
+            return
+        target = self._version
+        pool = self._engine._ensure_persist_pool()
+        with self._persist_guard:
+            self._persist_future = pool.submit(self._persist, target)
+
+    def _persist(self, target: int) -> None:
+        """Dump version ``target`` if still current and write it through.
+
+        The dump runs under the read latch (a consistent snapshot; writers
+        wait), the store write outside it.  A stale target -- a newer batch
+        already applied -- is skipped; the newer batch queued its own task.
+        """
+        with self._latch.read():
+            if self._version != target or self._persisted_version >= target:
+                return
+            payload = self._registration.scheme.dump(self._structure)
+            key = self.artifact_key()
+        self._engine._store.put(key, payload)
+        with self._persist_guard:
+            self._persisted_version = max(self._persisted_version, target)
+
+    def flush(self) -> None:
+        """Write-behind barrier: returns with the current version durable."""
+        with self._persist_guard:
+            future = self._persist_future
+        if future is not None:
+            future.result()
+        if self._store_ready():
+            with self._latch.read():
+                target = self._version
+            self._persist(target)
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise ServiceError(f"dataset handle for kind {self._kind!r} is closed")
+        if self._engine._closed:
+            raise ServiceError("engine is closed")
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def close(self) -> None:
+        """Flush dirty state, then detach; further queries/batches error."""
+        if self._closed:
+            return
+        self.flush()
+        with self._latch.write():
+            self._closed = True
+        self._engine._forget_handle(self)
+
+    def __enter__(self) -> "DatasetHandle":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()

@@ -1,0 +1,370 @@
+"""Unit tests for the mutable-dataset write path (ISSUE 3).
+
+Headliners:
+
+* ``test_readers_never_observe_torn_snapshot`` -- N reader threads race one
+  writer applying invariant-preserving batches; every batch-atomic read must
+  be consistent with some fully-applied version.
+* ``test_delta_equals_full_rebuild_*`` -- after a change batch, the
+  delta-maintained structure answers exactly like a from-scratch build over
+  the post-batch dataset, for every delta-capable kind.
+* ``test_invalidate_evicts_build_locks`` -- the regression guard for the
+  per-key build-lock leak under invalidation churn.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.catalog import build_query_engine
+from repro.core.errors import DeltaError, ServiceError
+from repro.graphs.graph import Digraph
+from repro.incremental.changes import ChangeKind, EdgeChange, PointWrite, TupleChange
+from repro.queries import membership_class, sorted_run_scheme
+from repro.service import ArtifactStore
+from repro.service.engine import QueryEngine, QueryRequest
+from repro.service.mutable import SnapshotLatch
+
+
+def _insert(*row):
+    return TupleChange(ChangeKind.INSERT, tuple(row))
+
+
+def _delete(*row):
+    return TupleChange(ChangeKind.DELETE, tuple(row))
+
+
+# -- snapshot consistency under concurrency ------------------------------------
+
+
+def test_readers_never_observe_torn_snapshot():
+    """4 readers + 1 writer: the dataset always contains exactly one of
+    {LEFT, RIGHT} (each batch deletes one and inserts the other atomically),
+    so a batch-atomic read must never see both or neither."""
+    LEFT, RIGHT, BATCHES = 10_001, 10_002, 150
+    with QueryEngine() as engine:
+        engine.register("membership", membership_class(), sorted_run_scheme())
+        handle = engine.open_dataset("membership", tuple(range(64)) + (LEFT,))
+        violations = []
+        done = threading.Event()
+
+        def read_loop():
+            while not done.is_set():
+                left, right = handle.query_batch([LEFT, RIGHT])
+                if left == right:
+                    violations.append((left, right, handle.version))
+
+        readers = [threading.Thread(target=read_loop) for _ in range(4)]
+        for thread in readers:
+            thread.start()
+        try:
+            for step in range(BATCHES):
+                if step % 2 == 0:
+                    handle.apply_changes([_delete(LEFT), _insert(RIGHT)])
+                else:
+                    handle.apply_changes([_delete(RIGHT), _insert(LEFT)])
+        finally:
+            done.set()
+            for thread in readers:
+                thread.join()
+        assert not violations, f"torn snapshots observed: {violations[:5]}"
+        assert handle.version == BATCHES
+        stats = engine.stats().per_kind["membership"]
+        assert stats.delta_batches == BATCHES
+
+
+def test_snapshot_latch_excludes_writer_during_reads():
+    latch = SnapshotLatch()
+    order = []
+    with latch.read():
+        writer_entered = threading.Event()
+
+        def writer():
+            with latch.write():
+                order.append("writer")
+                writer_entered.set()
+
+        thread = threading.Thread(target=writer)
+        thread.start()
+        assert not writer_entered.wait(0.05)  # writer blocked by the reader
+        order.append("reader-done")
+    thread.join()
+    assert order == ["reader-done", "writer"]
+
+
+# -- delta-apply equals full rebuild, per kind ---------------------------------
+
+
+def _equivalence_check(engine, kind, handle, queries):
+    """Handle answers == naive oracle == fresh engine built on the snapshot."""
+    query_class, _ = engine.registration(kind)
+    snapshot = handle.dataset()
+    for query in queries:
+        expected = query_class.pair_in_language(snapshot, query)
+        assert handle.query(query) == expected, (kind, query)
+        assert engine.execute(QueryRequest(kind, snapshot, query)) == expected
+
+
+@pytest.mark.parametrize("shards", [1, 4])
+def test_delta_equals_full_rebuild_membership(shards):
+    with build_query_engine(shards=shards) as engine:
+        kind = "list-membership"
+        query_class, _ = engine.registration(kind)
+        data, queries = query_class.sample_workload(96, 3, 10)
+        handle = engine.open_dataset(kind, data)
+        handle.apply_changes(
+            [_insert(10**6), _insert(data[0]), _delete(data[1]), _delete(-1)]
+        )
+        _equivalence_check(engine, kind, handle, list(queries) + [10**6, data[1]])
+        stats = engine.stats().per_kind[kind]
+        if shards == 1:
+            assert stats.delta_batches == 1 and stats.fallback_rebuilds == 0
+        else:
+            # Sharded kinds fall back to the touched-shard rebuild of PR 2.
+            assert stats.fallback_rebuilds == 1
+
+
+def test_delta_equals_full_rebuild_selection():
+    with build_query_engine() as engine:
+        for kind in ("point-selection", "range-selection"):
+            query_class, _ = engine.registration(kind)
+            data, queries = query_class.sample_workload(64, 5, 10)
+            handle = engine.open_dataset(kind, data)
+            victim = data.rows()[0]
+            handle.apply_changes([_delete(*victim), _insert(7, 7), _insert(7, 7)])
+            extra = [("a", 7), ("b", 7)] if kind == "point-selection" else [("a", 6, 8)]
+            _equivalence_check(engine, kind, handle, list(queries) + extra)
+            stats = engine.stats().per_kind[kind]
+            assert stats.delta_batches == 1 and stats.fallback_rebuilds == 0
+
+
+def test_delta_equals_full_rebuild_rmq():
+    with build_query_engine() as engine:
+        kind = "minimum-range-query"
+        query_class, _ = engine.registration(kind)
+        data, queries = query_class.sample_workload(80, 9, 10)
+        handle = engine.open_dataset(kind, data)
+        handle.apply_changes([PointWrite(0, -10**6), PointWrite(41, 10**6)])
+        extra = [(0, len(data) - 1, 0), (1, 50, 41)]
+        _equivalence_check(engine, kind, handle, list(queries) + extra)
+        assert engine.stats().per_kind[kind].delta_batches == 1
+
+
+def test_delta_equals_full_rebuild_topk():
+    with build_query_engine() as engine:
+        kind = "topk-threshold"
+        query_class, _ = engine.registration(kind)
+        data, queries = query_class.sample_workload(48, 11, 10)
+        handle = engine.open_dataset(kind, data)
+        handle.apply_changes(
+            [_insert(2000, 2000), _delete(*data[0]), _delete(9999, 9999)]
+        )
+        extra = [((1, 1), 1, 3999), ((1, 1), 1, 4001)]
+        _equivalence_check(engine, kind, handle, list(queries) + extra)
+        assert engine.stats().per_kind[kind].delta_batches == 1
+
+
+def test_delta_equals_full_rebuild_reachability():
+    with build_query_engine() as engine:
+        kind = "reachability"
+        graph = Digraph(24, [(u, u + 1) for u in range(0, 22, 2)])
+        handle = engine.open_dataset(kind, graph)
+        handle.apply_changes(
+            [
+                EdgeChange(ChangeKind.INSERT, 1, 2),
+                EdgeChange(ChangeKind.INSERT, 3, 4),
+                EdgeChange(ChangeKind.INSERT, 5, 0),  # closes a cycle
+            ]
+        )
+        probes = [(0, 6), (0, 23), (5, 1), (4, 0), (7, 7)]
+        _equivalence_check(engine, kind, handle, probes)
+        stats = engine.stats().per_kind[kind]
+        assert stats.delta_batches == 1 and stats.fallback_rebuilds == 0
+        # Deletes are outside the insert-only closure maintenance: fall back.
+        handle.apply_changes([EdgeChange(ChangeKind.DELETE, 5, 0)])
+        _equivalence_check(engine, kind, handle, probes)
+        assert engine.stats().per_kind[kind].fallback_rebuilds == 1
+
+
+def test_sharded_fallback_rebuilds_only_touched_shards(tmp_path):
+    with build_query_engine(store=ArtifactStore(tmp_path), shards=8) as engine:
+        kind = "list-membership"
+        data = tuple(range(256))
+        handle = engine.open_dataset(kind, data)
+        engine.warm(kind, data)  # every shard hot
+        before = engine.stats().per_kind[kind]
+        handle.apply_changes([_insert(100_000)])
+        after = engine.stats().per_kind[kind]
+        assert after.fallback_rebuilds - before.fallback_rebuilds == 1
+        # A single inserted element lands in one hash bucket: one shard built.
+        assert after.shard_builds - before.shard_builds == 1
+        assert handle.query(100_000) is True and handle.query(99_999) is False
+
+
+# -- versioning and write-behind persistence -----------------------------------
+
+
+def test_versioned_write_behind_persistence(tmp_path):
+    store = ArtifactStore(tmp_path)
+    with QueryEngine(store=store) as engine:
+        engine.register("membership", membership_class(), sorted_run_scheme())
+        handle = engine.open_dataset("membership", (1, 2, 3))
+        base_key = handle.artifact_key()
+        assert handle.version == 0 and not handle.dirty
+        handle.apply_changes([_insert(42)])
+        assert handle.version == 1
+        handle.flush()
+        assert not handle.dirty
+        key = handle.artifact_key()
+        assert key != base_key  # version folded into the fingerprint
+        payload = store.get(key)
+        assert payload is not None
+        reloaded = sorted_run_scheme().load(payload)
+        assert reloaded.contains(42) and not reloaded.contains(43)
+
+
+def test_close_flushes_and_detaches(tmp_path):
+    store = ArtifactStore(tmp_path)
+    engine = QueryEngine(store=store)
+    engine.register("membership", membership_class(), sorted_run_scheme())
+    handle = engine.open_dataset("membership", (1, 2, 3))
+    handle.apply_changes([_insert(7)])
+    engine.close()  # closes (and flushes) the handle too
+    assert handle.closed
+    assert store.get(handle.artifact_key()) is not None
+    with pytest.raises(ServiceError, match="closed"):
+        handle.query(7)
+    with pytest.raises(ServiceError, match="closed"):
+        handle.apply_changes([_insert(8)])
+
+
+def test_noop_and_malformed_batches_are_atomic():
+    with QueryEngine() as engine:
+        engine.register("membership", membership_class(), sorted_run_scheme())
+        handle = engine.open_dataset("membership", (1, 2, 3))
+        # Deletes of absent elements screen to a no-op: no version bump.
+        handle.apply_changes([_delete(99)])
+        assert handle.version == 0
+        # A malformed change rejects the whole batch before anything applies.
+        with pytest.raises(DeltaError):
+            handle.apply_changes([_insert(5), TupleChange(ChangeKind.INSERT, (1, 2))])
+        assert handle.version == 0 and handle.query(5) is False
+        with pytest.raises(DeltaError):
+            handle.apply_changes([PointWrite(99, 5)])  # out of range
+        assert handle.version == 0
+
+
+def test_open_dataset_leaves_caller_object_untouched():
+    with QueryEngine() as engine:
+        engine.register("membership", membership_class(), sorted_run_scheme())
+        data = (1, 2, 3)
+        handle = engine.open_dataset("membership", data)
+        handle.apply_changes([_insert(4), _delete(1)])
+        assert data == (1, 2, 3)
+        assert handle.dataset() == (2, 3, 4)
+        # The engine's ordinary read path over the original data is unaffected.
+        assert engine.execute(QueryRequest("membership", data, 1)) is True
+        assert engine.execute(QueryRequest("membership", data, 4)) is False
+
+
+def test_handle_mutations_do_not_corrupt_engine_cache():
+    """The handle privatizes its structure: serving the same dataset through
+    the plain engine path after handle mutations must still match the
+    original content (the cached artifact was never mutated in place)."""
+    with QueryEngine() as engine:
+        engine.register("membership", membership_class(), sorted_run_scheme())
+        data = tuple(range(32))
+        assert engine.execute(QueryRequest("membership", data, 31)) is True  # cache it
+        handle = engine.open_dataset("membership", data)
+        handle.apply_changes([_delete(31)])
+        assert handle.query(31) is False
+        assert engine.execute(QueryRequest("membership", data, 31)) is True
+
+
+# -- the build-lock leak regression (ISSUE 3 satellite fix) --------------------
+
+
+def test_invalidate_evicts_build_locks():
+    engine = QueryEngine()
+    engine.register("membership", membership_class(), sorted_run_scheme())
+    data = [1, 2, 3]
+    key = engine.artifact_key("membership", data)
+    # Simulate a lock entry parked by an interrupted resolve.
+    engine._build_lock(key)
+    assert key in engine._build_locks
+    engine.invalidate(data)
+    assert key not in engine._build_locks
+
+
+def test_build_lock_map_stays_empty_under_churn():
+    with build_query_engine(max_workers=4) as engine:
+        data = list(range(16))
+        for round_number in range(25):
+            requests = [
+                QueryRequest("list-membership", data, value) for value in range(8)
+            ]
+            engine.execute_batch(requests)
+            data.append(100 + round_number)
+            engine.invalidate(data)
+        assert engine._build_locks == {}
+
+
+def test_point_writes_keep_delete_screening_in_step():
+    """Regression: a PointWrite swaps one bag element for another, so later
+    deletes of the old/new values must screen correctly (review finding)."""
+    with QueryEngine() as engine:
+        engine.register("membership", membership_class(), sorted_run_scheme())
+        handle = engine.open_dataset("membership", (1, 2, 3))
+        # PointWrite is outside the sorted-run hook vocabulary: falls back,
+        # but the bag counts must still track the overwrite.
+        handle.apply_changes([PointWrite(0, 99), PointWrite(0, 98)])
+        assert handle.dataset() == (98, 2, 3)
+        handle.apply_changes([_delete(98)])  # the new value is deletable
+        assert handle.query(98) is False
+        version = handle.version
+        handle.apply_changes([_delete(1)])  # the overwritten value is gone
+        assert handle.version == version  # screened as a no-op
+        assert handle.query(2) is True and handle.query(1) is False
+
+
+def test_divergent_histories_never_share_versioned_artifacts(tmp_path):
+    """Regression: two handles over equal base data but different change
+    histories must persist under distinct keys (review finding)."""
+    store = ArtifactStore(tmp_path)
+    with QueryEngine(store=store) as engine:
+        engine.register("membership", membership_class(), sorted_run_scheme())
+        first = engine.open_dataset("membership", (1, 2, 3))
+        second = engine.open_dataset("membership", (1, 2, 3))
+        assert first.artifact_key() == second.artifact_key()  # same v0 content
+        first.apply_changes([_insert(500)])
+        second.apply_changes([_insert(777)])
+        assert first.artifact_key() != second.artifact_key()
+        first.flush()
+        second.flush()
+        reloaded = sorted_run_scheme().load(store.get(first.artifact_key()))
+        assert reloaded.contains(500) and not reloaded.contains(777)
+        # Identical histories converge to the same key (safe overwrite).
+        third = engine.open_dataset("membership", (1, 2, 3))
+        third.apply_changes([_insert(500)])
+        assert third.artifact_key() == first.artifact_key()
+
+
+def test_changelog_counts_each_change_once():
+    with QueryEngine() as engine:
+        engine.register("membership", membership_class(), sorted_run_scheme())
+        handle = engine.open_dataset("membership", (1, 2, 3))
+        handle.apply_changes([_delete(42)])  # fully screened
+        assert handle.log.input_changes == 1
+        handle.apply_changes([_insert(5), _delete(43)])  # partially screened
+        assert handle.log.input_changes == 3
+
+
+def test_open_dataset_unknown_kind_and_unsupported_data():
+    with QueryEngine() as engine:
+        engine.register("membership", membership_class(), sorted_run_scheme())
+        with pytest.raises(ServiceError, match="no scheme registered"):
+            engine.open_dataset("nope", (1, 2))
+        with pytest.raises(ServiceError, match="open_dataset supports"):
+            engine.open_dataset("membership", {"a", "set"})
