@@ -1,0 +1,176 @@
+"""C13 -- the serving API economics: named-dataset vs payload dispatch (ISSUE 4).
+
+The dataset-first redesign claims two things about the request path:
+
+1. **No regression** -- dispatching through a named
+   :class:`~repro.service.dataset.Dataset` session adds at most ~10% p50
+   latency over the legacy payload-per-request form on a warm engine (in
+   practice it is at parity or faster: the session's artifact key is
+   precomputed, so the warm probe skips the fingerprint-memo lock/lookup);
+2. **No cliff** -- the payload path silently degrades to an O(|D|) re-hash
+   per request once more live datasets exist than the identity memo holds;
+   named sessions fingerprint once at attach and stay at **zero re-hashes**
+   regardless of how many datasets are attached (verified through the new
+   ``fingerprint_rehashes`` counters).
+
+Feeds the ``api`` section of the machine-readable ``BENCH_engine.json``.
+"""
+
+from __future__ import annotations
+
+import statistics
+import time
+
+from conftest import bench_size, format_table
+
+from repro.catalog import build_query_engine
+from repro.service import QueryRequest
+
+SEED = 20130826
+KIND = "list-membership"
+WARMUP = 64
+SAMPLES = 600
+#: More live datasets than the deliberately small memo below: the payload
+#: path re-hashes on (nearly) every request, the named path never does.
+CLIFF_DATASETS = 8
+CLIFF_MEMO = 4
+CLIFF_REQUESTS_PER_DATASET = 8
+
+
+def _p50_per_request(run_one, queries, samples):
+    latencies = []
+    for position in range(samples):
+        query = queries[position % len(queries)]
+        started = time.perf_counter()
+        run_one(query)
+        latencies.append(time.perf_counter() - started)
+    return statistics.median(latencies)
+
+
+def test_c13_named_dispatch_overhead_and_memo_cliff(
+    benchmark, experiment_report, bench_json
+):
+    size = bench_size(16)
+
+    def run():
+        engine = build_query_engine()
+        query_class, _ = engine.registration(KIND)
+        data, queries = query_class.sample_workload(size, SEED, 64)
+        ds = engine.attach("bench", data).warm([KIND])
+
+        payload_request = lambda q: engine.execute(QueryRequest(KIND, data, q))
+        named_request = lambda q: engine.execute(
+            QueryRequest(KIND, dataset="bench", query=q)
+        )
+        session_request = lambda q: ds.query(KIND, q)
+
+        for query in queries[:WARMUP]:  # steady state: every path warm
+            assert payload_request(query) == named_request(query) == session_request(query)
+
+        engine.reset_stats()
+        payload_p50 = _p50_per_request(payload_request, queries, SAMPLES)
+        after_payload = engine.stats()
+        engine.reset_stats()
+        named_p50 = _p50_per_request(named_request, queries, SAMPLES)
+        session_p50 = _p50_per_request(session_request, queries, SAMPLES)
+        after_named = engine.stats()
+        engine.close()
+
+        # The memo cliff, reproduced deliberately: more live payloads than
+        # memo entries versus the same workload through named sessions.
+        cliff = build_query_engine(fingerprint_memo_size=CLIFF_MEMO)
+        datasets = [
+            query_class.sample_workload(max(size // 16, 64), SEED + i, 4)
+            for i in range(CLIFF_DATASETS)
+        ]
+        for i, (dataset, dataset_queries) in enumerate(datasets):
+            cliff.attach(f"d{i}", dataset, kinds=[KIND])
+        for _ in range(CLIFF_REQUESTS_PER_DATASET):
+            for i, (dataset, dataset_queries) in enumerate(datasets):
+                cliff.execute(QueryRequest(KIND, dataset, dataset_queries[0]))
+                cliff.execute(
+                    QueryRequest(KIND, dataset=f"d{i}", query=dataset_queries[0])
+                )
+        cliff_stats = cliff.stats()
+        cliff.close()
+        return (
+            payload_p50,
+            named_p50,
+            session_p50,
+            after_payload,
+            after_named,
+            cliff_stats,
+        )
+
+    (
+        payload_p50,
+        named_p50,
+        session_p50,
+        after_payload,
+        after_named,
+        cliff_stats,
+    ) = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    experiment_report(
+        f"C13 (service API): named-dataset vs payload dispatch, |D| = {size}",
+        format_table(
+            ["path", "p50 latency (us)", "re-hashes", "notes"],
+            [
+                (
+                    "payload request",
+                    f"{payload_p50 * 1e6:.1f}",
+                    after_payload.fingerprint_rehashes,
+                    "memo lock + lookup per request (deprecated)",
+                ),
+                (
+                    "named request",
+                    f"{named_p50 * 1e6:.1f}",
+                    after_named.fingerprint_rehashes,
+                    "identity precomputed at attach",
+                ),
+                (
+                    "session.query",
+                    f"{session_p50 * 1e6:.1f}",
+                    after_named.fingerprint_rehashes,
+                    "no request-record overhead at all",
+                ),
+                (
+                    "payload past memo cliff",
+                    "-",
+                    cliff_stats.per_kind[KIND].fingerprint_rehashes,
+                    f"{CLIFF_DATASETS} datasets through a "
+                    f"{CLIFF_MEMO}-entry memo: O(|D|) per request",
+                ),
+            ],
+        ),
+    )
+    bench_json(
+        "api",
+        {
+            "dataset_size": size,
+            "kind": KIND,
+            "samples": SAMPLES,
+            "payload_p50_us": payload_p50 * 1e6,
+            "named_p50_us": named_p50 * 1e6,
+            "session_p50_us": session_p50 * 1e6,
+            "named_overhead_ratio": named_p50 / payload_p50,
+            "steady_state_rehashes_named": after_named.fingerprint_rehashes,
+            "steady_state_rehashes_payload": after_payload.fingerprint_rehashes,
+            "cliff_datasets": CLIFF_DATASETS,
+            "cliff_memo_size": CLIFF_MEMO,
+            "cliff_payload_rehashes": cliff_stats.per_kind[KIND].fingerprint_rehashes,
+            "cliff_evictions": cliff_stats.fingerprint_evictions,
+        },
+    )
+
+    # Acceptance (ISSUE 4): named dispatch within 10% of the payload path at
+    # steady state, with zero fingerprint re-hashes on the named path.
+    assert named_p50 <= payload_p50 * 1.10, (named_p50, payload_p50)
+    assert after_named.fingerprint_rehashes == 0
+    assert after_payload.fingerprint_rehashes == 0  # one live payload: memoized
+    # The cliff the knob controls: the payload path re-hashes roughly once
+    # per request past the memo capacity, the named path never.
+    assert cliff_stats.per_kind[KIND].fingerprint_rehashes >= (
+        CLIFF_DATASETS - CLIFF_MEMO
+    ) * CLIFF_REQUESTS_PER_DATASET
+    assert cliff_stats.fingerprint_evictions > 0

@@ -285,9 +285,21 @@ def build_query_engine(*, shards: int = 1, **engine_kwargs):
 
     Every registry entry with a query class and a scheme becomes a query
     kind of the engine, keyed by the entry's name (``"point-selection"``,
-    ``"reachability"``, ...).  Keyword arguments are forwarded to the engine
-    constructor -- pass ``store=ArtifactStore(path)`` to persist artifacts
-    across processes.
+    ``"reachability"``, ...).  Datasets are served dataset-first: attach a
+    payload once under a stable name and query the returned
+    :class:`~repro.service.dataset.Dataset` session across every kind ::
+
+        engine = build_query_engine(store=ArtifactStore(path))
+        ds = engine.attach("events", data)          # fingerprinted once
+        ds.query("list-membership", 17)             # any registered kind
+        ds.query_batch([("point-selection", q1), ("list-membership", q2)])
+
+    (payload-style ``QueryRequest(kind, data, query)`` requests keep
+    working through the engine's compatibility adapter).  Keyword arguments
+    are forwarded to the engine constructor -- pass
+    ``store=ArtifactStore(path)`` to persist artifacts across processes, or
+    ``fingerprint_memo_size=N`` to size the identity memo backing the
+    payload-request adapter.
 
     Parameters
     ----------
@@ -296,7 +308,8 @@ def build_query_engine(*, shards: int = 1, **engine_kwargs):
         :class:`~repro.service.merge.ShardSpec` (point/range selection,
         list membership, minimum range query, top-k) is served from K
         per-shard Pi-structures by scatter-gather; the remaining kinds keep
-        the monolithic path.
+        the monolithic path.  ``engine.attach(..., shards=K)`` applies the
+        same override per dataset.
     """
     from repro.service.engine import QueryEngine
 

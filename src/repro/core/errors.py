@@ -77,6 +77,13 @@ class ServiceError(ReproError):
     """Raised on query-engine misuse (unknown query kind, closed engine)."""
 
 
+class UnknownDatasetError(ServiceError):
+    """Raised when a request names a dataset the engine does not serve: the
+    name was never attached, or the :class:`repro.service.dataset.Dataset`
+    session was detached.  A subclass of :class:`ServiceError`, so existing
+    ``except ServiceError`` handlers keep catching it."""
+
+
 class DeltaError(ReproError):
     """Raised by a scheme's ``apply_delta`` hook when a change batch cannot
     be applied incrementally (unsupported change kind, out-of-range target,

@@ -18,6 +18,13 @@ This package persists built structures and serves query batches against them:
     to a cached artifact (building and persisting on miss), executes
     batches on a thread pool, and keeps per-scheme serving statistics.
 
+:mod:`repro.service.dataset`
+    :class:`Dataset` -- the dataset-first serving surface:
+    ``engine.attach(name, data)`` fingerprints a payload once and returns
+    one named session serving every registered kind (monolithic, sharded
+    and mutable paths unified), addressable from requests via
+    ``QueryRequest(kind, dataset=name, query=...)``.
+
 :mod:`repro.service.merge`
     :class:`ShardSpec` and the merge-operator families (union, monoid
     combine, k-way merge) that schemes declare to become shardable.
@@ -37,8 +44,9 @@ This package persists built structures and serves query batches against them:
 
 from repro.service.artifacts import ArtifactKey, ArtifactStore
 from repro.service.cache import LRUArtifactCache
+from repro.service.dataset import Dataset
 from repro.service.engine import EngineStats, QueryEngine, QueryRequest, SchemeStats
-from repro.service.mutable import DatasetHandle, SnapshotLatch
+from repro.service.mutable import DatasetHandle, MutableContent, SnapshotLatch
 from repro.service.merge import (
     MergeOperator,
     ShardPiece,
@@ -62,7 +70,9 @@ __all__ = [
     "ArtifactKey",
     "ArtifactStore",
     "LRUArtifactCache",
+    "Dataset",
     "DatasetHandle",
+    "MutableContent",
     "SnapshotLatch",
     "EngineStats",
     "QueryEngine",

@@ -1,0 +1,624 @@
+"""Dataset sessions: the dataset-first serving surface of the engine.
+
+The paper's economics are "preprocess D once, answer many queries in
+polylog" -- so the *preprocessed dataset*, not the raw payload, is the
+natural addressable object of the serving API.  ``QueryEngine.attach``
+fingerprints a payload **once**, registers a stable name, and returns a
+:class:`Dataset` session that serves every registered kind over it:
+
+* ``ds.query(kind, q)`` / ``ds.query_batch(requests)`` -- answers through
+  the same cache -> store -> build resolution as payload requests, but with
+  the content identity precomputed: no per-request fingerprint memo lookup,
+  no O(|D|) re-hash past the memo cliff, ever;
+* ``ds.submit(kind, q)`` -- the same answer as a future on the engine pool;
+* ``ds.warm(kinds=...)`` -- pre-build (and persist) structures per kind;
+* ``ds.apply_changes(batch)`` -- for sessions attached ``mutable=True``,
+  folds one change batch into *every* served structure behind a single
+  snapshot latch, routing each kind to its ``PiScheme.apply_delta`` hook
+  (falling back to touched-shard or full rebuilds), replacing the
+  one-kind-per-handle restriction of
+  :class:`~repro.service.mutable.DatasetHandle`;
+* ``ds.detach()`` -- flushes dirty state and releases the name; further use
+  raises :class:`~repro.core.errors.UnknownDatasetError`.
+
+One session dispatches to all three resolution paths from its attach-time
+options: monolithic, sharded (``shards=K`` overrides the registration
+default per dataset), and mutable.  Requests can address a session by name
+(``QueryRequest(kind, dataset="events", query=q)``); the old
+payload-per-request form keeps working through an anonymous attach inside
+the engine (see :meth:`~repro.service.engine.QueryEngine.execute`).
+
+    >>> from repro.queries import membership_class, sorted_run_scheme
+    >>> from repro.service.engine import QueryEngine
+    >>> engine = QueryEngine()
+    >>> engine.register("membership", membership_class(), sorted_run_scheme())
+    >>> ds = engine.attach("events", (3, 1, 4), shards=2)
+    >>> ds.query("membership", 4), ds.query("membership", 9)
+    (True, False)
+    >>> engine.stats().per_kind["membership"].fingerprint_rehashes
+    0
+    >>> ds.detach(); engine.close()
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import Future
+from dataclasses import replace
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from repro.core.cost import CostTracker
+from repro.core.errors import DeltaError, ServiceError, UnknownDatasetError
+from repro.incremental.changes import ChangeLog
+from repro.service.artifacts import ArtifactKey
+from repro.service.mutable import MutableContent, SnapshotLatch, advance_lineage
+from repro.storage.fingerprint import dataset_fingerprint
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.service.engine import QueryEngine, QueryRequest, _Registration
+
+__all__ = ["Dataset"]
+
+
+class Dataset:
+    """One attached dataset, addressable by name, serving every kind.
+
+    Created by :meth:`repro.service.engine.QueryEngine.attach` (or, without
+    a name, by the engine's payload-request adapter); not meant to be
+    constructed directly.  The session owns the dataset's content identity
+    -- computed exactly once at attach -- and the per-kind artifact keys
+    derived from it, which is what makes the warm serving path one
+    dictionary probe instead of a fingerprint-memo lookup per request.
+
+    Attach-time options fix how each kind resolves:
+
+    * ``kinds`` restricts the served kinds (default: every kind registered
+      at attach time);
+    * ``shards=K`` overrides the registration's shard count for every
+      served kind whose scheme declares a
+      :class:`~repro.service.merge.ShardSpec` (kinds without one keep their
+      registered path);
+    * ``mutable=True`` routes all serving through a snapshot latch and
+      enables :meth:`apply_changes`.
+
+    Thread safety matches the engine's: any number of threads may query
+    concurrently; for mutable sessions the latch serializes readers against
+    writers, so answers always reflect a fully-applied version.
+    """
+
+    def __init__(
+        self,
+        engine: "QueryEngine",
+        name: Optional[str],
+        data: Any,
+        fingerprint: str,
+        *,
+        kinds: Optional[Sequence[str]] = None,
+        shards: int = 1,
+        mutable: bool = False,
+    ) -> None:
+        self._engine = engine
+        self._name = name
+        self._data = data
+        self._fingerprint = fingerprint
+        self._shards = shards
+        self._detached = False
+        self._keys: Dict[str, ArtifactKey] = {}
+        if name is None and kinds is None:
+            # Anonymous adapter session: defer to the engine's registrations
+            # so later register() calls are visible, exactly like the legacy
+            # payload path.
+            self._registrations: Optional[Dict[str, "_Registration"]] = None
+        else:
+            served = tuple(kinds) if kinds is not None else tuple(engine.kinds())
+            if not served:
+                raise ServiceError(
+                    "attach() found no kinds to serve; register at least one "
+                    "query kind first (or pass kinds=...)"
+                )
+            registrations: Dict[str, "_Registration"] = {}
+            for kind in served:
+                registration = engine._registration(kind)
+                effective = registration.shards
+                if shards > 1 and registration.scheme.sharding is not None:
+                    effective = shards
+                if effective != registration.shards:
+                    registration = replace(registration, shards=effective)
+                registrations[kind] = registration
+            self._registrations = registrations
+        self._mutable = _MutableState(self) if mutable else None
+
+    # -- identity --------------------------------------------------------------
+
+    @property
+    def name(self) -> Optional[str]:
+        """The attach name; ``None`` for anonymous adapter sessions."""
+        return self._name
+
+    @property
+    def data(self) -> Any:
+        """The attached payload object (treated as immutable while served,
+        unless the session was attached ``mutable=True``)."""
+        return self._data
+
+    @property
+    def fingerprint(self) -> str:
+        """The content identity computed once at attach (version 0 for
+        mutable sessions; see :meth:`version`)."""
+        return self._fingerprint
+
+    @property
+    def kinds(self) -> List[str]:
+        """Sorted kinds this session serves."""
+        if self._registrations is None:
+            return self._engine.kinds()
+        return sorted(self._registrations)
+
+    @property
+    def mutable(self) -> bool:
+        return self._mutable is not None
+
+    @property
+    def detached(self) -> bool:
+        return self._detached
+
+    @property
+    def version(self) -> int:
+        """Monotonic count of applied change batches (0 when immutable)."""
+        return 0 if self._mutable is None else self._mutable.version
+
+    def shards_for(self, kind: str) -> int:
+        """Effective shard count serving ``kind`` for this session."""
+        return self.registration_for(kind).shards
+
+    def registration_for(self, kind: str) -> "_Registration":
+        """The (possibly shard-overridden) registration serving ``kind``."""
+        if self._registrations is None:
+            return self._engine._registration(kind)
+        try:
+            return self._registrations[kind]
+        except KeyError:
+            raise ServiceError(
+                f"dataset {self._name!r} does not serve kind {kind!r}; "
+                f"served kinds: {self.kinds}"
+            ) from None
+
+    def artifact_key(self, kind: str) -> ArtifactKey:
+        """The artifact identity serving ``kind`` at the current version.
+
+        Immutable sessions precompute one key per kind (the warm-path probe
+        is then a single dictionary access); mutable sessions derive the key
+        from the version lineage, so every applied batch addresses a fresh
+        artifact without an O(|D|) re-hash.
+        """
+        if self._mutable is not None:
+            return self._mutable.artifact_key(kind)
+        key = self._keys.get(kind)
+        if key is None:
+            registration = self.registration_for(kind)
+            key = ArtifactKey(
+                fingerprint=self._fingerprint,
+                scheme=registration.scheme.name,
+                params=registration.params,
+            )
+            self._keys[kind] = key
+        return key
+
+    # -- serving ---------------------------------------------------------------
+
+    def query(self, kind: str, query: Any) -> bool:
+        """Answer one query of ``kind`` over this dataset.
+
+        Immutable sessions resolve through the engine's ordinary artifact
+        layers (cache -> store -> build) with the precomputed identity;
+        mutable sessions answer under the read latch against the latest
+        fully-applied version.
+        """
+        self._check_attached()
+        return self._engine._serve_for(self, kind, query)
+
+    def query_batch(
+        self,
+        requests: Iterable[Any],
+        *,
+        concurrent: bool = True,
+    ) -> List[bool]:
+        """Answer a batch of ``(kind, query)`` pairs; answers match input order.
+
+        Items may be plain ``(kind, query)`` tuples or
+        :class:`~repro.service.engine.QueryRequest` records (their
+        ``dataset``/``data`` fields, if set, must address this session).
+        Immutable sessions spread the batch over the engine's thread pool
+        (``concurrent=False`` forces sequential execution); mutable sessions
+        run the whole batch under **one** read latch, so every answer
+        reflects the same version -- the batch-atomic snapshot guarantee.
+        """
+        pairs = [self._as_pair(item) for item in requests]
+        self._check_attached()
+        if self._mutable is not None:
+            return self._mutable.query_batch(pairs)
+        if not concurrent or len(pairs) <= 1:
+            return [self.query(kind, query) for kind, query in pairs]
+        pool = self._engine._ensure_pool()
+        return list(pool.map(lambda pair: self.query(pair[0], pair[1]), pairs))
+
+    def submit(self, kind: str, query: Any) -> "Future[bool]":
+        """Asynchronous :meth:`query`: a future resolving on the engine pool."""
+        self._check_attached()
+        pool = self._engine._ensure_pool()
+        return pool.submit(self.query, kind, query)
+
+    def warm(self, kinds: Optional[Sequence[str]] = None) -> "Dataset":
+        """Pre-build (and persist) the structures serving ``kinds``.
+
+        Defaults to every served kind; returns ``self`` so attach-and-warm
+        chains: ``ds = engine.attach("events", data).warm()``.
+        """
+        self._check_attached()
+        for kind in self.kinds if kinds is None else kinds:
+            self._engine._resolve_for(self, kind)
+        return self
+
+    def _as_pair(self, item: Any) -> Tuple[str, Any]:
+        if isinstance(item, tuple) and len(item) == 2:
+            return item
+        kind = getattr(item, "kind", None)
+        if kind is not None and hasattr(item, "query"):
+            named = getattr(item, "dataset", None)
+            if named is not None and named != self._name:
+                raise ServiceError(
+                    f"request addresses dataset {named!r}, not {self._name!r}"
+                )
+            payload = getattr(item, "data", None)
+            if payload is not None and payload is not self._data:
+                raise ServiceError(
+                    "request carries a payload that is not this session's data"
+                )
+            return kind, item.query
+        raise ServiceError(
+            f"query_batch items are (kind, query) pairs or QueryRequests; "
+            f"got {type(item).__name__}"
+        )
+
+    # -- mutation --------------------------------------------------------------
+
+    def apply_changes(self, changes: Iterable[Any]) -> ChangeLog:
+        """Apply one change batch atomically across every served kind.
+
+        Only valid for sessions attached ``mutable=True``.  Each served kind
+        with a materialized structure is maintained in place through its
+        scheme's ``apply_delta`` hook when possible; sharded kinds and
+        refused batches fall back to resolving the post-batch content
+        (content-addressed shard artifacts make that a touched-shards-only
+        rebuild).  Readers never observe an intermediate state: the write
+        latch covers validation, every per-kind maintenance step, and the
+        version bump.
+        """
+        self._check_attached()
+        if self._mutable is None:
+            raise ServiceError(
+                f"dataset {self._name!r} was attached immutable; pass "
+                "mutable=True to attach() to enable apply_changes"
+            )
+        return self._mutable.apply_changes(changes)
+
+    def flush(self) -> None:
+        """Write-behind barrier: returns with the current version durable
+        (no-op for immutable sessions)."""
+        if self._mutable is not None:
+            self._mutable.flush()
+
+    def dataset(self) -> Any:
+        """A consistent snapshot of the current content (the attach payload
+        for immutable sessions)."""
+        if self._mutable is None:
+            return self._data
+        return self._mutable.snapshot()
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def _check_attached(self) -> None:
+        if self._detached:
+            raise UnknownDatasetError(
+                f"dataset {self._name!r} is detached; attach it again to serve"
+            )
+        if self._engine._closed:
+            raise ServiceError("engine is closed")
+
+    def _release(self) -> None:
+        """Flush dirty state and mark detached (engine-internal)."""
+        if self._detached:
+            return
+        if self._mutable is not None:
+            self._mutable.flush()
+        self._detached = True
+
+    def detach(self) -> None:
+        """Flush dirty state, release the name, evict cached structures.
+
+        Idempotent.  Further queries or batches against this session raise
+        :class:`~repro.core.errors.UnknownDatasetError`.
+        """
+        if self._detached:
+            return
+        if self._name is None:
+            # Anonymous adapter sessions are owned by the engine memo.
+            self._engine.invalidate(self._data)
+            self._detached = True
+            return
+        self._engine.detach(self._name)
+
+    def __enter__(self) -> "Dataset":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.detach()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        label = self._name if self._name is not None else "<anonymous>"
+        tags = []
+        if self._mutable is not None:
+            tags.append(f"mutable v{self.version}")
+        if self._shards > 1:
+            tags.append(f"shards={self._shards}")
+        suffix = f" ({', '.join(tags)})" if tags else ""
+        return f"Dataset({label!r}, kinds={self.kinds}{suffix})"
+
+
+class _MutableState:
+    """Multi-kind mutable serving state behind one snapshot latch.
+
+    The generalization of :class:`~repro.service.mutable.DatasetHandle` to a
+    whole session: one :class:`~repro.service.mutable.MutableContent`
+    working copy, one version counter and lineage, and one lazily
+    materialized structure **per served kind**.  A change batch validates
+    once, screens once, then maintains every materialized structure --
+    delta-capable monolithic kinds in place through ``apply_delta``,
+    everything else by rebuilding from the post-batch content (sharded kinds
+    reuse untouched shard artifacts).  Kinds never queried stay
+    unmaterialized and cost nothing until first use, at which point they
+    build from the *current* content.
+    """
+
+    def __init__(self, ds: Dataset) -> None:
+        self._ds = ds
+        self._engine = ds._engine
+        self._latch = SnapshotLatch()
+        self.tracker = CostTracker()
+        self.log = ChangeLog()
+        self._content = MutableContent(ds._data, self.tracker, self.log)
+        self._version = 0
+        self._lineage = ds._fingerprint
+        self._structures: Dict[str, Any] = {}
+        self._materialize_guard = threading.Lock()
+        self._persist_guard = threading.Lock()
+        self._persist_futures: Dict[str, Any] = {}
+        self._persisted: Dict[str, int] = {}
+
+    @property
+    def version(self) -> int:
+        return self._version
+
+    def artifact_key(self, kind: str) -> ArtifactKey:
+        """Identity of this version's artifact for ``kind``."""
+        registration = self._ds.registration_for(kind)
+        return ArtifactKey(
+            fingerprint=self._lineage,
+            scheme=registration.scheme.name,
+            params=registration.params,
+        )
+
+    def snapshot(self) -> Any:
+        with self._latch.read():
+            return self._content.canonical()
+
+    # -- structures ------------------------------------------------------------
+
+    def resolve(self, kind: str) -> Any:
+        """The structure serving ``kind``, materialized under the read latch."""
+        with self._latch.read():
+            self._ds._check_attached()
+            return self._structure_locked(kind)
+
+    def _structure_locked(self, kind: str) -> Any:
+        """Materialize-or-return (read latch held; content cannot move)."""
+        structure = self._structures.get(kind)
+        if structure is not None:
+            return structure
+        with self._materialize_guard:
+            structure = self._structures.get(kind)
+            if structure is None:
+                structure = self._materialize(kind)
+                self._structures[kind] = structure
+            return structure
+
+    def _materialize(self, kind: str) -> Any:
+        """Build the structure for ``kind`` from the *current* content.
+
+        At version 0 the session's attach-time fingerprint addresses the
+        ordinary content-addressed artifacts, so warm cache/store resolution
+        applies; later versions snapshot the working copy (one O(|D|) hash,
+        paid at materialization, not per request).  Delta-capable monolithic
+        kinds are privatized exactly like
+        :meth:`~repro.service.mutable.DatasetHandle._private_structure`, so
+        in-place maintenance never corrupts cache-shared structures.
+        """
+        if self._version == 0:
+            content, fingerprint = self._ds._data, self._ds._fingerprint
+        else:
+            content, fingerprint = self._content.canonical(), None
+        return self._build(kind, content, fingerprint)
+
+    def _build(self, kind: str, content: Any, fingerprint: Optional[str]) -> Any:
+        engine = self._engine
+        registration = self._ds.registration_for(kind)
+        scheme = registration.scheme
+        delta_capable = registration.shards == 1 and scheme.apply_delta is not None
+        if not delta_capable or scheme.serializable:
+            if fingerprint is None:
+                fingerprint = dataset_fingerprint(content)
+            if registration.shards > 1:
+                return engine._planner.resolve(
+                    kind, registration, content, fingerprint=fingerprint
+                )
+            key = ArtifactKey(
+                fingerprint=fingerprint,
+                scheme=scheme.name,
+                params=registration.params,
+            )
+            structure = engine._resolve_by_key(kind, registration, key, content)
+            if delta_capable:
+                # Privatize through the codec: in-place delta maintenance
+                # must never touch a structure shared through the cache.
+                structure = scheme.load(scheme.dump(structure))
+            return structure
+        started = time.perf_counter()
+        structure = scheme.preprocess(content, self.tracker)
+        engine._bump(kind, builds=1, build_seconds=time.perf_counter() - started)
+        return structure
+
+    # -- serving ---------------------------------------------------------------
+
+    def _answer(self, kind: str, query: Any) -> bool:
+        """Evaluate one query over the kind's structure (latch held)."""
+        structure = self._structure_locked(kind)
+        registration = self._ds.registration_for(kind)
+        started = time.perf_counter()
+        if registration.shards > 1:
+            answer = self._engine._planner.answer(
+                kind, registration, structure, query, self.tracker
+            )
+        else:
+            answer = registration.scheme.answer(structure, query, self.tracker)
+        self._engine._bump(
+            kind, queries=1, serve_seconds=time.perf_counter() - started
+        )
+        return bool(answer)
+
+    def query(self, kind: str, query: Any) -> bool:
+        with self._latch.read():
+            self._ds._check_attached()
+            return self._answer(kind, query)
+
+    def query_batch(self, pairs: Sequence[Tuple[str, Any]]) -> List[bool]:
+        """All pairs under one read latch: every answer sees one version."""
+        with self._latch.read():
+            self._ds._check_attached()
+            return [self._answer(kind, query) for kind, query in pairs]
+
+    # -- mutation --------------------------------------------------------------
+
+    def apply_changes(self, changes: Iterable[Any]) -> ChangeLog:
+        batch = list(changes)
+        with self._latch.write():
+            self._ds._check_attached()
+            self._content.validate(batch)
+            effective = self._content.screen(batch)
+            if not effective:
+                self.log.record(0, 0, "batch screened to no-ops")
+                return self.log
+            delta_kinds: List[Tuple[str, float]] = []  # (kind, apply seconds)
+            rebuild_kinds: List[str] = []
+            for kind, structure in self._structures.items():
+                registration = self._ds.registration_for(kind)
+                scheme = registration.scheme
+                if registration.shards == 1 and scheme.apply_delta is not None:
+                    started = time.perf_counter()
+                    try:
+                        self._structures[kind] = scheme.apply_delta(
+                            structure, effective, self.tracker
+                        )
+                        delta_kinds.append((kind, time.perf_counter() - started))
+                        continue
+                    except DeltaError:
+                        pass
+                rebuild_kinds.append(kind)
+            for change in effective:
+                self._content.apply(change)
+            self._version += 1
+            self._lineage = advance_lineage(self._lineage, self._version, effective)
+            for kind, seconds in delta_kinds:
+                self._engine._bump(
+                    kind,
+                    delta_batches=1,
+                    delta_changes=len(effective),
+                    delta_seconds=seconds,
+                )
+            if rebuild_kinds:
+                canonical = self._content.canonical()
+                fingerprint = dataset_fingerprint(canonical)
+                for kind in rebuild_kinds:
+                    self._structures[kind] = self._build(kind, canonical, fingerprint)
+                    self._engine._bump(kind, fallback_rebuilds=1)
+            for kind, _seconds in delta_kinds:
+                self._schedule_persist(kind)
+            screened = len(batch) - len(effective)
+            self.log.record(
+                len(effective),
+                0,
+                f"v{self._version}: {len(effective)} change(s); "
+                f"delta={sorted(kind for kind, _ in delta_kinds)} "
+                f"rebuild={sorted(rebuild_kinds)}"
+                + (f", {screened} screened" if screened else ""),
+            )
+            return self.log
+
+    # -- write-behind persistence ----------------------------------------------
+
+    def _store_ready(self, kind: str) -> bool:
+        registration = self._ds.registration_for(kind)
+        return (
+            self._engine._store is not None
+            and registration.shards == 1
+            and registration.scheme.dump is not None
+        )
+
+    def _schedule_persist(self, kind: str) -> None:
+        if not self._store_ready(kind):
+            return
+        target = self._version
+        pool = self._engine._ensure_persist_pool()
+        with self._persist_guard:
+            self._persist_futures[kind] = pool.submit(self._persist, kind, target)
+
+    def _persist(self, kind: str, target: int) -> None:
+        """Dump ``kind``'s structure at version ``target`` if still current.
+
+        Mirrors the handle path: dump under the read latch (a consistent
+        snapshot), store write outside it; a stale target is skipped because
+        the newer batch queued its own task.
+        """
+        with self._latch.read():
+            if self._version != target or self._persisted.get(kind, 0) >= target:
+                return
+            structure = self._structures.get(kind)
+            if structure is None:
+                return
+            payload = self._ds.registration_for(kind).scheme.dump(structure)
+            key = self.artifact_key(kind)
+        self._engine._store.put(key, payload)
+        with self._persist_guard:
+            self._persisted[kind] = max(self._persisted.get(kind, 0), target)
+
+    def flush(self) -> None:
+        """Barrier: every delta-maintained kind durable at the current version."""
+        with self._persist_guard:
+            futures = list(self._persist_futures.values())
+        for future in futures:
+            future.result()
+        with self._latch.read():
+            target = self._version
+            kinds = list(self._structures)
+        for kind in kinds:
+            if self._store_ready(kind):
+                self._persist(kind, target)

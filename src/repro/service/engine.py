@@ -1,14 +1,25 @@
 """The concurrent query engine: batches of mixed queries over cached artifacts.
 
 This is the "serve many" half of the paper's amortization argument made
-operational.  Each :class:`QueryRequest` names a registered query *kind*
-(e.g. ``"list-membership"``), the dataset it targets, and one query.  The
-engine resolves the request to a Pi-structure through three layers:
+operational.  The engine serves *query kinds* -- registered
+``(QueryClass, PiScheme)`` pairs -- over datasets, resolving every request
+to a Pi-structure through three layers:
 
 1. the in-process :class:`~repro.service.cache.LRUArtifactCache` (hot);
 2. the on-disk :class:`~repro.service.artifacts.ArtifactStore`, when the
    scheme is serializable (warm: pay deserialization, skip the build);
 3. ``scheme.preprocess`` (cold: pay the PTIME build, then persist + cache).
+
+The dataset-first surface is :meth:`QueryEngine.attach`: fingerprint a
+payload once, register a stable name, and serve every kind through the
+returned :class:`~repro.service.dataset.Dataset` session -- queries address
+the session (or name it via ``QueryRequest(kind, dataset=..., query=...)``)
+and never pay a per-request fingerprint lookup.  The older
+payload-per-request form (``QueryRequest(kind, data, query)``) keeps
+working through a thin adapter that performs an *anonymous attach* behind a
+bounded identity memo; it is deprecated in favor of named sessions (no
+warning is emitted -- the adapter is warning-clean by design -- but new
+code should attach).
 
 Batches run on a thread pool.  Pure-Python evaluators contend on the GIL, so
 the pool buys overlap rather than true parallelism -- but the engine is the
@@ -22,8 +33,11 @@ Registering a kind with ``shards=K`` (for schemes that declare a
 :class:`~repro.service.merge.ShardSpec`) swaps the monolithic path for the
 :class:`~repro.service.sharding.ShardPlanner`: K per-shard structures built
 in parallel, persisted independently, and served by scatter-gather.
+``attach(..., shards=K)`` applies the same override per dataset.
 
-Datasets that *mutate* are served through
+Datasets that *mutate* are served either through
+``attach(..., mutable=True)`` (one session, every kind, single latch) or
+through the single-kind
 :meth:`QueryEngine.open_dataset` -> :class:`~repro.service.mutable.DatasetHandle`:
 change batches fold into the live structure via per-scheme ``apply_delta``
 hooks (falling back to touched-shard or full rebuilds), behind a versioned
@@ -33,11 +47,14 @@ snapshot latch with write-behind persistence.
     >>> from repro.service.engine import QueryEngine, QueryRequest
     >>> engine = QueryEngine()
     >>> engine.register("membership", membership_class(), sorted_run_scheme())
-    >>> engine.execute(QueryRequest("membership", (3, 1, 4), 4))
+    >>> ds = engine.attach("readings", (3, 1, 4))
+    >>> ds.query("membership", 4)
     True
-    >>> engine.execute(QueryRequest("membership", (3, 1, 4), 9))
+    >>> engine.execute(QueryRequest("membership", dataset="readings", query=9))
     False
-    >>> engine.stats().per_kind["membership"].builds  # built once, served twice
+    >>> engine.execute(QueryRequest("membership", (3, 1, 4), 9))  # legacy form
+    False
+    >>> engine.stats().per_kind["membership"].builds  # built once, served thrice
     1
 """
 
@@ -51,10 +68,11 @@ from dataclasses import dataclass, replace
 from typing import TYPE_CHECKING, Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.cost import CostTracker
-from repro.core.errors import ArtifactError, ServiceError
+from repro.core.errors import ArtifactError, ServiceError, UnknownDatasetError
 from repro.core.query import PiScheme, QueryClass
 from repro.service.artifacts import ArtifactKey, ArtifactStore
 from repro.service.cache import CacheStats, LRUArtifactCache
+from repro.service.dataset import Dataset
 from repro.service.sharding import ShardPlanner
 from repro.storage.fingerprint import dataset_fingerprint
 
@@ -66,18 +84,30 @@ __all__ = ["QueryRequest", "SchemeStats", "EngineStats", "QueryEngine"]
 
 @dataclass(frozen=True)
 class QueryRequest:
-    """One query against one dataset, under a registered kind.
+    """One query under a registered kind, addressing a dataset two ways.
 
-    The engine treats ``data`` as **immutable while served**: requests are
-    resolved by content fingerprint, and repeated requests for the *same
-    object* reuse the memoized fingerprint without re-hashing.  After
-    mutating a dataset in place, call :meth:`QueryEngine.invalidate` (or
+    **Named (preferred)** -- ``QueryRequest(kind, dataset=name, query=q)``
+    addresses a session attached via :meth:`QueryEngine.attach`.  The
+    payload stays server-side; the request is resolved against the
+    session's precomputed content identity, so the warm path never touches
+    the fingerprint memo.
+
+    **Payload (deprecated)** -- ``QueryRequest(kind, data, query)`` ships
+    the dataset inside the request.  The engine adapts it by performing an
+    anonymous attach keyed on object identity: the engine treats ``data``
+    as **immutable while served**, repeated requests for the *same object*
+    reuse the memoized identity, and once more than ``fingerprint_memo_size``
+    distinct payloads are live every additional one costs an O(|D|) re-hash
+    per request (counted in ``SchemeStats.fingerprint_rehashes``).  After
+    mutating a payload in place, call :meth:`QueryEngine.invalidate` (or
     pass a fresh object) so the next request re-fingerprints and rebuilds.
+    The form is kept for compatibility -- prefer ``attach`` in new code.
     """
 
     kind: str
-    data: Any
-    query: Any
+    data: Any = None
+    query: Any = None
+    dataset: Optional[str] = None
 
 
 @dataclass
@@ -86,13 +116,27 @@ class SchemeStats:
 
     The plain counters (``builds``, ``cache_hits``, ``store_hits``) count
     monolithic artifact resolutions; the ``shard_*`` counters count
-    *per-shard* resolutions for kinds registered with ``shards=K`` (a single
-    cold sharded resolve bumps ``shard_builds`` once per non-empty shard).
+    *per-shard* resolutions for datasets served sharded (a single cold
+    sharded resolve bumps ``shard_builds`` once per non-empty shard).  The
+    ``shards`` field records the *registered* shard count only -- a
+    per-dataset ``attach(..., shards=K)`` override leaves it unchanged
+    while its requests accrue into the ``shard_*`` counters, so nonzero
+    ``shard_builds`` alongside ``shards == 1`` means attach-time overrides
+    are in play.
     ``shard_serve_seconds`` accumulates scatter-gather time, already included
     in ``serve_seconds``.  The ``delta_*`` counters track the mutable-dataset
     write path (:mod:`repro.service.mutable`): batches folded in place by the
     scheme's ``apply_delta`` hook versus ``fallback_rebuilds`` that resolved
     the post-batch content from scratch.
+
+    The ``fingerprint_*`` counters expose the payload-request adapter's memo
+    economics: ``fingerprint_rehashes`` counts every O(|D|) content hash
+    paid while resolving a payload-style request of this kind (a memo miss
+    -- first sight of the object or an earlier eviction), and
+    ``fingerprint_evictions`` counts memo entries evicted by this kind's
+    inserts.  Named :class:`~repro.service.dataset.Dataset` sessions hash
+    once at attach and never touch the memo, so at steady state both stay
+    zero -- which is what ``benchmarks/bench_case13_api.py`` verifies.
     """
 
     scheme: str = ""
@@ -112,6 +156,8 @@ class SchemeStats:
     delta_changes: int = 0
     delta_seconds: float = 0.0
     fallback_rebuilds: int = 0
+    fingerprint_rehashes: int = 0
+    fingerprint_evictions: int = 0
 
     @property
     def hit_rate(self) -> float:
@@ -133,6 +179,20 @@ class EngineStats:
     def total_queries(self) -> int:
         """Queries answered across every registered kind since the last reset."""
         return sum(stats.queries for stats in self.per_kind.values())
+
+    @property
+    def fingerprint_rehashes(self) -> int:
+        """O(|D|) content hashes paid on the request path, across kinds.
+
+        Named dataset sessions keep this at zero at steady state; growth
+        here means payload-style requests are thrashing the identity memo
+        (raise ``fingerprint_memo_size`` or attach the datasets)."""
+        return sum(stats.fingerprint_rehashes for stats in self.per_kind.values())
+
+    @property
+    def fingerprint_evictions(self) -> int:
+        """Identity-memo evictions across kinds (the memo-cliff signal)."""
+        return sum(stats.fingerprint_evictions for stats in self.per_kind.values())
 
 
 @dataclass(frozen=True)
@@ -156,6 +216,14 @@ class QueryEngine:
     max_workers:
         Thread-pool width for :meth:`execute_batch` and for parallel shard
         builds.
+    fingerprint_memo_size:
+        Capacity of the identity memo backing the payload-request adapter
+        (anonymous :class:`~repro.service.dataset.Dataset` sessions).  Past
+        this many live payload objects, every additional one degrades to an
+        O(|D|) re-hash per request -- counted in
+        ``SchemeStats.fingerprint_rehashes`` / ``fingerprint_evictions`` so
+        the cliff is observable instead of silent.  Named sessions
+        (:meth:`attach`) bypass the memo entirely.
     """
 
     def __init__(
@@ -164,7 +232,12 @@ class QueryEngine:
         store: Optional[ArtifactStore] = None,
         cache_entries: int = 64,
         max_workers: int = 4,
+        fingerprint_memo_size: int = 32,
     ):
+        if fingerprint_memo_size < 0:
+            raise ServiceError(
+                f"fingerprint_memo_size must be >= 0, got {fingerprint_memo_size}"
+            )
         self._store = store
         self._cache = LRUArtifactCache(cache_entries)
         self._registrations: Dict[str, _Registration] = {}
@@ -172,8 +245,11 @@ class QueryEngine:
         self._stats_lock = threading.Lock()
         self._build_locks: Dict[ArtifactKey, threading.Lock] = {}
         self._build_locks_guard = threading.Lock()
-        self._fingerprints: "OrderedDict[int, Tuple[Any, str]]" = OrderedDict()
-        self._fingerprints_lock = threading.Lock()
+        self._fingerprint_memo_size = fingerprint_memo_size
+        self._sessions: "OrderedDict[int, Dataset]" = OrderedDict()
+        self._sessions_lock = threading.Lock()
+        self._datasets: Dict[str, Dataset] = {}
+        self._datasets_guard = threading.Lock()
         self._max_workers = max(1, max_workers)
         self._planner = ShardPlanner(self, max_workers=self._max_workers)
         self._pool: Optional[ThreadPoolExecutor] = None
@@ -281,31 +357,140 @@ class QueryEngine:
                 f"known kinds: {self.kinds()}"
             ) from exc
 
+    # -- dataset sessions ------------------------------------------------------
+
+    def attach(
+        self,
+        name: str,
+        data: Any,
+        *,
+        kinds: Optional[Sequence[str]] = None,
+        shards: int = 1,
+        mutable: bool = False,
+    ) -> Dataset:
+        """Attach ``data`` under a stable name; returns the serving session.
+
+        The payload is fingerprinted **once**, here -- every later request
+        against the returned :class:`~repro.service.dataset.Dataset` (or
+        naming it via ``QueryRequest(kind, dataset=name, query=...)``)
+        reuses that identity, so the steady-state serving path performs zero
+        fingerprint-memo lookups and zero re-hashes.
+
+        Parameters
+        ----------
+        name:
+            The request-addressable name; must be unused (detach first to
+            re-attach).
+        kinds:
+            Kinds the session serves; defaults to every kind registered at
+            attach time.
+        shards:
+            ``K > 1`` serves every listed kind whose scheme declares a
+            :class:`~repro.service.merge.ShardSpec` from K per-shard
+            structures, overriding the registration default for this
+            dataset; kinds without a spec keep their registered path.
+        mutable:
+            Enable :meth:`~repro.service.dataset.Dataset.apply_changes`:
+            change batches fold into every served structure behind one
+            snapshot latch (per-kind ``apply_delta`` hooks, with
+            touched-shard or full rebuild fallbacks).
+        """
+        if self._closed:
+            raise ServiceError("engine is closed")
+        if not isinstance(name, str) or not name:
+            raise ServiceError(f"attach needs a non-empty name, got {name!r}")
+        if shards < 1:
+            raise ServiceError(f"shards must be >= 1, got {shards}")
+        with self._datasets_guard:
+            if name in self._datasets:
+                raise ServiceError(f"dataset {name!r} is already attached")
+        dataset = Dataset(
+            self,
+            name,
+            data,
+            dataset_fingerprint(data),
+            kinds=kinds,
+            shards=shards,
+            mutable=mutable,
+        )
+        with self._datasets_guard:
+            if name in self._datasets:
+                raise ServiceError(f"dataset {name!r} is already attached")
+            self._datasets[name] = dataset
+        return dataset
+
+    def detach(self, name: str) -> None:
+        """Detach the named session: flush dirty state, evict its cached
+        monolithic structures, shard plans and idle build locks, and release
+        the name.  Raises :class:`~repro.core.errors.UnknownDatasetError`
+        for names that are not attached."""
+        with self._datasets_guard:
+            dataset = self._datasets.pop(name, None)
+        if dataset is None:
+            raise UnknownDatasetError(
+                f"no dataset attached under name {name!r}; "
+                f"attached: {self.datasets()}"
+            )
+        dataset._release()
+        if not self._fingerprint_in_use(dataset.fingerprint):
+            self._evict_content(dataset.fingerprint)
+
+    def dataset(self, name: str) -> Dataset:
+        """The attached session named ``name``; raises
+        :class:`~repro.core.errors.UnknownDatasetError` otherwise."""
+        with self._datasets_guard:
+            dataset = self._datasets.get(name)
+        if dataset is None:
+            raise UnknownDatasetError(
+                f"no dataset attached under name {name!r}; "
+                f"attached: {self.datasets()}"
+            )
+        return dataset
+
+    def datasets(self) -> List[str]:
+        """Sorted names of every attached dataset session."""
+        with self._datasets_guard:
+            return sorted(self._datasets)
+
     # -- artifact resolution ---------------------------------------------------
 
-    def _fingerprint(self, data: Any) -> str:
-        """Content fingerprint with a small identity memo.
+    def _anonymous_attach(self, data: Any, *, kind: Optional[str] = None) -> Dataset:
+        """The payload-request adapter: an anonymous session per live object.
 
-        The memo pins a strong reference to each memoized dataset, so an
-        ``id()`` can never be recycled while its entry is alive.  It is what
-        keeps the warm path O(polylog): without it every request would pay
-        an O(|D|) re-hash.  The cost is the immutability contract spelled
-        out on :class:`QueryRequest` -- in-place mutation of a memoized
-        dataset must be followed by :meth:`invalidate`.
+        The bounded memo pins a strong reference to each payload (an
+        ``id()`` can never be recycled while its entry is alive) and maps it
+        to an unnamed :class:`~repro.service.dataset.Dataset`.  It is what
+        keeps the legacy warm path O(polylog): without it every payload
+        request would pay an O(|D|) re-hash.  The costs are the immutability
+        contract spelled out on :class:`QueryRequest` and the capacity
+        cliff: past ``fingerprint_memo_size`` live payloads, the hashes come
+        back -- counted per kind as ``fingerprint_rehashes`` (hashes paid
+        here) and ``fingerprint_evictions`` (entries this kind pushed out).
         """
         key = id(data)
-        with self._fingerprints_lock:
-            entry = self._fingerprints.get(key)
-            if entry is not None and entry[0] is data:
-                self._fingerprints.move_to_end(key)
-                return entry[1]
+        with self._sessions_lock:
+            session = self._sessions.get(key)
+            if session is not None and session.data is data:
+                self._sessions.move_to_end(key)
+                return session
         fingerprint = dataset_fingerprint(data)
-        with self._fingerprints_lock:
-            self._fingerprints[key] = (data, fingerprint)
-            self._fingerprints.move_to_end(key)
-            while len(self._fingerprints) > 32:
-                self._fingerprints.popitem(last=False)
-        return fingerprint
+        if kind is not None:
+            self._bump(kind, fingerprint_rehashes=1)
+        session = Dataset(self, None, data, fingerprint)
+        evicted = 0
+        with self._sessions_lock:
+            self._sessions[key] = session
+            self._sessions.move_to_end(key)
+            while len(self._sessions) > self._fingerprint_memo_size:
+                self._sessions.popitem(last=False)
+                evicted += 1
+        if evicted and kind is not None:
+            self._bump(kind, fingerprint_evictions=evicted)
+        return session
+
+    def _fingerprint(self, data: Any, *, kind: Optional[str] = None) -> str:
+        """Memoized content fingerprint (see :meth:`_anonymous_attach`)."""
+        return self._anonymous_attach(data, kind=kind).fingerprint
 
     def artifact_key(self, kind: str, data: Any) -> ArtifactKey:
         """The monolithic artifact identity of ``(kind, data)``.
@@ -316,7 +501,7 @@ class QueryEngine:
         """
         registration = self._registration(kind)
         return ArtifactKey(
-            fingerprint=self._fingerprint(data),
+            fingerprint=self._fingerprint(data, kind=kind),
             scheme=registration.scheme.name,
             params=registration.params,
         )
@@ -335,18 +520,72 @@ class QueryEngine:
         registered with ``shards=K``, a
         :class:`~repro.service.sharding.ShardedStructure` bundling the plan
         with every per-shard structure (missing shards built in parallel).
+
+        Payload-form resolution: the dataset is adapted through an anonymous
+        attach.  Named sessions resolve via
+        :meth:`~repro.service.dataset.Dataset.warm`.
         """
         if self._closed:
             raise ServiceError("engine is closed")
-        registration = self._registration(kind)
+        self._registration(kind)  # unknown-kind error before hashing the payload
+        return self._resolve_for(self._anonymous_attach(data, kind=kind), kind)
+
+    def _resolve_for(self, ds: Dataset, kind: str) -> Any:
+        """The structure serving ``kind`` for an attached dataset session.
+
+        The single dispatch point behind every resolution surface: mutable
+        sessions materialize under their snapshot latch, shard-overridden
+        kinds go through the planner, and monolithic kinds walk
+        cache -> store -> build -- always with the session's precomputed
+        content identity, never a fingerprint-memo lookup.
+        """
+        if self._closed:
+            raise ServiceError("engine is closed")
+        registration = ds.registration_for(kind)
+        if ds._mutable is not None:
+            return ds._mutable.resolve(kind)
         if registration.shards > 1:
-            return self._planner.resolve(kind, registration, data)
-        key = self.artifact_key(kind, data)
+            return self._planner.resolve(
+                kind, registration, ds.data, fingerprint=ds.fingerprint
+            )
+        return self._resolve_by_key(kind, registration, ds.artifact_key(kind), ds.data)
+
+    def _resolve_by_key(
+        self, kind: str, registration: _Registration, key: ArtifactKey, content: Any
+    ) -> Any:
+        """Monolithic cache -> store -> build resolution for a known key.
+
+        Shared by the session dispatch above and by mutable-session
+        materialization (:mod:`repro.service.dataset`), so the probe /
+        stat-bump / miss sequence exists exactly once.
+        """
         structure = self._cache.get(key)
         if structure is not None:
             self._bump(kind, cache_hits=1)
             return structure
-        return self._resolve_miss(kind, registration, key, data)
+        return self._resolve_miss(kind, registration, key, content)
+
+    def _serve_for(self, ds: Dataset, kind: str, query: Any) -> bool:
+        """Answer one query for an attached session (all three paths)."""
+        if self._closed:
+            raise ServiceError("engine is closed")
+        registration = ds.registration_for(kind)
+        if ds._mutable is not None:
+            return ds._mutable.query(kind, query)
+        if registration.shards > 1:
+            # Route-aware scatter-gather: the query is rewritten and routed
+            # once, and only the shards it scatters to are resolved (cold
+            # shards build lazily, in parallel).
+            answer, serve_seconds = self._planner.serve(
+                kind, registration, ds.data, query, fingerprint=ds.fingerprint
+            )
+            self._bump(kind, queries=1, serve_seconds=serve_seconds)
+            return answer
+        structure = self._resolve_for(ds, kind)
+        started = time.perf_counter()
+        answer = registration.scheme.answer(structure, query)
+        self._bump(kind, queries=1, serve_seconds=time.perf_counter() - started)
+        return answer
 
     def _resolve_miss(
         self,
@@ -427,24 +666,47 @@ class QueryEngine:
         return self.artifact_key(kind, data)
 
     def invalidate(self, data: Any) -> None:
-        """Forget a dataset after in-place mutation.
+        """Forget a payload dataset after in-place mutation.
 
-        Drops the memoized fingerprint for this object, the cached monolithic
-        structures built from its old content (for every registered kind),
-        any memoized shard plans, and any idle per-key build-lock entries for
-        the old content -- so the next request re-fingerprints the new
-        content and builds or loads the matching artifacts, and a long-lived
-        engine cannot accumulate lock entries for keys that will never be
-        resolved again.  Shard artifacts are content-addressed, so shards
-        whose content survived the mutation still resolve warm; artifacts
-        for the *old* content stay in the store -- they are still correct
-        for that content.
+        Drops the anonymous session memoized for this object, the cached
+        monolithic structures built from its old content (for every
+        registered kind), any memoized shard plans, and any idle per-key
+        build-lock entries for the old content -- so the next request
+        re-fingerprints the new content and builds or loads the matching
+        artifacts, and a long-lived engine cannot accumulate lock entries
+        for keys that will never be resolved again.  Shard artifacts are
+        content-addressed, so shards whose content survived the mutation
+        still resolve warm; artifacts for the *old* content stay in the
+        store -- they are still correct for that content.
+
+        Named sessions have no in-place-mutation contract: mutate them
+        through :meth:`~repro.service.dataset.Dataset.apply_changes`, or
+        detach and re-attach.
         """
-        with self._fingerprints_lock:
-            entry = self._fingerprints.pop(id(data), None)
-        if entry is None:
+        with self._sessions_lock:
+            session = self._sessions.pop(id(data), None)
+        if session is None:
             return
-        _, fingerprint = entry
+        if not self._fingerprint_in_use(session.fingerprint):
+            self._evict_content(session.fingerprint)
+
+    def _fingerprint_in_use(self, fingerprint: str) -> bool:
+        """True while an *attached* session still serves this content.
+
+        Cached structures are content-addressed, so equal-content datasets
+        share them; eviction (on detach or invalidate) must not pull a
+        structure out from under a surviving session of the same content.
+        """
+        with self._datasets_guard:
+            return any(
+                dataset.fingerprint == fingerprint
+                for dataset in self._datasets.values()
+            )
+
+    def _evict_content(self, fingerprint: str) -> None:
+        """Evict every engine-side trace of one content identity: memoized
+        shard plans, cached monolithic structures for every registered kind,
+        and idle per-key build-lock entries."""
         self._planner.forget(fingerprint)
         for registration in self._registrations.values():
             key = ArtifactKey(
@@ -462,7 +724,7 @@ class QueryEngine:
     # -- mutable datasets --------------------------------------------------------
 
     def open_dataset(self, kind: str, data: Any) -> "DatasetHandle":
-        """A mutable, versioned handle on ``(kind, data)``.
+        """A mutable, versioned handle on ``(kind, data)`` -- one kind only.
 
         The returned :class:`~repro.service.mutable.DatasetHandle` owns a
         private working copy of ``data`` (the caller's object is never
@@ -471,6 +733,9 @@ class QueryEngine:
         place -- or, for sharded kinds and schemes without an
         ``apply_delta`` hook, rebuild through the ordinary artifact layers.
         Close the handle (or the engine) to flush write-behind state.
+
+        To serve one mutable dataset under *several* kinds behind a single
+        snapshot latch, use :meth:`attach` with ``mutable=True`` instead.
         """
         if self._closed:
             raise ServiceError("engine is closed")
@@ -503,28 +768,27 @@ class QueryEngine:
     def execute(self, request: QueryRequest) -> bool:
         """Answer one request through the artifact layers.
 
+        Named requests (``dataset=...``) serve through the attached session;
+        payload requests (``data=...``) are adapted via an anonymous attach
+        (the deprecated compatibility path -- see :class:`QueryRequest`).
         Returns the Boolean answer; serve time (including scatter-gather for
         sharded kinds) is recorded per kind.
         """
         if self._closed:
             raise ServiceError("engine is closed")
-        registration = self._registration(request.kind)
-        if registration.shards > 1:
-            # Route-aware scatter-gather: the query is rewritten and routed
-            # once, and only the shards it scatters to are resolved (cold
-            # shards build lazily, in parallel).
-            answer, serve_seconds = self._planner.serve(
-                request.kind, registration, request.data, request.query
+        if request.dataset is not None:
+            if request.data is not None:
+                raise ServiceError(
+                    "request names both a dataset and a payload; pass exactly one"
+                )
+            return self.dataset(request.dataset).query(request.kind, request.query)
+        if request.data is None:
+            raise ServiceError(
+                "request carries neither a dataset name nor a payload"
             )
-            self._bump(request.kind, queries=1, serve_seconds=serve_seconds)
-            return answer
-        structure = self.resolve(request.kind, request.data)
-        started = time.perf_counter()
-        answer = registration.scheme.answer(structure, request.query)
-        self._bump(
-            request.kind, queries=1, serve_seconds=time.perf_counter() - started
-        )
-        return answer
+        self._registration(request.kind)  # unknown-kind error before hashing
+        session = self._anonymous_attach(request.data, kind=request.kind)
+        return self._serve_for(session, request.kind, request.query)
 
     def execute_batch(
         self,
@@ -577,9 +841,16 @@ class QueryEngine:
                 self._stats[kind] = SchemeStats(scheme=stats.scheme, shards=stats.shards)
 
     def close(self) -> None:
-        """Close open dataset handles (flushing write-behind state), then
-        shut down the serving, shard-build and persist pools; further work
-        errors."""
+        """Detach attached datasets and close open dataset handles (flushing
+        write-behind state), then shut down the serving, shard-build and
+        persist pools; further work errors."""
+        with self._datasets_guard:
+            names = list(self._datasets)
+        for name in names:
+            try:
+                self.detach(name)
+            except UnknownDatasetError:  # pragma: no cover - concurrent detach
+                pass
         with self._handles_guard:
             handles = list(self._handles)
         for handle in handles:

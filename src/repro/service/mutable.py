@@ -4,25 +4,34 @@ The paper's amortization argument (preprocess once in PTIME, serve many
 polylog queries) meets production traffic here: datasets *mutate*.  Section
 4(7) analyses incremental evaluation against |CHANGED| = |dD| + |dO| -- the
 payoff of preprocessing survives updates only if maintaining Pi(D) costs a
-function of the change, not of |D|.  A :class:`DatasetHandle` makes that
-operational for the serving layer:
+function of the change, not of |D|.  This module provides the shared write
+machinery:
 
-* ``QueryEngine.open_dataset(kind, data)`` returns a handle owning a private
-  working copy of the dataset and a private Pi-structure;
-* ``handle.apply_changes(batch)`` routes a batch of
-  :mod:`repro.incremental.changes` records to the scheme's
-  ``PiScheme.apply_delta`` hook, mutating the structure in place in
-  O(|CHANGED| * polylog).  Schemes without a hook -- and sharded
-  registrations -- fall back automatically to a rebuild through the engine,
-  where content-addressed shard artifacts turn the rebuild into a
-  touched-shards-only build;
-* every handle carries a **monotonic version counter** folded into its
-  artifact fingerprint, and a reader--writer latch guarantees *snapshot
-  serving*: a query always answers against a fully-applied version, never a
-  half-applied batch;
-* dirty structures are **re-persisted asynchronously** (write-behind) to the
-  engine's :class:`~repro.service.artifacts.ArtifactStore` under the
-  versioned key; ``flush()``/``close()`` force the write.
+* :class:`MutableContent` -- the private working copy of a dataset plus the
+  bag bookkeeping (validation, no-op screening, change application) shared
+  by every mutable serving surface: the single-kind :class:`DatasetHandle`
+  below and the multi-kind :class:`~repro.service.dataset.Dataset` sessions
+  created by ``QueryEngine.attach(..., mutable=True)``;
+* :class:`SnapshotLatch` -- the writer-preferring reader--writer latch that
+  turns "apply a batch" into an atomic version step for every reader;
+* :func:`advance_lineage` -- the O(|CHANGED|) versioned-fingerprint chain
+  that gives every applied batch a distinct artifact identity without an
+  O(|D|) re-hash.
+
+``QueryEngine.open_dataset(kind, data)`` returns a :class:`DatasetHandle`
+serving **one** kind; ``handle.apply_changes(batch)`` routes a batch of
+:mod:`repro.incremental.changes` records to the scheme's
+``PiScheme.apply_delta`` hook, mutating the structure in place in
+O(|CHANGED| * polylog).  Schemes without a hook -- and sharded registrations
+-- fall back automatically to a rebuild through the engine, where
+content-addressed shard artifacts turn the rebuild into a
+touched-shards-only build.  Dirty structures are re-persisted
+asynchronously (write-behind); ``flush()``/``close()`` force the write.
+
+For datasets served under *several* kinds at once, prefer the dataset-first
+surface: ``engine.attach(name, data, mutable=True)`` (see
+:mod:`repro.service.dataset`), which folds each batch into every served
+structure behind one latch.
 
     >>> from repro.queries import membership_class, sorted_run_scheme
     >>> from repro.service.engine import QueryEngine
@@ -63,7 +72,7 @@ from repro.service.artifacts import ArtifactKey
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from repro.service.engine import QueryEngine, _Registration
 
-__all__ = ["SnapshotLatch", "DatasetHandle"]
+__all__ = ["SnapshotLatch", "MutableContent", "DatasetHandle", "advance_lineage"]
 
 
 class SnapshotLatch:
@@ -116,6 +125,25 @@ class SnapshotLatch:
                 self._condition.notify_all()
 
 
+def advance_lineage(lineage: str, version: int, effective: Sequence[Any]) -> str:
+    """Chain one applied batch into a versioned content identity.
+
+    Version 0 is the plain dataset fingerprint; each applied batch chains
+    the version counter *and the batch content* into the digest, in
+    O(|CHANGED|) instead of an O(|D|) re-hash.  Two histories over equal
+    base data share an identity exactly when their batches agree -- in which
+    case their structures encode the same logical dataset -- while divergent
+    histories can never clobber each other's persisted artifacts.
+    """
+    digest = hashlib.sha256()
+    digest.update(lineage.encode("ascii"))
+    digest.update(f"|delta-v{version}|".encode("ascii"))
+    for change in effective:
+        digest.update(repr(change).encode("utf-8"))
+        digest.update(b"\x1f")
+    return digest.hexdigest()
+
+
 def _is_graph(data: Any) -> bool:
     return hasattr(data, "add_edge") and hasattr(data, "edges") and hasattr(data, "n")
 
@@ -124,13 +152,209 @@ def _is_relation(data: Any) -> bool:
     return hasattr(data, "schema") and hasattr(data, "insert") and hasattr(data, "rows")
 
 
+class MutableContent:
+    """The working-copy half of a mutable dataset, independent of any kind.
+
+    Owns a private mutable copy of the dataset (list / relation / graph) --
+    the caller's object is never touched, and a fallback rebuild always has
+    the post-batch content -- plus the bag bookkeeping that makes batch
+    validation and no-op screening O(1) per change.  Both the single-kind
+    :class:`DatasetHandle` and the multi-kind mutable
+    :class:`~repro.service.dataset.Dataset` sessions delegate here, so the
+    change semantics (atomic validation, phantom-delete screening, working
+    application order) are defined exactly once.
+
+    Not thread-safe on its own: callers serialize access through their
+    :class:`SnapshotLatch`.
+    """
+
+    def __init__(self, data: Any, tracker: CostTracker, log: ChangeLog) -> None:
+        self.tracker = tracker
+        self.log = log
+        self.working, self.row_shaped = self._copy_dataset(data)
+        self.counts: Counter = self._initial_counts()
+        self.row_ids = self._initial_row_ids()
+
+    # -- working copies --------------------------------------------------------
+
+    def _copy_dataset(self, data: Any) -> Tuple[Any, bool]:
+        """A private mutable copy of ``data`` plus its element shape.
+
+        ``row_shaped`` is True when elements are rows (tuples) rather than
+        flat values -- it decides how ``TupleChange.row`` maps to elements.
+        """
+        if _is_relation(data):
+            copy = type(data)(data.schema)
+            for row in data.rows():
+                copy.insert(row)
+            return copy, True
+        if _is_graph(data):
+            return type(data)(data.n, data.edges()), False
+        if isinstance(data, (tuple, list)):
+            working = list(data)
+            row_shaped = bool(working) and isinstance(working[0], (tuple, list))
+            return working, row_shaped
+        raise ServiceError(
+            f"mutable serving supports sequence, relation and graph datasets; "
+            f"got {type(data).__name__}"
+        )
+
+    def _initial_counts(self) -> Counter:
+        if _is_relation(self.working):
+            return Counter(self.working.rows())
+        if _is_graph(self.working):
+            return Counter()
+        return Counter(self.working)
+
+    def _initial_row_ids(self) -> Optional[dict]:
+        """Live row -> row-id list for relations, so deletes are O(1) lookups
+        instead of an O(|D|) scan under the write latch."""
+        if not _is_relation(self.working):
+            return None
+        row_ids: dict = {}
+        for row_id, row in self.working.scan(self.tracker):
+            row_ids.setdefault(row, []).append(row_id)
+        return row_ids
+
+    def element(self, row: Sequence[Any]) -> Any:
+        """The dataset element a ``TupleChange.row`` denotes."""
+        if self.row_shaped:
+            return tuple(row)
+        if len(row) != 1:
+            raise DeltaError(
+                f"flat datasets take one-tuple rows, got arity {len(row)}"
+            )
+        return row[0]
+
+    def canonical(self) -> Any:
+        """A fresh snapshot of the working data, typed like the original.
+
+        Always a new object, so the engine's identity-memoized fingerprints
+        can never alias a mutated working copy.
+        """
+        if _is_relation(self.working):
+            copy = type(self.working)(self.working.schema)
+            for row in self.working.rows():
+                copy.insert(row)
+            return copy
+        if _is_graph(self.working):
+            return type(self.working)(self.working.n, self.working.edges())
+        return tuple(self.working)
+
+    # -- batch processing ------------------------------------------------------
+
+    def validate(self, batch: Sequence[Any]) -> None:
+        """Reject malformed batches before anything mutates (batch atomicity)."""
+        for change in batch:
+            if isinstance(change, TupleChange):
+                element = self.element(change.row)
+                if (
+                    _is_relation(self.working)
+                    and change.kind is ChangeKind.INSERT
+                ):
+                    try:
+                        self.working.schema.validate_row(tuple(change.row))
+                    except SchemaError as exc:
+                        raise DeltaError(f"bad row {change.row!r}: {exc}") from exc
+                elif self.row_shaped and self.counts:
+                    arity = len(next(iter(self.counts)))
+                    if len(tuple(element)) != arity:
+                        raise DeltaError(
+                            f"row arity {len(tuple(element))} != dataset arity {arity}"
+                        )
+            elif isinstance(change, EdgeChange):
+                if not _is_graph(self.working):
+                    raise DeltaError("EdgeChange targets a non-graph dataset")
+                n = self.working.n
+                if not (0 <= change.source < n and 0 <= change.target < n):
+                    raise DeltaError(
+                        f"edge ({change.source}, {change.target}) outside [0, {n})"
+                    )
+            elif isinstance(change, PointWrite):
+                if _is_graph(self.working) or _is_relation(self.working):
+                    raise DeltaError("PointWrite targets a non-positional dataset")
+                if not 0 <= change.position < len(self.working):
+                    raise DeltaError(
+                        f"point write at {change.position} outside "
+                        f"[0, {len(self.working)})"
+                    )
+                try:
+                    hash(change.value)
+                except TypeError as exc:
+                    raise DeltaError(
+                        f"point-write value {change.value!r} is not hashable"
+                    ) from exc
+            else:
+                raise DeltaError(f"unknown change record {type(change).__name__}")
+
+    def screen(self, batch: Sequence[Any]) -> List[Any]:
+        """Drop no-op deletes (absent elements/edges) and track the bag counts.
+
+        Phantom deletes must never reach a delta hook: the per-attribute
+        selection indexes, for instance, would strip a payload a live row
+        still accounts for.  The element counter makes the check O(1) per
+        change.
+        """
+        effective: List[Any] = []
+        overlay: dict = {}  # PointWrite positions already seen in this batch
+        for change in batch:
+            if isinstance(change, TupleChange):
+                element = self.element(change.row)
+                if change.kind is ChangeKind.DELETE:
+                    if not self.counts[element]:
+                        self.log.record(1, 0, f"no-op delete {element!r}")
+                        continue
+                    self.counts[element] -= 1
+                else:
+                    self.counts[element] += 1
+            elif isinstance(change, EdgeChange) and change.kind is ChangeKind.DELETE:
+                if not self.working.has_edge(change.source, change.target):
+                    self.log.record(
+                        1, 0, f"no-op delete edge ({change.source}, {change.target})"
+                    )
+                    continue
+            elif isinstance(change, PointWrite):
+                # An overwrite swaps one element of the bag for another; the
+                # overlay keeps repeated writes to one slot in step before
+                # the working copy itself is updated.
+                old = overlay.get(change.position, self.working[change.position])
+                self.counts[old] -= 1
+                self.counts[change.value] += 1
+                overlay[change.position] = change.value
+            effective.append(change)
+        return effective
+
+    def apply(self, change: Any) -> None:
+        """Fold one (validated, screened) change into the working dataset."""
+        if isinstance(change, TupleChange):
+            element = self.element(change.row)
+            if _is_relation(self.working):
+                if change.kind is ChangeKind.INSERT:
+                    row_id = self.working.insert(element)
+                    self.row_ids.setdefault(element, []).append(row_id)
+                else:
+                    # Screened: the element is live, so the id map has it.
+                    self.working.delete(self.row_ids[element].pop())
+            elif change.kind is ChangeKind.INSERT:
+                self.working.append(element)
+            else:
+                self.working.remove(element)
+        elif isinstance(change, EdgeChange):
+            if change.kind is ChangeKind.INSERT:
+                self.working.add_edge(change.source, change.target)
+            else:
+                self.working.remove_edge(change.source, change.target)
+        else:  # PointWrite
+            self.working[change.position] = change.value
+
+
 class DatasetHandle:
-    """One mutable dataset served under snapshot isolation.
+    """One mutable dataset served under snapshot isolation, for one kind.
 
     Created by :meth:`repro.service.engine.QueryEngine.open_dataset`; not
     meant to be constructed directly.  The handle owns
 
-    * a **working copy** of the dataset (list / relation / graph), so the
+    * a **working copy** of the dataset (a :class:`MutableContent`), so the
       caller's object is never mutated and a fallback rebuild always has the
       post-batch content;
     * a **private structure** -- for delta-capable monolithic schemes the
@@ -144,6 +368,11 @@ class DatasetHandle:
     :class:`SnapshotLatch` serializes them.  Multiple concurrent writers are
     also safe (they serialize on the latch), though batches then apply in
     latch-acquisition order.
+
+    The handle serves exactly the kind it was opened for.  To serve one
+    mutable dataset under several kinds behind a single latch, use the
+    dataset-first surface (``engine.attach(..., mutable=True)``; see
+    :mod:`repro.service.dataset`).
     """
 
     def __init__(
@@ -165,78 +394,10 @@ class DatasetHandle:
         self.tracker = CostTracker()
         self.log = ChangeLog()
 
-        self._working, self._row_shaped = self._copy_dataset(data)
-        self._counts: Counter = self._initial_counts()
-        self._row_ids = self._initial_row_ids()
-        self._base_fingerprint = engine._fingerprint(data)
+        self._content = MutableContent(data, self.tracker, self.log)
+        self._base_fingerprint = engine._fingerprint(data, kind=kind)
         self._lineage = self._base_fingerprint
         self._structure = self._private_structure(data)
-
-    # -- dataset working copies ------------------------------------------------
-
-    def _copy_dataset(self, data: Any) -> Tuple[Any, bool]:
-        """A private mutable copy of ``data`` plus its element shape.
-
-        ``row_shaped`` is True when elements are rows (tuples) rather than
-        flat values -- it decides how ``TupleChange.row`` maps to elements.
-        """
-        if _is_relation(data):
-            copy = type(data)(data.schema)
-            for row in data.rows():
-                copy.insert(row)
-            return copy, True
-        if _is_graph(data):
-            return type(data)(data.n, data.edges()), False
-        if isinstance(data, (tuple, list)):
-            working = list(data)
-            row_shaped = bool(working) and isinstance(working[0], (tuple, list))
-            return working, row_shaped
-        raise ServiceError(
-            f"open_dataset supports sequence, relation and graph datasets; "
-            f"got {type(data).__name__}"
-        )
-
-    def _initial_counts(self) -> Counter:
-        if _is_relation(self._working):
-            return Counter(self._working.rows())
-        if _is_graph(self._working):
-            return Counter()
-        return Counter(self._working)
-
-    def _initial_row_ids(self) -> Optional[dict]:
-        """Live row -> row-id list for relations, so deletes are O(1) lookups
-        instead of an O(|D|) scan under the write latch."""
-        if not _is_relation(self._working):
-            return None
-        row_ids: dict = {}
-        for row_id, row in self._working.scan(self.tracker):
-            row_ids.setdefault(row, []).append(row_id)
-        return row_ids
-
-    def _element(self, row: Sequence[Any]) -> Any:
-        """The dataset element a ``TupleChange.row`` denotes."""
-        if self._row_shaped:
-            return tuple(row)
-        if len(row) != 1:
-            raise DeltaError(
-                f"flat datasets take one-tuple rows, got arity {len(row)}"
-            )
-        return row[0]
-
-    def _canonical_dataset(self) -> Any:
-        """A fresh snapshot of the working data, typed like the original.
-
-        Always a new object, so the engine's identity-memoized fingerprints
-        can never alias a mutated working copy.
-        """
-        if _is_relation(self._working):
-            copy = type(self._working)(self._working.schema)
-            for row in self._working.rows():
-                copy.insert(row)
-            return copy
-        if _is_graph(self._working):
-            return type(self._working)(self._working.n, self._working.edges())
-        return tuple(self._working)
 
     # -- structure ownership ---------------------------------------------------
 
@@ -281,24 +442,10 @@ class DatasetHandle:
         """The versioned content identity: a lineage hash of the history.
 
         Version 0 is the plain dataset fingerprint (the handle aliases the
-        engine's ordinary artifact); each applied batch chains the version
-        counter *and the batch content* into the digest, in O(|CHANGED|)
-        instead of an O(|D|) re-hash.  Two handles over equal base data
-        therefore share a key exactly when their change histories agree --
-        in which case their structures encode the same logical dataset and a
-        write-behind overwrite is harmless -- while divergent histories can
-        never clobber each other's persisted artifacts.
+        engine's ordinary artifact); later versions chain batches through
+        :func:`advance_lineage`.
         """
         return self._lineage
-
-    def _advance_lineage(self, effective: Sequence[Any]) -> None:
-        digest = hashlib.sha256()
-        digest.update(self._lineage.encode("ascii"))
-        digest.update(f"|delta-v{self._version}|".encode("ascii"))
-        for change in effective:
-            digest.update(repr(change).encode("utf-8"))
-            digest.update(b"\x1f")
-        self._lineage = digest.hexdigest()
 
     def artifact_key(self) -> ArtifactKey:
         """Identity of this version's artifact in cache/store terms."""
@@ -311,7 +458,7 @@ class DatasetHandle:
     def dataset(self) -> Any:
         """A consistent snapshot of the current dataset content."""
         with self._latch.read():
-            return self._canonical_dataset()
+            return self._content.canonical()
 
     # -- serving ---------------------------------------------------------------
 
@@ -371,10 +518,10 @@ class DatasetHandle:
         batch = list(changes)
         with self._latch.write():
             self._check_open()
-            self._validate(batch)
-            effective = self._screen(batch)
+            self._content.validate(batch)
+            effective = self._content.screen(batch)
             if not effective:
-                # Every screened change was already logged by _screen.
+                # Every screened change was already logged by screen().
                 self.log.record(0, 0, "batch screened to no-ops")
                 return self.log
             registration = self._registration
@@ -390,9 +537,9 @@ class DatasetHandle:
                 except DeltaError:
                     applied_by_delta = False
             for change in effective:
-                self._apply_to_working(change)
+                self._content.apply(change)
             self._version += 1
-            self._advance_lineage(effective)
+            self._lineage = advance_lineage(self._lineage, self._version, effective)
             elapsed = time.perf_counter() - started
             if applied_by_delta:
                 self._engine._bump(
@@ -403,7 +550,7 @@ class DatasetHandle:
                 )
                 self._schedule_persist()
             else:
-                self._structure = self._private_structure(self._canonical_dataset())
+                self._structure = self._private_structure(self._content.canonical())
                 self._engine._bump(self._kind, fallback_rebuilds=1)
                 if self._store_ready():
                     # Uniform durability: the rebuilt structure also lands
@@ -420,110 +567,6 @@ class DatasetHandle:
                 + (f", {len(batch) - len(effective)} screened" if len(batch) != len(effective) else ""),
             )
             return self.log
-
-    def _validate(self, batch: Sequence[Any]) -> None:
-        """Reject malformed batches before anything mutates (batch atomicity)."""
-        for change in batch:
-            if isinstance(change, TupleChange):
-                element = self._element(change.row)
-                if (
-                    _is_relation(self._working)
-                    and change.kind is ChangeKind.INSERT
-                ):
-                    try:
-                        self._working.schema.validate_row(tuple(change.row))
-                    except SchemaError as exc:
-                        raise DeltaError(f"bad row {change.row!r}: {exc}") from exc
-                elif self._row_shaped and self._counts:
-                    arity = len(next(iter(self._counts)))
-                    if len(tuple(element)) != arity:
-                        raise DeltaError(
-                            f"row arity {len(tuple(element))} != dataset arity {arity}"
-                        )
-            elif isinstance(change, EdgeChange):
-                if not _is_graph(self._working):
-                    raise DeltaError("EdgeChange targets a non-graph dataset")
-                n = self._working.n
-                if not (0 <= change.source < n and 0 <= change.target < n):
-                    raise DeltaError(
-                        f"edge ({change.source}, {change.target}) outside [0, {n})"
-                    )
-            elif isinstance(change, PointWrite):
-                if _is_graph(self._working) or _is_relation(self._working):
-                    raise DeltaError("PointWrite targets a non-positional dataset")
-                if not 0 <= change.position < len(self._working):
-                    raise DeltaError(
-                        f"point write at {change.position} outside "
-                        f"[0, {len(self._working)})"
-                    )
-                try:
-                    hash(change.value)
-                except TypeError as exc:
-                    raise DeltaError(
-                        f"point-write value {change.value!r} is not hashable"
-                    ) from exc
-            else:
-                raise DeltaError(f"unknown change record {type(change).__name__}")
-
-    def _screen(self, batch: Sequence[Any]) -> List[Any]:
-        """Drop no-op deletes (absent elements/edges) and track the bag counts.
-
-        Phantom deletes must never reach a delta hook: the per-attribute
-        selection indexes, for instance, would strip a payload a live row
-        still accounts for.  The handle's element counter makes the check
-        O(1) per change.
-        """
-        effective: List[Any] = []
-        overlay: dict = {}  # PointWrite positions already seen in this batch
-        for change in batch:
-            if isinstance(change, TupleChange):
-                element = self._element(change.row)
-                if change.kind is ChangeKind.DELETE:
-                    if not self._counts[element]:
-                        self.log.record(1, 0, f"no-op delete {element!r}")
-                        continue
-                    self._counts[element] -= 1
-                else:
-                    self._counts[element] += 1
-            elif isinstance(change, EdgeChange) and change.kind is ChangeKind.DELETE:
-                if not self._working.has_edge(change.source, change.target):
-                    self.log.record(
-                        1, 0, f"no-op delete edge ({change.source}, {change.target})"
-                    )
-                    continue
-            elif isinstance(change, PointWrite):
-                # An overwrite swaps one element of the bag for another; the
-                # overlay keeps repeated writes to one slot in step before
-                # the working copy itself is updated.
-                old = overlay.get(change.position, self._working[change.position])
-                self._counts[old] -= 1
-                self._counts[change.value] += 1
-                overlay[change.position] = change.value
-            effective.append(change)
-        return effective
-
-    def _apply_to_working(self, change: Any) -> None:
-        """Fold one (validated, screened) change into the working dataset."""
-        if isinstance(change, TupleChange):
-            element = self._element(change.row)
-            if _is_relation(self._working):
-                if change.kind is ChangeKind.INSERT:
-                    row_id = self._working.insert(element)
-                    self._row_ids.setdefault(element, []).append(row_id)
-                else:
-                    # Screened: the element is live, so the id map has it.
-                    self._working.delete(self._row_ids[element].pop())
-            elif change.kind is ChangeKind.INSERT:
-                self._working.append(element)
-            else:
-                self._working.remove(element)
-        elif isinstance(change, EdgeChange):
-            if change.kind is ChangeKind.INSERT:
-                self._working.add_edge(change.source, change.target)
-            else:
-                self._working.remove_edge(change.source, change.target)
-        else:  # PointWrite
-            self._working[change.position] = change.value
 
     # -- write-behind persistence ----------------------------------------------
 

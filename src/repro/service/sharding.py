@@ -262,15 +262,26 @@ class ShardPlanner:
         return structures
 
     def resolve(
-        self, kind: str, registration: "_Registration", data: Any
+        self,
+        kind: str,
+        registration: "_Registration",
+        data: Any,
+        fingerprint: Optional[str] = None,
     ) -> ShardedStructure:
         """All shard structures for (kind, data), building misses in parallel.
 
         Warm path: one memoized plan lookup plus one cache probe per shard.
         Cold path: every missing shard build is dispatched to the planner
         pool (engine stats record per-shard build counts and seconds).
+
+        ``fingerprint`` is the dataset's content identity when the caller
+        already knows it (an attached :class:`~repro.service.dataset.Dataset`
+        computes it once at attach); without it the engine's identity memo is
+        consulted -- an O(|D|) re-hash on a memo miss.
         """
-        plan = self.plan(kind, registration, data, self._engine._fingerprint(data))
+        if fingerprint is None:
+            fingerprint = self._engine._fingerprint(data, kind=kind)
+        plan = self.plan(kind, registration, data, fingerprint)
         structures = self._resolve_positions(
             kind, registration, plan, range(len(plan.planned))
         )
@@ -285,6 +296,7 @@ class ShardPlanner:
         data: Any,
         query: Any,
         tracker: Any = None,
+        fingerprint: Optional[str] = None,
     ) -> Tuple[bool, float]:
         """Answer one query end to end: route once, resolve routed shards,
         scatter-gather.
@@ -293,8 +305,12 @@ class ShardPlanner:
         shards are resolved (cold shards build lazily, in parallel).
         Returns ``(answer, scatter_seconds)`` -- the time spent evaluating
         partials and merging, which the engine records as the serve cost.
+        ``fingerprint``, when given, skips the engine's identity memo (see
+        :meth:`resolve`).
         """
-        plan = self.plan(kind, registration, data, self._engine._fingerprint(data))
+        if fingerprint is None:
+            fingerprint = self._engine._fingerprint(data, kind=kind)
+        plan = self.plan(kind, registration, data, fingerprint)
         effective = self._rewrite(registration, query)
         positions = self._route(registration, plan, effective)
         structures = self._resolve_positions(kind, registration, plan, positions)

@@ -1,0 +1,80 @@
+"""Property test: the payload-request adapter is indistinguishable (ISSUE 4).
+
+The compatibility contract of the dataset-first redesign: for any workload,
+payload-style ``QueryRequest(kind, data, query)`` and named-dataset
+``QueryRequest(kind, dataset=..., query=...)`` return **identical answers
+and identical build counts** across all five servable kinds, on both the
+monolithic and the ``shards=4`` paths.  Build-count equality is the strong
+half -- it pins down that the adapter's anonymous attach resolves through
+exactly the same artifact layers as a named session, never a duplicate
+build or a spurious cache split.
+"""
+
+from __future__ import annotations
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.catalog import build_query_engine
+from repro.service.engine import QueryRequest
+
+#: The five servable kinds with a ShardSpec (point/range selection, list
+#: membership, minimum range query, top-k) -- the same set the engine
+#: benchmarks serve.
+_KINDS = build_query_engine().shardable_kinds()
+
+
+def test_the_five_servable_kinds_are_served():
+    assert _KINDS == [
+        "list-membership",
+        "minimum-range-query",
+        "point-selection",
+        "range-selection",
+        "topk-threshold",
+    ]
+
+
+@settings(
+    max_examples=12,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(
+    size=st.integers(min_value=4, max_value=96),
+    seed=st.integers(min_value=0, max_value=2**16),
+    shards=st.sampled_from([1, 4]),
+)
+def test_named_requests_match_payload_requests(size, seed, shards):
+    # Fresh engines per example: build counts must be attributable.
+    with build_query_engine(shards=shards) as payload_engine, build_query_engine(
+        shards=shards
+    ) as named_engine:
+        for kind in _KINDS:
+            query_class, _ = payload_engine.registration(kind)
+            data, queries = query_class.sample_workload(size, seed, 5)
+            named_engine.attach(f"{kind}-workload", data, kinds=[kind])
+            payload_answers = [
+                payload_engine.execute(QueryRequest(kind, data, query))
+                for query in queries
+            ]
+            named_answers = [
+                named_engine.execute(
+                    QueryRequest(kind, dataset=f"{kind}-workload", query=query)
+                )
+                for query in queries
+            ]
+            naive = [query_class.pair_in_language(data, query) for query in queries]
+            assert payload_answers == named_answers == naive, (kind, shards, size, seed)
+
+        payload_stats = payload_engine.stats()
+        named_stats = named_engine.stats()
+        for kind in _KINDS:
+            payload_kind = payload_stats.per_kind[kind]
+            named_kind = named_stats.per_kind[kind]
+            assert payload_kind.builds == named_kind.builds, kind
+            assert payload_kind.shard_builds == named_kind.shard_builds, kind
+            assert payload_kind.queries == named_kind.queries, kind
+        # The split that motivates the redesign: the named path never touches
+        # the fingerprint memo, the payload path hashes once per dataset.
+        assert named_stats.fingerprint_rehashes == 0
+        assert payload_stats.fingerprint_rehashes == len(_KINDS)

@@ -1,0 +1,540 @@
+"""Unit tests for the dataset-first serving API (ISSUE 4).
+
+Headliners:
+
+* ``test_one_session_serves_sharded_and_mutable_delta_kinds`` -- the
+  acceptance scenario: one ``Dataset`` serves a sharded kind and a
+  delta-maintained kind at once, with answers equal to the legacy paths;
+* ``test_invalidate_evicts_every_kind_in_one_call`` -- the multi-kind
+  invalidation regression guard (cached structures, shard plans, build
+  locks);
+* ``test_fingerprint_memo_cliff_is_observable`` -- the memo-cliff fix: the
+  capacity is a constructor knob and degradations are counted instead of
+  silent.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.catalog import build_query_engine
+from repro.core.errors import ServiceError, UnknownDatasetError
+from repro.incremental.changes import ChangeKind, PointWrite, TupleChange
+from repro.queries import (
+    fischer_heun_scheme,
+    membership_class,
+    rmq_class,
+    sorted_run_scheme,
+)
+from repro.service import ArtifactStore
+from repro.service.engine import QueryEngine, QueryRequest
+
+
+def _flat_engine(**kwargs) -> QueryEngine:
+    """An engine serving two kinds over the same flat-int-tuple payloads."""
+    engine = QueryEngine(**kwargs)
+    engine.register("membership", membership_class(), sorted_run_scheme())
+    engine.register("rmq", rmq_class(), fischer_heun_scheme())
+    return engine
+
+
+# -- attach / detach lifecycle -------------------------------------------------
+
+
+def test_attach_serves_all_registered_kinds_by_default():
+    with _flat_engine() as engine:
+        data = tuple(range(32))
+        ds = engine.attach("events", data)
+        assert ds.kinds == ["membership", "rmq"]
+        assert ds.name == "events" and not ds.mutable and ds.version == 0
+        assert ds.query("membership", 17) is True
+        assert ds.query("membership", 99) is False
+        assert ds.query("rmq", (4, 9, 4)) is True  # ascending: argmin is 4
+        assert engine.datasets() == ["events"]
+        assert engine.dataset("events") is ds
+
+
+def test_attach_validates_inputs():
+    engine = _flat_engine()
+    engine.attach("taken", (1, 2))
+    with pytest.raises(ServiceError, match="already attached"):
+        engine.attach("taken", (3, 4))
+    with pytest.raises(ServiceError, match="non-empty name"):
+        engine.attach("", (1,))
+    with pytest.raises(ServiceError, match="no scheme registered"):
+        engine.attach("bad-kind", (1,), kinds=["nope"])
+    with pytest.raises(ServiceError, match="shards must be"):
+        engine.attach("bad-shards", (1,), shards=0)
+    engine.close()
+    with pytest.raises(ServiceError, match="closed"):
+        engine.attach("late", (1,))
+    with pytest.raises(ServiceError, match="no kinds"):
+        QueryEngine().attach("empty", (1,))
+
+
+def test_detach_releases_the_name_and_poisons_the_session():
+    with _flat_engine() as engine:
+        data = (5, 1, 4)
+        ds = engine.attach("events", data)
+        assert ds.query("membership", 5) is True
+        ds.detach()
+        assert ds.detached and engine.datasets() == []
+        with pytest.raises(UnknownDatasetError):
+            ds.query("membership", 5)
+        with pytest.raises(UnknownDatasetError):
+            ds.query_batch([("membership", 5)])
+        with pytest.raises(UnknownDatasetError):
+            ds.warm()
+        with pytest.raises(UnknownDatasetError):
+            engine.dataset("events")
+        ds.detach()  # idempotent
+        # The name is free again.
+        fresh = engine.attach("events", data)
+        assert fresh.query("membership", 5) is True
+
+
+def test_dataset_is_a_context_manager():
+    with _flat_engine() as engine:
+        with engine.attach("events", (1, 2, 3)) as ds:
+            assert ds.query("membership", 2) is True
+        assert ds.detached and engine.datasets() == []
+
+
+def test_engine_close_detaches_sessions():
+    engine = _flat_engine()
+    ds = engine.attach("events", (1, 2, 3))
+    engine.close()
+    assert ds.detached
+    with pytest.raises(UnknownDatasetError):
+        ds.query("membership", 1)
+
+
+def test_restricted_kinds_reject_unlisted_queries():
+    with _flat_engine() as engine:
+        ds = engine.attach("events", (3, 1, 4), kinds=["membership"])
+        assert ds.kinds == ["membership"]
+        assert ds.query("membership", 3) is True
+        with pytest.raises(ServiceError, match="does not serve"):
+            ds.query("rmq", (0, 1, 0))
+
+
+# -- request routing -----------------------------------------------------------
+
+
+def test_named_requests_resolve_through_the_session():
+    with _flat_engine() as engine:
+        data = (3, 1, 4, 1, 5)
+        engine.attach("events", data)
+        assert engine.execute(QueryRequest("membership", dataset="events", query=4))
+        assert not engine.execute(
+            QueryRequest("membership", dataset="events", query=9)
+        )
+        answers = engine.execute_batch(
+            [
+                QueryRequest("membership", dataset="events", query=q)
+                for q in (1, 2, 5)
+            ]
+        )
+        assert answers == [True, False, True]
+        with pytest.raises(UnknownDatasetError, match="ghost"):
+            engine.execute(QueryRequest("membership", dataset="ghost", query=1))
+
+
+def test_request_must_address_exactly_one_dataset_form():
+    with _flat_engine() as engine:
+        engine.attach("events", (1, 2))
+        with pytest.raises(ServiceError, match="exactly one"):
+            engine.execute(
+                QueryRequest("membership", data=(1, 2), query=1, dataset="events")
+            )
+        with pytest.raises(ServiceError, match="neither"):
+            engine.execute(QueryRequest("membership", query=1))
+
+
+def test_query_batch_accepts_requests_and_pairs():
+    with _flat_engine() as engine:
+        data = (1, 2, 3)
+        ds = engine.attach("events", data)
+        answers = ds.query_batch(
+            [
+                ("membership", 2),
+                QueryRequest("membership", dataset="events", query=9),
+                QueryRequest("membership", data, 3),
+            ],
+            concurrent=False,
+        )
+        assert answers == [True, False, True]
+        with pytest.raises(ServiceError, match="addresses dataset"):
+            ds.query_batch([QueryRequest("membership", dataset="other", query=1)])
+        with pytest.raises(ServiceError, match="payload"):
+            ds.query_batch([QueryRequest("membership", (9, 9), 1)])
+        with pytest.raises(ServiceError, match="pairs or QueryRequests"):
+            ds.query_batch(["membership"])
+
+
+def test_submit_answers_on_the_engine_pool():
+    with _flat_engine() as engine:
+        ds = engine.attach("events", tuple(range(100)))
+        futures = [ds.submit("membership", q) for q in (7, 250, 99)]
+        assert [future.result() for future in futures] == [True, False, True]
+
+
+def test_warm_prebuilds_every_kind():
+    with _flat_engine() as engine:
+        ds = engine.attach("events", tuple(range(64))).warm()
+        stats = engine.stats()
+        assert stats.per_kind["membership"].builds == 1
+        assert stats.per_kind["rmq"].builds == 1
+        ds.query("membership", 5)
+        assert engine.stats().per_kind["membership"].cache_hits == 1
+
+
+# -- per-dataset shard override ------------------------------------------------
+
+
+def test_attach_shard_override_serves_sharded_without_reregistering():
+    with _flat_engine() as engine:  # membership registered with shards=1
+        data = tuple(range(64))
+        ds = engine.attach("events", data, kinds=["membership"], shards=4)
+        assert ds.shards_for("membership") == 4
+        assert ds.query("membership", 17) is True
+        stats = engine.stats().per_kind["membership"]
+        assert stats.builds == 0 and stats.shard_builds >= 1
+        # The same engine still serves the monolithic path for payloads.
+        assert engine.execute(QueryRequest("membership", data, 17)) is True
+        assert engine.stats().per_kind["membership"].builds == 1
+
+
+def test_shard_override_ignores_unshardable_kinds():
+    engine = QueryEngine()
+    engine.register("membership", membership_class(), sorted_run_scheme())
+    scheme = fischer_heun_scheme()
+    scheme.sharding = None  # pretend rmq cannot shard
+    engine.register("rmq", rmq_class(), scheme)
+    ds = engine.attach("events", tuple(range(16)), shards=4)
+    assert ds.shards_for("membership") == 4
+    assert ds.shards_for("rmq") == 1
+    assert ds.query("rmq", (2, 7, 2)) is True
+    engine.close()
+
+
+# -- fingerprint memo: the cliff is a knob and is observable -------------------
+
+
+def test_fingerprint_memo_size_is_validated():
+    with pytest.raises(ServiceError, match="fingerprint_memo_size"):
+        QueryEngine(fingerprint_memo_size=-1)
+
+
+def test_fingerprint_memo_cliff_is_observable():
+    with _flat_engine(fingerprint_memo_size=2) as engine:
+        datasets = [tuple(range(i, i + 8)) for i in range(3)]
+        for _ in range(3):  # cycle 3 live payloads through a 2-entry memo
+            for data in datasets:
+                engine.execute(QueryRequest("membership", data, data[0]))
+        stats = engine.stats()
+        per_kind = stats.per_kind["membership"]
+        # Every request missed the memo: 3 first hashes + 6 re-hashes.
+        assert per_kind.fingerprint_rehashes == 9
+        assert per_kind.fingerprint_evictions >= 7
+        assert stats.fingerprint_rehashes == 9  # engine-level rollup
+        assert stats.fingerprint_evictions == per_kind.fingerprint_evictions
+
+
+def test_large_memo_absorbs_the_same_workload():
+    with _flat_engine(fingerprint_memo_size=64) as engine:
+        datasets = [tuple(range(i, i + 8)) for i in range(3)]
+        for _ in range(3):
+            for data in datasets:
+                engine.execute(QueryRequest("membership", data, data[0]))
+        per_kind = engine.stats().per_kind["membership"]
+        assert per_kind.fingerprint_rehashes == 3  # first sight only
+        assert per_kind.fingerprint_evictions == 0
+
+
+def test_named_sessions_never_touch_the_memo():
+    """The dataset-first acceptance property: 0 re-hashes at steady state,
+    even with a pathologically small memo."""
+    with _flat_engine(fingerprint_memo_size=0) as engine:
+        ds = engine.attach("events", tuple(range(32)))
+        for q in range(20):
+            ds.query("membership", q)
+            engine.execute(QueryRequest("membership", dataset="events", query=q))
+        stats = engine.stats()
+        assert stats.fingerprint_rehashes == 0
+        assert stats.fingerprint_evictions == 0
+        assert stats.per_kind["membership"].builds == 1
+
+
+# -- multi-kind invalidation / detach eviction (ISSUE 4 satellite) -------------
+
+
+def _content_keys(engine, data):
+    return [engine.artifact_key(kind, data) for kind in engine.kinds()]
+
+
+def test_invalidate_evicts_every_kind_in_one_call():
+    """A dataset served under several kinds -- one of them sharded -- loses
+    *all* cached structures, shard plans, and build-lock entries in one
+    ``invalidate`` call."""
+    engine = QueryEngine()
+    engine.register("membership", membership_class(), sorted_run_scheme(), shards=4)
+    engine.register("rmq", rmq_class(), fischer_heun_scheme())
+    data = list(range(48))
+    engine.execute(QueryRequest("membership", data, 3))      # sharded resolve
+    engine.execute(QueryRequest("rmq", data, (0, 9, 0)))     # monolithic resolve
+    fingerprint = engine._fingerprint(data)
+    rmq_key = engine.artifact_key("rmq", data)
+    assert engine._cache.get(rmq_key, record=False) is not None
+    assert any(key[1] == fingerprint for key in engine._planner._plans)
+    # Park an idle build-lock entry, as an interrupted resolve would.
+    engine._build_lock(rmq_key)
+
+    data.append(999)
+    engine.invalidate(data)
+
+    assert engine._cache.get(rmq_key, record=False) is None
+    assert not any(key[1] == fingerprint for key in engine._planner._plans)
+    assert rmq_key not in engine._build_locks
+    # And the next request really rebuilds from the new content.
+    assert engine.execute(QueryRequest("membership", data, 999)) is True
+    engine.close()
+
+
+def test_detach_spares_content_shared_with_another_session():
+    """Two sessions over equal content share one cached build; detaching one
+    must not force the survivor to rebuild (review finding)."""
+    with _flat_engine() as engine:
+        first = engine.attach("a", (5, 1, 4), kinds=["membership"])
+        second = engine.attach("b", tuple([5, 1, 4]), kinds=["membership"])
+        assert first.fingerprint == second.fingerprint
+        assert first.query("membership", 5) is True
+        assert second.query("membership", 5) is True
+        assert engine.stats().per_kind["membership"].builds == 1
+        first.detach()
+        assert second.query("membership", 1) is True  # still warm
+        stats = engine.stats().per_kind["membership"]
+        assert stats.builds == 1 and stats.cache_hits >= 2
+        second.detach()  # last holder: now the content really evicts
+        assert engine._cache.get(second.artifact_key("membership"), record=False) is None
+
+
+def test_invalidate_spares_content_shared_with_a_named_session():
+    with _flat_engine() as engine:
+        payload = [5, 1, 4]
+        ds = engine.attach("a", [5, 1, 4], kinds=["membership"])
+        assert engine.execute(QueryRequest("membership", payload, 5)) is True
+        assert engine.stats().per_kind["membership"].builds == 1
+        payload.append(9)
+        engine.invalidate(payload)  # equal *old* content still attached as "a"
+        assert ds.query("membership", 5) is True
+        stats = engine.stats().per_kind["membership"]
+        assert stats.builds == 1 and stats.cache_hits >= 1
+
+
+def test_detach_evicts_cached_structures_and_plans():
+    engine = QueryEngine()
+    engine.register("membership", membership_class(), sorted_run_scheme(), shards=4)
+    engine.register("rmq", rmq_class(), fischer_heun_scheme())
+    data = tuple(range(48))
+    ds = engine.attach("events", data)
+    ds.warm()
+    fingerprint = ds.fingerprint
+    rmq_key = ds.artifact_key("rmq")
+    assert engine._cache.get(rmq_key, record=False) is not None
+    assert any(key[1] == fingerprint for key in engine._planner._plans)
+    ds.detach()
+    assert engine._cache.get(rmq_key, record=False) is None
+    assert not any(key[1] == fingerprint for key in engine._planner._plans)
+    engine.close()
+
+
+# -- mutable sessions ----------------------------------------------------------
+
+
+def _insert(value):
+    return TupleChange(ChangeKind.INSERT, (value,))
+
+
+def _delete(value):
+    return TupleChange(ChangeKind.DELETE, (value,))
+
+
+def test_apply_changes_requires_mutable_attach():
+    with _flat_engine() as engine:
+        ds = engine.attach("events", (1, 2, 3))
+        with pytest.raises(ServiceError, match="mutable=True"):
+            ds.apply_changes([_insert(9)])
+
+
+def test_one_session_serves_sharded_and_mutable_delta_kinds(tmp_path):
+    """The ISSUE 4 acceptance scenario: one Dataset serves a sharded kind
+    (touched-shard fallback on writes) and a monolithic delta-maintained
+    kind, with answers equal to the legacy engine paths before and after
+    mutation."""
+    rng = random.Random(20130826)
+    base = tuple(rng.randint(-100, 100) for _ in range(64))
+    engine = QueryEngine(store=ArtifactStore(tmp_path))
+    engine.register("membership", membership_class(), sorted_run_scheme(), shards=4)
+    engine.register("rmq", rmq_class(), fischer_heun_scheme())
+    legacy = _flat_engine()
+
+    ds = engine.attach("sensor", base, mutable=True)
+    assert ds.mutable and ds.shards_for("membership") == 4
+
+    def check_equivalence(content):
+        argmin = min(range(len(content)), key=lambda i: (content[i], i))
+        probes = [content[0], content[-1], 101, -101]
+        windows = [(0, len(content) - 1, argmin), (2, 10, 2), (5, 5, 5)]
+        for probe in probes:
+            assert ds.query("membership", probe) == legacy.execute(
+                QueryRequest("membership", content, probe)
+            )
+        for window in windows:
+            assert ds.query("rmq", window) == legacy.execute(
+                QueryRequest("rmq", content, window)
+            )
+
+    check_equivalence(base)
+    ds.apply_changes([PointWrite(5, -999), PointWrite(40, 999)])
+    assert ds.version == 1
+    post = ds.dataset()
+    assert post[5] == -999 and post[40] == 999 and len(post) == len(base)
+    check_equivalence(post)
+
+    stats = engine.stats()
+    # rmq took the delta path; the sharded membership kind fell back to a
+    # touched-shards rebuild.
+    assert stats.per_kind["rmq"].delta_batches == 1
+    assert stats.per_kind["membership"].fallback_rebuilds == 1
+    assert stats.per_kind["membership"].delta_batches == 0
+
+    # Write-behind: the delta-maintained rmq structure persists under the
+    # versioned lineage key.
+    ds.flush()
+    store = engine._store
+    assert store.get(ds.artifact_key("rmq")) is not None
+    assert ds.artifact_key("rmq").fingerprint != ds.fingerprint
+
+    engine.close()
+    legacy.close()
+
+
+def test_mutable_session_batches_are_snapshot_atomic():
+    with _flat_engine() as engine:
+        ds = engine.attach("events", (1, 2, 3), kinds=["membership"], mutable=True)
+        assert ds.query_batch([("membership", 1), ("membership", 9)]) == [True, False]
+        ds.apply_changes([_insert(9), _delete(1)])
+        assert ds.query_batch([("membership", 1), ("membership", 9)]) == [False, True]
+        assert ds.version == 1
+        # Screened-to-noop batches do not bump the version.
+        ds.apply_changes([_delete(1234)])
+        assert ds.version == 1
+
+
+def test_mutable_session_materializes_kinds_lazily_after_changes():
+    """A kind first queried *after* batches were applied builds from the
+    current content, not the attach-time payload."""
+    with _flat_engine() as engine:
+        ds = engine.attach("events", (5, 1, 4), mutable=True)
+        ds.apply_changes([_insert(77)])  # no structure materialized yet
+        assert ds.query("membership", 77) is True
+        # rmq materializes even later, over the 4-element content.
+        assert ds.query("rmq", (0, 3, 1)) is True  # argmin of (5,1,4,77) is 1
+        stats = engine.stats()
+        assert stats.per_kind["membership"].queries == 1
+        assert stats.per_kind["rmq"].queries == 1
+
+
+def test_mutable_session_does_not_touch_the_caller_object():
+    with _flat_engine() as engine:
+        payload = [3, 1, 4]
+        ds = engine.attach("events", payload, kinds=["membership"], mutable=True)
+        ds.apply_changes([_insert(9)])
+        assert payload == [3, 1, 4]
+        assert ds.dataset() == (3, 1, 4, 9)
+
+
+def test_mutable_warm_materializes_under_the_latch():
+    with _flat_engine() as engine:
+        ds = engine.attach("events", (5, 1, 4), mutable=True).warm()
+        stats = engine.stats()
+        assert stats.per_kind["membership"].builds == 1
+        assert stats.per_kind["rmq"].builds == 1
+        assert ds.query("membership", 5) is True
+        assert engine.stats().per_kind["membership"].builds == 1  # no rebuild
+
+
+def test_mutable_delta_refusal_falls_back_to_rebuild():
+    """An rmq structure refuses length-changing TupleChanges mid-session:
+    the batch still applies atomically through a rebuild."""
+    with _flat_engine() as engine:
+        ds = engine.attach("events", (5, 1, 4), mutable=True).warm()
+        ds.apply_changes([_insert(0)])
+        assert ds.query("membership", 0) is True
+        assert ds.query("rmq", (0, 3, 3)) is True  # argmin of (5,1,4,0) is 3
+        stats = engine.stats()
+        # membership folded the insert in place; rmq refused and rebuilt.
+        assert stats.per_kind["membership"].delta_batches == 1
+        assert stats.per_kind["rmq"].fallback_rebuilds == 1
+
+
+def test_mutable_session_reuses_cache_shared_structures_safely():
+    """A structure already resolved for payload requests is privatized
+    through the codec before delta maintenance ever touches it."""
+    with _flat_engine() as engine:
+        data = (5, 1, 4)
+        assert engine.execute(QueryRequest("membership", data, 5)) is True
+        ds = engine.attach("events", data, kinds=["membership"], mutable=True)
+        ds.apply_changes([_insert(9)])
+        assert ds.query("membership", 9) is True
+        # The cache-shared structure still answers for the *old* content.
+        assert engine.execute(QueryRequest("membership", data, 9)) is False
+
+
+def test_mutable_session_with_non_serializable_delta_scheme():
+    from repro.core.query import PiScheme
+    from repro.indexes.sorted_run import SortedRunIndex
+
+    base = sorted_run_scheme()
+    scheme = PiScheme(
+        name="opaque-delta",
+        preprocess=base.preprocess,
+        evaluate=base.evaluate,
+        apply_delta=base.apply_delta,
+    )
+    assert scheme.supports_delta and not scheme.serializable
+    with QueryEngine() as engine:
+        engine.register("membership", membership_class(), scheme)
+        ds = engine.attach("events", (5, 1, 4), mutable=True)
+        assert ds.query("membership", 5) is True  # private build (no codec)
+        ds.apply_changes([_insert(9)])
+        assert ds.query("membership", 9) is True
+        assert engine.stats().per_kind["membership"].delta_batches == 1
+
+
+def test_anonymous_adapter_sessions_expose_engine_kinds_and_detach():
+    with _flat_engine() as engine:
+        data = (1, 2, 3)
+        engine.execute(QueryRequest("membership", data, 1))
+        session = engine._anonymous_attach(data)
+        assert session.name is None and session.kinds == ["membership", "rmq"]
+        session.detach()  # routes through invalidate(); memo entry dropped
+        assert session.detached
+        # The payload path still works: a fresh anonymous session is minted.
+        assert engine.execute(QueryRequest("membership", data, 2)) is True
+
+
+def test_build_query_engine_attach_round_trip():
+    """The catalog glue serves named sessions for every registered kind."""
+    with build_query_engine() as engine:
+        query_class, _ = engine.registration("list-membership")
+        data, queries = query_class.sample_workload(96, 3, 8)
+        ds = engine.attach("workload", data, kinds=["list-membership"])
+        for query in queries:
+            assert ds.query("list-membership", query) == query_class.pair_in_language(
+                data, query
+            )
+        assert engine.stats().fingerprint_rehashes == 0

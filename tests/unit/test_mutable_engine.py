@@ -366,5 +366,5 @@ def test_open_dataset_unknown_kind_and_unsupported_data():
         engine.register("membership", membership_class(), sorted_run_scheme())
         with pytest.raises(ServiceError, match="no scheme registered"):
             engine.open_dataset("nope", (1, 2))
-        with pytest.raises(ServiceError, match="open_dataset supports"):
+        with pytest.raises(ServiceError, match="mutable serving supports"):
             engine.open_dataset("membership", {"a", "set"})
