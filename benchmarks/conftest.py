@@ -109,7 +109,10 @@ def bench_json() -> Callable[[str, dict], None]:
     """
 
     def record(section: str, payload: dict) -> None:
-        _JSON_SECTIONS[section] = payload
+        # Stamp provenance per section: records are merged across runs, so
+        # a full-size re-run of one module must not let its sizes be
+        # mistaken for (or mislabel) the other sections' smoke numbers.
+        _JSON_SECTIONS[section] = dict(payload, smoke=_SMOKE)
 
     return record
 
@@ -117,7 +120,30 @@ def bench_json() -> Callable[[str, dict], None]:
 def pytest_terminal_summary(terminalreporter, exitstatus, config):
     write = terminalreporter.write_line
     if _JSON_PATH and _JSON_SECTIONS:
-        record = {"smoke": _SMOKE, "sections": _JSON_SECTIONS}
+        # Merge into an existing record so a partial run (one bench module,
+        # e.g. at full size with --bench-json) refreshes only its own
+        # sections instead of clobbering the rest of the perf trajectory.
+        # Each section carries its own "smoke" stamp; the top-level flag is
+        # true only when every section in the merged record is smoke-sized.
+        sections: Dict[str, dict] = {}
+        try:
+            with open(_JSON_PATH, "r", encoding="utf-8") as handle:
+                existing = json.load(handle)
+            sections = dict(existing.get("sections", {}))
+            # Sections written before per-section stamping inherit the old
+            # record's top-level flag, not an optimistic default -- a stale
+            # full-size record must never be relabeled as smoke.
+            legacy_smoke = bool(existing.get("smoke", True))
+            for section in sections.values():
+                if isinstance(section, dict):
+                    section.setdefault("smoke", legacy_smoke)
+        except (OSError, ValueError):
+            sections = {}
+        sections.update(_JSON_SECTIONS)
+        record = {
+            "smoke": all(section.get("smoke", True) for section in sections.values()),
+            "sections": sections,
+        }
         with open(_JSON_PATH, "w", encoding="utf-8") as handle:
             json.dump(record, handle, indent=2, sort_keys=True)
         write("")

@@ -148,6 +148,18 @@ class PiScheme:
     mutating anything when the batch contains a change it cannot apply, so
     the caller can fall back to a rebuild without ever observing a
     half-applied structure.
+
+    ``evaluate_fast``/``evaluate_many`` make the scheme *fast-servable*:
+    untracked production kernels behind :meth:`answer_fast` /
+    :meth:`answer_many`.  ``evaluate`` is the *analytic* evaluator -- every
+    comparison charges the :class:`~repro.core.cost.CostTracker`, which is
+    what certification fits -- and it stays the source of truth for answers.
+    ``evaluate_fast(structure, query) -> bool`` answers the same query with
+    zero instrumentation (C ``bisect``, plain dict probes, tracker-free
+    walks), and ``evaluate_many(structure, queries) -> [bool]`` amortizes
+    per-call overhead across a batch.  Both MUST be answer-identical to
+    ``evaluate`` (the hot-path property suite pins this); they exist only to
+    shrink the *constant* of the polylog query step, never its answers.
     """
 
     name: str
@@ -169,6 +181,12 @@ class PiScheme:
     #: Optional delta-maintenance hook: ``(structure, changes, tracker) ->
     #: structure``, batch-atomic (raise DeltaError before mutating).
     apply_delta: Optional[Callable[[Any, Sequence[Any], CostTracker], Any]] = None
+    #: Optional untracked production kernel ``(structure, query) -> bool``;
+    #: must agree with ``evaluate`` on every query.
+    evaluate_fast: Optional[Callable[[Any, Any], bool]] = None
+    #: Optional untracked batch kernel ``(structure, queries) -> [bool]``;
+    #: must agree with ``evaluate`` element-wise.
+    evaluate_many: Optional[Callable[[Any, Sequence[Any]], List[bool]]] = None
 
     @property
     def serializable(self) -> bool:
@@ -191,6 +209,39 @@ class PiScheme:
 
         effective_query = query if self.rewrite_query is None else self.rewrite_query(query)
         return bool(self.evaluate(preprocessed, effective_query, ensure_tracker(tracker)))
+
+    def answer_fast(self, preprocessed: Any, query: Any) -> bool:
+        """Answer one query through the untracked production kernel.
+
+        Falls back to the analytic ``evaluate`` under the shared no-op
+        tracker when the scheme declares no ``evaluate_fast`` -- always
+        answer-identical to :meth:`answer`, only the instrumentation differs.
+        """
+        effective_query = query if self.rewrite_query is None else self.rewrite_query(query)
+        if self.evaluate_fast is not None:
+            return bool(self.evaluate_fast(preprocessed, effective_query))
+        from repro.core.cost import NULL_TRACKER
+
+        return bool(self.evaluate(preprocessed, effective_query, NULL_TRACKER))
+
+    def answer_many(self, preprocessed: Any, queries: Sequence[Any]) -> List[bool]:
+        """Answer a batch of queries, amortizing dispatch across the batch.
+
+        Uses ``evaluate_many`` when the scheme declares one, otherwise loops
+        the per-query fast kernel; answers are position-stable and identical
+        to calling :meth:`answer` per query.
+        """
+        if self.rewrite_query is not None:
+            queries = [self.rewrite_query(query) for query in queries]
+        if self.evaluate_many is not None:
+            return [bool(answer) for answer in self.evaluate_many(preprocessed, queries)]
+        if self.evaluate_fast is not None:
+            evaluate_fast = self.evaluate_fast
+            return [bool(evaluate_fast(preprocessed, query)) for query in queries]
+        from repro.core.cost import NULL_TRACKER
+
+        evaluate = self.evaluate
+        return [bool(evaluate(preprocessed, query, NULL_TRACKER)) for query in queries]
 
 
 def state_codec(

@@ -174,6 +174,33 @@ class BPlusTree:
         position = bisect.bisect_left(leaf.keys, key)
         return position < len(leaf.keys) and leaf.keys[position] == key
 
+    # -- untracked serving kernels ----------------------------------------------
+
+    def _descend_fast(self, key: Any) -> _Node:
+        """Root-to-leaf walk with no charging and no path bookkeeping."""
+        node = self._root
+        right = bisect.bisect_right
+        while not node.leaf:
+            node = node.children[right(node.keys, key)]
+        return node
+
+    def contains_fast(self, key: Any) -> bool:
+        """Untracked :meth:`contains`: C ``bisect`` probes per node only."""
+        leaf = self._descend_fast(key)
+        position = bisect.bisect_left(leaf.keys, key)
+        return position < len(leaf.keys) and leaf.keys[position] == key
+
+    def range_nonempty_fast(self, low: Any, high: Any) -> bool:
+        """Untracked :meth:`range_nonempty` (same leftmost-candidate logic)."""
+        leaf = self._descend_fast(low)
+        position = bisect.bisect_left(leaf.keys, low)
+        if position == len(leaf.keys):
+            node = leaf.next
+            if node is None or not node.keys:
+                return False
+            return node.keys[0] <= high
+        return leaf.keys[position] <= high
+
     # -- range operations -----------------------------------------------------------
 
     def range_iter(

@@ -64,6 +64,10 @@ class HashIndex:
         ensure_tracker(tracker).tick(1)
         return key in self._buckets
 
+    def contains_fast(self, key: Hashable) -> bool:
+        """Untracked :meth:`contains`: one C dict probe, no charging."""
+        return key in self._buckets
+
     def __len__(self) -> int:
         return self._size
 

@@ -62,6 +62,15 @@ class TransitiveClosureIndex:
             & (1 << self._component_of[target])
         )
 
+    def reachable_fast(self, source: int, target: int) -> bool:
+        """Untracked :meth:`reachable`: same bounds check, one bit probe."""
+        if not (0 <= source < self.n and 0 <= target < self.n):
+            raise GraphError(f"vertex out of range: {source}, {target}")
+        component_of = self._component_of
+        return bool(
+            self._closure[component_of[source]] >> component_of[target] & 1
+        )
+
     # -- delta maintenance (paper, Section 4(7)) ------------------------------
 
     def insert_edge(self, source: int, target: int, tracker: Optional[CostTracker] = None) -> int:

@@ -140,6 +140,26 @@ class FischerHeunRMQ:
         tracker.tick(len(candidates))
         return best
 
+    def argmin_fast(self, low: int, high: int) -> int:
+        """Untracked :meth:`argmin`: identical candidate logic, no charging."""
+        array = self._array
+        n = len(array)
+        check_rmq_range(low, high, n)
+        b = self._block_size
+        first_block, last_block = low // b, high // b
+        if first_block == last_block:
+            return self._block_query(first_block, low % b, high % b)
+        candidates = [
+            self._block_query(
+                first_block, low % b, min(n - 1, (first_block + 1) * b - 1) % b
+            ),
+            self._block_query(last_block, 0, high % b),
+        ]
+        if first_block + 1 <= last_block - 1:
+            middle_block = self._summary.argmin_fast(first_block + 1, last_block - 1)
+            candidates.append(self._block_argmin[middle_block])
+        return min(candidates, key=lambda position: (array[position], position))
+
     def range_min(self, low: int, high: int, tracker: Optional[CostTracker] = None):
         return self._array[self.argmin(low, high, tracker)]
 

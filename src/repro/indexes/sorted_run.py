@@ -12,7 +12,7 @@ import math
 from typing import Any, Generic, List, Optional, Sequence, Tuple, TypeVar
 
 from repro.core.cost import CostTracker, ensure_tracker
-from repro.parallel.primitives import parallel_binary_search
+from repro.parallel.primitives import binary_search_untracked, parallel_binary_search
 
 __all__ = ["SortedRunIndex", "KeyedRunIndex"]
 
@@ -49,6 +49,26 @@ class SortedRunIndex(Generic[K]):
     def rank(self, key: K, tracker: Optional[CostTracker] = None) -> int:
         """Number of elements strictly below ``key``."""
         return parallel_binary_search(self._run, key, ensure_tracker(tracker))
+
+    # -- untracked serving kernels ---------------------------------------------
+
+    def contains_fast(self, key: K) -> bool:
+        """Untracked :meth:`contains`: one C ``bisect`` probe, no charging."""
+        run = self._run
+        position = binary_search_untracked(run, key)
+        return position < len(run) and run[position] == key
+
+    def contains_many(self, keys: Sequence[K]) -> List[bool]:
+        """Untracked batch membership: locals hoisted, one bisect per key."""
+        run = self._run
+        n = len(run)
+        search = binary_search_untracked
+        answers: List[bool] = []
+        append = answers.append
+        for key in keys:
+            position = search(run, key)
+            append(position < n and run[position] == key)
+        return answers
 
     def values(self) -> List[K]:
         return list(self._run)
@@ -125,6 +145,14 @@ class KeyedRunIndex(Generic[K, V]):
         position = parallel_binary_search(self._keys, key, tracker)
         tracker.tick(1)
         if position < len(self._keys) and self._keys[position] == key:
+            return self._pairs[position][1]
+        return None
+
+    def lookup_fast(self, key: K) -> Optional[V]:
+        """Untracked :meth:`lookup`: one C ``bisect`` probe, no charging."""
+        keys = self._keys
+        position = binary_search_untracked(keys, key)
+        if position < len(keys) and keys[position] == key:
             return self._pairs[position][1]
         return None
 

@@ -74,6 +74,16 @@ class SparseTable:
             return left
         return right
 
+    def argmin_fast(self, low: int, high: int) -> int:
+        """Untracked :meth:`argmin`: same two probes, no charging."""
+        array = self._array
+        check_rmq_range(low, high, len(array))
+        k = self._log[high - low + 1]
+        level = self._levels[k]
+        left = level[low]
+        right = level[high - (1 << k) + 1]
+        return left if array[left] <= array[right] else right
+
     def range_min(self, low: int, high: int, tracker: Optional[CostTracker] = None):
         return self._array[self.argmin(low, high, tracker)]
 

@@ -7,11 +7,18 @@ is charged analytically).  Charged primitives exist where honestly executing
 the PRAM schedule in pure Python would be quadratic-or-worse overhead without
 changing any measured *shape* -- the depth formula is what certification
 consumes.  See DESIGN.md, "Hardware substitution".
+
+A third category exists for the serving hot path: **untracked** kernels
+(:func:`binary_search_untracked`) compute the same value as their executed
+twin with zero instrumentation -- the production fast path of the service
+layer, where the polylog *shape* is already certified and only the constant
+matters.  Analytic callers must keep using the executed primitives.
 """
 
 from __future__ import annotations
 
 import math
+from bisect import bisect_left
 from typing import List, Optional, Sequence, TypeVar
 
 import numpy as np
@@ -24,6 +31,7 @@ __all__ = [
     "parallel_max",
     "parallel_any",
     "parallel_binary_search",
+    "binary_search_untracked",
     "parallel_sort",
     "transitive_closure_squaring",
     "reachability_query_squaring",
@@ -86,6 +94,18 @@ def parallel_binary_search(
         else:
             hi = mid
     return lo
+
+
+def binary_search_untracked(sorted_values: Sequence[T], key: T) -> int:
+    """Leftmost insertion point of ``key`` (untracked; C ``bisect``).
+
+    The production twin of :func:`parallel_binary_search`: identical result
+    for every input (both compute the leftmost insertion point), but the
+    comparisons run inside CPython's C ``bisect_left`` with no per-step
+    charge -- the kernel behind the service layer's untracked serving
+    fast path.
+    """
+    return bisect_left(sorted_values, key)  # type: ignore[arg-type]
 
 
 def parallel_sort(

@@ -192,12 +192,21 @@ def position_index_scheme() -> PiScheme:
             return False
         return pos_u < pos_v
 
+    def evaluate_fast(index: KeyedRunIndex, query: OrderQuery) -> bool:
+        u, v = query
+        pos_u = index.lookup_fast(u)
+        pos_v = index.lookup_fast(v)
+        if pos_u is None or pos_v is None:
+            return False
+        return pos_u < pos_v
+
     return PiScheme(
         name="bds-position-run",
         preprocess=preprocess,
         evaluate=evaluate,
         factorization_name="Upsilon_BDS",
         description="binary search on the visit-order list M (Example 5)",
+        evaluate_fast=evaluate_fast,
     )
 
 

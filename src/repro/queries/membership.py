@@ -142,6 +142,8 @@ def sorted_run_scheme() -> PiScheme:
         load=load,
         sharding=membership_shard_spec(),
         apply_delta=_apply_list_delta,
+        evaluate_fast=SortedRunIndex.contains_fast,
+        evaluate_many=SortedRunIndex.contains_many,
     )
 
 

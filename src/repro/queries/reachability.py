@@ -104,6 +104,10 @@ def closure_scheme() -> PiScheme:
         source, target = query
         return index.reachable(source, target, tracker)
 
+    def evaluate_fast(index: TransitiveClosureIndex, query: ReachQuery) -> bool:
+        source, target = query
+        return index.reachable_fast(source, target)
+
     dump, load = state_codec(TransitiveClosureIndex.from_state)
     return PiScheme(
         name="transitive-closure",
@@ -113,6 +117,7 @@ def closure_scheme() -> PiScheme:
         dump=dump,
         load=load,
         apply_delta=_apply_edge_delta,
+        evaluate_fast=evaluate_fast,
     )
 
 

@@ -176,6 +176,10 @@ def fischer_heun_scheme() -> PiScheme:
         i, j, position = query
         return index.argmin(i, j, tracker) == position
 
+    def evaluate_fast(index: FischerHeunRMQ, query: RMQQuery) -> bool:
+        i, j, position = query
+        return index.argmin_fast(i, j) == position
+
     dump, load = state_codec(FischerHeunRMQ.from_state)
     return PiScheme(
         name="fischer-heun",
@@ -186,6 +190,7 @@ def fischer_heun_scheme() -> PiScheme:
         load=load,
         sharding=rmq_shard_spec(),
         apply_delta=_apply_array_delta,
+        evaluate_fast=evaluate_fast,
     )
 
 
@@ -199,6 +204,10 @@ def sparse_table_scheme() -> PiScheme:
         i, j, position = query
         return index.argmin(i, j, tracker) == position
 
+    def evaluate_fast(index: SparseTable, query: RMQQuery) -> bool:
+        i, j, position = query
+        return index.argmin_fast(i, j) == position
+
     dump, load = state_codec(SparseTable.from_state)
     return PiScheme(
         name="sparse-table",
@@ -209,4 +218,5 @@ def sparse_table_scheme() -> PiScheme:
         load=load,
         sharding=rmq_shard_spec(),
         apply_delta=_apply_array_delta,
+        evaluate_fast=evaluate_fast,
     )

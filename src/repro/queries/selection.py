@@ -206,6 +206,10 @@ def btree_point_scheme() -> PiScheme:
         attribute, constant = query
         return indexes[attribute].contains(constant, tracker)
 
+    def evaluate_fast(indexes: dict, query: PointQuery) -> bool:
+        attribute, constant = query
+        return indexes[attribute].contains_fast(constant)
+
     dump, load = _btree_codec()
     return PiScheme(
         name="btree-point",
@@ -216,6 +220,7 @@ def btree_point_scheme() -> PiScheme:
         load=load,
         sharding=selection_shard_spec(),
         apply_delta=_apply_relation_delta,
+        evaluate_fast=evaluate_fast,
     )
 
 
@@ -225,6 +230,10 @@ def btree_range_scheme() -> PiScheme:
     def evaluate(indexes: dict, query: RangeQuery, tracker: CostTracker) -> bool:
         attribute, low, high = query
         return indexes[attribute].range_nonempty(low, high, tracker)
+
+    def evaluate_fast(indexes: dict, query: RangeQuery) -> bool:
+        attribute, low, high = query
+        return indexes[attribute].range_nonempty_fast(low, high)
 
     dump, load = _btree_codec()
     return PiScheme(
@@ -236,6 +245,7 @@ def btree_range_scheme() -> PiScheme:
         load=load,
         sharding=selection_shard_spec(),
         apply_delta=_apply_relation_delta,
+        evaluate_fast=evaluate_fast,
     )
 
 
@@ -256,6 +266,10 @@ def hash_point_scheme() -> PiScheme:
         attribute, constant = query
         return indexes[attribute].contains(constant, tracker)
 
+    def evaluate_fast(indexes: dict, query: PointQuery) -> bool:
+        attribute, constant = query
+        return indexes[attribute].contains_fast(constant)
+
     dump, load = state_codec(
         lambda state: {a: HashIndex.from_state(s) for a, s in state.items()},
         lambda indexes: {a: index.to_state() for a, index in indexes.items()},
@@ -269,4 +283,5 @@ def hash_point_scheme() -> PiScheme:
         load=load,
         sharding=selection_shard_spec(),
         apply_delta=_apply_relation_delta,
+        evaluate_fast=evaluate_fast,
     )

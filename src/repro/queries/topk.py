@@ -236,6 +236,48 @@ class TopKIndex:
                 return kth_best >= theta, accesses
         return (kth_best is not None and kth_best >= theta), accesses
 
+    def kth_score_at_least_fast(
+        self, weights: Sequence[int], k: int, theta: int
+    ) -> bool:
+        """Untracked :meth:`kth_score_at_least` (production serving kernel).
+
+        The same TA walk and the same three stop conditions with zero
+        instrumentation -- no per-access ticks, no access counting.  Answer
+        equality with the tracked evaluator is pinned by the hot-path
+        property suite.
+        """
+        if k < 1 or len(weights) != self.arity:
+            raise ValueError("bad top-k query")
+        rows = self.rows
+        n = len(rows)
+        k = min(k, n)
+        seen: Dict[int, int] = {}
+        top_scores: List[int] = []
+        kth_best = None
+        heappush, heapreplace = heapq.heappush, heapq.heapreplace
+        for depth in range(n):
+            tau = 0
+            for weight, entries in zip(weights, self.sorted_lists):
+                score, row_id = entries[depth]
+                tau += weight * score
+                if row_id not in seen:
+                    aggregate = sum(
+                        w * value for w, value in zip(weights, rows[row_id])
+                    )
+                    seen[row_id] = aggregate
+                    if len(top_scores) < k:
+                        heappush(top_scores, aggregate)
+                    elif aggregate > top_scores[0]:
+                        heapreplace(top_scores, aggregate)
+            kth_best = top_scores[0] if len(top_scores) == k else None
+            if kth_best is not None and kth_best >= theta:
+                return True
+            if tau < theta:
+                return kth_best is not None and kth_best >= theta
+            if kth_best is not None and kth_best >= tau:
+                return kth_best >= theta
+        return kth_best is not None and kth_best >= theta
+
     def top_aggregates(
         self,
         weights: Sequence[int],
@@ -404,6 +446,10 @@ def threshold_algorithm_scheme() -> PiScheme:
         answer, _ = index.kth_score_at_least(weights, k, theta, tracker)
         return answer
 
+    def evaluate_fast(index: TopKIndex, query: TopKQuery) -> bool:
+        weights, k, theta = query
+        return index.kth_score_at_least_fast(weights, k, theta)
+
     dump, load = state_codec(TopKIndex.from_state)
     return PiScheme(
         name="threshold-algorithm",
@@ -416,4 +462,5 @@ def threshold_algorithm_scheme() -> PiScheme:
         artifact_version=2,
         sharding=topk_shard_spec(),
         apply_delta=_apply_table_delta,
+        evaluate_fast=evaluate_fast,
     )

@@ -23,7 +23,7 @@ from __future__ import annotations
 import threading
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Any, Dict, Hashable, Optional
+from typing import Any, Callable, Dict, Hashable, Optional
 
 __all__ = ["LRUArtifactCache", "CacheStats"]
 
@@ -58,6 +58,20 @@ class LRUArtifactCache:
         self._hits = 0
         self._misses = 0
         self._evictions = 0
+        self._eviction_listener: Optional[Callable[[Hashable], None]] = None
+
+    def set_eviction_listener(self, listener: Optional[Callable[[Hashable], None]]) -> None:
+        """Register a callback fired (outside the cache lock) whenever an
+        entry leaves the cache -- capacity eviction, :meth:`invalidate`, or
+        :meth:`clear`.  The engine uses it to invalidate serve plans that
+        captured a structure reference, so a dropped entry cannot stay
+        pinned by a hot-path plan."""
+        self._eviction_listener = listener
+
+    def _notify(self, key: Hashable) -> None:
+        listener = self._eviction_listener
+        if listener is not None:
+            listener(key)
 
     def get(self, key: Hashable, *, record: bool = True) -> Optional[Any]:
         """The cached structure, refreshed to most-recent, or None.
@@ -82,25 +96,34 @@ class LRUArtifactCache:
 
         Returns nothing; eviction is recorded in :meth:`stats`.
         """
+        evicted = None
         with self._lock:
             if key in self._entries:
                 self._entries.move_to_end(key)
                 self._entries[key] = value
                 return
             if len(self._entries) >= self.capacity:
-                self._entries.popitem(last=False)
+                evicted, _ = self._entries.popitem(last=False)
                 self._evictions += 1
             self._entries[key] = value
+        if evicted is not None:
+            self._notify(evicted)
 
     def invalidate(self, key: Hashable) -> bool:
         """Drop ``key``; returns True when an entry was actually removed."""
         with self._lock:
-            return self._entries.pop(key, _MISS) is not _MISS
+            removed = self._entries.pop(key, _MISS) is not _MISS
+        if removed:
+            self._notify(key)
+        return removed
 
     def clear(self) -> None:
         """Drop every entry (counters are kept; they are cumulative)."""
         with self._lock:
+            dropped = list(self._entries)
             self._entries.clear()
+        for key in dropped:
+            self._notify(key)
 
     def __len__(self) -> int:
         with self._lock:

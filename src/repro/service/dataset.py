@@ -6,10 +6,17 @@ natural addressable object of the serving API.  ``QueryEngine.attach``
 fingerprints a payload **once**, registers a stable name, and returns a
 :class:`Dataset` session that serves every registered kind over it:
 
-* ``ds.query(kind, q)`` / ``ds.query_batch(requests)`` -- answers through
-  the same cache -> store -> build resolution as payload requests, but with
-  the content identity precomputed: no per-request fingerprint memo lookup,
-  no O(|D|) re-hash past the memo cliff, ever;
+* ``ds.query(kind, q)`` / ``ds.query_batch(requests)`` -- the serving hot
+  path: the first query per kind resolves through cache -> store -> build
+  (with the content identity precomputed: no per-request fingerprint memo
+  lookup, no O(|D|) re-hash past the memo cliff, ever) and captures a
+  *serve plan* -- registration, resolved structure, and the scheme's
+  untracked fast kernel bound into one callable -- so steady state is one
+  dict hit plus one kernel call, and batches vectorize through one
+  ``answer_many`` per kind group;
+* ``ds.query_tracked(kind, q, tracker)`` -- the analytic twin: per-request
+  resolution plus the cost-charging ``evaluate`` (the tractability API the
+  certifier measures), always answer-identical to the fast path;
 * ``ds.submit(kind, q)`` -- the same answer as a future on the engine pool;
 * ``ds.warm(kinds=...)`` -- pre-build (and persist) structures per kind;
 * ``ds.apply_changes(batch)`` -- for sessions attached ``mutable=True``,
@@ -46,9 +53,11 @@ import threading
 import time
 from concurrent.futures import Future
 from dataclasses import replace
+from functools import partial
 from typing import (
     TYPE_CHECKING,
     Any,
+    Callable,
     Dict,
     Iterable,
     List,
@@ -59,15 +68,255 @@ from typing import (
 
 from repro.core.cost import CostTracker
 from repro.core.errors import DeltaError, ServiceError, UnknownDatasetError
+from repro.core.query import PiScheme
 from repro.incremental.changes import ChangeLog
 from repro.service.artifacts import ArtifactKey
 from repro.service.mutable import MutableContent, SnapshotLatch, advance_lineage
+from repro.service.sharding import ShardPlan, gather_fast
 from repro.storage.fingerprint import dataset_fingerprint
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from repro.service.engine import QueryEngine, QueryRequest, _Registration
 
 __all__ = ["Dataset"]
+
+#: Batches at or below this size are answered inline even when
+#: ``concurrent=True``: grouped kernel loops finish microsecond batches
+#: faster than a single pool submit/wakeup round-trip would.
+_INLINE_BATCH = 32
+
+
+def _group_by_kind(
+    pairs: Sequence[Tuple[str, Any]],
+) -> Dict[str, Tuple[List[int], List[Any]]]:
+    """Group ``(kind, query)`` pairs: kind -> (input positions, queries).
+
+    The single grouping used by every vectorized batch path, so answers can
+    be scattered back position-stable after per-kind ``answer_many`` calls.
+    """
+    groups: Dict[str, Tuple[List[int], List[Any]]] = {}
+    for position, (kind, query) in enumerate(pairs):
+        group = groups.get(kind)
+        if group is None:
+            group = groups[kind] = ([], [])
+        group[0].append(position)
+        group[1].append(query)
+    return groups
+
+
+def _chunk_length(total: int, width: int) -> int:
+    """Ceil-divided slice length so ``width`` chunks cover ``total`` items."""
+    return -(-total // max(1, width))
+
+
+def _width_chunks(items: Sequence[Any], width: int) -> List[Sequence[Any]]:
+    """Contiguous slices of ``items``, at most ``width`` of them.
+
+    The pool fan-out shape shared by ``QueryEngine.execute_batch`` and
+    ``Dataset.query_batch``: one task per worker, never one per query.
+    """
+    length = _chunk_length(len(items), width)
+    return [items[start : start + length] for start in range(0, len(items), length)]
+
+
+def _bind_fast(scheme: PiScheme, structure: Any) -> Tuple[Callable, Callable]:
+    """``(answer_one, answer_many)`` bound to one resolved structure.
+
+    When the scheme has no query rewriting, the callables bind the untracked
+    kernels directly (one C-level partial call per query); otherwise they go
+    through :meth:`~repro.core.query.PiScheme.answer_fast` /
+    :meth:`~repro.core.query.PiScheme.answer_many`, which apply the rewrite.
+    """
+    if scheme.rewrite_query is None and scheme.evaluate_fast is not None:
+        answer_one = partial(scheme.evaluate_fast, structure)
+        if scheme.evaluate_many is not None:
+            return answer_one, partial(scheme.evaluate_many, structure)
+        return answer_one, partial(scheme.answer_many, structure)
+    return partial(scheme.answer_fast, structure), partial(scheme.answer_many, structure)
+
+
+class _ServePlan:
+    """A (session, kind) hot-path binding: resolution captured once.
+
+    ``answer``/``answer_many`` are the untracked kernels bound to the
+    resolved structure; :meth:`serve`/:meth:`serve_many` time *only* the
+    kernel call (resolution was paid at plan build and is accounted as
+    build/hit, never serve) and record on the engine's lock-free counters.
+    The engine's keyed plan watchers drop the plan if its structure is ever
+    evicted, so a plan cannot pin or outlive a dropped structure.
+    """
+
+    __slots__ = ("_engine", "_kind", "answer", "answer_many")
+
+    def __init__(
+        self,
+        engine: "QueryEngine",
+        kind: str,
+        answer: Callable,
+        answer_many: Callable,
+    ) -> None:
+        self._engine = engine
+        self._kind = kind
+        self.answer = answer
+        self.answer_many = answer_many
+
+    def serve(self, query: Any) -> bool:
+        started = time.perf_counter()
+        answer = self.answer(query)
+        self._engine._count_serve(
+            self._kind, queries=1, serve_seconds=time.perf_counter() - started
+        )
+        return answer
+
+    def serve_many(self, queries: Sequence[Any]) -> List[bool]:
+        started = time.perf_counter()
+        answers = self.answer_many(queries)
+        self._engine._count_serve(
+            self._kind,
+            queries=len(queries),
+            serve_seconds=time.perf_counter() - started,
+        )
+        return answers
+
+
+class _ShardedServe:
+    """The serve plan of a sharded kind: plan + lazily captured structures.
+
+    Routing is preserved (a membership probe still scatters to one hash
+    bucket), so structures are captured per shard *as routed queries touch
+    them* -- resolution goes through the engine's ordinary per-shard layers
+    exactly once per shard (accounted as shard build/hit, outside the serve
+    timer), after which the steady-state path is route + untracked
+    :func:`~repro.service.sharding.gather_fast`, with no cache probes and
+    no locks.  Each captured shard key is registered with the engine's plan
+    watchers; evicting any of them drops this plan.
+    """
+
+    __slots__ = ("_engine", "_ds", "_kind", "_registration", "_spec",
+                 "_plan", "_structures", "_pieces", "_empty")
+
+    def __init__(
+        self,
+        engine: "QueryEngine",
+        ds: "Dataset",
+        kind: str,
+        registration: "_Registration",
+        shard_plan: ShardPlan,
+    ) -> None:
+        self._engine = engine
+        self._ds = ds
+        self._kind = kind
+        self._registration = registration
+        self._spec = registration.scheme.sharding
+        self._plan = shard_plan
+        self._structures: List[Optional[Any]] = [None] * len(shard_plan.planned)
+        self._pieces = [planned.piece for planned in shard_plan.planned]
+        self._empty = [piece.is_empty() for piece in self._pieces]
+
+    def _routed(self, query: Any) -> Tuple[Any, Sequence[int]]:
+        """Rewrite + route + capture any still-missing shard structures."""
+        registration = self._registration
+        rewrite = registration.scheme.rewrite_query
+        effective = query if rewrite is None else rewrite(query)
+        spec = self._spec
+        if spec.route is None:
+            positions: Sequence[int] = range(len(self._pieces))
+        else:
+            positions = list(spec.route(effective, self._pieces))
+        structures = self._structures
+        missing = [
+            position
+            for position in positions
+            if structures[position] is None and not self._empty[position]
+        ]
+        if missing:
+            planner = self._engine._planner
+            resolved = planner._resolve_positions(
+                self._kind, self._registration, self._plan, missing
+            )
+            for position in missing:
+                structures[position] = resolved[position]
+                self._engine._watch_plan_key(
+                    planner.shard_key(
+                        self._registration, self._plan, self._plan.planned[position]
+                    ),
+                    self._ds,
+                    self._kind,
+                )
+        return effective, positions
+
+    def serve(self, query: Any) -> bool:
+        effective, positions = self._routed(query)
+        started = time.perf_counter()
+        answer = gather_fast(
+            self._registration, self._spec, self._plan, self._structures,
+            positions, effective,
+        )
+        elapsed = time.perf_counter() - started
+        self._engine._count_serve(
+            self._kind, queries=1, serve_seconds=elapsed, shard_serve_seconds=elapsed
+        )
+        return answer
+
+    def serve_many(self, queries: Sequence[Any]) -> List[bool]:
+        serve = self.serve
+        return [serve(query) for query in queries]
+
+
+class _MutableServe:
+    """The serve plan of a mutable session's kind: latch + current structure.
+
+    The plan binds the session state and registration, **not** a structure:
+    every answer acquires the read latch (plain-call form -- no
+    contextmanager overhead) and reads the *current* structure out of the
+    state's per-kind dict, so delta maintenance and fallback rebuilds are
+    picked up without any plan invalidation -- one dict hit plus one kernel
+    call, exactly the versioned-snapshot contract.  First-touch
+    materialization happens before the serve timer starts, so build cost
+    never leaks into ``serve_seconds``.
+    """
+
+    __slots__ = ("_engine", "_state", "_kind", "_registration", "_sharded")
+
+    def __init__(
+        self,
+        engine: "QueryEngine",
+        state: "_MutableState",
+        kind: str,
+        registration: "_Registration",
+    ) -> None:
+        self._engine = engine
+        self._state = state
+        self._kind = kind
+        self._registration = registration
+        self._sharded = registration.shards > 1
+
+    def serve(self, query: Any) -> bool:
+        state = self._state
+        latch = state._latch
+        latch.acquire_read()
+        try:
+            state._ds._check_attached()
+            structure = state._structures.get(self._kind)
+            if structure is None:
+                structure = state._structure_locked(self._kind)
+            started = time.perf_counter()
+            if self._sharded:
+                answer = self._engine._planner.answer_fast(
+                    self._registration, structure, query
+                )
+            else:
+                answer = self._registration.scheme.answer_fast(structure, query)
+            elapsed = time.perf_counter() - started
+        finally:
+            latch.release_read()
+        self._engine._count_serve(self._kind, queries=1, serve_seconds=elapsed)
+        return answer
+
+    # No serve_many here: mutable batches never reach the per-kind plans --
+    # Dataset.query_batch routes the whole batch to _MutableState.query_batch,
+    # which holds the latch once across *every* kind group (batch atomicity
+    # is a whole-batch property, not a per-group one).
 
 
 class Dataset:
@@ -114,6 +363,11 @@ class Dataset:
         self._shards = shards
         self._detached = False
         self._keys: Dict[str, ArtifactKey] = {}
+        #: Per-kind serve plans (named sessions only): registration,
+        #: resolved structure reference and bound kernel captured once, so
+        #: the steady-state query path is one dict hit plus one kernel call.
+        self._plans: Dict[str, Any] = {}
+        self._plans_lock = threading.Lock()
         if name is None and kinds is None:
             # Anonymous adapter session: defer to the engine's registrations
             # so later register() calls are visible, exactly like the legacy
@@ -219,13 +473,92 @@ class Dataset:
     def query(self, kind: str, query: Any) -> bool:
         """Answer one query of ``kind`` over this dataset.
 
-        Immutable sessions resolve through the engine's ordinary artifact
-        layers (cache -> store -> build) with the precomputed identity;
-        mutable sessions answer under the read latch against the latest
-        fully-applied version.
+        Steady state for a named session is the hot path: one serve-plan
+        dict hit plus one untracked kernel call (the plan captured the
+        registration and the resolved structure at first use).  The first
+        query per kind -- and any query after a plan invalidation -- walks
+        the engine's ordinary artifact layers (cache -> store -> build) with
+        the precomputed identity; mutable sessions answer under the read
+        latch against the latest fully-applied version.
         """
+        plan = self._plans.get(kind)
+        if plan is None:
+            self._check_attached()
+            plan = self._build_plan(kind)
+            if plan is None:
+                return self._engine._serve_for(self, kind, query)
+        return plan.serve(query)
+
+    def query_tracked(
+        self, kind: str, query: Any, tracker: Optional[CostTracker] = None
+    ) -> bool:
+        """Answer one query through the *analytic* (tracked) serving path.
+
+        Bypasses the serve-plan fast path: resolution walks the engine's
+        artifact layers per request and evaluation runs the scheme's cost-
+        charging ``evaluate`` against ``tracker`` (the shared no-op tracker
+        when omitted) -- the tractability API the certifier measures, kept
+        byte-for-byte intact next to the untracked production path.  Answers
+        are always identical to :meth:`query`; the hot-path property suite
+        pins the equality.
+        """
+        from repro.core.cost import ensure_tracker
+
         self._check_attached()
-        return self._engine._serve_for(self, kind, query)
+        # Coerce None to the shared no-op tracker *here*: further down the
+        # stack a None tracker selects the untracked kernels (the fast
+        # path), and this method's contract is the analytic evaluator even
+        # when the caller does not care about the charges.
+        return self._engine._serve_for(self, kind, query, ensure_tracker(tracker))
+
+    def _build_plan(self, kind: str) -> Optional[Any]:
+        """Capture the serve plan for ``kind`` (named sessions only).
+
+        Resolution happens exactly once, through the same accounted engine
+        layers as the general path; anonymous adapter sessions return
+        ``None`` and keep the legacy per-request probing semantics.
+        """
+        if self._name is None:
+            return None
+        engine = self._engine
+        registration = self.registration_for(kind)
+        watch_key: Optional[ArtifactKey] = None
+        if self._mutable is not None:
+            plan: Any = _MutableServe(engine, self._mutable, kind, registration)
+        elif registration.shards > 1:
+            shard_plan = engine._planner.plan(
+                kind, registration, self._data, self._fingerprint
+            )
+            plan = _ShardedServe(engine, self, kind, registration, shard_plan)
+        else:
+            structure = engine._resolve_for(self, kind)
+            answer_one, answer_many = _bind_fast(registration.scheme, structure)
+            plan = _ServePlan(engine, kind, answer_one, answer_many)
+            watch_key = self.artifact_key(kind)
+        with self._plans_lock:
+            # A session detached mid-build must not cache a live plan: the
+            # release path cleared the dict under this lock *after* setting
+            # the flag, so re-checking here closes the race.
+            if not self._detached:
+                self._plans[kind] = plan
+        if watch_key is not None:
+            # Register *after* installing: if the structure was evicted
+            # while this plan was built, the watcher fires right here and
+            # removes the just-installed plan (sharded plans register per
+            # shard as structures are captured; mutable plans hold none).
+            engine._watch_plan_key(watch_key, self, kind)
+        return plan
+
+    def _answer_group(self, kind: str, queries: Sequence[Any]) -> List[bool]:
+        """Answer one same-kind group through the plan's batch kernel."""
+        plan = self._plans.get(kind)
+        if plan is None:
+            self._check_attached()
+            plan = self._build_plan(kind)
+            if plan is None:
+                engine = self._engine
+                return [engine._serve_for(self, kind, query) for query in queries]
+        return plan.serve_many(queries)
 
     def query_batch(
         self,
@@ -238,25 +571,68 @@ class Dataset:
         Items may be plain ``(kind, query)`` tuples or
         :class:`~repro.service.engine.QueryRequest` records (their
         ``dataset``/``data`` fields, if set, must address this session).
-        Immutable sessions spread the batch over the engine's thread pool
-        (``concurrent=False`` forces sequential execution); mutable sessions
-        run the whole batch under **one** read latch, so every answer
-        reflects the same version -- the batch-atomic snapshot guarantee.
+
+        The batch is **vectorized**: queries are grouped by kind and each
+        group runs through one ``answer_many`` kernel call instead of one
+        dispatch per query.  Mutable sessions answer every group under a
+        single read latch, so the whole batch reflects one version (the
+        batch-atomic snapshot guarantee).  With ``concurrent=True``, large
+        batches are chunked to the engine pool's width -- one task per
+        worker, never one task per query; small batches run inline.
         """
         pairs = [self._as_pair(item) for item in requests]
         self._check_attached()
         if self._mutable is not None:
             return self._mutable.query_batch(pairs)
-        if not concurrent or len(pairs) <= 1:
-            return [self.query(kind, query) for kind, query in pairs]
+        if not pairs:
+            return []
+        answers: List[bool] = [False] * len(pairs)
+        groups = _group_by_kind(pairs)
+        workers = self._engine._max_workers
+        if not concurrent or len(pairs) <= _INLINE_BATCH or workers <= 1:
+            for kind, (positions, queries) in groups.items():
+                for position, answer in zip(
+                    positions, self._answer_group(kind, queries)
+                ):
+                    answers[position] = answer
+            return answers
+        chunk_length = _chunk_length(len(pairs), workers)
+        jobs: List[Tuple[str, List[int], List[Any]]] = []
+        for kind, (positions, queries) in groups.items():
+            for start in range(0, len(queries), chunk_length):
+                jobs.append(
+                    (
+                        kind,
+                        positions[start : start + chunk_length],
+                        queries[start : start + chunk_length],
+                    )
+                )
         pool = self._engine._ensure_pool()
-        return list(pool.map(lambda pair: self.query(pair[0], pair[1]), pairs))
+        futures = [
+            (positions, pool.submit(self._answer_group, kind, queries))
+            for kind, positions, queries in jobs
+        ]
+        for positions, future in futures:
+            for position, answer in zip(positions, future.result()):
+                answers[position] = answer
+        return answers
 
     def submit(self, kind: str, query: Any) -> "Future[bool]":
-        """Asynchronous :meth:`query`: a future resolving on the engine pool."""
+        """Asynchronous :meth:`query`: a future resolving on the engine pool.
+
+        A future still queued when the session detaches raises
+        :class:`~repro.core.errors.UnknownDatasetError` from ``result()``
+        (the query re-checks liveness when it actually runs); a submit
+        racing :meth:`QueryEngine.close` surfaces the engine's own
+        ``ServiceError`` instead of the raw pool shutdown error.
+        """
         self._check_attached()
         pool = self._engine._ensure_pool()
-        return pool.submit(self.query, kind, query)
+        try:
+            return pool.submit(self.query, kind, query)
+        except RuntimeError as exc:
+            # The pool shut down between the liveness check and the enqueue.
+            raise ServiceError("engine is closed") from exc
 
     def warm(self, kinds: Optional[Sequence[str]] = None) -> "Dataset":
         """Pre-build (and persist) the structures serving ``kinds``.
@@ -335,13 +711,33 @@ class Dataset:
         if self._engine._closed:
             raise ServiceError("engine is closed")
 
+    def _drop_plan(self, kind: str) -> None:
+        """Release one cached serve plan (engine-internal).
+
+        Fired by the engine's keyed plan watchers when a structure the plan
+        captured is evicted, so even a session that is never queried again
+        frees its reference; live sessions transparently rebuild on their
+        next query.
+        """
+        with self._plans_lock:
+            self._plans.pop(kind, None)
+
     def _release(self) -> None:
-        """Flush dirty state and mark detached (engine-internal)."""
+        """Flush dirty state and mark detached (engine-internal).
+
+        The flag is set *before* the serve plans are dropped (both under the
+        plan lock a concurrent :meth:`_build_plan` re-checks), so a queued
+        future that runs after detach can never re-install a plan and serve
+        a released session -- it lands on :meth:`_check_attached` and raises
+        :class:`~repro.core.errors.UnknownDatasetError` cleanly.
+        """
         if self._detached:
             return
+        self._detached = True
+        with self._plans_lock:
+            self._plans.clear()
         if self._mutable is not None:
             self._mutable.flush()
-        self._detached = True
 
     def detach(self) -> None:
         """Flush dirty state, release the name, evict cached structures.
@@ -489,32 +885,77 @@ class _MutableState:
 
     # -- serving ---------------------------------------------------------------
 
-    def _answer(self, kind: str, query: Any) -> bool:
-        """Evaluate one query over the kind's structure (latch held)."""
+    def _answer(
+        self, kind: str, query: Any, tracker: Optional[CostTracker] = None
+    ) -> bool:
+        """Evaluate one query over the kind's structure (latch held).
+
+        Without a ``tracker`` the untracked production kernels answer
+        (``answer_fast`` / the planner's fast scatter); with one, the
+        analytic cost-charging evaluator runs -- the tracked path of
+        :meth:`Dataset.query_tracked`.
+        """
         structure = self._structure_locked(kind)
         registration = self._ds.registration_for(kind)
         started = time.perf_counter()
         if registration.shards > 1:
-            answer = self._engine._planner.answer(
-                kind, registration, structure, query, self.tracker
-            )
+            if tracker is None:
+                answer = self._engine._planner.answer_fast(
+                    registration, structure, query
+                )
+            else:
+                answer = self._engine._planner.answer(
+                    kind, registration, structure, query, tracker
+                )
+        elif tracker is None:
+            answer = registration.scheme.answer_fast(structure, query)
         else:
-            answer = registration.scheme.answer(structure, query, self.tracker)
-        self._engine._bump(
+            answer = registration.scheme.answer(structure, query, tracker)
+        self._engine._count_serve(
             kind, queries=1, serve_seconds=time.perf_counter() - started
         )
         return bool(answer)
 
-    def query(self, kind: str, query: Any) -> bool:
+    def query(
+        self, kind: str, query: Any, tracker: Optional[CostTracker] = None
+    ) -> bool:
         with self._latch.read():
             self._ds._check_attached()
-            return self._answer(kind, query)
+            return self._answer(kind, query, tracker)
 
     def query_batch(self, pairs: Sequence[Tuple[str, Any]]) -> List[bool]:
-        """All pairs under one read latch: every answer sees one version."""
+        """All pairs under one read latch: every answer sees one version.
+
+        The batch is grouped by kind and each group runs through one
+        ``answer_many`` kernel call -- vectorized like the immutable batch
+        path, but with the latch held once across every group, so the whole
+        batch is atomic against writers.
+        """
         with self._latch.read():
             self._ds._check_attached()
-            return [self._answer(kind, query) for kind, query in pairs]
+            answers: List[bool] = [False] * len(pairs)
+            for kind, (positions, queries) in _group_by_kind(pairs).items():
+                registration = self._ds.registration_for(kind)
+                structure = self._structure_locked(kind)
+                started = time.perf_counter()
+                if registration.shards > 1:
+                    planner = self._engine._planner
+                    group_answers = [
+                        planner.answer_fast(registration, structure, query)
+                        for query in queries
+                    ]
+                else:
+                    group_answers = registration.scheme.answer_many(
+                        structure, queries
+                    )
+                self._engine._count_serve(
+                    kind,
+                    queries=len(queries),
+                    serve_seconds=time.perf_counter() - started,
+                )
+                for position, answer in zip(positions, group_answers):
+                    answers[position] = answer
+            return answers
 
     # -- mutation --------------------------------------------------------------
 

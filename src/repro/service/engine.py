@@ -21,13 +21,18 @@ bounded identity memo; it is deprecated in favor of named sessions (no
 warning is emitted -- the adapter is warning-clean by design -- but new
 code should attach).
 
-Batches run on a thread pool.  Pure-Python evaluators contend on the GIL, so
-the pool buys overlap rather than true parallelism -- but the engine is the
-concurrency *correctness* boundary: per-key build locks guarantee one build
-per artifact under concurrent misses, and all counters are lock-protected.
-Per-scheme statistics separate build time from serve time, which is exactly
-the cost split (PTIME once vs. polylog each) the paper's Definition 1 is
-about.
+Batches run on a thread pool, with large fan-outs chunked to the pool width
+(one task per worker, never one per microsecond-scale query).  Pure-Python
+evaluators contend on the GIL, so the pool buys overlap rather than true
+parallelism -- but the engine is the concurrency *correctness* boundary:
+per-key build locks guarantee one build per artifact under concurrent
+misses; rare-event counters (builds, hits, deltas) are lock-protected while
+the per-query counters ride lock-free thread-local shards folded on
+``stats()`` read.  Per-scheme statistics separate build time from serve
+time, which is exactly the cost split (PTIME once vs. polylog each) the
+paper's Definition 1 is about.  Named sessions additionally cache per-kind
+*serve plans* (see :mod:`repro.service.dataset`), so their steady-state
+queries bypass this module's general path entirely.
 
 Registering a kind with ``shards=K`` (for schemes that declare a
 :class:`~repro.service.merge.ShardSpec`) swaps the monolithic path for the
@@ -62,6 +67,7 @@ from __future__ import annotations
 
 import threading
 import time
+import weakref
 from collections import OrderedDict
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, replace
@@ -72,7 +78,7 @@ from repro.core.errors import ArtifactError, ServiceError, UnknownDatasetError
 from repro.core.query import PiScheme, QueryClass
 from repro.service.artifacts import ArtifactKey, ArtifactStore
 from repro.service.cache import CacheStats, LRUArtifactCache
-from repro.service.dataset import Dataset
+from repro.service.dataset import Dataset, _width_chunks
 from repro.service.sharding import ShardPlanner
 from repro.storage.fingerprint import dataset_fingerprint
 
@@ -203,6 +209,115 @@ class _Registration:
     shards: int = 1
 
 
+class _ShardAnchor:
+    """Thread-local sentinel whose death retires the thread's counter shard."""
+
+    __slots__ = ("__weakref__",)
+
+
+def _retire_counter_shard(counter_ref: "weakref.ref", shard: Dict[str, List[float]]) -> None:
+    """Finalizer target for a thread's counter shard.
+
+    Module-level on purpose: a bound-method callback would root the whole
+    counter (and through it the engine's statistics) in weakref's global
+    registry until the owning *thread* exits.  With only a weak reference
+    here, dropping the engine frees the counter immediately; the finalizer
+    then retires into nothing.
+    """
+    counter = counter_ref()
+    if counter is not None:
+        counter._retire(shard)
+
+
+class _QueryCounterShards:
+    """Sharded per-query serving counters: one mutable slot per (thread, kind).
+
+    The per-query hot path used to take the engine-wide statistics lock for
+    every answer (``_bump``) -- a measurable constant on a microsecond-scale
+    serve, and a contention point under concurrent batches.  Here each
+    serving thread owns a private ``kind -> [queries, serve_seconds,
+    shard_serve_seconds]`` slot; increments touch only thread-local state
+    (no lock), and :meth:`fold` sums every thread's slots when
+    ``QueryEngine.stats()`` snapshots.  Slot *creation* is serialized so the
+    fold can iterate each shard dict safely; folds may observe an increment
+    a hair late, which is inherent to any relaxed counter snapshot.
+
+    Thread lifecycle: a shard is anchored to a thread-local sentinel whose
+    finalizer folds the dead thread's counts into a ``_retired``
+    accumulator and removes the shard from the live list -- a long-lived
+    engine serving thread-per-request traffic stays bounded by its *live*
+    threads, not by every thread it has ever seen.
+    """
+
+    __slots__ = ("_local", "_shards", "_retired", "_lock", "__weakref__")
+
+    def __init__(self) -> None:
+        self._local = threading.local()
+        self._shards: List[Dict[str, List[float]]] = []
+        self._retired: Dict[str, List[float]] = {}
+        self._lock = threading.Lock()
+
+    def slot(self, kind: str) -> List[float]:
+        shard = getattr(self._local, "shard", None)
+        if shard is None:
+            shard = self._local.shard = {}
+            anchor = self._local.anchor = _ShardAnchor()
+            # The finalizer keeps `shard` alive until the owning thread
+            # dies, then folds its counts into the retired accumulator.
+            weakref.finalize(anchor, _retire_counter_shard, weakref.ref(self), shard)
+            with self._lock:
+                self._shards.append(shard)
+        slot = shard.get(kind)
+        if slot is None:
+            # Serialize dict *growth* (never the increments) so a concurrent
+            # fold iterating this shard cannot see a mid-resize dict.
+            with self._lock:
+                slot = shard.setdefault(kind, [0, 0.0, 0.0])
+        return slot
+
+    def _retire(self, shard: Dict[str, List[float]]) -> None:
+        with self._lock:
+            try:
+                self._shards.remove(shard)
+            except ValueError:  # pragma: no cover - double finalize guard
+                return
+            for kind, slot in shard.items():
+                total = self._retired.get(kind)
+                if total is None:
+                    self._retired[kind] = [slot[0], slot[1], slot[2]]
+                else:
+                    total[0] += slot[0]
+                    total[1] += slot[1]
+                    total[2] += slot[2]
+
+    def fold(self) -> Dict[str, List[float]]:
+        """Sum of every live thread's slots plus retired threads', by kind."""
+        with self._lock:
+            shards = [list(shard.items()) for shard in self._shards]
+            shards.append(list(self._retired.items()))
+        totals: Dict[str, List[float]] = {}
+        for items in shards:
+            for kind, slot in items:
+                total = totals.get(kind)
+                if total is None:
+                    totals[kind] = [slot[0], slot[1], slot[2]]
+                else:
+                    total[0] += slot[0]
+                    total[1] += slot[1]
+                    total[2] += slot[2]
+        return totals
+
+    def reset(self) -> None:
+        """Zero every slot in place (concurrent increments may survive)."""
+        with self._lock:
+            self._retired.clear()
+            for shard in self._shards:
+                for slot in shard.values():
+                    slot[0] = 0
+                    slot[1] = 0.0
+                    slot[2] = 0.0
+
+
 class QueryEngine:
     """Resolve-and-serve engine over registered (query class, Pi-scheme) pairs.
 
@@ -240,9 +355,18 @@ class QueryEngine:
             )
         self._store = store
         self._cache = LRUArtifactCache(cache_entries)
+        self._cache.set_eviction_listener(self._on_cache_eviction)
         self._registrations: Dict[str, _Registration] = {}
         self._stats: Dict[str, SchemeStats] = {}
         self._stats_lock = threading.Lock()
+        self._query_counters = _QueryCounterShards()
+        #: key -> [(weakref(Dataset), kind)]: which sessions' serve plans
+        #: hold the structure cached under each artifact key.  Evicting a
+        #: key fires exactly those plans (keyed invalidation) -- unrelated
+        #: sessions keep their steady-state fast path, and no plan can pin
+        #: or outlive a structure the engine dropped.
+        self._plan_watchers: Dict[ArtifactKey, List[Tuple[Any, str]]] = {}
+        self._plan_watchers_lock = threading.Lock()
         self._build_locks: Dict[ArtifactKey, threading.Lock] = {}
         self._build_locks_guard = threading.Lock()
         self._fingerprint_memo_size = fingerprint_memo_size
@@ -565,26 +689,36 @@ class QueryEngine:
             return structure
         return self._resolve_miss(kind, registration, key, content)
 
-    def _serve_for(self, ds: Dataset, kind: str, query: Any) -> bool:
-        """Answer one query for an attached session (all three paths)."""
+    def _serve_for(
+        self, ds: Dataset, kind: str, query: Any, tracker: Any = None
+    ) -> bool:
+        """Answer one query for an attached session (all three paths).
+
+        This is the *general* serving path: per-request registration lookup,
+        cache-probing resolution, and -- when ``tracker`` is given -- the
+        analytic evaluator charging every comparison to it.  Named sessions
+        bypass it at steady state through their cached serve plans
+        (:mod:`repro.service.dataset`); anonymous adapter sessions and
+        first-touch/tracked requests land here.
+        """
         if self._closed:
             raise ServiceError("engine is closed")
         registration = ds.registration_for(kind)
         if ds._mutable is not None:
-            return ds._mutable.query(kind, query)
+            return ds._mutable.query(kind, query, tracker)
         if registration.shards > 1:
             # Route-aware scatter-gather: the query is rewritten and routed
             # once, and only the shards it scatters to are resolved (cold
             # shards build lazily, in parallel).
             answer, serve_seconds = self._planner.serve(
-                kind, registration, ds.data, query, fingerprint=ds.fingerprint
+                kind, registration, ds.data, query, tracker, fingerprint=ds.fingerprint
             )
-            self._bump(kind, queries=1, serve_seconds=serve_seconds)
+            self._count_serve(kind, queries=1, serve_seconds=serve_seconds)
             return answer
         structure = self._resolve_for(ds, kind)
         started = time.perf_counter()
-        answer = registration.scheme.answer(structure, query)
-        self._bump(kind, queries=1, serve_seconds=time.perf_counter() - started)
+        answer = registration.scheme.answer(structure, query, tracker)
+        self._count_serve(kind, queries=1, serve_seconds=time.perf_counter() - started)
         return answer
 
     def _resolve_miss(
@@ -665,6 +799,62 @@ class QueryEngine:
         self.resolve(kind, data)
         return self.artifact_key(kind, data)
 
+    # -- serve-plan invalidation -------------------------------------------------
+
+    def _watch_plan_key(self, key: ArtifactKey, dataset: Dataset, kind: str) -> None:
+        """Register a session's serve plan as holding the structure at ``key``.
+
+        Must be called *after* the plan is installed on the session: the
+        trailing cache re-probe closes the build/evict race -- if the key
+        was evicted while the plan was being assembled, the watcher just
+        registered is fired immediately, dropping the freshly installed
+        plan instead of letting an idle session pin an evicted structure.
+        """
+        with self._plan_watchers_lock:
+            watchers = self._plan_watchers.setdefault(key, [])
+            watchers[:] = [entry for entry in watchers if entry[0]() is not None]
+            watchers.append((weakref.ref(dataset), kind))
+        if self._cache.get(key, record=False) is None:
+            self._drop_plans_watching(key)
+
+    def _drop_plans_watching(self, key: ArtifactKey) -> None:
+        """Drop exactly the serve plans that captured the structure at
+        ``key`` (keyed invalidation: unrelated sessions are untouched, and
+        idle sessions release their references eagerly -- the plans are
+        removed, not merely marked stale)."""
+        with self._plan_watchers_lock:
+            watchers = self._plan_watchers.pop(key, ())
+        for ref, kind in watchers:
+            dataset = ref()
+            if dataset is not None:
+                dataset._drop_plan(kind)
+
+    def _on_cache_eviction(self, key: Any) -> None:
+        """Cache listener: an evicted structure must not stay pinned by a
+        session's serve plan."""
+        self._drop_plans_watching(key)
+
+    # -- hot-path statistics -----------------------------------------------------
+
+    def _count_serve(
+        self,
+        kind: str,
+        *,
+        queries: int = 0,
+        serve_seconds: float = 0.0,
+        shard_serve_seconds: float = 0.0,
+    ) -> None:
+        """Record served queries on the lock-free thread-local counters.
+
+        The hot-path replacement for ``_bump(kind, queries=..., ...)``:
+        every per-query statistic goes through here; ``_bump`` (lock-held)
+        remains for rare events -- builds, hits, deltas, memo accounting.
+        """
+        slot = self._query_counters.slot(kind)
+        slot[0] += queries
+        slot[1] += serve_seconds
+        slot[2] += shard_serve_seconds
+
     def invalidate(self, data: Any) -> None:
         """Forget a payload dataset after in-place mutation.
 
@@ -706,7 +896,9 @@ class QueryEngine:
     def _evict_content(self, fingerprint: str) -> None:
         """Evict every engine-side trace of one content identity: memoized
         shard plans, cached monolithic structures for every registered kind,
-        and idle per-key build-lock entries."""
+        and idle per-key build-lock entries.  Serve plans derived from this
+        content fall out through the cache eviction listener (keyed plan
+        watchers)."""
         self._planner.forget(fingerprint)
         for registration in self._registrations.values():
             key = ArtifactKey(
@@ -807,7 +999,22 @@ class QueryEngine:
         requests = list(requests)
         if not concurrent or len(requests) <= 1:
             return [self.execute(request) for request in requests]
-        return list(self._ensure_pool().map(self.execute, requests))
+        pool = self._ensure_pool()
+        if len(requests) <= self._max_workers:
+            return list(pool.map(self.execute, requests))
+        # Chunk the fan-out to pool width: one task per worker answering a
+        # contiguous slice, instead of one task per (microsecond-scale)
+        # query -- large batches no longer pay per-query submit/wakeup
+        # overhead, and answers stay position-stable.
+        chunks = _width_chunks(requests, self._max_workers)
+
+        def run_chunk(chunk: Sequence[QueryRequest]) -> List[bool]:
+            return [self.execute(request) for request in chunk]
+
+        answers: List[bool] = []
+        for chunk_answers in pool.map(run_chunk, chunks):
+            answers.extend(chunk_answers)
+        return answers
 
     def _ensure_pool(self) -> ThreadPoolExecutor:
         if self._closed:
@@ -829,9 +1036,21 @@ class QueryEngine:
                 setattr(stats, name, getattr(stats, name) + delta)
 
     def stats(self) -> EngineStats:
-        """An immutable snapshot of per-kind and cache counters."""
+        """An immutable snapshot of per-kind and cache counters.
+
+        Per-query serving counters (``queries``, ``serve_seconds``,
+        ``shard_serve_seconds``) live on lock-free thread-local shards and
+        are folded into the snapshot here -- the read side pays the
+        aggregation so the serve side never takes a lock.
+        """
         with self._stats_lock:
             per_kind = {kind: replace(stats) for kind, stats in self._stats.items()}
+        for kind, (queries, serve_seconds, shard_serve) in self._query_counters.fold().items():
+            stats = per_kind.get(kind)
+            if stats is not None:
+                stats.queries += int(queries)
+                stats.serve_seconds += serve_seconds
+                stats.shard_serve_seconds += shard_serve
         return EngineStats(per_kind=per_kind, cache=self._cache.stats())
 
     def reset_stats(self) -> None:
@@ -839,6 +1058,7 @@ class QueryEngine:
         with self._stats_lock:
             for kind, stats in self._stats.items():
                 self._stats[kind] = SchemeStats(scheme=stats.scheme, shards=stats.shards)
+        self._query_counters.reset()
 
     def close(self) -> None:
         """Detach attached datasets and close open dataset handles (flushing

@@ -91,20 +91,34 @@ class SnapshotLatch:
         self._writer_active = False
         self._writers_waiting = 0
 
-    @contextmanager
-    def read(self):
-        """Shared acquisition: any number of concurrent readers."""
+    def acquire_read(self) -> None:
+        """Shared acquisition, plain-call form (the serving hot path).
+
+        A ``@contextmanager`` generator costs a couple of microseconds per
+        entry/exit -- real money next to a sub-microsecond untracked query
+        kernel -- so the fast path pairs this with :meth:`release_read` in a
+        ``try/finally`` instead of entering :meth:`read`.
+        """
         with self._condition:
             while self._writer_active or self._writers_waiting:
                 self._condition.wait()
             self._readers += 1
+
+    def release_read(self) -> None:
+        """Release one shared acquisition taken by :meth:`acquire_read`."""
+        with self._condition:
+            self._readers -= 1
+            if not self._readers:
+                self._condition.notify_all()
+
+    @contextmanager
+    def read(self):
+        """Shared acquisition: any number of concurrent readers."""
+        self.acquire_read()
         try:
             yield
         finally:
-            with self._condition:
-                self._readers -= 1
-                if not self._readers:
-                    self._condition.notify_all()
+            self.release_read()
 
     @contextmanager
     def write(self):
@@ -463,7 +477,13 @@ class DatasetHandle:
     # -- serving ---------------------------------------------------------------
 
     def _answer(self, query: Any) -> bool:
-        """Evaluate one query over the current structure (latch held)."""
+        """Evaluate one query over the current structure (latch held).
+
+        The handle is the *analytic* mutable surface: evaluation charges the
+        handle's own cost tracker (the |CHANGED|-vs-|D| accounting of the
+        Section 4(7) experiments).  Untracked production serving goes
+        through mutable :class:`~repro.service.dataset.Dataset` sessions.
+        """
         registration = self._registration
         started = time.perf_counter()
         if registration.shards > 1:
@@ -472,7 +492,7 @@ class DatasetHandle:
             )
         else:
             answer = registration.scheme.answer(self._structure, query, self.tracker)
-        self._engine._bump(
+        self._engine._count_serve(
             self._kind, queries=1, serve_seconds=time.perf_counter() - started
         )
         return bool(answer)

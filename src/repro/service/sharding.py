@@ -38,9 +38,9 @@ import time
 from collections import OrderedDict
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Any, Dict, Iterable, List, Optional, Set, Tuple
+from typing import TYPE_CHECKING, Any, Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
-from repro.core.cost import ensure_tracker
+from repro.core.cost import NULL_TRACKER, ensure_tracker
 from repro.service.artifacts import ArtifactKey
 from repro.service.merge import ShardPiece, ShardSpec
 from repro.storage.fingerprint import dataset_fingerprint
@@ -53,9 +53,49 @@ __all__ = [
     "ShardPlan",
     "ShardedStructure",
     "ShardPlanner",
+    "gather_fast",
     "touched_shards",
     "plan_diff",
 ]
+
+
+def gather_fast(
+    registration: "_Registration",
+    spec: ShardSpec,
+    plan: ShardPlan,
+    structures: Sequence[Optional[Any]],
+    positions: Iterable[int],
+    effective_query: Any,
+) -> bool:
+    """Untracked scatter-gather over already-resolved shard structures.
+
+    The production twin of :meth:`ShardPlanner._scatter_gather`: identical
+    partial/merge semantics (``None`` structures contribute the merge
+    operator's ``empty`` partial), but partials evaluate through the
+    scheme's untracked fast kernel (or the shared no-op tracker) and nothing
+    is timed or counted.  ``effective_query`` must already be rewritten.
+    """
+    scheme = registration.scheme
+    merge = spec.merge
+    partial = merge.partial
+    evaluate_fast = scheme.evaluate_fast
+    planned = plan.planned
+    partials: List[Any] = []
+    for position in positions:
+        structure = structures[position]
+        if structure is None:
+            partials.append(
+                merge.empty(effective_query) if merge.empty is not None else None
+            )
+        elif partial is not None:
+            partials.append(
+                partial(structure, effective_query, planned[position].piece.meta, NULL_TRACKER)
+            )
+        elif evaluate_fast is not None:
+            partials.append(bool(evaluate_fast(structure, effective_query)))
+        else:
+            partials.append(bool(scheme.evaluate(structure, effective_query, NULL_TRACKER)))
+    return bool(merge.combine(partials, effective_query))
 
 
 @dataclass(frozen=True)
@@ -317,8 +357,33 @@ class ShardPlanner:
         answer, elapsed = self._scatter_gather(
             registration, plan, structures, positions, effective, tracker
         )
-        self._engine._bump(kind, shard_serve_seconds=elapsed)
+        # Hot-path counter (thread-local shard, folded on stats() read): the
+        # per-query serve path takes no statistics lock.
+        self._engine._count_serve(kind, shard_serve_seconds=elapsed)
         return answer, elapsed
+
+    def answer_fast(
+        self,
+        registration: "_Registration",
+        sharded: ShardedStructure,
+        query: Any,
+    ) -> bool:
+        """Untracked, statistics-neutral scatter over a resolved structure.
+
+        The production serving kernel for sharded kinds: rewrite + route
+        once, then :func:`gather_fast` over the bundled per-shard structures.
+        Answer-identical to :meth:`answer` (the tracked, merge-timed twin).
+        """
+        effective = self._rewrite(registration, query)
+        positions = self._route(registration, sharded.plan, effective)
+        return gather_fast(
+            registration,
+            self._spec(registration),
+            sharded.plan,
+            sharded.structures,
+            positions,
+            effective,
+        )
 
     def answer(
         self,

@@ -316,7 +316,9 @@ def test_detach_spares_content_shared_with_another_session():
         first.detach()
         assert second.query("membership", 1) is True  # still warm
         stats = engine.stats().per_kind["membership"]
-        assert stats.builds == 1 and stats.cache_hits >= 2
+        # One build ever: the shared structure was spared (the survivor's
+        # serve plan keeps answering; no rebuild, no spurious miss).
+        assert stats.builds == 1 and stats.cache_hits >= 1
         second.detach()  # last holder: now the content really evicts
         assert engine._cache.get(second.artifact_key("membership"), record=False) is None
 

@@ -1,0 +1,312 @@
+"""Unit tests for the serving hot path (ISSUE 5).
+
+Covers the serve-plan fast path and its invalidation story (detach /
+invalidate / cache eviction / apply_changes), the vectorized and chunked
+batch paths, the sharded per-thread query counters, and the
+``submit``-racing-``detach`` regression: a future executing after detach
+must raise :class:`~repro.core.errors.UnknownDatasetError` cleanly, never a
+``KeyError``/``AttributeError`` out of half-released session state.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.catalog import build_query_engine
+from repro.core.cost import CostTracker
+from repro.core.errors import IndexError_, ServiceError, UnknownDatasetError
+from repro.incremental.changes import ChangeKind, PointWrite, TupleChange
+from repro.queries import (
+    fischer_heun_scheme,
+    membership_class,
+    rmq_class,
+    sorted_run_scheme,
+)
+from repro.service.engine import QueryEngine, QueryRequest
+
+
+def _flat_engine(**kwargs) -> QueryEngine:
+    engine = QueryEngine(**kwargs)
+    engine.register("membership", membership_class(), sorted_run_scheme())
+    engine.register("rmq", rmq_class(), fischer_heun_scheme())
+    return engine
+
+
+# -- submit racing detach (ISSUE 5 satellite) ----------------------------------
+
+
+def test_submitted_futures_after_detach_raise_unknown_dataset_cleanly():
+    """Queued futures that execute after detach() fail with the session
+    error, never a KeyError/AttributeError from released internals."""
+    for _ in range(10):
+        engine = _flat_engine(max_workers=2)
+        ds = engine.attach("events", tuple(range(256)), kinds=["membership"])
+        ds.warm()
+        futures = [ds.submit("membership", q) for q in range(64)]
+        ds.detach()
+        for future in futures:
+            try:
+                answer = future.result()
+            except UnknownDatasetError:
+                pass  # the clean post-detach outcome
+            else:
+                assert isinstance(answer, bool)  # ran before the detach won
+        engine.close()
+
+
+def test_submitted_futures_after_mutable_detach_raise_cleanly():
+    for _ in range(5):
+        engine = _flat_engine(max_workers=2)
+        ds = engine.attach("events", tuple(range(128)), mutable=True)
+        ds.query("membership", 5)
+        futures = [ds.submit("membership", q) for q in range(32)]
+        writer = threading.Thread(
+            target=ds.apply_changes, args=([TupleChange(ChangeKind.INSERT, (999,))],)
+        )
+        writer.start()
+        ds.detach()
+        writer.join()
+        for future in futures:
+            try:
+                answer = future.result()
+            except (UnknownDatasetError, ServiceError):
+                pass
+            else:
+                assert isinstance(answer, bool)
+        engine.close()
+
+
+def test_submit_racing_engine_close_raises_service_error():
+    """A submit that loses the race against close() surfaces the engine's
+    ServiceError, not the pool's raw 'cannot schedule new futures'."""
+    engine = _flat_engine(max_workers=2)
+    ds = engine.attach("events", tuple(range(64)), kinds=["membership"])
+    ds.warm()
+    errors = []
+
+    def submitter():
+        for query in range(500):
+            try:
+                ds.submit("membership", query)
+            except (ServiceError, UnknownDatasetError) as exc:
+                errors.append(exc)
+                return
+
+    thread = threading.Thread(target=submitter)
+    thread.start()
+    engine.close()
+    thread.join()
+    # Whatever point the race reached, no raw RuntimeError escaped.
+    for error in errors:
+        assert isinstance(error, (ServiceError, UnknownDatasetError))
+
+
+# -- serve plans ----------------------------------------------------------------
+
+
+def test_plan_is_cached_after_first_query_and_dropped_on_detach():
+    with _flat_engine() as engine:
+        ds = engine.attach("events", (5, 1, 4), kinds=["membership"])
+        assert ds._plans == {}
+        assert ds.query("membership", 5) is True
+        assert "membership" in ds._plans
+        ds.detach()
+        assert ds._plans == {}
+        with pytest.raises(UnknownDatasetError):
+            ds.query("membership", 5)
+
+
+def test_eviction_drops_exactly_the_watching_plans():
+    """Keyed plan invalidation: evicting one structure drops the plans that
+    captured it -- eagerly, so even sessions never queried again release
+    their references -- while unrelated sessions keep their fast path."""
+    engine = _flat_engine(cache_entries=1)
+    ds = engine.attach("events", (5, 1, 4), kinds=["membership"])
+    assert ds.query("membership", 5) is True
+    assert "membership" in ds._plans
+    ds2 = engine.attach("arrays", (3, 1, 2), kinds=["rmq"])
+    assert ds2.query("rmq", (0, 2, 1)) is True  # evicts the membership build
+    assert ds._plans == {}  # dropped eagerly, not just marked stale
+    assert ds.query("membership", 1) is True  # rebuilt transparently
+    assert "membership" in ds._plans
+    engine.close()
+
+
+def test_eviction_of_unrelated_keys_spares_other_sessions_plans():
+    """A cache big enough for both structures: plans coexist and survive
+    each other's resolutions (no global all-plans invalidation)."""
+    with _flat_engine(cache_entries=8) as engine:
+        ds = engine.attach("events", (5, 1, 4), kinds=["membership"])
+        assert ds.query("membership", 5) is True
+        plan = ds._plans["membership"]
+        ds2 = engine.attach("arrays", (3, 1, 2), kinds=["rmq"])
+        assert ds2.query("rmq", (0, 2, 1)) is True
+        assert ds._plans["membership"] is plan  # untouched by the rmq build
+
+
+def test_query_tracked_runs_the_analytic_evaluator_on_mutable_sessions():
+    with _flat_engine() as engine:
+        ds = engine.attach("events", tuple(range(256)), mutable=True)
+        tracker = CostTracker()
+        assert ds.query_tracked("membership", 17, tracker) is True
+        assert tracker.work > 0  # the cost-charging evaluate ran, not the kernel
+
+
+def test_serve_seconds_excludes_first_touch_build_time():
+    """Lazy resolution inside the serve plans (cold shards, mutable first
+    touch) must land in build counters, never in serve_seconds."""
+    with _flat_engine() as engine:
+        ds = engine.attach("events", tuple(range(4096)), kinds=["membership"], shards=4)
+        assert ds.query("membership", 17) is True  # builds its routed shard
+        stats = engine.stats().per_kind["membership"]
+        assert stats.shard_build_seconds > 0
+        assert stats.serve_seconds < stats.shard_build_seconds
+
+
+def test_invalidate_spares_plans_of_attached_equal_content_sessions():
+    with _flat_engine() as engine:
+        payload = [5, 1, 4]
+        ds = engine.attach("events", (5, 1, 4), kinds=["membership"])
+        assert ds.query("membership", 5) is True
+        # An anonymous payload with equal content shares the cached build;
+        # invalidating it must not evict (the named session still serves).
+        engine.execute(QueryRequest("membership", payload, 5))
+        engine.invalidate(payload)
+        assert "membership" in ds._plans  # the plan survived
+        assert ds.query("membership", 1) is True
+
+
+def test_mutable_plan_reflects_apply_changes_without_restitching():
+    """The mutable serve plan reads the current structure per query, so a
+    delta batch (in-place) and a fallback rebuild (structure swap) are both
+    picked up immediately."""
+    with _flat_engine() as engine:
+        ds = engine.attach("events", (5, 1, 4), mutable=True)
+        assert ds.query("membership", 9) is False
+        ds.apply_changes([TupleChange(ChangeKind.INSERT, (9,))])
+        assert ds.query("membership", 9) is True  # delta-maintained in place
+        ds.apply_changes([PointWrite(0, -7)])  # membership refuses -> rebuild
+        assert ds.query("membership", -7) is True
+        assert ds.query("membership", 5) is False
+
+
+# -- fast path == tracked path over exceptional queries -------------------------
+
+
+def test_fast_path_error_parity_on_malformed_queries():
+    with _flat_engine() as engine:
+        ds = engine.attach("events", (3, 1, 2), kinds=["rmq"])
+        with pytest.raises(IndexError_):
+            ds.query_tracked("rmq", (2, 99, 0), CostTracker())
+        with pytest.raises(IndexError_):
+            ds.query("rmq", (2, 99, 0))
+
+
+def test_query_tracked_charges_the_given_tracker():
+    with _flat_engine() as engine:
+        ds = engine.attach("events", tuple(range(512)), kinds=["membership"])
+        tracker = CostTracker()
+        assert ds.query_tracked("membership", 17, tracker) is True
+        assert tracker.work > 0  # the analytic evaluator really ran
+        before = tracker.work
+        assert ds.query("membership", 17) is True  # untracked kernel
+        assert tracker.work == before
+
+
+# -- vectorized batches ----------------------------------------------------------
+
+
+def test_query_batch_groups_by_kind_and_preserves_order():
+    with _flat_engine() as engine:
+        data = tuple(range(64))
+        ds = engine.attach("events", data)
+        pairs = []
+        for i in range(50):  # interleave two kinds, exceed the inline cutoff
+            pairs.append(("membership", i * 3))
+            pairs.append(("rmq", (0, 63, 0)))
+        answers = ds.query_batch(pairs)
+        expected = [ds.query(kind, q) for kind, q in pairs]
+        assert answers == expected
+        assert ds.query_batch(pairs, concurrent=False) == expected
+        assert ds.query_batch([]) == []
+
+
+def test_mutable_query_batch_stays_batch_atomic_under_writes():
+    """Grouped mutable batches still hold one latch: a concurrent writer can
+    never tear a batch (all answers pre-batch or all post-batch)."""
+    engine = _flat_engine(max_workers=4)
+    ds = engine.attach("events", (1, 2, 3), mutable=True)
+    ds.warm(["membership"])
+    stop = threading.event = threading.Event()
+    torn = []
+
+    def reader():
+        while not stop.is_set():
+            # 999 and -999 are inserted by the same batch: a snapshot-
+            # consistent batch answers both the same way.
+            low, high = ds.query_batch([("membership", 999), ("membership", -999)])
+            if low != high:
+                torn.append((low, high))
+                return
+
+    threads = [threading.Thread(target=reader) for _ in range(3)]
+    for thread in threads:
+        thread.start()
+    for _ in range(40):
+        ds.apply_changes(
+            [
+                TupleChange(ChangeKind.INSERT, (999,)),
+                TupleChange(ChangeKind.INSERT, (-999,)),
+            ]
+        )
+        ds.apply_changes(
+            [
+                TupleChange(ChangeKind.DELETE, (999,)),
+                TupleChange(ChangeKind.DELETE, (-999,)),
+            ]
+        )
+    stop.set()
+    for thread in threads:
+        thread.join()
+    assert torn == []
+    engine.close()
+
+
+def test_execute_batch_chunks_large_batches_and_matches_sequential():
+    with _flat_engine(max_workers=3) as engine:
+        data = tuple(range(96))
+        requests = [QueryRequest("membership", data, q) for q in range(200)]
+        concurrent = engine.execute_batch(requests)
+        sequential = engine.execute_batch(requests, concurrent=False)
+        assert concurrent == sequential
+        assert engine.stats().per_kind["membership"].queries == 400
+
+
+# -- sharded query counters -------------------------------------------------------
+
+
+def test_stats_fold_across_threads_and_reset():
+    with _flat_engine(max_workers=4) as engine:
+        data = tuple(range(128))
+        ds = engine.attach("events", data, kinds=["membership"])
+        ds.warm()
+
+        def worker():
+            for q in range(25):
+                ds.query("membership", q)
+
+        threads = [threading.Thread(target=worker) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        stats = engine.stats().per_kind["membership"]
+        assert stats.queries == 100
+        assert stats.serve_seconds > 0
+        engine.reset_stats()
+        after = engine.stats().per_kind["membership"]
+        assert after.queries == 0 and after.serve_seconds == 0.0
+        ds.query("membership", 1)
+        assert engine.stats().per_kind["membership"].queries == 1
