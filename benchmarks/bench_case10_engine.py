@@ -12,6 +12,8 @@ and the cache hit rate, so the serving-path trajectory is tracked by CI.
 
 from __future__ import annotations
 
+import pytest
+
 import statistics
 import time
 
@@ -19,6 +21,11 @@ from conftest import bench_size, format_table
 
 from repro.catalog import build_query_engine
 from repro.service import ArtifactStore, QueryRequest
+
+# The raw-payload QueryRequest form used throughout this module is
+# deprecated (named sessions are the supported surface); its behavior
+# is pinned here on purpose, so silence the migration warning.
+pytestmark = pytest.mark.filterwarnings("ignore::DeprecationWarning")
 
 SEED = 20130826
 KINDS = (

@@ -26,6 +26,8 @@ I/O.  Every scenario asserts answer equivalence with the naive semantics.
 
 from __future__ import annotations
 
+import pytest
+
 import statistics
 import time
 
@@ -33,6 +35,11 @@ from conftest import bench_size, format_table
 
 from repro.catalog import build_query_engine, build_registry
 from repro.service import ArtifactStore, QueryRequest
+
+# The raw-payload QueryRequest form used throughout this module is
+# deprecated (named sessions are the supported surface); its behavior
+# is pinned here on purpose, so silence the migration warning.
+pytestmark = pytest.mark.filterwarnings("ignore::DeprecationWarning")
 
 SEED = 20130826
 SHARDS = 8

@@ -18,6 +18,8 @@ Feeds the ``api`` section of the machine-readable ``BENCH_engine.json``.
 
 from __future__ import annotations
 
+import pytest
+
 import statistics
 import time
 
@@ -25,6 +27,11 @@ from conftest import bench_size, format_table
 
 from repro.catalog import build_query_engine
 from repro.service import QueryRequest
+
+# The raw-payload QueryRequest form used throughout this module is
+# deprecated (named sessions are the supported surface); its behavior
+# is pinned here on purpose, so silence the migration warning.
+pytestmark = pytest.mark.filterwarnings("ignore::DeprecationWarning")
 
 SEED = 20130826
 KIND = "list-membership"

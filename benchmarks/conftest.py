@@ -30,6 +30,10 @@ import pytest
 
 _REPORTS: List[Tuple[str, List[str]]] = []
 _JSON_SECTIONS: Dict[str, dict] = {}
+#: Sections routed to an explicit file (``record(..., path=...)``), keyed by
+#: output path.  Written on every run that produced them -- full-size local
+#: runs must land in e.g. BENCH_workloads.json without any bench flag.
+_JSON_EXTRA: Dict[str, Dict[str, dict]] = {}
 _SMOKE = False
 _JSON_PATH: str | None = None
 
@@ -108,46 +112,65 @@ def bench_json() -> Callable[[str, dict], None]:
     of the serving stack is tracked across commits.
     """
 
-    def record(section: str, payload: dict) -> None:
+    def record(section: str, payload: dict, *, path: str | None = None) -> None:
         # Stamp provenance per section: records are merged across runs, so
         # a full-size re-run of one module must not let its sizes be
         # mistaken for (or mislabel) the other sections' smoke numbers.
-        _JSON_SECTIONS[section] = dict(payload, smoke=_SMOKE)
+        stamped = dict(payload, smoke=_SMOKE)
+        if path is None:
+            _JSON_SECTIONS[section] = stamped
+        else:
+            # Explicit-path sections (e.g. BENCH_workloads.json) are written
+            # whenever produced, smoke flag or not.
+            _JSON_EXTRA.setdefault(path, {})[section] = stamped
 
     return record
 
 
+def _merge_record(path: str, new_sections: Dict[str, dict]) -> None:
+    """Merge ``new_sections`` into the JSON record at ``path``.
+
+    A partial run (one bench module, e.g. at full size with --bench-json)
+    refreshes only its own sections instead of clobbering the rest of the
+    perf trajectory.  Each section carries its own "smoke" stamp; the
+    top-level flag is true only when every section in the merged record is
+    smoke-sized.
+    """
+    sections: Dict[str, dict] = {}
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            existing = json.load(handle)
+        sections = dict(existing.get("sections", {}))
+        # Sections written before per-section stamping inherit the old
+        # record's top-level flag, not an optimistic default -- a stale
+        # full-size record must never be relabeled as smoke.
+        legacy_smoke = bool(existing.get("smoke", True))
+        for section in sections.values():
+            if isinstance(section, dict):
+                section.setdefault("smoke", legacy_smoke)
+    except (OSError, ValueError):
+        sections = {}
+    sections.update(new_sections)
+    record = {
+        "smoke": all(section.get("smoke", True) for section in sections.values()),
+        "sections": sections,
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(record, handle, indent=2, sort_keys=True)
+
+
 def pytest_terminal_summary(terminalreporter, exitstatus, config):
     write = terminalreporter.write_line
+    written = []
     if _JSON_PATH and _JSON_SECTIONS:
-        # Merge into an existing record so a partial run (one bench module,
-        # e.g. at full size with --bench-json) refreshes only its own
-        # sections instead of clobbering the rest of the perf trajectory.
-        # Each section carries its own "smoke" stamp; the top-level flag is
-        # true only when every section in the merged record is smoke-sized.
-        sections: Dict[str, dict] = {}
-        try:
-            with open(_JSON_PATH, "r", encoding="utf-8") as handle:
-                existing = json.load(handle)
-            sections = dict(existing.get("sections", {}))
-            # Sections written before per-section stamping inherit the old
-            # record's top-level flag, not an optimistic default -- a stale
-            # full-size record must never be relabeled as smoke.
-            legacy_smoke = bool(existing.get("smoke", True))
-            for section in sections.values():
-                if isinstance(section, dict):
-                    section.setdefault("smoke", legacy_smoke)
-        except (OSError, ValueError):
-            sections = {}
-        sections.update(_JSON_SECTIONS)
-        record = {
-            "smoke": all(section.get("smoke", True) for section in sections.values()),
-            "sections": sections,
-        }
-        with open(_JSON_PATH, "w", encoding="utf-8") as handle:
-            json.dump(record, handle, indent=2, sort_keys=True)
+        _merge_record(_JSON_PATH, _JSON_SECTIONS)
+        written.append(_JSON_PATH)
+    for path, sections in _JSON_EXTRA.items():
+        _merge_record(path, sections)
+        written.append(path)
+    for path in written:
         write("")
-        write(f"benchmark record written to {_JSON_PATH}")
+        write(f"benchmark record written to {path}")
     if not _REPORTS:
         return
     write("")

@@ -21,6 +21,7 @@ Run:  python examples/dataset_sessions.py
 
 import random
 import time
+import warnings
 
 from repro.catalog import build_query_engine
 from repro.incremental.changes import PointWrite
@@ -60,13 +61,13 @@ def main() -> None:
     print(f"async futures     : {[future.result() for future in futures]}")
     assert [future.result() for future in futures] == answers
 
-    stats = engine.stats()
+    membership_stats = ds.stats()["kinds"]["list-membership"]
     print(
-        f"shard_builds={stats.per_kind['list-membership'].shard_builds} "
-        f"builds={stats.per_kind['list-membership'].builds} "
-        f"fingerprint_rehashes={stats.fingerprint_rehashes}"
+        f"shard_builds={membership_stats['shard_builds']} "
+        f"builds={membership_stats['builds']} "
+        f"fingerprint_rehashes={engine.stats().fingerprint_rehashes}"
     )
-    assert stats.fingerprint_rehashes == 0
+    assert engine.stats().fingerprint_rehashes == 0
     engine.close()
 
     section("2. The memo cliff, measured")
@@ -77,9 +78,15 @@ def main() -> None:
 
     payload_engine = build_query_engine()  # default fingerprint_memo_size=32
     started = time.perf_counter()
-    for _ in range(CLIFF_ROUNDS):
-        for data, queries in workloads:
-            payload_engine.execute(QueryRequest("list-membership", data, queries[0]))
+    with warnings.catch_warnings():
+        # The payload form is deprecated; this section exercises it on
+        # purpose to measure the memo cliff the named form eliminates.
+        warnings.simplefilter("ignore", DeprecationWarning)
+        for _ in range(CLIFF_ROUNDS):
+            for data, queries in workloads:
+                payload_engine.execute(
+                    QueryRequest("list-membership", data, queries[0])
+                )
     payload_seconds = time.perf_counter() - started
     payload_stats = payload_engine.stats()
     payload_engine.close()
@@ -128,15 +135,15 @@ def main() -> None:
     print(f"v{ds.version}: membership(-2000) = {left}, rmq argmin@1234 = {right}")
     assert left and right
 
-    stats = engine.stats()
+    session_stats = ds.stats()["kinds"]
     print(
-        f"rmq delta_batches={stats.per_kind['rmq'].delta_batches} "
+        f"rmq delta_batches={session_stats['rmq']['delta_batches']} "
         f"(PointWrite folded in place); membership "
-        f"fallback_rebuilds={stats.per_kind['membership'].fallback_rebuilds} "
+        f"fallback_rebuilds={session_stats['membership']['fallback_rebuilds']} "
         f"(touched shards rebuilt)"
     )
-    assert stats.per_kind["rmq"].delta_batches == 1
-    assert stats.per_kind["membership"].fallback_rebuilds == 1
+    assert session_stats["rmq"]["delta_batches"] == 1
+    assert session_stats["membership"]["fallback_rebuilds"] == 1
     ds.detach()
     engine.close()
     print("\nall session checks passed")

@@ -18,6 +18,7 @@ Run:  python examples/query_service.py
 import statistics
 import tempfile
 import time
+import warnings
 
 from repro.core.cost import CostTracker
 from repro.queries import (
@@ -58,11 +59,16 @@ def main() -> None:
     )
 
     kinds = workloads()
-    requests = [
-        QueryRequest(kind, data, query)
-        for kind, (data, queries) in kinds
-        for query in queries
-    ]
+    with warnings.catch_warnings():
+        # This example predates named sessions and demonstrates the raw
+        # payload form on purpose; see examples/dataset_sessions.py for
+        # the supported engine.attach(...) surface.
+        warnings.simplefilter("ignore", DeprecationWarning)
+        requests = [
+            QueryRequest(kind, data, query)
+            for kind, (data, queries) in kinds
+            for query in queries
+        ]
 
     # 1. The rebuild-per-query anti-pattern, sampled.
     rebuild_schemes = {
@@ -113,14 +119,16 @@ def main() -> None:
             expected = rebuild_answers.get((request.kind, request.query))
             if expected is not None:
                 assert cold_answers[position] == expected
-        assert sum(s.builds for s in restart_stats.per_kind.values()) == 0
+        restart_snapshot = restart_stats.stats_snapshot()
+        assert sum(s["builds"] for s in restart_snapshot["per_kind"].values()) == 0
 
         print("\nPer-scheme serving statistics (first engine):")
-        for kind, s in sorted(stats.per_kind.items()):
+        for kind, s in stats.stats_snapshot()["per_kind"].items():
             print(
-                f"  {kind:22s} scheme={s.scheme:14s} queries={s.queries:4d} "
-                f"builds={s.builds} hit_rate={s.hit_rate:5.1%} "
-                f"build={s.build_seconds * 1e3:7.1f}ms serve={s.serve_seconds * 1e3:7.1f}ms"
+                f"  {kind:22s} scheme={s['scheme']:14s} queries={s['queries']:4d} "
+                f"builds={s['builds']} hit_rate={s['hit_rate']:5.1%} "
+                f"build={s['build_seconds'] * 1e3:7.1f}ms "
+                f"serve={s['serve_seconds'] * 1e3:7.1f}ms"
             )
 
         speedup = rebuild_per_query / warm_per_query

@@ -84,6 +84,12 @@ class UnknownDatasetError(ServiceError):
     ``except ServiceError`` handlers keep catching it."""
 
 
+class WorkloadError(ReproError):
+    """Raised when a :class:`repro.workloads.WorkloadSpec` cannot be bound to
+    a dataset session: a kind in the mix is unknown or not served, a write
+    ratio targets an immutable session, or the mix itself is malformed."""
+
+
 class DeltaError(ReproError):
     """Raised by a scheme's ``apply_delta`` hook when a change batch cannot
     be applied incrementally (unsupported change kind, out-of-range target,

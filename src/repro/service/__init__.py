@@ -40,8 +40,34 @@ This package persists built structures and serves query batches against them:
     through per-scheme ``apply_delta`` hooks in O(|CHANGED| * polylog)
     (falling back to touched-shard or full rebuilds), with write-behind
     persistence of dirty artifacts.
+
+This module is also the *curated public surface*: everything a serving
+client needs -- the engine, the dataset-first session API, the error
+hierarchy, the workload harness (:class:`~repro.workloads.WorkloadSpec`,
+:func:`~repro.workloads.run_closed_loop`, :func:`~repro.workloads.run_open_loop`)
+and the catalog's :func:`~repro.catalog.build_query_engine` factory -- is
+importable from ``repro.service`` directly.  Deep imports
+(``from repro.service.engine import QueryEngine``) keep working; the
+curated names in ``__all__`` are the supported, stable set.
+
+    >>> from repro.service import build_query_engine, WorkloadSpec
+    >>> engine = build_query_engine()
+    >>> ds = engine.attach("d", (1, 2, 3), kinds=["list-membership"])
+    >>> ds.query("list-membership", 2)
+    True
+    >>> engine.close()
 """
 
+from repro.core.errors import (
+    ArtifactCorruptionError,
+    ArtifactError,
+    ArtifactVersionError,
+    DeltaError,
+    ReproError,
+    ServiceError,
+    UnknownDatasetError,
+    WorkloadError,
+)
 from repro.service.artifacts import ArtifactKey, ArtifactStore
 from repro.service.cache import LRUArtifactCache
 from repro.service.dataset import Dataset
@@ -64,6 +90,22 @@ from repro.service.sharding import (
     ShardPlanner,
     plan_diff,
     touched_shards,
+)
+
+# Workload harness entry points.  Safe to import eagerly: repro.workloads
+# depends only on repro.core and repro.incremental (datasets are
+# duck-typed), so no cycle back into this package.
+from repro.workloads import (
+    DriftKeys,
+    HotspotKeys,
+    KeyDistribution,
+    LatencyStats,
+    UniformKeys,
+    WorkloadReport,
+    WorkloadSpec,
+    ZipfKeys,
+    run_closed_loop,
+    run_open_loop,
 )
 
 __all__ = [
@@ -92,4 +134,38 @@ __all__ = [
     "ShardPlanner",
     "plan_diff",
     "touched_shards",
+    # error hierarchy
+    "ReproError",
+    "ServiceError",
+    "UnknownDatasetError",
+    "ArtifactError",
+    "ArtifactCorruptionError",
+    "ArtifactVersionError",
+    "DeltaError",
+    "WorkloadError",
+    # workload harness
+    "KeyDistribution",
+    "UniformKeys",
+    "ZipfKeys",
+    "HotspotKeys",
+    "DriftKeys",
+    "WorkloadSpec",
+    "LatencyStats",
+    "WorkloadReport",
+    "run_closed_loop",
+    "run_open_loop",
+    # catalog factory (lazy; see __getattr__)
+    "build_query_engine",
 ]
+
+
+def __getattr__(name: str):
+    # Lazy re-export: repro.catalog imports the query-class registry at
+    # module level, so an eager import here would find a partially
+    # initialized catalog on catalog-first import chains.  PEP 562 defers
+    # the lookup to first attribute access, after both modules exist.
+    if name == "build_query_engine":
+        from repro.catalog import build_query_engine
+
+        return build_query_engine
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

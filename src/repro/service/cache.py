@@ -22,7 +22,7 @@ from __future__ import annotations
 
 import threading
 from collections import OrderedDict
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
 from typing import Any, Callable, Dict, Hashable, Optional
 
 __all__ = ["LRUArtifactCache", "CacheStats"]
@@ -44,6 +44,12 @@ class CacheStats:
     def hit_rate(self) -> float:
         probes = self.hits + self.misses
         return self.hits / probes if probes else 0.0
+
+    def stats_snapshot(self) -> Dict[str, Any]:
+        """Plain JSON-serializable dict of the counters plus ``hit_rate``."""
+        snapshot = dict(asdict(self))
+        snapshot["hit_rate"] = self.hit_rate
+        return snapshot
 
 
 class LRUArtifactCache:

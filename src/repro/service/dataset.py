@@ -431,6 +431,29 @@ class Dataset:
         """Monotonic count of applied change batches (0 when immutable)."""
         return 0 if self._mutable is None else self._mutable.version
 
+    def stats(self) -> Dict[str, Any]:
+        """This session's slice of the engine's counter snapshot.
+
+        A plain JSON-serializable dict: the session identity (``dataset``,
+        ``version``, ``mutable``) plus ``kinds`` mapping each served kind to
+        its :meth:`~repro.service.engine.SchemeStats.stats_snapshot` dict.
+        The supported way to read serving counters for one session --
+        callers (examples, tests, the workload driver's per-run window)
+        never reach into ``engine.stats().per_kind`` directly.
+        """
+        per_kind = self._engine.stats().stats_snapshot()["per_kind"]
+        served = set(self.kinds)
+        return {
+            "dataset": self._name,
+            "version": self.version,
+            "mutable": self.mutable,
+            "kinds": {
+                kind: counters
+                for kind, counters in per_kind.items()
+                if kind in served
+            },
+        }
+
     def shards_for(self, kind: str) -> int:
         """Effective shard count serving ``kind`` for this session."""
         return self.registration_for(kind).shards

@@ -17,9 +17,9 @@ the session (or name it via ``QueryRequest(kind, dataset=..., query=...)``)
 and never pay a per-request fingerprint lookup.  The older
 payload-per-request form (``QueryRequest(kind, data, query)``) keeps
 working through a thin adapter that performs an *anonymous attach* behind a
-bounded identity memo; it is deprecated in favor of named sessions (no
-warning is emitted -- the adapter is warning-clean by design -- but new
-code should attach).
+bounded identity memo; it is deprecated in favor of named sessions --
+constructing a payload request emits a :class:`DeprecationWarning` with the
+migration hint, while the behavior stays identical.
 
 Batches run on a thread pool, with large fan-outs chunked to the pool width
 (one task per worker, never one per microsecond-scale query).  Pure-Python
@@ -57,7 +57,11 @@ snapshot latch with write-behind persistence.
     True
     >>> engine.execute(QueryRequest("membership", dataset="readings", query=9))
     False
-    >>> engine.execute(QueryRequest("membership", (3, 1, 4), 9))  # legacy form
+    >>> import warnings
+    >>> with warnings.catch_warnings():  # legacy payload form: deprecated
+    ...     warnings.simplefilter("ignore", DeprecationWarning)
+    ...     legacy = QueryRequest("membership", (3, 1, 4), 9)
+    >>> engine.execute(legacy)
     False
     >>> engine.stats().per_kind["membership"].builds  # built once, served thrice
     1
@@ -67,10 +71,11 @@ from __future__ import annotations
 
 import threading
 import time
+import warnings
 import weakref
 from collections import OrderedDict
 from concurrent.futures import ThreadPoolExecutor
-from dataclasses import dataclass, replace
+from dataclasses import asdict, dataclass, replace
 from typing import TYPE_CHECKING, Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.cost import CostTracker
@@ -107,13 +112,26 @@ class QueryRequest:
     per request (counted in ``SchemeStats.fingerprint_rehashes``).  After
     mutating a payload in place, call :meth:`QueryEngine.invalidate` (or
     pass a fresh object) so the next request re-fingerprints and rebuilds.
-    The form is kept for compatibility -- prefer ``attach`` in new code.
+    The form is kept for compatibility; constructing one emits a
+    :class:`DeprecationWarning` pointing at the named migration.
     """
 
     kind: str
     data: Any = None
     query: Any = None
     dataset: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.data is not None and self.dataset is None:
+            warnings.warn(
+                "QueryRequest(kind, data, query) payload requests are "
+                "deprecated; attach the dataset once and address it by "
+                "name: engine.attach(name, data) then "
+                "QueryRequest(kind, dataset=name, query=...) or "
+                "Dataset.query(kind, query)",
+                DeprecationWarning,
+                stacklevel=2,
+            )
 
 
 @dataclass
@@ -174,6 +192,17 @@ class SchemeStats:
             return 0.0
         return hits / resolutions
 
+    def stats_snapshot(self) -> Dict[str, Any]:
+        """A plain JSON-serializable dict of every counter plus ``hit_rate``.
+
+        The stable read surface for drivers and dashboards (the workload
+        harness correlates latency with these per run window); field names
+        match the dataclass attributes exactly.
+        """
+        snapshot = dict(asdict(self))
+        snapshot["hit_rate"] = self.hit_rate
+        return snapshot
+
 
 @dataclass(frozen=True)
 class EngineStats:
@@ -199,6 +228,26 @@ class EngineStats:
     def fingerprint_evictions(self) -> int:
         """Identity-memo evictions across kinds (the memo-cliff signal)."""
         return sum(stats.fingerprint_evictions for stats in self.per_kind.values())
+
+    def stats_snapshot(self) -> Dict[str, Any]:
+        """The whole snapshot as one plain JSON-serializable dict.
+
+        ``per_kind`` maps each kind to its
+        :meth:`SchemeStats.stats_snapshot`, ``cache`` carries the
+        :class:`~repro.service.cache.CacheStats` counters, and the folded
+        totals ride along -- so callers (the workload driver, monitoring)
+        never reach into engine internals or dataclass attributes.
+        """
+        return {
+            "per_kind": {
+                kind: stats.stats_snapshot()
+                for kind, stats in sorted(self.per_kind.items())
+            },
+            "cache": self.cache.stats_snapshot(),
+            "total_queries": self.total_queries(),
+            "fingerprint_rehashes": self.fingerprint_rehashes,
+            "fingerprint_evictions": self.fingerprint_evictions,
+        }
 
 
 @dataclass(frozen=True)

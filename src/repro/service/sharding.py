@@ -18,15 +18,15 @@ cache/store hits and only the touched shards pay a rebuild
 fact).
 
     >>> from repro.queries import membership_class, sorted_run_scheme
-    >>> from repro.service.engine import QueryEngine, QueryRequest
+    >>> from repro.service.engine import QueryEngine
     >>> engine = QueryEngine()
     >>> engine.register("membership", membership_class(), sorted_run_scheme(),
     ...                 shards=4)
-    >>> data = tuple(range(100))
-    >>> _ = engine.warm("membership", data)  # builds all four shards in parallel
+    >>> ds = engine.attach("numbers", tuple(range(100)))
+    >>> _ = ds.warm()  # builds all four shards in parallel
     >>> engine.stats().per_kind["membership"].shard_builds
     4
-    >>> engine.execute(QueryRequest("membership", data, 17))  # routed: 1 probe
+    >>> ds.query("membership", 17)  # routed: 1 probe
     True
     >>> engine.close()
 """

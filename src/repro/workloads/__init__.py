@@ -1,0 +1,62 @@
+"""Workload harness: skewed traffic, read/write mixes, tail-latency curves.
+
+The instrument every serving-perf claim is judged with.  Declare traffic as
+a :class:`WorkloadSpec` -- kind weights, a key distribution (uniform /
+Zipf / hotspot / drifting working set), a hit fraction, a read/write ratio
+-- bind it to an attached :class:`~repro.service.dataset.Dataset` session,
+and drive it closed-loop (:func:`run_closed_loop`: N threads, think time)
+or open-loop (:func:`run_open_loop`: an offered-load schedule, latency
+measured from scheduled arrival so queueing counts).  Reports carry
+p50/p95/p99/p999 latency, achieved-vs-offered qps, error counts, and a
+``Dataset.stats()`` counter window for the run.
+
+    >>> from repro.catalog import build_query_engine
+    >>> from repro.workloads import WorkloadSpec, ZipfKeys, run_closed_loop
+    >>> engine = build_query_engine()
+    >>> ds = engine.attach("events", tuple(range(512)), kinds=["list-membership"])
+    >>> spec = WorkloadSpec(mix={"list-membership": 1.0}, distribution=ZipfKeys(1.1))
+    >>> report = run_closed_loop(ds, spec, threads=2, operations=200)
+    >>> (report.reads, report.writes, report.errors)
+    (200, 0, {})
+    >>> report.read_latency.p999 >= report.read_latency.p50 >= 0
+    True
+    >>> engine.close()
+
+This package depends only on :mod:`repro.core` and :mod:`repro.incremental`
+(datasets are duck-typed), so :mod:`repro.service` can re-export its entry
+points without an import cycle.
+"""
+
+from repro.workloads.distributions import (
+    DriftKeys,
+    HotspotKeys,
+    KeyDistribution,
+    UniformKeys,
+    ZipfKeys,
+)
+from repro.workloads.driver import (
+    LatencyStats,
+    WorkloadReport,
+    run_closed_loop,
+    run_open_loop,
+)
+from repro.workloads.spec import BoundWorkload, Operation, WorkloadSpec
+from repro.workloads.templates import BoundTemplate, bind_template, template_kinds
+
+__all__ = [
+    "KeyDistribution",
+    "UniformKeys",
+    "ZipfKeys",
+    "HotspotKeys",
+    "DriftKeys",
+    "WorkloadSpec",
+    "BoundWorkload",
+    "Operation",
+    "BoundTemplate",
+    "bind_template",
+    "template_kinds",
+    "LatencyStats",
+    "WorkloadReport",
+    "run_closed_loop",
+    "run_open_loop",
+]

@@ -1,0 +1,200 @@
+"""Pluggable key distributions: which parts of the dataset a workload hits.
+
+Every number the serving stack has published so far came from uniform
+probes -- exactly the traffic shape that hides tail latency and hot-key
+contention.  A :class:`KeyDistribution` decides *which* dataset element a
+query template anchors on, as an index into the element universe:
+
+* :class:`UniformKeys` -- every element equally likely (the old behaviour);
+* :class:`ZipfKeys` -- rank-frequency skew ``P(rank r) ~ 1/r^skew``; the
+  hot head concentrates cache and latch traffic the way production key
+  popularity does;
+* :class:`HotspotKeys` -- a working set: a ``hot_fraction`` slice of the
+  universe absorbs ``hot_weight`` of the probes;
+* :class:`DriftKeys` -- a working-set window that slides across the
+  universe every ``period`` samples, modelling temporal drift (yesterday's
+  hot keys cool down).
+
+Distributions are stateless specs; :meth:`KeyDistribution.start` binds one
+to a universe size and returns a fresh, private sampler, so every driver
+worker stream owns its own drift state and determinism is per-stream.
+"""
+
+from __future__ import annotations
+
+import random
+from bisect import bisect_left
+from itertools import accumulate
+from typing import Dict, List
+
+from repro.core.errors import WorkloadError
+
+__all__ = [
+    "KeyDistribution",
+    "UniformKeys",
+    "ZipfKeys",
+    "HotspotKeys",
+    "DriftKeys",
+]
+
+
+class Sampler:
+    """A distribution bound to a universe: ``sample(rng) -> index``."""
+
+    def sample(self, rng: random.Random) -> int:  # pragma: no cover - interface
+        raise NotImplementedError
+
+
+class KeyDistribution:
+    """Base spec: subclasses implement :meth:`start` and :meth:`spec`."""
+
+    def start(self, universe: int) -> Sampler:
+        """A fresh sampler over indices ``[0, universe)``.
+
+        Each worker stream calls this once, so stateful distributions (the
+        drifting window) never share position across threads.
+        """
+        raise NotImplementedError
+
+    def spec(self) -> Dict[str, object]:
+        """Provenance dict recorded alongside benchmark results."""
+        raise NotImplementedError
+
+
+def _check_universe(universe: int) -> None:
+    if universe < 1:
+        raise WorkloadError(f"key universe must be >= 1, got {universe}")
+
+
+class _UniformSampler(Sampler):
+    __slots__ = ("_n",)
+
+    def __init__(self, n: int) -> None:
+        self._n = n
+
+    def sample(self, rng: random.Random) -> int:
+        return rng.randrange(self._n)
+
+
+class UniformKeys(KeyDistribution):
+    """Every element of the universe equally likely."""
+
+    def start(self, universe: int) -> Sampler:
+        _check_universe(universe)
+        return _UniformSampler(universe)
+
+    def spec(self) -> Dict[str, object]:
+        return {"distribution": "uniform"}
+
+
+class _ZipfSampler(Sampler):
+    """Inverse-CDF sampling over precomputed cumulative rank weights."""
+
+    __slots__ = ("_cumulative", "_total")
+
+    def __init__(self, n: int, skew: float) -> None:
+        weights = [1.0 / (rank**skew) for rank in range(1, n + 1)]
+        self._cumulative: List[float] = list(accumulate(weights))
+        self._total = self._cumulative[-1]
+
+    def sample(self, rng: random.Random) -> int:
+        return bisect_left(self._cumulative, rng.random() * self._total)
+
+
+class ZipfKeys(KeyDistribution):
+    """Zipf rank-frequency skew: index ``i`` drawn with weight ``1/(i+1)^skew``.
+
+    Index 0 is the hottest key.  ``skew`` around 1.0--1.2 matches measured
+    web/cache traces; larger values concentrate traffic further.
+    """
+
+    def __init__(self, skew: float = 1.1) -> None:
+        if skew <= 0:
+            raise WorkloadError(f"Zipf skew must be > 0, got {skew}")
+        self.skew = skew
+
+    def start(self, universe: int) -> Sampler:
+        _check_universe(universe)
+        return _ZipfSampler(universe, self.skew)
+
+    def spec(self) -> Dict[str, object]:
+        return {"distribution": "zipf", "skew": self.skew}
+
+
+class _HotspotSampler(Sampler):
+    __slots__ = ("_n", "_hot_n", "_hot_weight")
+
+    def __init__(self, n: int, hot_n: int, hot_weight: float) -> None:
+        self._n = n
+        self._hot_n = hot_n
+        self._hot_weight = hot_weight
+
+    def sample(self, rng: random.Random) -> int:
+        if rng.random() < self._hot_weight or self._hot_n == self._n:
+            return rng.randrange(self._hot_n)
+        return rng.randrange(self._hot_n, self._n)
+
+
+class HotspotKeys(KeyDistribution):
+    """A fixed working set: ``hot_weight`` of probes land on the first
+    ``hot_fraction`` of the universe, the rest spread over the cold tail."""
+
+    def __init__(self, hot_fraction: float = 0.1, hot_weight: float = 0.9) -> None:
+        if not 0 < hot_fraction <= 1:
+            raise WorkloadError(f"hot_fraction must be in (0, 1], got {hot_fraction}")
+        if not 0 <= hot_weight <= 1:
+            raise WorkloadError(f"hot_weight must be in [0, 1], got {hot_weight}")
+        self.hot_fraction = hot_fraction
+        self.hot_weight = hot_weight
+
+    def start(self, universe: int) -> Sampler:
+        _check_universe(universe)
+        hot_n = max(1, int(universe * self.hot_fraction))
+        return _HotspotSampler(universe, hot_n, self.hot_weight)
+
+    def spec(self) -> Dict[str, object]:
+        return {
+            "distribution": "hotspot",
+            "hot_fraction": self.hot_fraction,
+            "hot_weight": self.hot_weight,
+        }
+
+
+class _DriftSampler(Sampler):
+    __slots__ = ("_n", "_width", "_period", "_start", "_count")
+
+    def __init__(self, n: int, width: int, period: int) -> None:
+        self._n = n
+        self._width = width
+        self._period = period
+        self._start = 0
+        self._count = 0
+
+    def sample(self, rng: random.Random) -> int:
+        if self._count >= self._period:
+            self._count = 0
+            self._start = (self._start + self._width) % self._n
+        self._count += 1
+        return (self._start + rng.randrange(self._width)) % self._n
+
+
+class DriftKeys(KeyDistribution):
+    """A sliding working set: probes hit a contiguous window covering
+    ``window`` of the universe, and every ``period`` samples the window
+    advances by its own width (wrapping), so the hot set changes over time."""
+
+    def __init__(self, window: float = 0.1, period: int = 1000) -> None:
+        if not 0 < window <= 1:
+            raise WorkloadError(f"drift window must be in (0, 1], got {window}")
+        if period < 1:
+            raise WorkloadError(f"drift period must be >= 1, got {period}")
+        self.window = window
+        self.period = period
+
+    def start(self, universe: int) -> Sampler:
+        _check_universe(universe)
+        width = max(1, int(universe * self.window))
+        return _DriftSampler(universe, width, self.period)
+
+    def spec(self) -> Dict[str, object]:
+        return {"distribution": "drift", "window": self.window, "period": self.period}

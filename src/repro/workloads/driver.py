@@ -1,0 +1,387 @@
+"""Workload drivers: closed-loop and open-loop execution with tail latency.
+
+Two driving modes, both consuming the deterministic operation streams of a
+bound :class:`~repro.workloads.spec.WorkloadSpec`:
+
+* :func:`run_closed_loop` -- N worker threads, each issuing its stream's
+  next operation as soon as the previous answer returns (plus optional
+  think time).  Load self-regulates to the service's capacity; the numbers
+  answer "how fast can this session serve this mix".
+* :func:`run_open_loop` -- an offered-load schedule ``[(qps, seconds),
+  ...]``: operations are dispatched at fixed arrival times onto a bounded
+  pool, and **latency is measured from the scheduled arrival**, not from
+  dispatch -- queueing delay counts, so coordinated omission cannot hide an
+  overloaded phase.  The achieved-vs-offered qps curve per phase answers
+  "where does this mix saturate".
+
+Both record p50/p95/p99/p999 latency (:class:`LatencyStats`), per-kind
+breakdowns, error counts by exception type (library errors are counted and
+survived; anything else propagates -- a crash is a bug, not a data point),
+and a before/after window over ``Dataset.stats()`` counters so latency can
+be correlated with cache hits, delta batches and rebuilds per run.
+
+Reads go through ``Dataset.query``; writes through ``Dataset.apply_changes``.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.errors import ReproError, WorkloadError
+from repro.workloads.spec import Operation, WorkloadSpec
+
+__all__ = ["LatencyStats", "WorkloadReport", "run_closed_loop", "run_open_loop"]
+
+#: Keys of ``Dataset.stats()`` that are gauges or labels, not counters --
+#: excluded from the before/after window diff.
+_NON_COUNTERS = {"scheme", "shards", "hit_rate", "dataset", "mutable"}
+
+
+def _percentile(sorted_samples: Sequence[float], q: float) -> float:
+    """Linear-interpolated quantile of an ascending sample list."""
+    if not sorted_samples:
+        return 0.0
+    position = q * (len(sorted_samples) - 1)
+    low = math.floor(position)
+    high = min(low + 1, len(sorted_samples) - 1)
+    fraction = position - low
+    return sorted_samples[low] * (1 - fraction) + sorted_samples[high] * fraction
+
+
+@dataclass(frozen=True)
+class LatencyStats:
+    """Latency distribution summary (seconds)."""
+
+    count: int
+    mean: float
+    p50: float
+    p95: float
+    p99: float
+    p999: float
+    max: float
+
+    @classmethod
+    def from_samples(cls, samples: Sequence[float]) -> "LatencyStats":
+        if not samples:
+            return cls(0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0)
+        ordered = sorted(samples)
+        return cls(
+            count=len(ordered),
+            mean=sum(ordered) / len(ordered),
+            p50=_percentile(ordered, 0.50),
+            p95=_percentile(ordered, 0.95),
+            p99=_percentile(ordered, 0.99),
+            p999=_percentile(ordered, 0.999),
+            max=ordered[-1],
+        )
+
+    def to_dict(self) -> Dict[str, float]:
+        """Microsecond-denominated plain dict for benchmark records."""
+        return {
+            "count": self.count,
+            "mean_us": self.mean * 1e6,
+            "p50_us": self.p50 * 1e6,
+            "p95_us": self.p95 * 1e6,
+            "p99_us": self.p99 * 1e6,
+            "p999_us": self.p999 * 1e6,
+            "max_us": self.max * 1e6,
+        }
+
+
+@dataclass(frozen=True)
+class WorkloadReport:
+    """The result of one driver run, JSON-serializable via :meth:`to_dict`."""
+
+    mode: str
+    operations: int
+    reads: int
+    writes: int
+    duration_seconds: float
+    achieved_qps: float
+    read_latency: LatencyStats
+    write_latency: LatencyStats
+    per_kind: Dict[str, LatencyStats]
+    errors: Dict[str, int]
+    stats_window: Dict[str, Any]
+    spec: Dict[str, Any]
+    phases: List[Dict[str, Any]] = field(default_factory=list)
+
+    def to_dict(self) -> Dict[str, Any]:
+        record: Dict[str, Any] = {
+            "mode": self.mode,
+            "operations": self.operations,
+            "reads": self.reads,
+            "writes": self.writes,
+            "duration_seconds": self.duration_seconds,
+            "achieved_qps": self.achieved_qps,
+            "read_latency": self.read_latency.to_dict(),
+            "per_kind": {k: v.to_dict() for k, v in self.per_kind.items()},
+            "errors": dict(self.errors),
+            "stats_window": self.stats_window,
+            "spec": self.spec,
+        }
+        if self.writes:
+            record["write_latency"] = self.write_latency.to_dict()
+        if self.phases:
+            record["phases"] = self.phases
+        return record
+
+
+def _stats_snapshot(dataset: Any) -> Dict[str, Any]:
+    stats = getattr(dataset, "stats", None)
+    return stats() if callable(stats) else {}
+
+
+def _window(before: Dict[str, Any], after: Dict[str, Any]) -> Dict[str, Any]:
+    """Numeric counter deltas between two ``Dataset.stats()`` snapshots."""
+    window: Dict[str, Any] = {}
+    for key, value in after.items():
+        if key in _NON_COUNTERS:
+            continue
+        prior = before.get(key)
+        if isinstance(value, dict) and isinstance(prior, dict):
+            window[key] = _window(prior, value)
+        elif (
+            isinstance(value, (int, float))
+            and not isinstance(value, bool)
+            and isinstance(prior, (int, float))
+        ):
+            delta = value - prior
+            window[key] = round(delta, 9) if isinstance(delta, float) else delta
+    return window
+
+
+def _execute(dataset: Any, op: Operation) -> None:
+    if op.changes is not None:
+        dataset.apply_changes(op.changes)
+    else:
+        dataset.query(op.kind, op.query)
+
+
+class _Recorder:
+    """Per-worker sample sink, merged single-threaded after the run."""
+
+    __slots__ = ("read_samples", "write_samples", "per_kind", "errors")
+
+    def __init__(self) -> None:
+        self.read_samples: List[float] = []
+        self.write_samples: List[float] = []
+        self.per_kind: Dict[str, List[float]] = {}
+        self.errors: Dict[str, int] = {}
+
+    def record(self, op: Operation, elapsed: float) -> None:
+        (self.write_samples if op.is_write else self.read_samples).append(elapsed)
+        self.per_kind.setdefault(op.kind, []).append(elapsed)
+
+    def error(self, exc: BaseException) -> None:
+        name = type(exc).__name__
+        self.errors[name] = self.errors.get(name, 0) + 1
+
+
+def _merge(
+    recorders: Sequence[_Recorder],
+) -> Tuple[List[float], List[float], Dict[str, List[float]], Dict[str, int]]:
+    reads: List[float] = []
+    writes: List[float] = []
+    per_kind: Dict[str, List[float]] = {}
+    errors: Dict[str, int] = {}
+    for recorder in recorders:
+        reads.extend(recorder.read_samples)
+        writes.extend(recorder.write_samples)
+        for kind, samples in recorder.per_kind.items():
+            per_kind.setdefault(kind, []).extend(samples)
+        for name, count in recorder.errors.items():
+            errors[name] = errors.get(name, 0) + count
+    return reads, writes, per_kind, errors
+
+
+def _split_quota(total: int, workers: int) -> List[int]:
+    base, extra = divmod(total, workers)
+    return [base + (1 if index < extra else 0) for index in range(workers)]
+
+
+def run_closed_loop(
+    dataset: Any,
+    spec: WorkloadSpec,
+    *,
+    threads: int = 4,
+    operations: int = 1000,
+    think_seconds: float = 0.0,
+    warmup: int = 0,
+) -> WorkloadReport:
+    """Drive ``operations`` total ops from ``threads`` closed-loop workers.
+
+    Each worker owns a deterministic stream (seeded from ``spec.seed`` and
+    its worker id) and issues its next operation as soon as the previous
+    one completes, sleeping ``think_seconds`` in between when given.
+    ``warmup`` extra operations per worker run before timing starts
+    (unrecorded), so first-touch structure builds do not pollute the tail.
+    """
+    if threads < 1:
+        raise WorkloadError(f"threads must be >= 1, got {threads}")
+    if operations < 1:
+        raise WorkloadError(f"operations must be >= 1, got {operations}")
+    bound = spec.bind(dataset)
+    quotas = _split_quota(operations, threads)
+    recorders = [_Recorder() for _ in range(threads)]
+    spans: List[Tuple[float, float]] = [(0.0, 0.0)] * threads
+    barrier = threading.Barrier(threads)
+    before = _stats_snapshot(dataset)
+
+    def worker(worker_id: int) -> None:
+        stream = bound.stream(worker_id)
+        recorder = recorders[worker_id]
+        for _ in range(warmup):
+            op = next(stream)
+            try:
+                _execute(dataset, op)
+            except ReproError:
+                pass
+        barrier.wait()
+        started = time.perf_counter()
+        for _ in range(quotas[worker_id]):
+            op = next(stream)
+            begin = time.perf_counter()
+            try:
+                _execute(dataset, op)
+            except ReproError as exc:
+                recorder.error(exc)
+            else:
+                recorder.record(op, time.perf_counter() - begin)
+            if think_seconds > 0:
+                time.sleep(think_seconds)
+        spans[worker_id] = (started, time.perf_counter())
+
+    workers = [
+        threading.Thread(target=worker, args=(index,), name=f"workload-{index}")
+        for index in range(threads)
+    ]
+    for thread in workers:
+        thread.start()
+    for thread in workers:
+        thread.join()
+
+    reads, writes, per_kind, errors = _merge(recorders)
+    duration = max(end for _, end in spans) - min(start for start, _ in spans)
+    completed = len(reads) + len(writes)
+    return WorkloadReport(
+        mode="closed",
+        operations=operations,
+        reads=len(reads),
+        writes=len(writes),
+        duration_seconds=duration,
+        achieved_qps=completed / duration if duration > 0 else 0.0,
+        read_latency=LatencyStats.from_samples(reads),
+        write_latency=LatencyStats.from_samples(writes),
+        per_kind={k: LatencyStats.from_samples(v) for k, v in sorted(per_kind.items())},
+        errors=errors,
+        stats_window=_window(before, _stats_snapshot(dataset)),
+        spec=dict(spec.provenance(), threads=threads, think_seconds=think_seconds),
+    )
+
+
+def run_open_loop(
+    dataset: Any,
+    spec: WorkloadSpec,
+    *,
+    schedule: Sequence[Tuple[float, float]],
+    concurrency: int = 4,
+) -> WorkloadReport:
+    """Drive an offered-load schedule of ``(offered_qps, seconds)`` phases.
+
+    A dispatcher thread releases one operation per arrival slot onto a
+    bounded executor; each operation's latency runs from its *scheduled*
+    arrival to completion, so time spent queueing behind a saturated pool
+    is charged to the operation (no coordinated omission).  Per phase the
+    report records offered vs. achieved qps -- the saturation curve.
+    """
+    phases = list(schedule)
+    if not phases:
+        raise WorkloadError("open-loop schedule is empty; give (qps, seconds) phases")
+    for offered_qps, seconds in phases:
+        if offered_qps <= 0 or seconds <= 0:
+            raise WorkloadError(
+                f"schedule phases need positive qps and seconds, got "
+                f"({offered_qps}, {seconds})"
+            )
+    if concurrency < 1:
+        raise WorkloadError(f"concurrency must be >= 1, got {concurrency}")
+    bound = spec.bind(dataset)
+    stream = bound.stream(0)
+    recorder = _Recorder()
+    per_kind: Dict[str, List[float]] = {}
+    before = _stats_snapshot(dataset)
+    phase_records: List[Dict[str, Any]] = []
+    all_reads: List[float] = []
+    all_writes: List[float] = []
+
+    def timed(op: Operation) -> float:
+        _execute(dataset, op)
+        return time.perf_counter()
+
+    pool = ThreadPoolExecutor(max_workers=concurrency, thread_name_prefix="workload")
+    try:
+        for offered_qps, seconds in phases:
+            count = max(1, int(offered_qps * seconds))
+            interval = 1.0 / offered_qps
+            pending: List[Tuple[Operation, float, Any]] = []
+            phase_started = time.perf_counter()
+            for slot in range(count):
+                scheduled = phase_started + slot * interval
+                now = time.perf_counter()
+                if scheduled > now:
+                    time.sleep(scheduled - now)
+                op = next(stream)
+                pending.append((op, scheduled, pool.submit(timed, op)))
+            phase_samples: List[float] = []
+            last_completion = phase_started
+            for op, scheduled, future in pending:
+                try:
+                    completed_at = future.result()
+                except ReproError as exc:
+                    recorder.error(exc)
+                    continue
+                last_completion = max(last_completion, completed_at)
+                elapsed = completed_at - scheduled
+                phase_samples.append(elapsed)
+                (all_writes if op.is_write else all_reads).append(elapsed)
+                per_kind.setdefault(op.kind, []).append(elapsed)
+            wall = last_completion - phase_started
+            phase_records.append(
+                {
+                    "offered_qps": offered_qps,
+                    "achieved_qps": len(phase_samples) / wall if wall > 0 else 0.0,
+                    "operations": count,
+                    "completed": len(phase_samples),
+                    "latency": LatencyStats.from_samples(phase_samples).to_dict(),
+                }
+            )
+    finally:
+        pool.shutdown(wait=True)
+
+    duration = sum(
+        record["completed"] / record["achieved_qps"]
+        for record in phase_records
+        if record["achieved_qps"] > 0
+    )
+    completed = len(all_reads) + len(all_writes)
+    return WorkloadReport(
+        mode="open",
+        operations=sum(record["operations"] for record in phase_records),
+        reads=len(all_reads),
+        writes=len(all_writes),
+        duration_seconds=duration,
+        achieved_qps=completed / duration if duration > 0 else 0.0,
+        read_latency=LatencyStats.from_samples(all_reads),
+        write_latency=LatencyStats.from_samples(all_writes),
+        per_kind={k: LatencyStats.from_samples(v) for k, v in sorted(per_kind.items())},
+        errors=recorder.errors,
+        stats_window=_window(before, _stats_snapshot(dataset)),
+        spec=dict(spec.provenance(), concurrency=concurrency),
+        phases=phase_records,
+    )

@@ -1,0 +1,215 @@
+"""Workload mix specification: kind weights, read/write ratio, key skew.
+
+A :class:`WorkloadSpec` is a declarative description of traffic -- which
+kinds, in what proportion, how skewed, how write-heavy -- that binds to an
+attached :class:`~repro.service.dataset.Dataset` session and yields
+deterministic per-worker operation streams:
+
+    spec = WorkloadSpec(mix={"list-membership": 1.0}, distribution=ZipfKeys(1.1))
+    bound = spec.bind(ds)
+    stream = bound.stream(worker_id=0)
+    op = next(stream)           # Operation(kind=..., query=...) or a write batch
+
+Reads map a distribution-drawn index through the kind's query template
+(:mod:`repro.workloads.templates`); writes are valid change batches routed
+through ``Dataset.apply_changes`` by the driver.  Determinism: every choice
+-- kind, key, hit-vs-miss, write payloads -- is drawn from a per-stream
+``random.Random`` seeded from ``(spec.seed, worker_id)``, so two runs of
+the same spec over the same dataset issue identical operation sequences
+per worker, independent of thread scheduling.
+"""
+
+from __future__ import annotations
+
+import random
+from bisect import bisect_left
+from dataclasses import dataclass, field
+from itertools import accumulate
+from typing import Any, Dict, Iterator, List, Mapping, Optional, Tuple
+
+from repro.core.errors import WorkloadError
+from repro.workloads.distributions import KeyDistribution, Sampler, UniformKeys
+from repro.workloads.templates import BoundTemplate, bind_template
+
+__all__ = ["WorkloadSpec", "BoundWorkload", "Operation"]
+
+
+@dataclass(frozen=True)
+class Operation:
+    """One generated unit of work: a read query or a write batch."""
+
+    kind: str
+    query: Any = None
+    changes: Optional[List[Any]] = None
+
+    @property
+    def is_write(self) -> bool:
+        return self.changes is not None
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """Declarative traffic shape, bindable to any served dataset session.
+
+    Parameters
+    ----------
+    mix:
+        ``kind -> weight`` for read traffic; weights are normalized, so
+        ``{"a": 3, "b": 1}`` reads kind ``a`` three times as often as ``b``.
+    write_ratio:
+        Fraction of operations that are change batches (``0.1`` = 90/10
+        read/write).  Requires a session attached ``mutable=True``.
+    distribution:
+        The :class:`~repro.workloads.distributions.KeyDistribution` queries
+        draw dataset elements from (default uniform).
+    hit_fraction:
+        Fraction of reads anchored on a live element (yes-leaning); the
+        rest probe outside the content (no-leaning).  This is the
+        selectivity knob.
+    seed:
+        Base seed; combined with each worker id for per-stream determinism.
+    writes_per_batch:
+        Changes per write operation (one ``apply_changes`` call each).
+    write_kinds:
+        Kinds whose write generators produce the change batches; defaults
+        to every kind in the mix with a write generator.
+    """
+
+    mix: Mapping[str, float]
+    write_ratio: float = 0.0
+    distribution: KeyDistribution = field(default_factory=UniformKeys)
+    hit_fraction: float = 0.5
+    seed: int = 0
+    writes_per_batch: int = 4
+    write_kinds: Optional[Tuple[str, ...]] = None
+
+    def __post_init__(self) -> None:
+        if not self.mix:
+            raise WorkloadError("workload mix is empty; give at least one kind")
+        for kind, weight in self.mix.items():
+            if not (isinstance(weight, (int, float)) and weight > 0):
+                raise WorkloadError(
+                    f"mix weight for kind {kind!r} must be > 0, got {weight!r}"
+                )
+        if not 0 <= self.write_ratio < 1:
+            raise WorkloadError(
+                f"write_ratio must be in [0, 1), got {self.write_ratio}"
+            )
+        if not 0 <= self.hit_fraction <= 1:
+            raise WorkloadError(
+                f"hit_fraction must be in [0, 1], got {self.hit_fraction}"
+            )
+        if self.writes_per_batch < 1:
+            raise WorkloadError(
+                f"writes_per_batch must be >= 1, got {self.writes_per_batch}"
+            )
+
+    def bind(self, dataset: Any) -> "BoundWorkload":
+        """Bind to an attached session; validates kinds and mutability."""
+        return BoundWorkload(self, dataset)
+
+    def provenance(self) -> Dict[str, Any]:
+        """A plain-dict description recorded with benchmark results."""
+        return {
+            "mix": dict(self.mix),
+            "write_ratio": self.write_ratio,
+            "hit_fraction": self.hit_fraction,
+            "seed": self.seed,
+            "writes_per_batch": self.writes_per_batch,
+            **self.distribution.spec(),
+        }
+
+
+class _Stream:
+    """One worker's deterministic operation sequence."""
+
+    def __init__(self, bound: "BoundWorkload", worker_id: int) -> None:
+        spec = bound.spec
+        # Mix the worker id into the seed with distinct odd multipliers so
+        # streams are decorrelated but reproducible.
+        self._rng = random.Random(spec.seed * 1_000_003 + worker_id * 7_919 + 1)
+        self._spec = spec
+        self._kinds = bound.kinds
+        self._cumulative = bound.cumulative_weights
+        self._total = self._cumulative[-1]
+        self._templates = bound.templates
+        # Private samplers: drift state never crosses worker streams.
+        self._samplers: Dict[str, Sampler] = {
+            kind: spec.distribution.start(template.universe)
+            for kind, template in bound.templates.items()
+        }
+        self._write_kinds = bound.write_kinds
+
+    def __iter__(self) -> Iterator[Operation]:
+        return self
+
+    def __next__(self) -> Operation:
+        rng = self._rng
+        spec = self._spec
+        if self._write_kinds and rng.random() < spec.write_ratio:
+            kind = self._write_kinds[rng.randrange(len(self._write_kinds))]
+            changes = self._templates[kind].write(rng, spec.writes_per_batch)
+            return Operation(kind, changes=changes)
+        kind = self._kinds[
+            bisect_left(self._cumulative, rng.random() * self._total)
+        ]
+        template = self._templates[kind]
+        index = self._samplers[kind].sample(rng)
+        hit = rng.random() < spec.hit_fraction
+        return Operation(kind, query=template.query(index, hit, rng))
+
+
+class BoundWorkload:
+    """A spec resolved against one dataset session's snapshot.
+
+    Validation happens here, before any driver thread starts: every mix
+    kind must be served by the session and have a query template, and a
+    nonzero write ratio requires a mutable session plus at least one kind
+    with a write generator.
+    """
+
+    def __init__(self, spec: WorkloadSpec, dataset: Any) -> None:
+        self.spec = spec
+        self.dataset = dataset
+        served = set(dataset.kinds)
+        missing = sorted(set(spec.mix) - served)
+        if missing:
+            raise WorkloadError(
+                f"mix kinds {missing} are not served by dataset "
+                f"{dataset.name!r}; served kinds: {sorted(served)}"
+            )
+        snapshot = dataset.dataset()
+        self.templates: Dict[str, BoundTemplate] = {
+            kind: bind_template(kind, snapshot) for kind in spec.mix
+        }
+        self.kinds: List[str] = sorted(spec.mix)
+        self.cumulative_weights: List[float] = list(
+            accumulate(float(spec.mix[kind]) for kind in self.kinds)
+        )
+        if spec.write_ratio > 0:
+            if not dataset.mutable:
+                raise WorkloadError(
+                    f"write_ratio={spec.write_ratio} needs a mutable session; "
+                    f"attach {dataset.name!r} with mutable=True"
+                )
+            candidates = spec.write_kinds or tuple(
+                kind for kind in self.kinds if self.templates[kind].writable
+            )
+            for kind in candidates:
+                if kind not in self.templates:
+                    raise WorkloadError(
+                        f"write kind {kind!r} is not in the mix {self.kinds}"
+                    )
+                if not self.templates[kind].writable:
+                    raise WorkloadError(f"kind {kind!r} has no write generator")
+            if not candidates:
+                raise WorkloadError(
+                    "write_ratio > 0 but no mix kind has a write generator"
+                )
+            self.write_kinds: Tuple[str, ...] = tuple(candidates)
+        else:
+            self.write_kinds = ()
+
+    def stream(self, worker_id: int = 0) -> _Stream:
+        """A fresh deterministic operation stream for one worker."""
+        return _Stream(self, worker_id)

@@ -1,0 +1,247 @@
+"""Per-kind query templates: dataset-aware generators with controlled hits.
+
+A template turns a distribution-drawn *index* into a concrete, answerable
+query for one serving kind, and (for mutable sessions) produces valid
+change batches for that kind's dataset shape.  Binding a template to a
+dataset snapshot fixes the element universe the key distribution samples
+over, which is what makes selectivity controllable: ``hit=True`` anchors
+the query on the drawn element (a guaranteed or near-guaranteed yes
+instance), ``hit=False`` probes outside the live content.
+
+Templates never import the serving layer; they duck-type the dataset
+shapes (int tuples, :class:`~repro.storage.relation.Relation` rows,
+:class:`~repro.graphs.graph.Digraph` adjacency), so the workloads package
+stays import-cycle-free under ``repro.service``'s re-exports.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.core.errors import WorkloadError
+from repro.incremental.changes import ChangeKind, EdgeChange, PointWrite, TupleChange
+
+__all__ = ["BoundTemplate", "bind_template", "template_kinds"]
+
+#: Longest RMQ window a template generates: keeps hit-query generation
+#: (a leftmost-argmin scan over the window) O(1) amortized per query.
+_RMQ_MAX_WINDOW = 64
+
+
+class BoundTemplate:
+    """One kind's generators bound to a dataset snapshot.
+
+    ``universe`` is the element-index space key distributions sample over;
+    ``query(index, hit, rng)`` maps a drawn index to a concrete query;
+    ``write(rng)`` returns one valid change batch, or raises
+    :class:`~repro.core.errors.WorkloadError` when the kind's shape has no
+    write generator.
+    """
+
+    def __init__(
+        self,
+        kind: str,
+        universe: int,
+        query: Callable[[int, bool, random.Random], Any],
+        write: Optional[Callable[[random.Random, int], List[Any]]] = None,
+    ) -> None:
+        if universe < 1:
+            raise WorkloadError(f"kind {kind!r}: dataset is empty, nothing to probe")
+        self.kind = kind
+        self.universe = universe
+        self.query = query
+        self._write = write
+
+    @property
+    def writable(self) -> bool:
+        return self._write is not None
+
+    def write(self, rng: random.Random, changes: int = 1) -> List[Any]:
+        if self._write is None:
+            raise WorkloadError(f"kind {self.kind!r} has no write generator")
+        return self._write(rng, changes)
+
+
+def _bind_membership(data: Any) -> BoundTemplate:
+    values = tuple(data)
+    n = len(values)
+    domain = 4 * max(n, 1)
+
+    def query(index: int, hit: bool, rng: random.Random) -> int:
+        if hit:
+            return values[index]
+        # Live values (and write inserts) stay in [0, domain]; probing past
+        # it is a guaranteed miss.
+        return domain + 1 + rng.randrange(domain + 1)
+
+    def write(rng: random.Random, changes: int) -> List[Any]:
+        batch: List[Any] = []
+        for _ in range(changes):
+            value = rng.randint(0, domain)
+            kind = ChangeKind.INSERT if rng.random() < 0.5 else ChangeKind.DELETE
+            batch.append(TupleChange(kind, (value,)))
+        return batch
+
+    return BoundTemplate("list-membership", n, query, write)
+
+
+def _bind_rmq(data: Any) -> BoundTemplate:
+    values = tuple(data)
+    n = len(values)
+
+    def query(index: int, hit: bool, rng: random.Random) -> Any:
+        i = index
+        j = min(n - 1, i + rng.randrange(_RMQ_MAX_WINDOW))
+        window = values[i : j + 1]
+        argmin = i + min(range(len(window)), key=window.__getitem__)
+        if hit or j == i:
+            return (i, j, argmin)
+        # Any position in the window except the leftmost argmin: a
+        # guaranteed no-instance.
+        position = i + rng.randrange(j - i)
+        if position >= argmin:
+            position += 1
+        return (i, j, position)
+
+    def write(rng: random.Random, changes: int) -> List[Any]:
+        return [
+            PointWrite(rng.randrange(n), rng.randint(-n, n)) for _ in range(changes)
+        ]
+
+    return BoundTemplate("minimum-range-query", n, query, write)
+
+
+def _relation_writer(rows: List[Any], domain: int) -> Callable[[random.Random, int], List[Any]]:
+    arity = len(rows[0])
+
+    def write(rng: random.Random, changes: int) -> List[Any]:
+        batch: List[Any] = []
+        for _ in range(changes):
+            row = tuple(rng.randint(0, domain) for _ in range(arity))
+            kind = ChangeKind.INSERT if rng.random() < 0.5 else ChangeKind.DELETE
+            batch.append(TupleChange(kind, row))
+        return batch
+
+    return write
+
+
+def _bind_point_selection(data: Any) -> BoundTemplate:
+    rows = list(data.rows())
+    if not rows:
+        raise WorkloadError("point-selection: relation is empty, nothing to probe")
+    attributes = data.schema.attribute_names()
+    positions = {a: data.schema.position_of(a) for a in attributes}
+    domain = 4 * max(len(rows), 1)
+
+    def query(index: int, hit: bool, rng: random.Random) -> Any:
+        attribute = attributes[rng.randrange(len(attributes))]
+        if hit:
+            return (attribute, rows[index % len(rows)][positions[attribute]])
+        # Column domains are non-negative; a negative constant never hits.
+        return (attribute, -1 - rng.randrange(domain))
+
+    return BoundTemplate(
+        "point-selection", len(rows), query, _relation_writer(rows, domain)
+    )
+
+
+def _bind_range_selection(data: Any) -> BoundTemplate:
+    rows = list(data.rows())
+    if not rows:
+        raise WorkloadError("range-selection: relation is empty, nothing to probe")
+    attributes = data.schema.attribute_names()
+    positions = {a: data.schema.position_of(a) for a in attributes}
+    domain = 4 * max(len(rows), 1)
+
+    def query(index: int, hit: bool, rng: random.Random) -> Any:
+        attribute = attributes[rng.randrange(len(attributes))]
+        if hit:
+            anchor = rows[index % len(rows)][positions[attribute]]
+            width = rng.randrange(4)
+            return (attribute, anchor - width, anchor + width)
+        low = -1 - rng.randrange(domain)
+        return (attribute, low - rng.randrange(4), low)
+
+    return BoundTemplate(
+        "range-selection", len(rows), query, _relation_writer(rows, domain)
+    )
+
+
+def _bind_topk(data: Any) -> BoundTemplate:
+    rows = list(data)
+    if not rows:
+        raise WorkloadError("topk-threshold: score table is empty, nothing to probe")
+    arity = len(rows[0])
+    # Score columns stay bounded (generator caps at ~1200 per attribute, and
+    # write inserts stay in [0, 1000]), so this threshold can never be met.
+    unreachable = 2000
+
+    def query(index: int, hit: bool, rng: random.Random) -> Any:
+        weights = tuple(rng.randint(1, 3) for _ in range(arity))
+        if hit:
+            anchor = rows[index % len(rows)]
+            score = sum(w * v for w, v in zip(weights, anchor))
+            # k=1 with theta at the anchor's own score: the best row scores
+            # at least this much, so the answer is a guaranteed yes.
+            return (weights, 1, score)
+        return (weights, 1, sum(weights) * unreachable + 1)
+
+    def write(rng: random.Random, changes: int) -> List[Any]:
+        batch: List[Any] = []
+        for _ in range(changes):
+            row = tuple(rng.randint(0, 1000) for _ in range(arity))
+            kind = ChangeKind.INSERT if rng.random() < 0.5 else ChangeKind.DELETE
+            batch.append(TupleChange(kind, row))
+        return batch
+
+    return BoundTemplate("topk-threshold", len(rows), query, write)
+
+
+def _bind_reachability(data: Any) -> BoundTemplate:
+    n = data.n
+
+    def query(index: int, hit: bool, rng: random.Random) -> Any:
+        source = index
+        if hit:
+            neighbors = data.out_neighbors(source)
+            # An out-neighbor is reachable by definition; a vertex always
+            # reaches itself, so sources without edges stay yes-instances.
+            target = neighbors[rng.randrange(len(neighbors))] if neighbors else source
+            return (source, target)
+        return (source, rng.randrange(n))
+
+    def write(rng: random.Random, changes: int) -> List[Any]:
+        # Closure maintenance is insert-only (Section 4(7)).
+        return [
+            EdgeChange(ChangeKind.INSERT, rng.randrange(n), rng.randrange(n))
+            for _ in range(changes)
+        ]
+
+    return BoundTemplate("reachability", n, query, write)
+
+
+_TEMPLATES: Dict[str, Callable[[Any], BoundTemplate]] = {
+    "list-membership": _bind_membership,
+    "minimum-range-query": _bind_rmq,
+    "point-selection": _bind_point_selection,
+    "range-selection": _bind_range_selection,
+    "topk-threshold": _bind_topk,
+    "reachability": _bind_reachability,
+}
+
+
+def template_kinds() -> List[str]:
+    """Sorted kinds with a registered query template."""
+    return sorted(_TEMPLATES)
+
+
+def bind_template(kind: str, data: Any) -> BoundTemplate:
+    """The template for ``kind`` bound to one dataset snapshot."""
+    binder = _TEMPLATES.get(kind)
+    if binder is None:
+        raise WorkloadError(
+            f"no query template for kind {kind!r}; templated kinds: "
+            f"{template_kinds()}"
+        )
+    return binder(data)

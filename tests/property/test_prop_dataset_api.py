@@ -12,11 +12,18 @@ build or a spurious cache split.
 
 from __future__ import annotations
 
+import pytest
+
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
 from repro.catalog import build_query_engine
 from repro.service.engine import QueryRequest
+
+# The raw-payload QueryRequest form used throughout this module is
+# deprecated (named sessions are the supported surface); its behavior
+# is pinned here on purpose, so silence the migration warning.
+pytestmark = pytest.mark.filterwarnings("ignore::DeprecationWarning")
 
 #: The five servable kinds with a ShardSpec (point/range selection, list
 #: membership, minimum range query, top-k) -- the same set the engine

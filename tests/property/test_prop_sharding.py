@@ -10,11 +10,18 @@ performance knob.
 
 from __future__ import annotations
 
+import pytest
+
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
 from repro.catalog import build_query_engine
 from repro.service.engine import QueryRequest
+
+# The raw-payload QueryRequest form used throughout this module is
+# deprecated (named sessions are the supported surface); its behavior
+# is pinned here on purpose, so silence the migration warning.
+pytestmark = pytest.mark.filterwarnings("ignore::DeprecationWarning")
 
 #: One monolithic reference engine, and one engine per sharded K.  Engines
 #: are append-only caches, so sharing them across hypothesis examples is

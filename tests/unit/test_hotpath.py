@@ -26,6 +26,11 @@ from repro.queries import (
 )
 from repro.service.engine import QueryEngine, QueryRequest
 
+# The raw-payload QueryRequest form used throughout this module is
+# deprecated (named sessions are the supported surface); its behavior
+# is pinned here on purpose, so silence the migration warning.
+pytestmark = pytest.mark.filterwarnings("ignore::DeprecationWarning")
+
 
 def _flat_engine(**kwargs) -> QueryEngine:
     engine = QueryEngine(**kwargs)
@@ -160,9 +165,9 @@ def test_serve_seconds_excludes_first_touch_build_time():
     with _flat_engine() as engine:
         ds = engine.attach("events", tuple(range(4096)), kinds=["membership"], shards=4)
         assert ds.query("membership", 17) is True  # builds its routed shard
-        stats = engine.stats().per_kind["membership"]
-        assert stats.shard_build_seconds > 0
-        assert stats.serve_seconds < stats.shard_build_seconds
+        stats = ds.stats()["kinds"]["membership"]
+        assert stats["shard_build_seconds"] > 0
+        assert stats["serve_seconds"] < stats["shard_build_seconds"]
 
 
 def test_invalidate_spares_plans_of_attached_equal_content_sessions():
@@ -302,11 +307,11 @@ def test_stats_fold_across_threads_and_reset():
             thread.start()
         for thread in threads:
             thread.join()
-        stats = engine.stats().per_kind["membership"]
-        assert stats.queries == 100
-        assert stats.serve_seconds > 0
+        stats = ds.stats()["kinds"]["membership"]
+        assert stats["queries"] == 100
+        assert stats["serve_seconds"] > 0
         engine.reset_stats()
-        after = engine.stats().per_kind["membership"]
-        assert after.queries == 0 and after.serve_seconds == 0.0
+        after = ds.stats()["kinds"]["membership"]
+        assert after["queries"] == 0 and after["serve_seconds"] == 0.0
         ds.query("membership", 1)
-        assert engine.stats().per_kind["membership"].queries == 1
+        assert ds.stats()["kinds"]["membership"]["queries"] == 1

@@ -8,6 +8,8 @@ per artifact even when many threads miss at once.
 
 from __future__ import annotations
 
+import warnings
+
 import pytest
 
 from repro.catalog import build_query_engine
@@ -35,6 +37,19 @@ MIXED_KINDS = (
 )
 
 
+def _legacy_request(kind, data, query):
+    """A payload-style ``QueryRequest`` with its deprecation silenced.
+
+    The raw-payload form stays supported (these tests pin its behavior)
+    but now warns; suppressing here keeps the suite green under
+    ``-W error::DeprecationWarning``.  The warning itself is asserted
+    once, in ``test_payload_requests_warn_deprecation``.
+    """
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", DeprecationWarning)
+        return QueryRequest(kind, data, query)
+
+
 def _mixed_batch(engine, *, size=128, seed=11, per_kind=6):
     """Requests across all kinds plus the naive ground-truth answers."""
     requests, expected = [], []
@@ -42,7 +57,7 @@ def _mixed_batch(engine, *, size=128, seed=11, per_kind=6):
         query_class, _ = engine.registration(kind)
         data, queries = query_class.sample_workload(size, seed, per_kind)
         for query in queries:
-            requests.append(QueryRequest(kind, data, query))
+            requests.append(_legacy_request(kind, data, query))
             expected.append(query_class.pair_in_language(data, query))
     return requests, expected
 
@@ -159,10 +174,42 @@ def test_scheme_artifact_version_changes_artifact_identity():
 # -- query engine ------------------------------------------------------------
 
 
+def test_curated_surface_exports_resolve():
+    """Every name in the curated ``repro.service.__all__`` resolves --
+    including the lazily re-exported catalog factory -- and unknown
+    attributes still raise AttributeError."""
+    import repro.service as service
+
+    for name in service.__all__:
+        assert getattr(service, name) is not None, name
+    from repro.catalog import build_query_engine as factory
+
+    assert service.build_query_engine is factory
+    assert issubclass(service.WorkloadError, service.ReproError)
+    with pytest.raises(AttributeError, match="no attribute"):
+        service.definitely_not_exported
+
+
+def test_payload_requests_warn_deprecation():
+    """Raw-payload requests emit the migration warning; named sessions and
+    query-only requests stay warning-clean."""
+    with pytest.warns(DeprecationWarning, match="attach the dataset once"):
+        request = QueryRequest("list-membership", (3, 1, 4), 3)
+    with build_query_engine() as engine:
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            # Named-session addressing: the supported, warning-free form.
+            engine.attach("digits", (3, 1, 4), kinds=["list-membership"])
+            named = QueryRequest("list-membership", dataset="digits", query=3)
+            assert engine.execute(named) is True
+        # Deprecated does not mean broken: behavior is unchanged.
+        assert engine.execute(request) is True
+
+
 def test_unknown_kind_raises_service_error():
     engine = QueryEngine()
     with pytest.raises(ServiceError, match="no scheme registered"):
-        engine.execute(QueryRequest("nope", (1, 2), 1))
+        engine.execute(_legacy_request("nope", (1, 2), 1))
     with pytest.raises(ServiceError, match="already registered"):
         engine.register("m", membership_class(), sorted_run_scheme())
         engine.register("m", membership_class(), sorted_run_scheme())
@@ -212,8 +259,8 @@ def test_engine_recovers_from_corrupt_artifact(tmp_path):
 
     with QueryEngine(store=store) as engine:
         engine.register("membership", membership_class(), sorted_run_scheme())
-        assert engine.execute(QueryRequest("membership", data, 63)) is True
-        assert engine.execute(QueryRequest("membership", data, 64)) is False
+        assert engine.execute(_legacy_request("membership", data, 63)) is True
+        assert engine.execute(_legacy_request("membership", data, 64)) is False
         stats = engine.stats().per_kind["membership"]
         assert stats.builds == 1  # corrupt artifact dropped, rebuilt, re-persisted
         assert store.get(key) is not None  # healthy artifact re-written
@@ -236,8 +283,8 @@ def test_non_serializable_scheme_is_memory_cached_only(tmp_path):
     with QueryEngine(store=store) as engine:
         engine.register("opaque", membership_class(), scheme)
         data = (1, 2, 3)
-        assert engine.execute(QueryRequest("opaque", data, 2)) is True
-        assert engine.execute(QueryRequest("opaque", data, 9)) is False
+        assert engine.execute(_legacy_request("opaque", data, 2)) is True
+        assert engine.execute(_legacy_request("opaque", data, 9)) is False
         assert len(builds) == 1  # memory cache reused; nothing hit the disk
         assert list(store.keys()) == []
 
@@ -247,7 +294,7 @@ def test_engine_closed_rejects_work():
     engine.register("membership", membership_class(), sorted_run_scheme())
     engine.close()
     with pytest.raises(ServiceError, match="closed"):
-        engine.execute(QueryRequest("membership", (1,), 1))
+        engine.execute(_legacy_request("membership", (1,), 1))
 
 
 def test_fingerprint_memo_is_content_based():
@@ -263,10 +310,10 @@ def test_invalidate_after_in_place_mutation():
     engine = QueryEngine()
     engine.register("membership", membership_class(), sorted_run_scheme())
     data = [1, 2, 3]
-    assert engine.execute(QueryRequest("membership", data, 4)) is False
+    assert engine.execute(_legacy_request("membership", data, 4)) is False
     data.append(4)
     engine.invalidate(data)  # the documented contract for in-place mutation
-    assert engine.execute(QueryRequest("membership", data, 4)) is True
+    assert engine.execute(_legacy_request("membership", data, 4)) is True
     engine.invalidate(object())  # unknown objects are a no-op
     assert engine.stats().per_kind["membership"].builds == 2
 
@@ -275,8 +322,8 @@ def test_cache_stats_count_one_miss_per_cold_resolve(tmp_path):
     with QueryEngine(store=ArtifactStore(tmp_path)) as engine:
         engine.register("membership", membership_class(), sorted_run_scheme())
         data = (1, 2, 3)
-        engine.execute(QueryRequest("membership", data, 1))  # cold: one miss
-        engine.execute(QueryRequest("membership", data, 2))  # warm: one hit
+        engine.execute(_legacy_request("membership", data, 1))  # cold: one miss
+        engine.execute(_legacy_request("membership", data, 2))  # warm: one hit
         cache = engine.stats().cache
         assert (cache.hits, cache.misses) == (1, 1)
         assert cache.hit_rate == pytest.approx(0.5)
@@ -285,7 +332,7 @@ def test_cache_stats_count_one_miss_per_cold_resolve(tmp_path):
 def test_stats_reset_keeps_registrations():
     engine = QueryEngine()
     engine.register("membership", membership_class(), sorted_run_scheme())
-    engine.execute(QueryRequest("membership", (5, 6), 5))
+    engine.execute(_legacy_request("membership", (5, 6), 5))
     assert engine.stats().per_kind["membership"].queries == 1
     engine.reset_stats()
     stats = engine.stats().per_kind["membership"]
@@ -297,7 +344,7 @@ def test_build_time_and_serve_time_are_separated(tmp_path):
         engine.register("membership", membership_class(), sorted_run_scheme())
         data = tuple(range(4096))
         for element in (0, 17, 4096, 5000):
-            engine.execute(QueryRequest("membership", data, element))
+            engine.execute(_legacy_request("membership", data, element))
         stats = engine.stats().per_kind["membership"]
         assert stats.builds == 1
         assert stats.queries == 4

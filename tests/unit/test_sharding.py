@@ -31,6 +31,11 @@ from repro.service.merge import (
 )
 from repro.service.sharding import plan_diff, touched_shards
 
+# The raw-payload QueryRequest form used throughout this module is
+# deprecated (named sessions are the supported surface); its behavior
+# is pinned here on purpose, so silence the migration warning.
+pytestmark = pytest.mark.filterwarnings("ignore::DeprecationWarning")
+
 SHARDABLE_KINDS = (
     "point-selection",
     "range-selection",

@@ -1,0 +1,295 @@
+"""Unit tests for the workload harness (ISSUE 6): distributions, specs,
+templates, drivers, and the ``Dataset.stats()`` counter surface.
+
+The load-bearing guarantees:
+
+* distributions produce the skew they claim (Zipf rank frequencies,
+  hotspot working-set coverage, drift window movement);
+* a spec binds with hard validation errors, and a bound driver run is
+  deterministic under a fixed seed -- same spec, same dataset, same
+  per-worker operation sequences, independent of thread scheduling;
+* writes are routed through ``Dataset.apply_changes`` and show up in the
+  session version and the report's counter window;
+* ``Dataset.stats()`` / ``stats_snapshot()`` are plain JSON-serializable
+  dicts (the supported read surface -- no reaching into engine internals).
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from collections import Counter
+
+import pytest
+
+from repro.catalog import build_query_engine
+from repro.core.errors import WorkloadError
+from repro.workloads import (
+    DriftKeys,
+    HotspotKeys,
+    UniformKeys,
+    WorkloadSpec,
+    ZipfKeys,
+    run_closed_loop,
+    run_open_loop,
+)
+
+SEED = 20130826
+
+
+# -- distributions -----------------------------------------------------------
+
+
+def _draw(sampler, count, seed=SEED):
+    rng = random.Random(seed)
+    return [sampler.sample(rng) for _ in range(count)]
+
+
+def test_zipf_rank_frequencies_match_skew():
+    """Empirical head frequencies track the 1/rank^skew law within
+    tolerance, and the ranks come out in popularity order."""
+    universe, skew, draws = 512, 1.1, 40_000
+    counts = Counter(_draw(ZipfKeys(skew).start(universe), draws))
+    total_weight = sum(1.0 / (rank**skew) for rank in range(1, universe + 1))
+    for rank in range(5):
+        expected = (1.0 / ((rank + 1) ** skew)) / total_weight
+        observed = counts[rank] / draws
+        assert abs(observed - expected) < 0.2 * expected, (rank, observed, expected)
+    head = [counts[rank] for rank in range(5)]
+    assert head == sorted(head, reverse=True)
+
+
+def test_zipf_skew_concentrates_the_head():
+    universe, draws = 512, 20_000
+    mild = Counter(_draw(ZipfKeys(0.8).start(universe), draws))
+    steep = Counter(_draw(ZipfKeys(1.6).start(universe), draws))
+    head = range(universe // 50)
+    assert sum(steep[i] for i in head) > sum(mild[i] for i in head)
+
+
+def test_hotspot_working_set_coverage():
+    universe = 1000
+    sampler = HotspotKeys(hot_fraction=0.1, hot_weight=0.9).start(universe)
+    samples = _draw(sampler, 20_000)
+    hot = sum(1 for index in samples if index < 100) / len(samples)
+    assert abs(hot - 0.9) < 0.02
+    assert any(index >= 100 for index in samples)  # the cold tail is reachable
+
+
+def test_drift_window_slides_across_the_universe():
+    universe, period = 1000, 50
+    sampler = DriftKeys(window=0.1, period=period).start(universe)
+    first = set(_draw(sampler, period, seed=1))
+    second = set(_draw(sampler, period, seed=2))
+    assert max(first) < 100  # initial window [0, 100)
+    assert min(second) >= 100 and max(second) < 200  # advanced by its width
+    assert not first & second
+
+
+def test_uniform_covers_the_universe():
+    samples = _draw(UniformKeys().start(8), 2_000)
+    assert set(samples) == set(range(8))
+
+
+def test_distribution_parameter_validation():
+    with pytest.raises(WorkloadError):
+        ZipfKeys(0.0)
+    with pytest.raises(WorkloadError):
+        HotspotKeys(hot_fraction=0.0)
+    with pytest.raises(WorkloadError):
+        HotspotKeys(hot_weight=1.5)
+    with pytest.raises(WorkloadError):
+        DriftKeys(window=0.0)
+    with pytest.raises(WorkloadError):
+        DriftKeys(period=0)
+    with pytest.raises(WorkloadError):
+        UniformKeys().start(0)
+
+
+# -- spec validation ---------------------------------------------------------
+
+
+def test_spec_rejects_malformed_mixes():
+    with pytest.raises(WorkloadError, match="mix is empty"):
+        WorkloadSpec(mix={})
+    with pytest.raises(WorkloadError, match="must be > 0"):
+        WorkloadSpec(mix={"list-membership": 0})
+    with pytest.raises(WorkloadError, match="write_ratio"):
+        WorkloadSpec(mix={"list-membership": 1.0}, write_ratio=1.0)
+    with pytest.raises(WorkloadError, match="hit_fraction"):
+        WorkloadSpec(mix={"list-membership": 1.0}, hit_fraction=2.0)
+    with pytest.raises(WorkloadError, match="writes_per_batch"):
+        WorkloadSpec(mix={"list-membership": 1.0}, writes_per_batch=0)
+
+
+def test_bind_rejects_unserved_kinds_and_immutable_writes():
+    with build_query_engine() as engine:
+        ds = engine.attach("events", (1, 2, 3), kinds=["list-membership"])
+        with pytest.raises(WorkloadError, match="not served"):
+            WorkloadSpec(mix={"reachability": 1.0}).bind(ds)
+        with pytest.raises(WorkloadError, match="mutable"):
+            WorkloadSpec(mix={"list-membership": 1.0}, write_ratio=0.1).bind(ds)
+
+
+def test_spec_provenance_is_json_serializable():
+    spec = WorkloadSpec(
+        mix={"list-membership": 2.0},
+        write_ratio=0.1,
+        distribution=ZipfKeys(1.3),
+        seed=7,
+    )
+    provenance = json.loads(json.dumps(spec.provenance()))
+    assert provenance["distribution"] == "zipf"
+    assert provenance["skew"] == 1.3
+    assert provenance["write_ratio"] == 0.1
+
+
+# -- driver determinism and routing ------------------------------------------
+
+
+def test_streams_are_deterministic_under_fixed_seed():
+    """Two binds of the same spec over the same session yield identical
+    per-worker operation sequences; a different seed diverges."""
+    with build_query_engine() as engine:
+        ds = engine.attach(
+            "events", tuple(range(128)), kinds=["list-membership"], mutable=True
+        )
+        spec = WorkloadSpec(
+            mix={"list-membership": 1.0},
+            write_ratio=0.2,
+            distribution=ZipfKeys(1.1),
+            seed=SEED,
+        )
+        stream_a = spec.bind(ds).stream(3)
+        stream_b = spec.bind(ds).stream(3)
+        ops_a = [next(stream_a) for _ in range(200)]
+        ops_b = [next(stream_b) for _ in range(200)]
+        assert ops_a == ops_b
+        other = WorkloadSpec(
+            mix={"list-membership": 1.0},
+            write_ratio=0.2,
+            distribution=ZipfKeys(1.1),
+            seed=SEED + 1,
+        )
+        ops_c = [next(other.bind(ds).stream(3)) for _ in range(200)]
+        assert ops_a != ops_c
+        # Distinct workers are decorrelated, not copies of each other.
+        ops_w0 = [next(spec.bind(ds).stream(0)) for _ in range(200)]
+        assert ops_a != ops_w0
+
+
+def test_closed_loop_runs_are_deterministic_in_counts():
+    """Same spec, same seed: both runs issue the same reads/writes split and
+    per-kind operation counts (latency numbers vary, the traffic does not)."""
+
+    def run():
+        with build_query_engine() as engine:
+            ds = engine.attach(
+                "events", tuple(range(256)), kinds=["list-membership"], mutable=True
+            )
+            spec = WorkloadSpec(
+                mix={"list-membership": 1.0}, write_ratio=0.15, seed=SEED
+            )
+            report = run_closed_loop(ds, spec, threads=3, operations=300)
+            return (
+                report.reads,
+                report.writes,
+                {kind: stats.count for kind, stats in report.per_kind.items()},
+                ds.version,
+            )
+
+    assert run() == run()
+
+
+def test_closed_loop_routes_writes_through_apply_changes():
+    with build_query_engine() as engine:
+        ds = engine.attach(
+            "events", tuple(range(128)), kinds=["list-membership"], mutable=True
+        )
+        spec = WorkloadSpec(mix={"list-membership": 1.0}, write_ratio=0.25, seed=3)
+        report = run_closed_loop(ds, spec, threads=2, operations=200)
+        assert report.reads + report.writes == 200
+        assert report.writes > 0
+        assert report.errors == {}
+        # Applied batches bumped the session version; screened-to-noop
+        # batches may not, so the window version never exceeds the writes.
+        assert 0 < ds.version <= report.writes
+        assert report.stats_window["version"] == ds.version
+        window = report.stats_window["kinds"]["list-membership"]
+        assert window["delta_batches"] + window["fallback_rebuilds"] > 0
+
+
+def test_closed_loop_report_is_json_serializable():
+    with build_query_engine() as engine:
+        ds = engine.attach("events", tuple(range(64)), kinds=["list-membership"])
+        spec = WorkloadSpec(mix={"list-membership": 1.0}, seed=1)
+        report = run_closed_loop(ds, spec, threads=2, operations=64)
+        record = json.loads(json.dumps(report.to_dict()))
+        assert record["mode"] == "closed"
+        assert record["reads"] == 64
+        latency = record["read_latency"]
+        assert latency["p50_us"] <= latency["p95_us"] <= latency["p999_us"]
+        assert "write_latency" not in record  # read-only run
+
+
+def test_open_loop_records_offered_vs_achieved_phases():
+    with build_query_engine() as engine:
+        ds = engine.attach("events", tuple(range(64)), kinds=["list-membership"])
+        spec = WorkloadSpec(mix={"list-membership": 1.0}, seed=1)
+        report = run_open_loop(
+            ds, spec, schedule=[(200.0, 0.2), (400.0, 0.2)], concurrency=2
+        )
+        assert report.mode == "open"
+        assert len(report.phases) == 2
+        for phase in report.phases:
+            assert phase["completed"] == phase["operations"]
+            assert phase["achieved_qps"] > 0
+        assert report.errors == {}
+
+
+def test_open_loop_rejects_bad_schedules():
+    with build_query_engine() as engine:
+        ds = engine.attach("events", (1, 2), kinds=["list-membership"])
+        spec = WorkloadSpec(mix={"list-membership": 1.0})
+        with pytest.raises(WorkloadError, match="schedule is empty"):
+            run_open_loop(ds, spec, schedule=[])
+        with pytest.raises(WorkloadError, match="positive"):
+            run_open_loop(ds, spec, schedule=[(0.0, 1.0)])
+        with pytest.raises(WorkloadError, match="concurrency"):
+            run_open_loop(ds, spec, schedule=[(10.0, 0.1)], concurrency=0)
+        with pytest.raises(WorkloadError, match="threads"):
+            run_closed_loop(ds, spec, threads=0)
+        with pytest.raises(WorkloadError, match="operations"):
+            run_closed_loop(ds, spec, operations=0)
+
+
+# -- the stats surface -------------------------------------------------------
+
+
+def test_dataset_stats_is_the_sessions_slice():
+    with build_query_engine() as engine:
+        ds = engine.attach("events", tuple(range(32)), kinds=["list-membership"])
+        other = engine.attach(
+            "arrays", tuple(range(32)), kinds=["minimum-range-query"]
+        )
+        ds.query("list-membership", 5)
+        other.query("minimum-range-query", (0, 31, 0))
+        stats = ds.stats()
+        assert stats["dataset"] == "events"
+        assert stats["mutable"] is False and stats["version"] == 0
+        assert set(stats["kinds"]) == {"list-membership"}  # no other session's kinds
+        assert stats["kinds"]["list-membership"]["queries"] >= 1
+        assert json.loads(json.dumps(stats)) == stats
+
+
+def test_engine_stats_snapshot_shape():
+    with build_query_engine() as engine:
+        ds = engine.attach("events", tuple(range(32)), kinds=["list-membership"])
+        ds.query("list-membership", 5)
+        snapshot = engine.stats().stats_snapshot()
+        assert snapshot["total_queries"] == 1
+        assert "hit_rate" in snapshot["cache"]
+        membership = snapshot["per_kind"]["list-membership"]
+        assert membership["queries"] == 1
+        assert 0.0 <= membership["hit_rate"] <= 1.0
+        assert json.loads(json.dumps(snapshot)) == snapshot
