@@ -160,6 +160,82 @@ def test_read_write_mix_and_latch_cost(experiment_report, bench_json):
     )
 
 
+def test_degraded_mode_tail(experiment_report, bench_json):
+    """Tail latency with a fault plan armed: a sharded membership session
+    under a low-probability dead-shard storm (ISSUE 7).  Union kinds answer
+    partial instead of erroring, so the run completes with zero errors, a
+    nonzero ``degraded`` count, and a p99 comparable to the healthy control
+    -- degraded mode is a latency mode, not an outage."""
+    from repro.service.faults import scenario
+
+    spec = WorkloadSpec(
+        mix={"list-membership": 1.0},
+        distribution=ZipfKeys(1.1),
+        hit_fraction=0.5,
+        seed=SEED,
+    )
+    with build_query_engine(shards=4) as engine:
+        control_ds = _attach(engine, "healthy", kinds=["list-membership"])
+        control_ds.warm()
+        control = run_closed_loop(
+            control_ds, spec, threads=THREADS, operations=OPERATIONS, warmup=WARMUP
+        )
+        degraded_ds = _attach(engine, "degraded", kinds=["list-membership"])
+        degraded_ds.warm()
+        plan = scenario(
+            "dead-shard",
+            kind="list-membership",
+            times=None,
+            probability=0.02,
+            seed=SEED,
+        )
+        degraded = run_closed_loop(
+            degraded_ds,
+            spec,
+            threads=THREADS,
+            operations=OPERATIONS,
+            warmup=WARMUP,
+            fault_plan=plan,
+        )
+    for report in (control, degraded):
+        _assert_tail_shape(report)
+        assert report.errors == {}  # union kinds degrade, they never error
+    assert control.degraded == 0
+    assert degraded.degraded > 0  # the storm actually bit, and loudly
+    # Warmup probes fire faults too but are not recorded, so fired >= degraded.
+    assert plan.fired_count("shard.partial") >= degraded.degraded
+    health = degraded.stats_window["kinds"]["list-membership"]
+    assert health["degraded_answers"] >= degraded.degraded
+    bench_json(
+        "degraded_mode",
+        dict(
+            degraded.to_dict(),
+            size=SIZE,
+            p999_over_p50=degraded.read_latency.p999
+            / max(degraded.read_latency.p50, 1e-12),
+            control_read_latency=control.read_latency.to_dict(),
+            degraded_read_p99_cost_us=(
+                degraded.read_latency.p99 - control.read_latency.p99
+            )
+            * 1e6,
+            fault_plan={"scenario": "dead-shard", "probability": 0.02},
+        ),
+        path=JSON_PATH,
+    )
+    experiment_report(
+        f"case 15e: degraded-mode tail under 2% dead-shard storm "
+        f"(4 shards, n={SIZE:,})",
+        format_table(
+            ["mode", "qps", "p50us", "p95us", "p99us", "p999us", "errors"],
+            [
+                _tail_row("healthy (no plan)", control),
+                _tail_row("2% dead-shard storm", degraded),
+            ],
+        )
+        + [f"explicitly degraded answers: {degraded.degraded}"],
+    )
+
+
 def test_open_loop_offered_vs_achieved(experiment_report, bench_json):
     """Offered-load phases; the overloaded phase must show achieved < offered
     (latency from scheduled arrival -- queueing counts)."""

@@ -90,6 +90,29 @@ class WorkloadError(ReproError):
     ratio targets an immutable session, or the mix itself is malformed."""
 
 
+class InjectedFaultError(ReproError):
+    """Raised by an armed :class:`repro.service.faults.FaultPlan` at an
+    injection point whose mode is ``"raise"`` (a dead shard, a failing
+    delta apply).  Deliberately *outside* the ``ServiceError``/
+    ``ArtifactError`` branches: recovery code distinguishes injected
+    faults from genuine query errors (e.g. :class:`IndexError_`), which
+    must keep propagating unchanged."""
+
+
+class ShardFailedError(ServiceError):
+    """Raised when scatter-gather loses a shard and the kind's merge
+    family cannot tolerate a missing partial (monoid combine and k-way
+    merge need *every* shard; only union kinds may degrade to an
+    explicit partial answer)."""
+
+
+class WriteBehindError(ServiceError):
+    """Raised by ``flush()``/``close()`` when write-behind persistence
+    exhausted its retries: the in-memory structure is current, but the
+    on-disk artifact is stale.  Carries the terminal store failure as
+    ``__cause__``."""
+
+
 class DeltaError(ReproError):
     """Raised by a scheme's ``apply_delta`` hook when a change batch cannot
     be applied incrementally (unsupported change kind, out-of-range target,

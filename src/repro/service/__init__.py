@@ -63,12 +63,27 @@ from repro.core.errors import (
     ArtifactError,
     ArtifactVersionError,
     DeltaError,
+    InjectedFaultError,
     ReproError,
     ServiceError,
+    ShardFailedError,
     UnknownDatasetError,
     WorkloadError,
+    WriteBehindError,
 )
 from repro.service.artifacts import ArtifactKey, ArtifactStore
+from repro.service.faults import (
+    DegradedAnswer,
+    FaultClock,
+    FaultPlan,
+    FaultSpec,
+    RecoveryPolicy,
+    SCENARIOS,
+    active_plan,
+    clear_fault_plan,
+    install_fault_plan,
+    scenario,
+)
 from repro.service.cache import LRUArtifactCache
 from repro.service.dataset import Dataset
 from repro.service.engine import EngineStats, QueryEngine, QueryRequest, SchemeStats
@@ -143,6 +158,20 @@ __all__ = [
     "ArtifactVersionError",
     "DeltaError",
     "WorkloadError",
+    "InjectedFaultError",
+    "ShardFailedError",
+    "WriteBehindError",
+    # fault injection (the failure model; see docs/architecture.md)
+    "FaultSpec",
+    "FaultClock",
+    "FaultPlan",
+    "RecoveryPolicy",
+    "DegradedAnswer",
+    "SCENARIOS",
+    "scenario",
+    "install_fault_plan",
+    "clear_fault_plan",
+    "active_plan",
     # workload harness
     "KeyDistribution",
     "UniformKeys",

@@ -45,6 +45,7 @@ from pathlib import Path
 from typing import Dict, Iterator, Optional, Tuple, Union
 
 from repro.core.errors import ArtifactCorruptionError, ArtifactVersionError
+from repro.service import faults
 
 __all__ = ["ArtifactKey", "ArtifactStore", "MAGIC", "FORMAT_VERSION"]
 
@@ -105,6 +106,8 @@ class ArtifactStore:
 
     def put(self, key: ArtifactKey, payload: bytes) -> Path:
         """Persist ``payload`` under ``key`` atomically; returns the path."""
+        if faults._PLAN is not None:
+            faults.on_store_write(key)
         header = dict(key.as_header())
         header["payload_len"] = len(payload)
         header["payload_sha256"] = hashlib.sha256(payload).hexdigest()
@@ -146,6 +149,8 @@ class ArtifactStore:
             blob = path.read_bytes()
         except FileNotFoundError:
             return None
+        if faults._PLAN is not None:
+            blob = faults.on_store_read(key, blob)
         header, payload = self._parse(blob, path)
         for field_name, expected in key.as_header().items():
             if header.get(field_name) != expected:

@@ -25,6 +25,8 @@ from collections import OrderedDict
 from dataclasses import asdict, dataclass
 from typing import Any, Callable, Dict, Hashable, Optional
 
+from repro.service import faults
+
 __all__ = ["LRUArtifactCache", "CacheStats"]
 
 _MISS = object()
@@ -39,6 +41,8 @@ class CacheStats:
     evictions: int
     entries: int
     capacity: int
+    #: Eviction-listener callbacks that raised (and were contained).
+    listener_errors: int = 0
 
     @property
     def hit_rate(self) -> float:
@@ -64,6 +68,7 @@ class LRUArtifactCache:
         self._hits = 0
         self._misses = 0
         self._evictions = 0
+        self._listener_errors = 0
         self._eviction_listener: Optional[Callable[[Hashable], None]] = None
 
     def set_eviction_listener(self, listener: Optional[Callable[[Hashable], None]]) -> None:
@@ -75,9 +80,18 @@ class LRUArtifactCache:
         self._eviction_listener = listener
 
     def _notify(self, key: Hashable) -> None:
+        # Always called *outside* the cache lock, and never allowed to
+        # raise: a broken listener must not poison callers of put/
+        # invalidate/clear, nor abort notification of the remaining keys
+        # in a clear().  Failures are counted, not propagated.
         listener = self._eviction_listener
-        if listener is not None:
+        if listener is None:
+            return
+        try:
             listener(key)
+        except Exception:
+            with self._lock:
+                self._listener_errors += 1
 
     def get(self, key: Hashable, *, record: bool = True) -> Optional[Any]:
         """The cached structure, refreshed to most-recent, or None.
@@ -114,6 +128,8 @@ class LRUArtifactCache:
             self._entries[key] = value
         if evicted is not None:
             self._notify(evicted)
+        if faults._PLAN is not None:
+            faults.on_cache_put(self, key)
 
     def invalidate(self, key: Hashable) -> bool:
         """Drop ``key``; returns True when an entry was actually removed."""
@@ -130,6 +146,24 @@ class LRUArtifactCache:
             self._entries.clear()
         for key in dropped:
             self._notify(key)
+
+    def force_evict(self, count: int) -> int:
+        """Evict up to ``count`` least-recently-used entries immediately.
+
+        The fault-injection "eviction storm" primitive (also usable for
+        memory-pressure shedding): entries leave through the same listener
+        path as capacity evictions, so serve-plan watchers race exactly as
+        they would under real pressure.  Returns how many were evicted.
+        """
+        dropped = []
+        with self._lock:
+            while self._entries and len(dropped) < count:
+                key, _ = self._entries.popitem(last=False)
+                self._evictions += 1
+                dropped.append(key)
+        for key in dropped:
+            self._notify(key)
+        return len(dropped)
 
     def __len__(self) -> int:
         with self._lock:
@@ -148,4 +182,5 @@ class LRUArtifactCache:
                 evictions=self._evictions,
                 entries=len(self._entries),
                 capacity=self.capacity,
+                listener_errors=self._listener_errors,
             )

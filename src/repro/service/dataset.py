@@ -67,9 +67,15 @@ from typing import (
 )
 
 from repro.core.cost import CostTracker
-from repro.core.errors import DeltaError, ServiceError, UnknownDatasetError
+from repro.core.errors import (
+    DeltaError,
+    ServiceError,
+    UnknownDatasetError,
+    WriteBehindError,
+)
 from repro.core.query import PiScheme
 from repro.incremental.changes import ChangeLog
+from repro.service import faults
 from repro.service.artifacts import ArtifactKey
 from repro.service.mutable import MutableContent, SnapshotLatch, advance_lineage
 from repro.service.sharding import ShardPlan, gather_fast
@@ -250,7 +256,7 @@ class _ShardedServe:
         started = time.perf_counter()
         answer = gather_fast(
             self._registration, self._spec, self._plan, self._structures,
-            positions, effective,
+            positions, effective, engine=self._engine, kind=self._kind,
         )
         elapsed = time.perf_counter() - started
         self._engine._count_serve(
@@ -303,7 +309,7 @@ class _MutableServe:
             started = time.perf_counter()
             if self._sharded:
                 answer = self._engine._planner.answer_fast(
-                    self._registration, structure, query
+                    self._registration, structure, query, kind=self._kind
                 )
             else:
                 answer = self._registration.scheme.answer_fast(structure, query)
@@ -823,6 +829,9 @@ class _MutableState:
         self._persist_guard = threading.Lock()
         self._persist_futures: Dict[str, Any] = {}
         self._persisted: Dict[str, int] = {}
+        # kind -> terminal store failure from write-behind; surfaced (not
+        # swallowed) by the next flush()/detach.
+        self._persist_errors: Dict[str, BaseException] = {}
 
     @property
     def version(self) -> int:
@@ -924,7 +933,7 @@ class _MutableState:
         if registration.shards > 1:
             if tracker is None:
                 answer = self._engine._planner.answer_fast(
-                    registration, structure, query
+                    registration, structure, query, kind=kind
                 )
             else:
                 answer = self._engine._planner.answer(
@@ -937,7 +946,8 @@ class _MutableState:
         self._engine._count_serve(
             kind, queries=1, serve_seconds=time.perf_counter() - started
         )
-        return bool(answer)
+        # Preserve an explicit DegradedAnswer marker; plain bool otherwise.
+        return answer if isinstance(answer, faults.DegradedAnswer) else bool(answer)
 
     def query(
         self, kind: str, query: Any, tracker: Optional[CostTracker] = None
@@ -964,7 +974,7 @@ class _MutableState:
                 if registration.shards > 1:
                     planner = self._engine._planner
                     group_answers = [
-                        planner.answer_fast(registration, structure, query)
+                        planner.answer_fast(registration, structure, query, kind=kind)
                         for query in queries
                     ]
                 else:
@@ -993,19 +1003,29 @@ class _MutableState:
                 return self.log
             delta_kinds: List[Tuple[str, float]] = []  # (kind, apply seconds)
             rebuild_kinds: List[str] = []
+            torn_kinds: List[str] = []
             for kind, structure in self._structures.items():
                 registration = self._ds.registration_for(kind)
                 scheme = registration.scheme
                 if registration.shards == 1 and scheme.apply_delta is not None:
                     started = time.perf_counter()
                     try:
+                        if faults._PLAN is not None:
+                            faults.on_delta_apply(kind)
                         self._structures[kind] = scheme.apply_delta(
                             structure, effective, self.tracker
                         )
                         delta_kinds.append((kind, time.perf_counter() - started))
                         continue
                     except DeltaError:
+                        # Contract: raised *before* mutating -- plain fallback.
                         pass
+                    except Exception:
+                        # Crashed mid-apply: the structure may be torn.  The
+                        # batch still commits (content is the source of
+                        # truth); the structure is repaired by rebuild below,
+                        # so no reader ever sees a half-applied snapshot.
+                        torn_kinds.append(kind)
                 rebuild_kinds.append(kind)
             for change in effective:
                 self._content.apply(change)
@@ -1022,8 +1042,19 @@ class _MutableState:
                 canonical = self._content.canonical()
                 fingerprint = dataset_fingerprint(canonical)
                 for kind in rebuild_kinds:
-                    self._structures[kind] = self._build(kind, canonical, fingerprint)
+                    try:
+                        self._structures[kind] = self._build(
+                            kind, canonical, fingerprint
+                        )
+                    except Exception:
+                        # Never leave a possibly-torn structure behind: drop
+                        # it so the next query lazily rebuilds (or raises) --
+                        # degraded-and-loud, never silently wrong.
+                        self._structures.pop(kind, None)
+                        raise
                     self._engine._bump(kind, fallback_rebuilds=1)
+                    if kind in torn_kinds:
+                        self._engine._bump(kind, write_rollbacks=1)
             for kind, _seconds in delta_kinds:
                 self._schedule_persist(kind)
             screened = len(batch) - len(effective)
@@ -1061,6 +1092,11 @@ class _MutableState:
         Mirrors the handle path: dump under the read latch (a consistent
         snapshot), store write outside it; a stale target is skipped because
         the newer batch queued its own task.
+
+        Store failures (disk full, unwritable root) are retried with
+        backoff per the recovery policy; a terminal failure is recorded in
+        ``_persist_errors`` and raised by the next :meth:`flush` -- the
+        in-memory structure stays current either way, only durability lags.
         """
         with self._latch.read():
             if self._version != target or self._persisted.get(kind, 0) >= target:
@@ -1070,12 +1106,35 @@ class _MutableState:
                 return
             payload = self._ds.registration_for(kind).scheme.dump(structure)
             key = self.artifact_key(kind)
-        self._engine._store.put(key, payload)
+        recovery = faults.policy()
+        backoff = recovery.writebehind_backoff_seconds
+        attempts = max(1, recovery.writebehind_attempts)
+        for attempt in range(attempts):
+            try:
+                self._engine._store.put(key, payload)
+                break
+            except Exception as exc:
+                if attempt + 1 < attempts:
+                    self._engine._bump(kind, writebehind_retries=1)
+                    time.sleep(backoff)
+                    backoff *= 2
+                    continue
+                self._engine._bump(kind, writebehind_failures=1)
+                with self._persist_guard:
+                    self._persist_errors[kind] = exc
+                return
         with self._persist_guard:
             self._persisted[kind] = max(self._persisted.get(kind, 0), target)
+            self._persist_errors.pop(kind, None)
 
     def flush(self) -> None:
-        """Barrier: every delta-maintained kind durable at the current version."""
+        """Barrier: every delta-maintained kind durable at the current version.
+
+        Raises :class:`~repro.core.errors.WriteBehindError` (with the store
+        failure as ``__cause__``) when any kind's write-behind exhausted its
+        retries and a final synchronous attempt here still fails -- a stale
+        on-disk artifact is surfaced, never silently dropped.
+        """
         with self._persist_guard:
             futures = list(self._persist_futures.values())
         for future in futures:
@@ -1086,3 +1145,13 @@ class _MutableState:
         for kind in kinds:
             if self._store_ready(kind):
                 self._persist(kind, target)
+        with self._persist_guard:
+            errors = sorted(self._persist_errors.items())
+        if errors:
+            kind, cause = errors[0]
+            raise WriteBehindError(
+                f"write-behind persistence failed for kind(s) "
+                f"{[name for name, _ in errors]} of dataset {self._ds.name!r}; "
+                f"in-memory structures are current but on-disk artifacts are "
+                f"stale"
+            ) from cause

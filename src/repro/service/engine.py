@@ -79,8 +79,14 @@ from dataclasses import asdict, dataclass, replace
 from typing import TYPE_CHECKING, Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.cost import CostTracker
-from repro.core.errors import ArtifactError, ServiceError, UnknownDatasetError
+from repro.core.errors import (
+    ArtifactCorruptionError,
+    ArtifactError,
+    ServiceError,
+    UnknownDatasetError,
+)
 from repro.core.query import PiScheme, QueryClass
+from repro.service import faults
 from repro.service.artifacts import ArtifactKey, ArtifactStore
 from repro.service.cache import CacheStats, LRUArtifactCache
 from repro.service.dataset import Dataset, _width_chunks
@@ -182,6 +188,30 @@ class SchemeStats:
     fallback_rebuilds: int = 0
     fingerprint_rehashes: int = 0
     fingerprint_evictions: int = 0
+    # -- health counters (the failure model; see docs/architecture.md).
+    # Zero on every happy path; each one is an observable recovery event.
+    #: Store reads that failed integrity checks (bad checksum, truncation).
+    checksum_failures: int = 0
+    #: Store reads slower than the recovery policy's slow-load threshold.
+    slow_loads: int = 0
+    #: Extra load attempts made after a corrupt read before rebuilding.
+    rebuild_retries: int = 0
+    #: Scatter-gather answers served partial (union kinds, shards missing).
+    degraded_answers: int = 0
+    #: Shard partials that exceeded the slow-shard threshold.
+    shard_timeouts: int = 0
+    #: Shard partials lost to a fault on fail-fast (monoid/k-way) kinds.
+    shard_failures: int = 0
+    #: apply_changes batches whose structure was repaired by rebuild after
+    #: a mid-batch failure (the torn-snapshot guard).
+    write_rollbacks: int = 0
+    #: Write-behind persistence attempts retried after a store failure.
+    writebehind_retries: int = 0
+    #: Write-behind persists that exhausted retries (flush() will raise).
+    writebehind_failures: int = 0
+    #: Synchronous artifact writes that failed (structure served from
+    #: memory; the store is stale or unwritable).
+    persist_failures: int = 0
 
     @property
     def hit_rate(self) -> float:
@@ -229,6 +259,37 @@ class EngineStats:
         """Identity-memo evictions across kinds (the memo-cliff signal)."""
         return sum(stats.fingerprint_evictions for stats in self.per_kind.values())
 
+    #: The SchemeStats fields folded into the ``health`` rollup.
+    HEALTH_FIELDS = (
+        "checksum_failures",
+        "slow_loads",
+        "rebuild_retries",
+        "degraded_answers",
+        "shard_timeouts",
+        "shard_failures",
+        "write_rollbacks",
+        "writebehind_retries",
+        "writebehind_failures",
+        "persist_failures",
+    )
+
+    def health(self) -> Dict[str, int]:
+        """The failure-model counters summed across kinds.
+
+        All-zero means no recovery machinery has run since the last reset;
+        any nonzero value names exactly which degradation happened (see the
+        "Failure model" table in ``docs/architecture.md``).  Includes the
+        cache's contained listener errors.
+        """
+        rollup = {
+            field_name: sum(
+                getattr(stats, field_name) for stats in self.per_kind.values()
+            )
+            for field_name in self.HEALTH_FIELDS
+        }
+        rollup["cache_listener_errors"] = self.cache.listener_errors
+        return rollup
+
     def stats_snapshot(self) -> Dict[str, Any]:
         """The whole snapshot as one plain JSON-serializable dict.
 
@@ -247,6 +308,7 @@ class EngineStats:
             "total_queries": self.total_queries(),
             "fingerprint_rehashes": self.fingerprint_rehashes,
             "fingerprint_evictions": self.fingerprint_evictions,
+            "health": self.health(),
         }
 
 
@@ -805,7 +867,13 @@ class QueryEngine:
                     else:
                         self._bump(kind, builds=1, build_seconds=elapsed)
                     if self._store is not None and registration.scheme.dump is not None:
-                        self._store.put(key, registration.scheme.dump(structure))
+                        try:
+                            self._store.put(key, registration.scheme.dump(structure))
+                        except OSError:
+                            # Disk full / unwritable store: the build still
+                            # serves from memory; only durability is lost,
+                            # and the counter makes that observable.
+                            self._bump(kind, persist_failures=1)
                 self._cache.put(key, structure)
         finally:
             # Drop the per-key lock so the map stays bounded by in-flight
@@ -827,17 +895,45 @@ class QueryEngine:
     ) -> Optional[Any]:
         if self._store is None or registration.scheme.load is None:
             return None
-        try:
-            payload = self._store.get(key)
-        except ArtifactError:
-            # Corrupt or incompatible artifact: drop it and rebuild.
-            self._store.delete(key)
-            return None
-        if payload is None:
-            return None
-        structure = registration.scheme.load(payload)
-        self._bump(kind, **{("shard_store_hits" if shard else "store_hits"): 1})
-        return structure
+        recovery = faults.policy()
+        attempts = 1 + max(0, recovery.load_retries)
+        for attempt in range(attempts):
+            started = time.perf_counter()
+            try:
+                payload = self._store.get(key)
+            except ArtifactCorruptionError:
+                # Checksum mismatch or truncation.  Retry the read first: a
+                # transiently bad read (torn page, racing writer) may clear,
+                # and with fault injection armed a bounded-retry recovery is
+                # exactly what the chaos suite asserts.  Only a persistently
+                # corrupt file is deleted -- rebuilding from source is
+                # always safe (artifacts are pure PTIME-recomputable caches).
+                self._bump(kind, checksum_failures=1)
+                if attempt + 1 < attempts:
+                    self._bump(kind, rebuild_retries=1)
+                    continue
+                self._store.delete(key)
+                return None
+            except ArtifactError:
+                # Incompatible format/scheme version: never retryable --
+                # drop it and rebuild under the current version.
+                self._store.delete(key)
+                return None
+            if payload is None:
+                return None
+            if time.perf_counter() - started >= recovery.slow_load_seconds:
+                self._bump(kind, slow_loads=1)
+            try:
+                structure = registration.scheme.load(payload)
+            except Exception:
+                # Payload passed its checksum but does not deserialize: the
+                # file content itself is bad, so a re-read cannot help.
+                self._bump(kind, checksum_failures=1)
+                self._store.delete(key)
+                return None
+            self._bump(kind, **{("shard_store_hits" if shard else "store_hits"): 1})
+            return structure
+        return None
 
     def warm(self, kind: str, data: Any) -> ArtifactKey:
         """Pre-build (and persist) the artifact(s) for ``(kind, data)``.
@@ -1112,7 +1208,14 @@ class QueryEngine:
     def close(self) -> None:
         """Detach attached datasets and close open dataset handles (flushing
         write-behind state), then shut down the serving, shard-build and
-        persist pools; further work errors."""
+        persist pools; further work errors.
+
+        A session whose final flush fails (e.g.
+        :class:`~repro.core.errors.WriteBehindError` after a disk-full
+        write-behind) does not abort the shutdown: every dataset is still
+        detached and every pool torn down, then the first failure is
+        re-raised so the stale-artifact condition cannot pass silently."""
+        errors: List[BaseException] = []
         with self._datasets_guard:
             names = list(self._datasets)
         for name in names:
@@ -1120,10 +1223,15 @@ class QueryEngine:
                 self.detach(name)
             except UnknownDatasetError:  # pragma: no cover - concurrent detach
                 pass
+            except Exception as exc:
+                errors.append(exc)
         with self._handles_guard:
             handles = list(self._handles)
         for handle in handles:
-            handle.close()
+            try:
+                handle.close()
+            except Exception as exc:
+                errors.append(exc)
         self._closed = True
         self._planner.close()
         with self._pool_guard:
@@ -1133,6 +1241,8 @@ class QueryEngine:
             if self._pool is not None:
                 self._pool.shutdown(wait=True)
                 self._pool = None
+        if errors:
+            raise errors[0]
 
     def __enter__(self) -> "QueryEngine":
         return self

@@ -59,7 +59,13 @@ from contextlib import contextmanager
 from typing import TYPE_CHECKING, Any, Iterable, List, Optional, Sequence, Tuple
 
 from repro.core.cost import CostTracker
-from repro.core.errors import DeltaError, SchemaError, ServiceError
+from repro.core.errors import (
+    DeltaError,
+    SchemaError,
+    ServiceError,
+    WriteBehindError,
+)
+from repro.service import faults
 from repro.incremental.changes import (
     ChangeKind,
     ChangeLog,
@@ -402,6 +408,9 @@ class DatasetHandle:
         self._latch = SnapshotLatch()
         self._persist_guard = threading.Lock()
         self._persist_future = None
+        # Terminal write-behind store failure, surfaced by the next flush()
+        # (a newer batch replacing the future must not drop it).
+        self._persist_error: Optional[BaseException] = None
         self._persisted_version = 0
         self._version = 0
         self._closed = False
@@ -485,6 +494,12 @@ class DatasetHandle:
         through mutable :class:`~repro.service.dataset.Dataset` sessions.
         """
         registration = self._registration
+        if self._structure is None:
+            # A failed repair-rebuild dropped the structure (see
+            # apply_changes); re-materialize from current content.  Benign
+            # under the read latch: writers are excluded, so content is
+            # stable and concurrent repairs build equivalent structures.
+            self._structure = self._private_structure(self._content.canonical())
         started = time.perf_counter()
         if registration.shards > 1:
             answer = self._engine._planner.answer(
@@ -495,7 +510,8 @@ class DatasetHandle:
         self._engine._count_serve(
             self._kind, queries=1, serve_seconds=time.perf_counter() - started
         )
-        return bool(answer)
+        # Preserve an explicit DegradedAnswer marker; plain bool otherwise.
+        return answer if isinstance(answer, faults.DegradedAnswer) else bool(answer)
 
     def query(self, query: Any) -> bool:
         """Answer one query against the current version (snapshot-consistent).
@@ -547,15 +563,25 @@ class DatasetHandle:
             registration = self._registration
             scheme = registration.scheme
             applied_by_delta = False
+            torn = False
             started = time.perf_counter()
             if registration.shards == 1 and scheme.apply_delta is not None:
                 try:
+                    if faults._PLAN is not None:
+                        faults.on_delta_apply(self._kind)
                     self._structure = scheme.apply_delta(
                         self._structure, effective, self.tracker
                     )
                     applied_by_delta = True
                 except DeltaError:
+                    # Contract: raised *before* mutating -- plain fallback.
                     applied_by_delta = False
+                except Exception:
+                    # Crashed mid-apply: the structure may be torn.  The
+                    # batch still commits (content is the source of truth);
+                    # the rebuild below repairs the structure, so no torn
+                    # snapshot is ever published.
+                    torn = True
             for change in effective:
                 self._content.apply(change)
             self._version += 1
@@ -570,8 +596,19 @@ class DatasetHandle:
                 )
                 self._schedule_persist()
             else:
-                self._structure = self._private_structure(self._content.canonical())
+                try:
+                    self._structure = self._private_structure(
+                        self._content.canonical()
+                    )
+                except BaseException:
+                    # Never leave a possibly-torn structure behind: drop it
+                    # so the next query lazily re-materializes (see _answer)
+                    # -- degraded-and-loud, never silently wrong.
+                    self._structure = None
+                    raise
                 self._engine._bump(self._kind, fallback_rebuilds=1)
+                if torn:
+                    self._engine._bump(self._kind, write_rollbacks=1)
                 if self._store_ready():
                     # Uniform durability: the rebuilt structure also lands
                     # under this version's key (the resolve above already
@@ -612,18 +649,47 @@ class DatasetHandle:
         The dump runs under the read latch (a consistent snapshot; writers
         wait), the store write outside it.  A stale target -- a newer batch
         already applied -- is skipped; the newer batch queued its own task.
+
+        Store failures (disk full, unwritable root) are retried with
+        backoff per the recovery policy; a terminal failure is recorded and
+        raised by the next :meth:`flush` -- even if a newer batch replaces
+        this task's future, the error is never silently dropped.  The
+        in-memory structure stays current either way; only durability lags.
         """
         with self._latch.read():
             if self._version != target or self._persisted_version >= target:
                 return
             payload = self._registration.scheme.dump(self._structure)
             key = self.artifact_key()
-        self._engine._store.put(key, payload)
+        recovery = faults.policy()
+        backoff = recovery.writebehind_backoff_seconds
+        attempts = max(1, recovery.writebehind_attempts)
+        for attempt in range(attempts):
+            try:
+                self._engine._store.put(key, payload)
+                break
+            except Exception as exc:
+                if attempt + 1 < attempts:
+                    self._engine._bump(self._kind, writebehind_retries=1)
+                    time.sleep(backoff)
+                    backoff *= 2
+                    continue
+                self._engine._bump(self._kind, writebehind_failures=1)
+                with self._persist_guard:
+                    self._persist_error = exc
+                return
         with self._persist_guard:
             self._persisted_version = max(self._persisted_version, target)
+            self._persist_error = None
 
     def flush(self) -> None:
-        """Write-behind barrier: returns with the current version durable."""
+        """Write-behind barrier: returns with the current version durable.
+
+        Raises :class:`~repro.core.errors.WriteBehindError` (with the store
+        failure as ``__cause__``) when write-behind exhausted its retries
+        and a final synchronous attempt here still fails -- a stale on-disk
+        artifact is surfaced, never silently dropped.
+        """
         with self._persist_guard:
             future = self._persist_future
         if future is not None:
@@ -632,6 +698,14 @@ class DatasetHandle:
             with self._latch.read():
                 target = self._version
             self._persist(target)
+        with self._persist_guard:
+            cause = self._persist_error
+        if cause is not None:
+            raise WriteBehindError(
+                f"write-behind persistence failed for kind {self._kind!r} "
+                f"at version {self._version}; the in-memory structure is "
+                f"current but the on-disk artifact is stale"
+            ) from cause
 
     # -- lifecycle ---------------------------------------------------------------
 
@@ -646,13 +720,19 @@ class DatasetHandle:
         return self._closed
 
     def close(self) -> None:
-        """Flush dirty state, then detach; further queries/batches error."""
+        """Flush dirty state, then detach; further queries/batches error.
+
+        A failed final flush (:class:`~repro.core.errors.WriteBehindError`)
+        still closes the handle -- the error propagates *after* the handle
+        is detached, so shutdown cannot wedge on a dead store."""
         if self._closed:
             return
-        self.flush()
-        with self._latch.write():
-            self._closed = True
-        self._engine._forget_handle(self)
+        try:
+            self.flush()
+        finally:
+            with self._latch.write():
+                self._closed = True
+            self._engine._forget_handle(self)
 
     def __enter__(self) -> "DatasetHandle":
         return self

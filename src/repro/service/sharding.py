@@ -41,8 +41,10 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any, Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.core.cost import NULL_TRACKER, ensure_tracker
+from repro.core.errors import InjectedFaultError, ShardFailedError
+from repro.service import faults
 from repro.service.artifacts import ArtifactKey
-from repro.service.merge import ShardPiece, ShardSpec
+from repro.service.merge import MergeOperator, ShardPiece, ShardSpec
 from repro.storage.fingerprint import dataset_fingerprint
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
@@ -59,6 +61,41 @@ __all__ = [
 ]
 
 
+def _lost_shard_outcome(
+    merge: MergeOperator,
+    partials: List[Any],
+    effective_query: Any,
+    failed: List[int],
+    engine: Optional["QueryEngine"],
+    kind: Optional[str],
+):
+    """The per-kind partial-result-or-fail-fast policy, applied after a
+    scatter lost one or more shards.
+
+    Union kinds tolerate missing partials: ``any`` over the shards that
+    responded is never silently wrong (``True`` is definitely correct;
+    ``False`` means "not found in the responding shards" and is returned
+    as an explicit :class:`~repro.service.faults.DegradedAnswer` with
+    ``partial=True``).  Monoid-combine and k-way kinds need *every* shard
+    for a correct answer, so they fail fast with
+    :class:`~repro.core.errors.ShardFailedError`.
+    """
+    if merge.name == "union":
+        if engine is not None and kind is not None:
+            engine._bump(kind, degraded_answers=1)
+        return faults.DegradedAnswer(
+            bool(merge.combine(partials, effective_query)),
+            reason=f"lost shard(s) {failed} during scatter-gather",
+            failed_shards=failed,
+        )
+    if engine is not None and kind is not None:
+        engine._bump(kind, shard_failures=len(failed))
+    raise ShardFailedError(
+        f"scatter-gather for {kind or 'sharded kind'} lost shard(s) {failed}; "
+        f"merge family {merge.name!r} cannot tolerate a missing partial"
+    )
+
+
 def gather_fast(
     registration: "_Registration",
     spec: ShardSpec,
@@ -66,6 +103,8 @@ def gather_fast(
     structures: Sequence[Optional[Any]],
     positions: Iterable[int],
     effective_query: Any,
+    engine: Optional["QueryEngine"] = None,
+    kind: Optional[str] = None,
 ) -> bool:
     """Untracked scatter-gather over already-resolved shard structures.
 
@@ -74,27 +113,56 @@ def gather_fast(
     operator's ``empty`` partial), but partials evaluate through the
     scheme's untracked fast kernel (or the shared no-op tracker) and nothing
     is timed or counted.  ``effective_query`` must already be rewritten.
+
+    A shard lost to an :class:`~repro.core.errors.InjectedFaultError`
+    mid-scatter goes through :func:`_lost_shard_outcome`; every other
+    exception (genuine query errors, library bugs) keeps propagating
+    unchanged.  ``engine``/``kind`` route the health counters; without
+    them the policy still applies, uncounted.
     """
     scheme = registration.scheme
     merge = spec.merge
     partial = merge.partial
     evaluate_fast = scheme.evaluate_fast
     planned = plan.planned
+    armed = faults._PLAN is not None
     partials: List[Any] = []
+    failed: List[int] = []
     for position in positions:
         structure = structures[position]
         if structure is None:
             partials.append(
                 merge.empty(effective_query) if merge.empty is not None else None
             )
-        elif partial is not None:
-            partials.append(
-                partial(structure, effective_query, planned[position].piece.meta, NULL_TRACKER)
-            )
-        elif evaluate_fast is not None:
-            partials.append(bool(evaluate_fast(structure, effective_query)))
-        else:
-            partials.append(bool(scheme.evaluate(structure, effective_query, NULL_TRACKER)))
+            continue
+        try:
+            if armed:
+                shard_started = time.perf_counter()
+                faults.on_shard_partial(kind or scheme.name, position)
+            if partial is not None:
+                value = partial(
+                    structure, effective_query, planned[position].piece.meta, NULL_TRACKER
+                )
+            elif evaluate_fast is not None:
+                value = bool(evaluate_fast(structure, effective_query))
+            else:
+                value = bool(scheme.evaluate(structure, effective_query, NULL_TRACKER))
+        except InjectedFaultError:
+            # Only an injected dead shard enters the degradation policy;
+            # genuine query errors (bad parameters, library bugs) keep
+            # propagating unchanged -- misuse must stay loud, not partial.
+            failed.append(position)
+            continue
+        if armed and (
+            time.perf_counter() - shard_started >= faults.policy().slow_shard_seconds
+        ):
+            if engine is not None and kind is not None:
+                engine._bump(kind, shard_timeouts=1)
+        partials.append(value)
+    if failed:
+        return _lost_shard_outcome(
+            merge, partials, effective_query, failed, engine, kind
+        )
     return bool(merge.combine(partials, effective_query))
 
 
@@ -355,7 +423,7 @@ class ShardPlanner:
         positions = self._route(registration, plan, effective)
         structures = self._resolve_positions(kind, registration, plan, positions)
         answer, elapsed = self._scatter_gather(
-            registration, plan, structures, positions, effective, tracker
+            registration, plan, structures, positions, effective, tracker, kind=kind
         )
         # Hot-path counter (thread-local shard, folded on stats() read): the
         # per-query serve path takes no statistics lock.
@@ -367,6 +435,7 @@ class ShardPlanner:
         registration: "_Registration",
         sharded: ShardedStructure,
         query: Any,
+        kind: Optional[str] = None,
     ) -> bool:
         """Untracked, statistics-neutral scatter over a resolved structure.
 
@@ -383,6 +452,8 @@ class ShardPlanner:
             sharded.structures,
             positions,
             effective,
+            engine=self._engine,
+            kind=kind,
         )
 
     def answer(
@@ -411,6 +482,7 @@ class ShardPlanner:
             positions,
             effective,
             tracker,
+            kind=kind,
         )
         return answer
 
@@ -422,32 +494,55 @@ class ShardPlanner:
         positions: Iterable[int],
         effective_query: Any,
         tracker: Any = None,
+        kind: Optional[str] = None,
     ) -> Tuple[bool, float]:
         """Evaluate partials over ``positions`` and gather with the merge
         operator; returns ``(answer, elapsed_seconds)``.  Pure with respect
-        to engine statistics -- callers decide what to record."""
+        to engine serving statistics -- callers decide what to record --
+        except the health counters: a shard lost mid-scatter applies the
+        same :func:`_lost_shard_outcome` policy as :func:`gather_fast`
+        (union degrades explicitly, monoid/k-way fail fast)."""
         scheme = registration.scheme
         merge = self._spec(registration).merge
         tracker = ensure_tracker(tracker)
         pieces = [planned.piece for planned in plan.planned]
+        armed = faults._PLAN is not None
         started = time.perf_counter()
         partials: List[Any] = []
+        failed: List[int] = []
         for position in positions:
             structure = structures[position]
             if structure is None:
                 partials.append(
                     merge.empty(effective_query) if merge.empty is not None else None
                 )
-            elif merge.partial is not None:
-                partials.append(
-                    merge.partial(
+                continue
+            try:
+                if armed:
+                    shard_started = time.perf_counter()
+                    faults.on_shard_partial(kind or scheme.name, position)
+                if merge.partial is not None:
+                    value = merge.partial(
                         structure, effective_query, pieces[position].meta, tracker
                     )
-                )
-            else:
-                partials.append(
-                    bool(scheme.evaluate(structure, effective_query, tracker))
-                )
+                else:
+                    value = bool(scheme.evaluate(structure, effective_query, tracker))
+            except InjectedFaultError:
+                # Same policy as gather_fast: only injected faults degrade.
+                failed.append(position)
+                continue
+            if armed and (
+                time.perf_counter() - shard_started
+                >= faults.policy().slow_shard_seconds
+            ):
+                if kind is not None:
+                    self._engine._bump(kind, shard_timeouts=1)
+            partials.append(value)
+        if failed:
+            answer = _lost_shard_outcome(
+                merge, partials, effective_query, failed, self._engine, kind
+            )
+            return answer, time.perf_counter() - started
         answer = bool(merge.combine(partials, effective_query))
         return answer, time.perf_counter() - started
 

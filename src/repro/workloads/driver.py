@@ -29,6 +29,7 @@ import math
 import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
@@ -110,6 +111,9 @@ class WorkloadReport:
     stats_window: Dict[str, Any]
     spec: Dict[str, Any]
     phases: List[Dict[str, Any]] = field(default_factory=list)
+    #: Answers explicitly marked partial (``DegradedAnswer`` under an armed
+    #: fault plan) -- correct-or-degraded, never silently wrong.
+    degraded: int = 0
 
     def to_dict(self) -> Dict[str, Any]:
         record: Dict[str, Any] = {
@@ -122,6 +126,7 @@ class WorkloadReport:
             "read_latency": self.read_latency.to_dict(),
             "per_kind": {k: v.to_dict() for k, v in self.per_kind.items()},
             "errors": dict(self.errors),
+            "degraded": self.degraded,
             "stats_window": self.stats_window,
             "spec": self.spec,
         }
@@ -156,27 +161,31 @@ def _window(before: Dict[str, Any], after: Dict[str, Any]) -> Dict[str, Any]:
     return window
 
 
-def _execute(dataset: Any, op: Operation) -> None:
+def _execute(dataset: Any, op: Operation) -> Any:
     if op.changes is not None:
-        dataset.apply_changes(op.changes)
-    else:
-        dataset.query(op.kind, op.query)
+        return dataset.apply_changes(op.changes)
+    return dataset.query(op.kind, op.query)
 
 
 class _Recorder:
     """Per-worker sample sink, merged single-threaded after the run."""
 
-    __slots__ = ("read_samples", "write_samples", "per_kind", "errors")
+    __slots__ = ("read_samples", "write_samples", "per_kind", "errors", "degraded")
 
     def __init__(self) -> None:
         self.read_samples: List[float] = []
         self.write_samples: List[float] = []
         self.per_kind: Dict[str, List[float]] = {}
         self.errors: Dict[str, int] = {}
+        self.degraded = 0
 
-    def record(self, op: Operation, elapsed: float) -> None:
+    def record(self, op: Operation, elapsed: float, answer: Any = None) -> None:
         (self.write_samples if op.is_write else self.read_samples).append(elapsed)
         self.per_kind.setdefault(op.kind, []).append(elapsed)
+        # Duck-typed so the harness needs no import from the service layer:
+        # only a DegradedAnswer carries a truthy ``partial`` marker.
+        if getattr(answer, "partial", False):
+            self.degraded += 1
 
     def error(self, exc: BaseException) -> None:
         name = type(exc).__name__
@@ -200,6 +209,15 @@ def _merge(
     return reads, writes, per_kind, errors
 
 
+def _armed(fault_plan: Any):
+    """``fault_plan.armed()`` when given, else a no-op context.
+
+    Duck-typed (any object with an ``armed()`` context manager works) so
+    the harness stays import-independent of :mod:`repro.service.faults`.
+    """
+    return nullcontext() if fault_plan is None else fault_plan.armed()
+
+
 def _split_quota(total: int, workers: int) -> List[int]:
     base, extra = divmod(total, workers)
     return [base + (1 if index < extra else 0) for index in range(workers)]
@@ -213,6 +231,7 @@ def run_closed_loop(
     operations: int = 1000,
     think_seconds: float = 0.0,
     warmup: int = 0,
+    fault_plan: Any = None,
 ) -> WorkloadReport:
     """Drive ``operations`` total ops from ``threads`` closed-loop workers.
 
@@ -221,6 +240,12 @@ def run_closed_loop(
     one completes, sleeping ``think_seconds`` in between when given.
     ``warmup`` extra operations per worker run before timing starts
     (unrecorded), so first-touch structure builds do not pollute the tail.
+
+    ``fault_plan`` (a :class:`repro.service.faults.FaultPlan`) is armed for
+    the duration of the run -- warmup included -- so degraded-mode tails
+    can be measured; answers explicitly marked partial are counted in
+    ``WorkloadReport.degraded``, and injected failures surface through the
+    normal error counts.
     """
     if threads < 1:
         raise WorkloadError(f"threads must be >= 1, got {threads}")
@@ -248,11 +273,11 @@ def run_closed_loop(
             op = next(stream)
             begin = time.perf_counter()
             try:
-                _execute(dataset, op)
+                answer = _execute(dataset, op)
             except ReproError as exc:
                 recorder.error(exc)
             else:
-                recorder.record(op, time.perf_counter() - begin)
+                recorder.record(op, time.perf_counter() - begin, answer)
             if think_seconds > 0:
                 time.sleep(think_seconds)
         spans[worker_id] = (started, time.perf_counter())
@@ -261,10 +286,11 @@ def run_closed_loop(
         threading.Thread(target=worker, args=(index,), name=f"workload-{index}")
         for index in range(threads)
     ]
-    for thread in workers:
-        thread.start()
-    for thread in workers:
-        thread.join()
+    with _armed(fault_plan):
+        for thread in workers:
+            thread.start()
+        for thread in workers:
+            thread.join()
 
     reads, writes, per_kind, errors = _merge(recorders)
     duration = max(end for _, end in spans) - min(start for start, _ in spans)
@@ -282,6 +308,7 @@ def run_closed_loop(
         errors=errors,
         stats_window=_window(before, _stats_snapshot(dataset)),
         spec=dict(spec.provenance(), threads=threads, think_seconds=think_seconds),
+        degraded=sum(recorder.degraded for recorder in recorders),
     )
 
 
@@ -291,6 +318,7 @@ def run_open_loop(
     *,
     schedule: Sequence[Tuple[float, float]],
     concurrency: int = 4,
+    fault_plan: Any = None,
 ) -> WorkloadReport:
     """Drive an offered-load schedule of ``(offered_qps, seconds)`` phases.
 
@@ -299,6 +327,9 @@ def run_open_loop(
     arrival to completion, so time spent queueing behind a saturated pool
     is charged to the operation (no coordinated omission).  Per phase the
     report records offered vs. achieved qps -- the saturation curve.
+
+    ``fault_plan`` is armed for the whole schedule, exactly as in
+    :func:`run_closed_loop`.
     """
     phases = list(schedule)
     if not phases:
@@ -320,11 +351,13 @@ def run_open_loop(
     all_reads: List[float] = []
     all_writes: List[float] = []
 
-    def timed(op: Operation) -> float:
-        _execute(dataset, op)
-        return time.perf_counter()
+    def timed(op: Operation) -> Tuple[float, Any]:
+        answer = _execute(dataset, op)
+        return time.perf_counter(), answer
 
     pool = ThreadPoolExecutor(max_workers=concurrency, thread_name_prefix="workload")
+    plan_context = _armed(fault_plan)
+    plan_context.__enter__()
     try:
         for offered_qps, seconds in phases:
             count = max(1, int(offered_qps * seconds))
@@ -342,7 +375,7 @@ def run_open_loop(
             last_completion = phase_started
             for op, scheduled, future in pending:
                 try:
-                    completed_at = future.result()
+                    completed_at, answer = future.result()
                 except ReproError as exc:
                     recorder.error(exc)
                     continue
@@ -351,6 +384,8 @@ def run_open_loop(
                 phase_samples.append(elapsed)
                 (all_writes if op.is_write else all_reads).append(elapsed)
                 per_kind.setdefault(op.kind, []).append(elapsed)
+                if getattr(answer, "partial", False):
+                    recorder.degraded += 1
             wall = last_completion - phase_started
             phase_records.append(
                 {
@@ -363,6 +398,7 @@ def run_open_loop(
             )
     finally:
         pool.shutdown(wait=True)
+        plan_context.__exit__(None, None, None)
 
     duration = sum(
         record["completed"] / record["achieved_qps"]
@@ -384,4 +420,5 @@ def run_open_loop(
         stats_window=_window(before, _stats_snapshot(dataset)),
         spec=dict(spec.provenance(), concurrency=concurrency),
         phases=phase_records,
+        degraded=recorder.degraded,
     )

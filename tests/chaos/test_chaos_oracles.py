@@ -1,0 +1,326 @@
+"""Chaos soaks: fault plans interleaved with the PR 3 stateful oracles.
+
+The trust argument of the whole fault-injection subsystem: with a
+probability-thinned :class:`~repro.service.faults.FaultPlan` armed --
+corrupt reads, full disks, crashing ``apply_delta``, eviction storms --
+every answer a mutable handle gives over a 520-step random walk must still
+be **correct against a brute-force oracle**, explicitly marked degraded, or
+a loud :class:`~repro.core.errors.ReproError`.  Never silently wrong.
+
+Two layers, mirroring ``tests/property/test_prop_mutable.py``:
+
+* deterministic 520-step soaks per delta-capable kind (seeded through
+  ``stable_seed`` + ``CHAOS_SEED``, so the CI chaos job replays three
+  distinct fault schedules), and
+* a Hypothesis :class:`RuleBasedStateMachine` whose rules *arm and disarm
+  random scenarios mid-walk*, checking the oracle after every step.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import tempfile
+
+import pytest
+from hypothesis import HealthCheck, settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, rule
+
+from repro.core.errors import ReproError
+from repro.core.query import stable_seed
+from repro.graphs.graph import Digraph
+from repro.graphs.traversal import is_reachable
+from repro.incremental.changes import ChangeKind, EdgeChange, PointWrite, TupleChange
+from repro.queries import (
+    btree_point_scheme,
+    closure_scheme,
+    fischer_heun_scheme,
+    membership_class,
+    point_selection_class,
+    rmq_class,
+    reachability_class,
+    sorted_run_scheme,
+    threshold_algorithm_scheme,
+    topk_class,
+)
+from repro.service import faults
+from repro.service.artifacts import ArtifactStore
+from repro.service.engine import QueryEngine
+from repro.service.faults import FaultPlan, FaultSpec, RecoveryPolicy, scenario
+from repro.storage.relation import Relation
+from repro.storage.schema import AttributeType, Schema
+
+pytestmark = pytest.mark.chaos
+
+CHAOS_SEED = int(os.environ.get("CHAOS_SEED", "0"))
+
+#: Matches the PR 3 acceptance bar: 500+ steps per kind, under faults.
+SOAK_STEPS = 520
+
+#: Millisecond-scale retries so injected failures cost time, not minutes.
+SOAK_POLICY = RecoveryPolicy(
+    writebehind_attempts=2,
+    writebehind_backoff_seconds=0.0005,
+    slow_shard_seconds=0.002,
+    slow_load_seconds=0.002,
+)
+
+MACHINE_SETTINGS = settings(
+    max_examples=10,
+    stateful_step_count=30,
+    deadline=None,
+    derandomize=True,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.filter_too_much],
+)
+
+
+def _insert(*row):
+    return TupleChange(ChangeKind.INSERT, tuple(row))
+
+
+def _delete(*row):
+    return TupleChange(ChangeKind.DELETE, tuple(row))
+
+
+def _relation_of(rows):
+    relation = Relation(Schema("R", [("a", AttributeType.INT), ("b", AttributeType.INT)]))
+    for row in rows:
+        relation.insert(row)
+    return relation
+
+
+def _rmq_oracle(array, i, j, p):
+    return min(range(i, j + 1), key=lambda k: (array[k], k)) == p
+
+
+def _topk_oracle(rows, weights, k, theta):
+    aggregates = sorted(
+        (sum(w * v for w, v in zip(weights, row)) for row in rows), reverse=True
+    )
+    return aggregates[min(k, len(aggregates)) - 1] >= theta
+
+
+def _chaos_plan(label: str) -> FaultPlan:
+    """The standard soak storm: every monolithic-path site, thinned so most
+    steps are clean and recovery interleaves with normal serving."""
+    return FaultPlan(
+        [
+            FaultSpec("store.read", "corrupt", times=None, probability=0.05),
+            FaultSpec("store.write", "disk-full", times=None, probability=0.05),
+            FaultSpec("mutable.delta", "raise", times=None, probability=0.08),
+            FaultSpec("cache.put", "evict-storm", times=None, probability=0.25, storm_size=2),
+        ],
+        seed=CHAOS_SEED,
+        policy=SOAK_POLICY,
+        name=f"chaos-soak-{label}",
+    )
+
+
+def _check(handle, query, expected) -> None:
+    """Correct, explicitly degraded, or loudly raised -- never silently wrong."""
+    try:
+        answer = handle.query(query)
+    except ReproError:
+        return  # a loud failure is an allowed outcome under injection
+    if getattr(answer, "partial", False):
+        return  # explicitly marked degraded
+    assert bool(answer) == bool(expected)
+
+
+def _finish(engine, handle, plan) -> None:
+    """Disarm, then prove the stack healed: flush durably, faults fired."""
+    faults.clear_fault_plan()
+    handle.flush()  # clean store: any stored write-behind error must clear
+    assert plan.fired_count() > 0  # the walk actually exercised the plan
+    engine.close()
+
+
+def test_chaos_soak_membership(tmp_path):
+    rng = random.Random(stable_seed("chaos-soak", "membership") + CHAOS_SEED)
+    engine = QueryEngine(store=ArtifactStore(tmp_path))
+    engine.register("membership", membership_class(), sorted_run_scheme())
+    oracle = [rng.randint(0, 30) for _ in range(16)]
+    handle = engine.open_dataset("membership", tuple(oracle))
+    plan = _chaos_plan("membership")
+    with plan.armed():
+        for _ in range(SOAK_STEPS):
+            value = rng.randint(-5, 30)
+            roll = rng.random()
+            if roll < 0.3:
+                handle.apply_changes([_insert(value)])
+                oracle.append(value)
+            elif roll < 0.5:
+                handle.apply_changes([_delete(value)])
+                if value in oracle:
+                    oracle.remove(value)
+            _check(handle, value, value in oracle)
+    _finish(engine, handle, plan)
+
+
+def test_chaos_soak_selection(tmp_path):
+    rng = random.Random(stable_seed("chaos-soak", "selection") + CHAOS_SEED)
+    engine = QueryEngine(store=ArtifactStore(tmp_path))
+    engine.register("point", point_selection_class(), btree_point_scheme())
+    rows = [(rng.randint(0, 15), rng.randint(0, 15)) for _ in range(12)]
+    handle = engine.open_dataset("point", _relation_of(rows))
+    plan = _chaos_plan("selection")
+    with plan.armed():
+        for _ in range(SOAK_STEPS):
+            row = (rng.randint(0, 15), rng.randint(0, 15))
+            roll = rng.random()
+            if roll < 0.3:
+                handle.apply_changes([_insert(*row)])
+                rows.append(row)
+            elif roll < 0.5 and rows:
+                victim = rng.choice(rows) if rng.random() < 0.7 else row
+                handle.apply_changes([_delete(*victim)])
+                if victim in rows:
+                    rows.remove(victim)
+            attribute, position = rng.choice([("a", 0), ("b", 1)])
+            constant = rng.randint(0, 15)
+            _check(
+                handle,
+                (attribute, constant),
+                any(r[position] == constant for r in rows),
+            )
+    _finish(engine, handle, plan)
+
+
+def test_chaos_soak_rmq(tmp_path):
+    rng = random.Random(stable_seed("chaos-soak", "rmq") + CHAOS_SEED)
+    engine = QueryEngine(store=ArtifactStore(tmp_path))
+    engine.register("rmq", rmq_class(), fischer_heun_scheme())
+    oracle = [rng.randint(-50, 50) for _ in range(24)]
+    handle = engine.open_dataset("rmq", tuple(oracle))
+    plan = _chaos_plan("rmq")
+    with plan.armed():
+        for _ in range(SOAK_STEPS):
+            if rng.random() < 0.5:
+                position = rng.randrange(len(oracle))
+                value = rng.randint(-50, 50)
+                handle.apply_changes([PointWrite(position, value)])
+                oracle[position] = value
+            i = rng.randrange(len(oracle))
+            j = rng.randrange(i, len(oracle))
+            p = rng.randrange(i, j + 1)
+            _check(handle, (i, j, p), _rmq_oracle(oracle, i, j, p))
+    _finish(engine, handle, plan)
+
+
+def test_chaos_soak_topk(tmp_path):
+    rng = random.Random(stable_seed("chaos-soak", "topk") + CHAOS_SEED)
+    engine = QueryEngine(store=ArtifactStore(tmp_path))
+    engine.register("topk", topk_class(), threshold_algorithm_scheme())
+    rows = [(rng.randint(0, 20), rng.randint(0, 20)) for _ in range(10)]
+    handle = engine.open_dataset("topk", tuple(rows))
+    plan = _chaos_plan("topk")
+    with plan.armed():
+        for _ in range(SOAK_STEPS):
+            roll = rng.random()
+            if roll < 0.3:
+                row = (rng.randint(0, 20), rng.randint(0, 20))
+                handle.apply_changes([_insert(*row)])
+                rows.append(row)
+            elif roll < 0.5 and len(rows) > 1:
+                victim = rng.choice(rows)
+                handle.apply_changes([_delete(*victim)])
+                rows.remove(victim)
+            weights = (rng.randint(1, 3), rng.randint(1, 3))
+            k = rng.randint(1, 8)
+            theta = rng.randint(0, 120)
+            _check(handle, (weights, k, theta), _topk_oracle(rows, weights, k, theta))
+    _finish(engine, handle, plan)
+
+
+def test_chaos_soak_reachability(tmp_path):
+    rng = random.Random(stable_seed("chaos-soak", "reachability") + CHAOS_SEED)
+    engine = QueryEngine(store=ArtifactStore(tmp_path))
+    engine.register("reach", reachability_class(), closure_scheme())
+    n = 12
+    oracle = Digraph(n, [(0, 1), (1, 2)])
+    handle = engine.open_dataset("reach", oracle)
+    plan = _chaos_plan("reachability")
+    with plan.armed():
+        for _ in range(SOAK_STEPS):
+            u, v = rng.randrange(n), rng.randrange(n)
+            roll = rng.random()
+            if roll < 0.35:
+                handle.apply_changes([EdgeChange(ChangeKind.INSERT, u, v)])
+                oracle.add_edge(u, v)
+            elif roll < 0.45:
+                handle.apply_changes([EdgeChange(ChangeKind.DELETE, u, v)])
+                oracle.remove_edge(u, v)
+            s, t = rng.randrange(n), rng.randrange(n)
+            _check(handle, (s, t), is_reachable(oracle, s, t))
+    _finish(engine, handle, plan)
+
+
+# -- random fault plans interleaved with a stateful oracle ---------------------
+
+#: Scenarios a monolithic mutable handle can meet (shard sites never fire).
+HANDLE_SCENARIOS = (
+    "failed-delta-apply",
+    "disk-full-writebehind",
+    "corrupt-artifact",
+    "eviction-storm",
+)
+
+
+class ChaosMembershipMachine(RuleBasedStateMachine):
+    """The PR 3 membership oracle machine, with arm/disarm as *rules*.
+
+    Hypothesis interleaves inserts, deletes, probes and fault-plan changes
+    in arbitrary orders; after every probe the answer must be correct
+    against the shadow bag, explicitly degraded, or loudly raised.
+    """
+
+    values = st.integers(min_value=-8, max_value=24)
+
+    def __init__(self):
+        super().__init__()
+        faults.clear_fault_plan()  # a prior failing example must not leak
+        self._tmp = tempfile.TemporaryDirectory()
+        self.engine = QueryEngine(store=ArtifactStore(self._tmp.name))
+        self.engine.register("membership", membership_class(), sorted_run_scheme())
+        self.oracle = [3, 1, 4, 1, 5]
+        self.handle = self.engine.open_dataset("membership", tuple(self.oracle))
+
+    @rule(name=st.sampled_from(HANDLE_SCENARIOS), seed=st.integers(0, 999))
+    def arm(self, name, seed):
+        if faults.active_plan() is None:
+            plan = scenario(
+                name, seed=seed, times=None, probability=0.5, policy=SOAK_POLICY
+            )
+            faults.install_fault_plan(plan)
+
+    @rule()
+    def disarm(self):
+        faults.clear_fault_plan()
+
+    @rule(value=values)
+    def insert(self, value):
+        self.handle.apply_changes([_insert(value)])
+        self.oracle.append(value)
+
+    @rule(value=values)
+    def delete(self, value):
+        self.handle.apply_changes([_delete(value)])
+        if value in self.oracle:
+            self.oracle.remove(value)
+
+    @rule(value=values)
+    def probe(self, value):
+        _check(self.handle, value, value in self.oracle)
+
+    def teardown(self):
+        faults.clear_fault_plan()
+        try:
+            self.handle.close()  # clean store: the final flush must succeed
+            self.engine.close()
+        finally:
+            self._tmp.cleanup()
+
+
+ChaosMembershipMachine.TestCase.settings = MACHINE_SETTINGS
+TestChaosMembershipMachine = ChaosMembershipMachine.TestCase

@@ -1,0 +1,353 @@
+"""Chaos suite: every registered fault scenario, pinned to its recovery.
+
+One test per :data:`repro.service.faults.SCENARIOS` entry.  Each test arms
+the scenario against a real serving stack, asserts the *defined* recovery
+behavior (the "Failure model" table in ``docs/architecture.md``), and
+asserts the exact health counters the scenario must move
+(``stats_snapshot()["health"]``).  A completeness test at the bottom keeps
+the registry and this file in lockstep: adding a scenario without pinning
+it here fails CI.
+
+The suite is deselected from tier-1 by the ``chaos`` marker (see
+``pyproject.toml``); the CI chaos job runs it under three fixed seeds via
+``CHAOS_SEED``.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.catalog import build_query_engine
+from repro.core.errors import ShardFailedError, WriteBehindError
+from repro.incremental.changes import ChangeKind, TupleChange
+from repro.service import faults
+from repro.service.artifacts import ArtifactStore
+from repro.service.faults import (
+    SCENARIOS,
+    DegradedAnswer,
+    RecoveryPolicy,
+    scenario,
+)
+
+pytestmark = pytest.mark.chaos
+
+#: The CI chaos job sweeps this over three fixed seeds; locally it is 0.
+CHAOS_SEED = int(os.environ.get("CHAOS_SEED", "0"))
+
+#: Fast backoffs/thresholds so retry loops resolve in milliseconds.
+FAST_POLICY = RecoveryPolicy(
+    writebehind_attempts=2,
+    writebehind_backoff_seconds=0.001,
+    slow_shard_seconds=0.005,
+    slow_load_seconds=0.005,
+)
+
+
+@pytest.fixture(autouse=True)
+def _always_disarm():
+    """No test may leak an armed plan into the next (or into teardown)."""
+    yield
+    faults.clear_fault_plan()
+
+
+def _insert(*row):
+    return TupleChange(ChangeKind.INSERT, tuple(row))
+
+
+def _persisted_membership(tmp_path, data):
+    """Build and persist the list-membership artifact, then return a fresh
+    engine whose first query must come from the store."""
+    store = ArtifactStore(tmp_path)
+    with build_query_engine(store=store) as warmup:
+        warmup.warm("list-membership", data)
+    return build_query_engine(store=store)
+
+
+# -- store.read ----------------------------------------------------------------
+
+
+def test_corrupt_artifact_recovers_by_bounded_retry(tmp_path):
+    """One corrupt read (default ``times=1``): the engine counts the
+    checksum failure, retries the read, and serves from the now-clean file
+    -- no rebuild, no deleted artifact."""
+    data = tuple(range(64))
+    with _persisted_membership(tmp_path, data) as engine:
+        ds = engine.attach("d", data, kinds=["list-membership"])
+        with scenario("corrupt-artifact", seed=CHAOS_SEED).armed():
+            assert ds.query("list-membership", 7)
+            assert not ds.query("list-membership", 99)
+        health = engine.stats().health()
+        assert health["checksum_failures"] == 1
+        assert health["rebuild_retries"] == 1
+        stats = engine.stats().per_kind["list-membership"]
+        assert stats.store_hits == 1  # the retry read the clean file
+        assert stats.builds == 0  # recovery never fell back to a rebuild
+        assert engine._store.contains(engine.artifact_key("list-membership", data))
+
+
+def test_corrupt_artifact_persistent_rebuilds_from_source(tmp_path):
+    """Every read corrupt (``times=None``): retries exhaust, the bad
+    artifact is deleted, and the structure rebuilds from source -- always
+    safe, artifacts are pure caches of PTIME-recomputable state."""
+    data = tuple(range(64))
+    with _persisted_membership(tmp_path, data) as engine:
+        ds = engine.attach("d", data, kinds=["list-membership"])
+        with scenario("corrupt-artifact", seed=CHAOS_SEED, times=None).armed():
+            assert ds.query("list-membership", 7)
+        health = engine.stats().health()
+        assert health["checksum_failures"] == 2  # first read + one retry
+        assert health["rebuild_retries"] == 1
+        stats = engine.stats().per_kind["list-membership"]
+        assert stats.store_hits == 0
+        assert stats.builds == 1
+    # The rebuild re-persisted a clean artifact: a third engine store-hits.
+    with build_query_engine(store=ArtifactStore(tmp_path)) as engine:
+        assert engine.attach("d", data, kinds=["list-membership"]).query(
+            "list-membership", 7
+        )
+        assert engine.stats().per_kind["list-membership"].store_hits == 1
+
+
+def test_truncate_artifact_detected_and_recovered(tmp_path):
+    """Truncation trips the length/checksum integrity checks -- the same
+    recovery family as bit rot: count, retry, serve."""
+    data = tuple(range(64))
+    with _persisted_membership(tmp_path, data) as engine:
+        ds = engine.attach("d", data, kinds=["list-membership"])
+        with scenario("truncate-artifact", seed=CHAOS_SEED).armed():
+            assert ds.query("list-membership", 7)
+        health = engine.stats().health()
+        assert health["checksum_failures"] == 1
+        assert health["rebuild_retries"] == 1
+        assert engine.stats().per_kind["list-membership"].store_hits == 1
+
+
+def test_slow_artifact_read_counts_slow_loads(tmp_path):
+    """A slow read still serves correctly; the latency is observable as a
+    ``slow_loads`` tick instead of a silent stall."""
+    data = tuple(range(64))
+    with _persisted_membership(tmp_path, data) as engine:
+        ds = engine.attach("d", data, kinds=["list-membership"])
+        plan = scenario("slow-artifact-read", seed=CHAOS_SEED, policy=FAST_POLICY)
+        with plan.armed():
+            assert ds.query("list-membership", 7)
+        assert plan.fired_count("store.read") == 1
+        health = engine.stats().health()
+        assert health["slow_loads"] >= 1
+        assert health["checksum_failures"] == 0
+        assert engine.stats().per_kind["list-membership"].store_hits == 1
+
+
+# -- shard.partial -------------------------------------------------------------
+
+
+def test_dead_shard_union_degrades_explicitly():
+    """Union-merge kinds answer from the surviving shards, but the answer
+    is a :class:`DegradedAnswer` -- partial, loud, never silently wrong."""
+    data = tuple(range(64))
+    with build_query_engine(shards=3) as engine:
+        ds = engine.attach("d", data, kinds=["list-membership"], shards=3)
+        assert ds.query("list-membership", 7)  # warm all routed state
+        plan = scenario("dead-shard", kind="list-membership", seed=CHAOS_SEED)
+        with plan.armed():
+            answer = ds.query("list-membership", 7)
+        assert isinstance(answer, DegradedAnswer)
+        assert answer.partial is True
+        assert answer.failed_shards  # names which shard was lost
+        assert answer == answer or True  # int-compatible; never raises
+        health = engine.stats().health()
+        assert health["degraded_answers"] == 1
+        assert health["shard_failures"] == 0  # union never fails fast
+        # Disarmed, the same probe is whole again -- and unmarked.
+        recovered = ds.query("list-membership", 7)
+        assert recovered and not getattr(recovered, "partial", False)
+
+
+def test_dead_shard_monoid_fails_fast():
+    """Monoid-combine kinds (RMQ) cannot tolerate a missing partial: a lost
+    shard raises :class:`ShardFailedError` instead of guessing."""
+    data = tuple(range(48))
+    with build_query_engine(shards=3) as engine:
+        ds = engine.attach("d", data, kinds=["minimum-range-query"], shards=3)
+        assert ds.query("minimum-range-query", (0, 47, 0))  # warm
+        with scenario("dead-shard", kind="minimum-range-query", seed=CHAOS_SEED).armed():
+            with pytest.raises(ShardFailedError):
+                ds.query("minimum-range-query", (0, 47, 0))
+        health = engine.stats().health()
+        assert health["shard_failures"] == 1
+        assert health["degraded_answers"] == 0
+        assert ds.query("minimum-range-query", (0, 47, 0))  # recovered
+
+
+def test_dead_shard_kway_fails_fast():
+    """K-way-merge kinds (top-k) are fail-fast like monoids: a global
+    ranking cannot be cut down to the shards that answered."""
+    data = tuple((i, 100 - i) for i in range(16))  # every row aggregates to 100
+    with build_query_engine(shards=3) as engine:
+        ds = engine.attach("d", data, kinds=["topk-threshold"], shards=3)
+        assert ds.query("topk-threshold", ((1, 1), 3, 100))  # warm
+        with scenario("dead-shard", kind="topk-threshold", seed=CHAOS_SEED).armed():
+            with pytest.raises(ShardFailedError):
+                ds.query("topk-threshold", ((1, 1), 3, 100))
+        assert engine.stats().health()["shard_failures"] == 1
+        assert ds.query("topk-threshold", ((1, 1), 3, 100))
+
+
+def test_slow_shard_counts_timeouts_and_stays_correct():
+    data = tuple(range(64))
+    with build_query_engine(shards=3) as engine:
+        ds = engine.attach("d", data, kinds=["list-membership"], shards=3)
+        assert ds.query("list-membership", 7)
+        plan = scenario(
+            "slow-shard", kind="list-membership", seed=CHAOS_SEED, policy=FAST_POLICY
+        )
+        with plan.armed():
+            answer = ds.query("list-membership", 7)
+        assert answer and not getattr(answer, "partial", False)
+        health = engine.stats().health()
+        assert health["shard_timeouts"] >= 1
+        assert health["degraded_answers"] == 0
+
+
+# -- cache.put -----------------------------------------------------------------
+
+
+def test_eviction_storm_never_changes_answers():
+    """Every cache insert force-evicts a batch of entries, racing the
+    serve-plan invalidation watchers.  Serving survives: structures
+    re-resolve through the ordinary layers and answers never change."""
+    data = tuple(range(64))
+    with build_query_engine(cache_entries=8) as engine:
+        ds = engine.attach(
+            "d", data, kinds=["list-membership", "minimum-range-query"]
+        )
+        expected_member = [(probe, probe in data) for probe in range(-4, 70, 7)]
+        plan = scenario("eviction-storm", seed=CHAOS_SEED, storm_size=2)
+        with plan.armed():
+            for _ in range(5):
+                for probe, expected in expected_member:
+                    assert ds.query("list-membership", probe) == expected
+                assert ds.query("minimum-range-query", (0, 63, 0))
+        assert plan.fired_count("cache.put") > 0
+        assert engine.stats().cache.evictions > 0
+        assert engine.stats().health()["cache_listener_errors"] == 0
+
+
+# -- mutable.delta -------------------------------------------------------------
+
+
+def test_failed_delta_apply_commits_batch_and_repairs():
+    """``apply_delta`` crashes mid-batch: the batch still commits (content
+    is the source of truth) and the structure is repaired by rebuild, so no
+    torn snapshot is ever published."""
+    with build_query_engine() as engine:
+        ds = engine.attach("d", (1, 2, 3), kinds=["list-membership"], mutable=True)
+        assert ds.query("list-membership", 2)  # materialize the structure
+        with scenario("failed-delta-apply", kind="list-membership", seed=CHAOS_SEED).armed():
+            ds.apply_changes([_insert(9)])
+            # The faulted batch is fully visible -- no torn state.
+            assert ds.query("list-membership", 9)
+            assert ds.query("list-membership", 2)
+        health = engine.stats().health()
+        assert health["write_rollbacks"] == 1
+        stats = engine.stats().per_kind["list-membership"]
+        assert stats.fallback_rebuilds == 1
+        assert stats.delta_batches == 0  # the crashed fold never counted
+        # Disarmed, the next batch folds in place again.
+        ds.apply_changes([_insert(11)])
+        assert ds.query("list-membership", 11)
+        assert engine.stats().per_kind["list-membership"].delta_batches == 1
+
+
+def test_failed_delta_apply_on_handle_commits_and_repairs():
+    """Same torn-batch guard on the analytic DatasetHandle surface."""
+    with build_query_engine() as engine:
+        handle = engine.open_dataset("list-membership", (1, 2, 3))
+        with scenario("failed-delta-apply", seed=CHAOS_SEED).armed():
+            handle.apply_changes([_insert(9)])
+            assert handle.query(9)
+        health = engine.stats().health()
+        assert health["write_rollbacks"] == 1
+        assert engine.stats().per_kind["list-membership"].fallback_rebuilds == 1
+        handle.close()
+
+
+# -- store.write ---------------------------------------------------------------
+
+
+def test_disk_full_writebehind_retries_then_flush_raises(tmp_path):
+    """Write-behind hits a full disk: retries with backoff, keeps serving
+    from memory, and ``flush()`` surfaces the terminal error instead of
+    silently leaving a stale artifact.  Clearing the fault heals."""
+    store = ArtifactStore(tmp_path)
+    with build_query_engine(store=store) as engine:
+        ds = engine.attach("d", (1, 2, 3), kinds=["list-membership"], mutable=True)
+        assert ds.query("list-membership", 2)
+        plan = scenario(
+            "disk-full-writebehind", seed=CHAOS_SEED, times=None, policy=FAST_POLICY
+        )
+        with plan.armed():
+            ds.apply_changes([_insert(9)])
+            assert ds.query("list-membership", 9)  # memory stays current
+            with pytest.raises(WriteBehindError) as excinfo:
+                ds.flush()
+            assert isinstance(excinfo.value.__cause__, OSError)
+        health = engine.stats().health()
+        assert health["writebehind_retries"] >= 1
+        assert health["writebehind_failures"] >= 1
+        ds.flush()  # disk "freed": the sync re-persist succeeds and heals
+        assert ds.query("list-membership", 9)
+
+
+def test_disk_full_sync_build_serves_from_memory(tmp_path):
+    """A cold build whose synchronous persist fails still serves -- only
+    durability is lost, and ``persist_failures`` makes that observable."""
+    data = tuple(range(64))
+    store = ArtifactStore(tmp_path)
+    with build_query_engine(store=store) as engine:
+        ds = engine.attach("d", data, kinds=["list-membership"])
+        with scenario("disk-full-writebehind", seed=CHAOS_SEED, times=None).armed():
+            assert ds.query("list-membership", 7)
+            assert not ds.query("list-membership", 99)
+        health = engine.stats().health()
+        assert health["persist_failures"] == 1
+        assert not store.contains(engine.artifact_key("list-membership", data))
+        assert engine.stats().per_kind["list-membership"].builds == 1
+
+
+# -- registry completeness -----------------------------------------------------
+
+#: scenario name -> the test(s) above that pin its recovery contract.
+PINNED = {
+    "corrupt-artifact": (
+        test_corrupt_artifact_recovers_by_bounded_retry,
+        test_corrupt_artifact_persistent_rebuilds_from_source,
+    ),
+    "truncate-artifact": (test_truncate_artifact_detected_and_recovered,),
+    "slow-artifact-read": (test_slow_artifact_read_counts_slow_loads,),
+    "dead-shard": (
+        test_dead_shard_union_degrades_explicitly,
+        test_dead_shard_monoid_fails_fast,
+        test_dead_shard_kway_fails_fast,
+    ),
+    "slow-shard": (test_slow_shard_counts_timeouts_and_stays_correct,),
+    "eviction-storm": (test_eviction_storm_never_changes_answers,),
+    "failed-delta-apply": (
+        test_failed_delta_apply_commits_batch_and_repairs,
+        test_failed_delta_apply_on_handle_commits_and_repairs,
+    ),
+    "disk-full-writebehind": (
+        test_disk_full_writebehind_retries_then_flush_raises,
+        test_disk_full_sync_build_serves_from_memory,
+    ),
+}
+
+
+def test_every_registered_scenario_is_pinned():
+    """Adding a scenario to the registry without a chaos test fails here."""
+    assert set(PINNED) == set(SCENARIOS)
+    for name, tests in PINNED.items():
+        assert tests, name
+        assert all(callable(test) for test in tests), name

@@ -1,0 +1,182 @@
+"""Unit tests for the fault-injection plumbing (ISSUE 7 tentpole).
+
+Tier-1 coverage of :mod:`repro.service.faults` itself -- spec validation,
+deterministic clocks, the scenario registry, arming semantics, and the
+:class:`DegradedAnswer` marker.  The *serving-stack* recovery behavior each
+scenario triggers lives in ``tests/chaos/`` (run with ``-m chaos``); these
+tests keep the subsystem's contracts pinned in the default suite.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.service import faults
+from repro.service.faults import (
+    SCENARIOS,
+    SITES,
+    DegradedAnswer,
+    FaultClock,
+    FaultPlan,
+    FaultSpec,
+    RecoveryPolicy,
+    scenario,
+)
+
+
+@pytest.fixture(autouse=True)
+def _always_disarm():
+    yield
+    faults.clear_fault_plan()
+
+
+# -- FaultSpec validation ------------------------------------------------------
+
+
+def test_spec_rejects_unknown_site_and_mismatched_mode():
+    with pytest.raises(ValueError, match="unknown fault site"):
+        FaultSpec("store.missing", "corrupt")
+    with pytest.raises(ValueError, match="not valid at site"):
+        FaultSpec("store.read", "disk-full")
+    with pytest.raises(ValueError, match="probability"):
+        FaultSpec("store.read", "corrupt", probability=1.5)
+
+
+def test_spec_matching_filters_kind_and_shard():
+    spec = FaultSpec("shard.partial", "raise", kind="membership", shard=2)
+    assert spec.matches("membership", 2)
+    assert not spec.matches("rmq", 2)
+    assert not spec.matches("membership", 0)
+    # None on either side means "no filter applies".
+    assert spec.matches(None, None)
+    assert FaultSpec("shard.partial", "raise").matches("anything", 7)
+
+
+def test_every_site_mode_pair_constructs():
+    for site, modes in SITES.items():
+        for mode in modes:
+            assert FaultSpec(site, mode).site == site
+
+
+# -- FaultClock determinism ----------------------------------------------------
+
+
+def test_clock_respects_after_times_and_probability_deterministically():
+    spec = FaultSpec("store.read", "corrupt", after=2, times=3)
+    clock = FaultClock(seed=7)
+    decisions = [clock.decide(0, spec) for _ in range(10)]
+    # Skips the first `after` invocations, then fires exactly `times`.
+    assert decisions == [False, False, True, True, True] + [False] * 5
+
+    thinned = FaultSpec("store.read", "corrupt", times=None, probability=0.4)
+
+    def schedule(seed):
+        clock = FaultClock(seed=seed)
+        return [clock.decide(0, thinned) for _ in range(50)]
+
+    schedule_a, schedule_b, schedule_c = schedule(11), schedule(11), schedule(12)
+    assert schedule_a == schedule_b  # same seed, same schedule
+    assert schedule_a != schedule_c  # a different seed reshuffles
+    assert 0 < sum(schedule_a) < 50  # thinning actually thins
+
+
+def test_clock_counts_specs_independently():
+    clock = FaultClock()
+    eager = FaultSpec("store.read", "corrupt", times=1)
+    assert clock.decide(0, eager) is True
+    assert clock.decide(0, eager) is False  # spent
+    assert clock.decide(1, eager) is True  # a different spec index is fresh
+    assert clock.fired(0) == 1 and clock.fired(1) == 1
+
+
+# -- plans, arming, and the registry -------------------------------------------
+
+
+def test_install_is_exclusive_and_clear_is_idempotent():
+    plan = scenario("corrupt-artifact")
+    faults.install_fault_plan(plan)
+    assert faults.active_plan() is plan
+    with pytest.raises(RuntimeError, match="already armed"):
+        faults.install_fault_plan(scenario("dead-shard"))
+    faults.clear_fault_plan()
+    faults.clear_fault_plan()  # idempotent
+    assert faults.active_plan() is None
+
+
+def test_armed_context_clears_even_on_error():
+    plan = scenario("eviction-storm")
+    with pytest.raises(RuntimeError, match="boom"):
+        with plan.armed():
+            assert faults.active_plan() is plan
+            raise RuntimeError("boom")
+    assert faults.active_plan() is None
+
+
+def test_policy_follows_the_armed_plan():
+    assert faults.policy() is faults.DEFAULT_POLICY
+    custom = RecoveryPolicy(load_retries=3)
+    with scenario("corrupt-artifact", policy=custom).armed():
+        assert faults.policy() is custom
+    assert faults.policy() is faults.DEFAULT_POLICY
+
+
+def test_scenario_overrides_replace_spec_fields():
+    plan = scenario("dead-shard", kind="membership", times=None, seed=5)
+    assert plan.name == "dead-shard"
+    assert plan.seed == 5
+    assert all(spec.kind == "membership" for spec in plan.specs)
+    assert all(spec.times is None for spec in plan.specs)
+    with pytest.raises(KeyError, match="unknown fault scenario"):
+        scenario("meteor-strike")
+    # Overrides are validated like hand-built specs.
+    with pytest.raises(ValueError, match="probability"):
+        scenario("dead-shard", probability=2.0)
+
+
+def test_registry_specs_all_target_known_sites():
+    for name, specs in SCENARIOS.items():
+        assert specs, name
+        for spec in specs:
+            assert spec.site in SITES
+            assert spec.mode in SITES[spec.site]
+
+
+def test_first_firing_and_fired_count_filter_by_site():
+    plan = FaultPlan(
+        [
+            FaultSpec("store.read", "corrupt", times=1),
+            FaultSpec("cache.put", "evict-storm", times=2),
+        ]
+    )
+    assert plan.first_firing("store.read").mode == "corrupt"
+    assert plan.first_firing("store.read") is None  # spent
+    assert plan.first_firing("cache.put").mode == "evict-storm"
+    assert plan.fired_count("store.read") == 1
+    assert plan.fired_count() == 2
+    assert plan.first_firing("mutable.delta") is None
+
+
+def test_disarmed_hooks_are_no_ops():
+    """The zero-overhead contract: with no plan armed every hook returns
+    without side effects, so serving code can guard on ``_PLAN is None``."""
+    assert faults.active_plan() is None
+    assert faults.on_store_read(None, b"payload") == b"payload"
+    faults.on_store_write(None)
+    faults.on_shard_partial("membership", 0)
+    faults.on_cache_put(None, None)
+    faults.on_delta_apply("membership")
+
+
+# -- DegradedAnswer ------------------------------------------------------------
+
+
+def test_degraded_answer_compares_like_bool_but_is_marked():
+    hit = DegradedAnswer(True, reason="shard 1 lost", failed_shards=(1,))
+    miss = DegradedAnswer(False, reason="shard 2 lost", failed_shards=(2,))
+    assert hit == True and miss == False  # noqa: E712 - the compat contract
+    assert bool(hit) is True and bool(miss) is False
+    assert hit.partial and miss.partial
+    assert hit.failed_shards == (1,)
+    assert "shard 1 lost" in repr(hit)
+    # A plain bool carries no marker -- the attribute is the discriminator.
+    assert not getattr(True, "partial", False)

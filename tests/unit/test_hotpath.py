@@ -24,7 +24,7 @@ from repro.queries import (
     rmq_class,
     sorted_run_scheme,
 )
-from repro.service.engine import QueryEngine, QueryRequest
+from repro.service.engine import EngineStats, QueryEngine, QueryRequest
 
 # The raw-payload QueryRequest form used throughout this module is
 # deprecated (named sessions are the supported surface); its behavior
@@ -315,3 +315,92 @@ def test_stats_fold_across_threads_and_reset():
         assert after["queries"] == 0 and after["serve_seconds"] == 0.0
         ds.query("membership", 1)
         assert ds.stats()["kinds"]["membership"]["queries"] == 1
+
+
+# -- eviction-listener hardening (ISSUE 7 satellite) ---------------------------
+
+
+def test_raising_eviction_listener_cannot_poison_cache_or_skip_keys():
+    """A listener that raises is contained: the cache lock stays healthy,
+    every evicted key is still notified (clear() reaches all of them), and
+    the failures are counted instead of propagated."""
+    from repro.service.cache import LRUArtifactCache
+
+    notified = []
+
+    def bad_listener(key):
+        notified.append(key)
+        raise RuntimeError(f"listener crashed on {key!r}")
+
+    cache = LRUArtifactCache(capacity=2)
+    cache.set_eviction_listener(bad_listener)
+    cache.put("a", 1)
+    cache.put("b", 2)
+    cache.put("c", 3)  # evicts "a"; the listener raises -- contained
+    assert notified == ["a"]
+    assert cache.get("c") == 3  # the lock survived: cache still usable
+    assert cache.invalidate("b") is True  # raises again -- still contained
+    cache.put("d", 4)
+    cache.clear()  # both remaining keys notified despite every call raising
+    assert sorted(notified) == ["a", "b", "c", "d"]
+    assert cache.stats().listener_errors == 4
+    cache.put("e", 5)  # and the cache keeps working after all of it
+    assert cache.get("e") == 5
+
+
+def test_listener_errors_surface_in_engine_health_rollup():
+    with _flat_engine(cache_entries=1) as engine:
+        engine._cache.set_eviction_listener(
+            lambda key: (_ for _ in ()).throw(RuntimeError("boom"))
+        )
+        data = tuple(range(32))
+        engine.attach("a", data, kinds=["membership"]).query("membership", 1)
+        engine.attach("b", tuple(range(16)), kinds=["rmq"]).query("rmq", (0, 3, 0))
+        health = engine.stats().stats_snapshot()["health"]
+        assert health["cache_listener_errors"] >= 1
+
+
+# -- stats shape under concurrency (ISSUE 7 satellite) -------------------------
+
+
+def test_stats_snapshot_shape_stays_stable_under_concurrent_readers_and_writer():
+    """``Dataset.stats()`` / ``stats_snapshot()`` keep their documented dict
+    shape while reader threads hammer them against one mutating writer --
+    no KeyError/RuntimeError out of half-updated counter state."""
+    health_keys = set(EngineStats.HEALTH_FIELDS) | {"cache_listener_errors"}
+    with _flat_engine(max_workers=2) as engine:
+        ds = engine.attach("events", (1, 2, 3), kinds=["membership"], mutable=True)
+        ds.query("membership", 1)
+        failures = []
+        stop = threading.Event()
+
+        def reader():
+            try:
+                while not stop.is_set():
+                    session = ds.stats()
+                    assert session["dataset"] == "events"
+                    assert session["mutable"] is True
+                    assert isinstance(session["version"], int)
+                    counters = session["kinds"]["membership"]
+                    assert set(counters) >= {"queries", "hit_rate", "delta_batches"}
+                    snapshot = engine.stats().stats_snapshot()
+                    assert set(snapshot["health"]) == health_keys
+                    assert all(
+                        isinstance(value, int) and value >= 0
+                        for value in snapshot["health"].values()
+                    )
+                    assert "membership" in snapshot["per_kind"]
+            except BaseException as exc:  # surfaced after join
+                failures.append(exc)
+
+        readers = [threading.Thread(target=reader) for _ in range(3)]
+        for thread in readers:
+            thread.start()
+        for value in range(200):
+            ds.apply_changes([TupleChange(ChangeKind.INSERT, (value,))])
+            ds.query("membership", value)
+        stop.set()
+        for thread in readers:
+            thread.join()
+        assert not failures, failures
+        assert ds.stats()["kinds"]["membership"]["delta_batches"] == 200

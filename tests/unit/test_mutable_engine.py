@@ -373,3 +373,87 @@ def test_open_dataset_unknown_kind_and_unsupported_data():
             engine.open_dataset("nope", (1, 2))
         with pytest.raises(ServiceError, match="mutable serving supports"):
             engine.open_dataset("membership", {"a", "set"})
+
+
+# -- write-behind failures surface loudly (ISSUE 7 satellite) ------------------
+
+
+def _break_store(store):
+    """Make every put fail like a full disk; returns the undo callable."""
+    original = store.put
+
+    def failing_put(key, payload):
+        raise OSError(28, "No space left on device (injected)")
+
+    store.put = failing_put
+    return lambda: setattr(store, "put", original)
+
+
+def test_handle_flush_reraises_terminal_writebehind_error(tmp_path):
+    """A dead store must not silently strand a dirty version: flush()
+    raises WriteBehindError with the store failure as the cause, while the
+    in-memory structure keeps serving the current version."""
+    from repro.core.errors import WriteBehindError
+    from repro.service.faults import FaultPlan, RecoveryPolicy
+
+    engine = QueryEngine(store=ArtifactStore(tmp_path))
+    engine.register("membership", membership_class(), sorted_run_scheme())
+    handle = engine.open_dataset("membership", (1, 2, 3))
+    restore = _break_store(engine._store)
+    # Fast retries: the broken store is the point, not the backoff.
+    # An empty plan injects nothing; arming it just swaps in fast retries.
+    fast = FaultPlan([], policy=RecoveryPolicy(
+        writebehind_attempts=2, writebehind_backoff_seconds=0.001))
+    with fast.armed():
+        handle.apply_changes([_insert(9)])
+        with pytest.raises(WriteBehindError) as excinfo:
+            handle.flush()
+    assert isinstance(excinfo.value.__cause__, OSError)
+    assert handle.query(9)  # memory stays current; only durability lagged
+    assert engine.stats().per_kind["membership"].writebehind_failures >= 1
+    restore()
+    handle.flush()  # store healed: the stored error clears
+    handle.close()
+    engine.close()
+
+
+def test_handle_close_reraises_writebehind_error_but_still_detaches(tmp_path):
+    from repro.core.errors import WriteBehindError
+    from repro.service.faults import FaultPlan, RecoveryPolicy
+
+    engine = QueryEngine(store=ArtifactStore(tmp_path))
+    engine.register("membership", membership_class(), sorted_run_scheme())
+    handle = engine.open_dataset("membership", (1, 2, 3))
+    _break_store(engine._store)
+    fast = FaultPlan([], policy=RecoveryPolicy(
+        writebehind_attempts=1, writebehind_backoff_seconds=0.001))
+    with fast.armed():
+        handle.apply_changes([_insert(9)])
+        with pytest.raises(WriteBehindError):
+            handle.close()
+    assert handle.closed  # shutdown never wedges on a dead store
+    with pytest.raises(ServiceError):
+        handle.query(9)
+    engine.close()  # the handle was forgotten: engine teardown is clean
+
+
+def test_engine_close_surfaces_session_writebehind_error_and_still_closes(tmp_path):
+    """Mutable Dataset sessions propagate the same way: detach-at-close
+    flushes, and a terminal store failure escapes engine.close() *after*
+    the full teardown finished."""
+    from repro.core.errors import WriteBehindError
+    from repro.service.faults import FaultPlan, RecoveryPolicy
+
+    engine = QueryEngine(store=ArtifactStore(tmp_path))
+    engine.register("membership", membership_class(), sorted_run_scheme())
+    ds = engine.attach("events", (1, 2, 3), kinds=["membership"], mutable=True)
+    assert ds.query("membership", 2)
+    _break_store(engine._store)
+    fast = FaultPlan([], policy=RecoveryPolicy(
+        writebehind_attempts=1, writebehind_backoff_seconds=0.001))
+    with fast.armed():
+        ds.apply_changes([_insert(9)])
+        assert ds.query("membership", 9)
+        with pytest.raises(WriteBehindError):
+            engine.close()
+    assert engine._closed  # teardown completed before the error escaped
