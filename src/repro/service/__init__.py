@@ -36,10 +36,11 @@ This package persists built structures and serves query batches against them:
 
 :mod:`repro.service.mutable`
     :class:`DatasetHandle` -- versioned, snapshot-consistent serving of
-    *mutable* datasets: change batches fold into the live Pi-structure
-    through per-scheme ``apply_delta`` hooks in O(|CHANGED| * polylog)
-    (falling back to touched-shard or full rebuilds), with write-behind
-    persistence of dirty artifacts.
+    *mutable* datasets: lock-free readers pin atomically published version
+    records (:class:`VersionedStructures`) while change batches fold into
+    the offline structure set through per-scheme ``apply_delta`` hooks in
+    O(|CHANGED| * polylog) (falling back to touched-shard or full
+    rebuilds), with write-behind persistence of dirty artifacts.
 
 This module is also the *curated public surface*: everything a serving
 client needs -- the engine, the dataset-first session API, the error
@@ -87,7 +88,12 @@ from repro.service.faults import (
 from repro.service.cache import LRUArtifactCache
 from repro.service.dataset import Dataset
 from repro.service.engine import EngineStats, QueryEngine, QueryRequest, SchemeStats
-from repro.service.mutable import DatasetHandle, MutableContent, SnapshotLatch
+from repro.service.mutable import (
+    DatasetHandle,
+    MutableContent,
+    SnapshotLatch,
+    VersionedStructures,
+)
 from repro.service.merge import (
     MergeOperator,
     ShardPiece,
@@ -131,6 +137,7 @@ __all__ = [
     "DatasetHandle",
     "MutableContent",
     "SnapshotLatch",
+    "VersionedStructures",
     "EngineStats",
     "QueryEngine",
     "QueryRequest",

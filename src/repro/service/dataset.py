@@ -21,10 +21,11 @@ fingerprints a payload **once**, registers a stable name, and returns a
 * ``ds.warm(kinds=...)`` -- pre-build (and persist) structures per kind;
 * ``ds.apply_changes(batch)`` -- for sessions attached ``mutable=True``,
   folds one change batch into *every* served structure behind a single
-  snapshot latch, routing each kind to its ``PiScheme.apply_delta`` hook
-  (falling back to touched-shard or full rebuilds), replacing the
-  one-kind-per-handle restriction of
-  :class:`~repro.service.mutable.DatasetHandle`;
+  writer mutex and one atomically published version pointer (readers are
+  lock-free; see :class:`~repro.service.mutable.VersionedStructures`),
+  routing each kind to its ``PiScheme.apply_delta`` hook (falling back to
+  touched-shard or full rebuilds), replacing the one-kind-per-handle
+  restriction of :class:`~repro.service.mutable.DatasetHandle`;
 * ``ds.detach()`` -- flushes dirty state and releases the name; further use
   raises :class:`~repro.core.errors.UnknownDatasetError`.
 
@@ -77,7 +78,7 @@ from repro.core.query import PiScheme
 from repro.incremental.changes import ChangeLog
 from repro.service import faults
 from repro.service.artifacts import ArtifactKey
-from repro.service.mutable import MutableContent, SnapshotLatch, advance_lineage
+from repro.service.mutable import MutableContent, VersionedStructures, advance_lineage
 from repro.service.sharding import ShardPlan, gather_fast
 from repro.storage.fingerprint import dataset_fingerprint
 
@@ -168,7 +169,14 @@ class _ServePlan:
 
     def serve(self, query: Any) -> bool:
         started = time.perf_counter()
-        answer = self.answer(query)
+        try:
+            answer = self.answer(query)
+        except Exception:
+            # Failed serves must never be invisible: health accounting
+            # counts the errored query even though the caller sees the
+            # exception.
+            self._engine._bump(self._kind, serve_errors=1)
+            raise
         self._engine._count_serve(
             self._kind, queries=1, serve_seconds=time.perf_counter() - started
         )
@@ -176,7 +184,11 @@ class _ServePlan:
 
     def serve_many(self, queries: Sequence[Any]) -> List[bool]:
         started = time.perf_counter()
-        answers = self.answer_many(queries)
+        try:
+            answers = self.answer_many(queries)
+        except Exception:
+            self._engine._bump(self._kind, serve_errors=len(queries))
+            raise
         self._engine._count_serve(
             self._kind,
             queries=len(queries),
@@ -254,10 +266,14 @@ class _ShardedServe:
     def serve(self, query: Any) -> bool:
         effective, positions = self._routed(query)
         started = time.perf_counter()
-        answer = gather_fast(
-            self._registration, self._spec, self._plan, self._structures,
-            positions, effective, engine=self._engine, kind=self._kind,
-        )
+        try:
+            answer = gather_fast(
+                self._registration, self._spec, self._plan, self._structures,
+                positions, effective, engine=self._engine, kind=self._kind,
+            )
+        except Exception:
+            self._engine._bump(self._kind, serve_errors=1)
+            raise
         elapsed = time.perf_counter() - started
         self._engine._count_serve(
             self._kind, queries=1, serve_seconds=elapsed, shard_serve_seconds=elapsed
@@ -270,16 +286,18 @@ class _ShardedServe:
 
 
 class _MutableServe:
-    """The serve plan of a mutable session's kind: latch + current structure.
+    """The serve plan of a mutable session's kind: lock-free versioned reads.
 
     The plan binds the session state and registration, **not** a structure:
-    every answer acquires the read latch (plain-call form -- no
-    contextmanager overhead) and reads the *current* structure out of the
-    state's per-kind dict, so delta maintenance and fallback rebuilds are
-    picked up without any plan invalidation -- one dict hit plus one kernel
-    call, exactly the versioned-snapshot contract.  First-touch
-    materialization happens before the serve timer starts, so build cost
-    never leaks into ``serve_seconds``.
+    every answer pins the state's current published
+    :class:`~repro.service.mutable._Version` record -- one attribute load
+    plus a per-thread announce slot, no shared lock of any kind -- and
+    serves the kind's structure out of it, so delta maintenance and
+    fallback rebuilds are picked up without any plan invalidation.  A
+    writer can never block a read; batch atomicity lives in
+    ``_MutableState.query_batch`` (one pin across every kind group).
+    First-touch materialization happens before the serve timer starts, so
+    build cost never leaks into ``serve_seconds``.
     """
 
     __slots__ = ("_engine", "_state", "_kind", "_registration", "_sharded")
@@ -299,30 +317,41 @@ class _MutableServe:
 
     def serve(self, query: Any) -> bool:
         state = self._state
-        latch = state._latch
-        latch.acquire_read()
+        versions = state._versions
+        slot = versions.slot()
+        version = versions.pin(slot)
         try:
             state._ds._check_attached()
-            structure = state._structures.get(self._kind)
-            if structure is None:
-                structure = state._structure_locked(self._kind)
+            structure = version.structures.get(self._kind)
+            while structure is None:
+                # First touch (or a failed repair dropped the kind): go
+                # idle -- materialization takes the writer mutex, and an
+                # announced reader must never block on it -- then re-pin.
+                versions.release(slot)
+                state._materialize(self._kind)
+                version = versions.pin(slot)
+                structure = version.structures.get(self._kind)
             started = time.perf_counter()
-            if self._sharded:
-                answer = self._engine._planner.answer_fast(
-                    self._registration, structure, query, kind=self._kind
-                )
-            else:
-                answer = self._registration.scheme.answer_fast(structure, query)
+            try:
+                if self._sharded:
+                    answer = self._engine._planner.answer_fast(
+                        self._registration, structure, query, kind=self._kind
+                    )
+                else:
+                    answer = self._registration.scheme.answer_fast(structure, query)
+            except Exception:
+                self._engine._bump(self._kind, serve_errors=1)
+                raise
             elapsed = time.perf_counter() - started
         finally:
-            latch.release_read()
+            versions.release(slot)
         self._engine._count_serve(self._kind, queries=1, serve_seconds=elapsed)
         return answer
 
     # No serve_many here: mutable batches never reach the per-kind plans --
     # Dataset.query_batch routes the whole batch to _MutableState.query_batch,
-    # which holds the latch once across *every* kind group (batch atomicity
-    # is a whole-batch property, not a per-group one).
+    # which pins one version record across *every* kind group (batch
+    # atomicity is a whole-batch property, not a per-group one).
 
 
 class Dataset:
@@ -343,12 +372,13 @@ class Dataset:
       served kind whose scheme declares a
       :class:`~repro.service.merge.ShardSpec` (kinds without one keep their
       registered path);
-    * ``mutable=True`` routes all serving through a snapshot latch and
-      enables :meth:`apply_changes`.
+    * ``mutable=True`` routes all serving through versioned snapshot
+      publication and enables :meth:`apply_changes`.
 
     Thread safety matches the engine's: any number of threads may query
-    concurrently; for mutable sessions the latch serializes readers against
-    writers, so answers always reflect a fully-applied version.
+    concurrently; mutable sessions serve lock-free against the current
+    published version (writers never block readers), so answers always
+    reflect a fully-applied version.
     """
 
     def __init__(
@@ -507,8 +537,8 @@ class Dataset:
         registration and the resolved structure at first use).  The first
         query per kind -- and any query after a plan invalidation -- walks
         the engine's ordinary artifact layers (cache -> store -> build) with
-        the precomputed identity; mutable sessions answer under the read
-        latch against the latest fully-applied version.
+        the precomputed identity; mutable sessions answer lock-free against
+        the latest published (fully-applied) version.
         """
         plan = self._plans.get(kind)
         if plan is None:
@@ -603,9 +633,10 @@ class Dataset:
 
         The batch is **vectorized**: queries are grouped by kind and each
         group runs through one ``answer_many`` kernel call instead of one
-        dispatch per query.  Mutable sessions answer every group under a
-        single read latch, so the whole batch reflects one version (the
-        batch-atomic snapshot guarantee).  With ``concurrent=True``, large
+        dispatch per query.  Mutable sessions pin one published version
+        record across every group, so the whole batch reflects one version
+        (the batch-atomic snapshot guarantee -- one pointer read, not a
+        lock).  With ``concurrent=True``, large
         batches are chunked to the engine pool's width -- one task per
         worker, never one task per query; small batches run inline.
         """
@@ -705,9 +736,9 @@ class Dataset:
         scheme's ``apply_delta`` hook when possible; sharded kinds and
         refused batches fall back to resolving the post-batch content
         (content-addressed shard artifacts make that a touched-shards-only
-        rebuild).  Readers never observe an intermediate state: the write
-        latch covers validation, every per-kind maintenance step, and the
-        version bump.
+        rebuild).  Readers never observe an intermediate state: every
+        maintenance step runs against the offline structure set, and the
+        new version becomes visible through one atomic pointer store.
         """
         self._check_attached()
         if self._mutable is None:
@@ -801,31 +832,30 @@ class Dataset:
 
 
 class _MutableState:
-    """Multi-kind mutable serving state behind one snapshot latch.
+    """Multi-kind mutable serving state behind one published version pointer.
 
     The generalization of :class:`~repro.service.mutable.DatasetHandle` to a
     whole session: one :class:`~repro.service.mutable.MutableContent`
-    working copy, one version counter and lineage, and one lazily
-    materialized structure **per served kind**.  A change batch validates
-    once, screens once, then maintains every materialized structure --
+    working copy, one :class:`~repro.service.mutable.VersionedStructures`
+    (left-right versioned publication: lock-free readers, writer-only
+    mutex), and one lazily materialized structure **per served kind, per
+    left-right side**.  A change batch validates once, screens once, then
+    maintains every materialized structure against the offline side --
     delta-capable monolithic kinds in place through ``apply_delta``,
-    everything else by rebuilding from the post-batch content (sharded kinds
-    reuse untouched shard artifacts).  Kinds never queried stay
-    unmaterialized and cost nothing until first use, at which point they
-    build from the *current* content.
+    everything else by rebuilding from the post-batch content (sharded
+    kinds reuse untouched shard artifacts) -- publishes the new version
+    with one atomic pointer store, and re-applies to the retired side.
+    Kinds never queried stay unmaterialized and cost nothing until first
+    use, at which point they build from the *current* content.
     """
 
     def __init__(self, ds: Dataset) -> None:
         self._ds = ds
         self._engine = ds._engine
-        self._latch = SnapshotLatch()
         self.tracker = CostTracker()
         self.log = ChangeLog()
         self._content = MutableContent(ds._data, self.tracker, self.log)
-        self._version = 0
-        self._lineage = ds._fingerprint
-        self._structures: Dict[str, Any] = {}
-        self._materialize_guard = threading.Lock()
+        self._versions = VersionedStructures(ds._fingerprint)
         self._persist_guard = threading.Lock()
         self._persist_futures: Dict[str, Any] = {}
         self._persisted: Dict[str, int] = {}
@@ -835,43 +865,47 @@ class _MutableState:
 
     @property
     def version(self) -> int:
-        return self._version
+        return self._versions.current.number
 
     def artifact_key(self, kind: str) -> ArtifactKey:
         """Identity of this version's artifact for ``kind``."""
         registration = self._ds.registration_for(kind)
         return ArtifactKey(
-            fingerprint=self._lineage,
+            fingerprint=self._versions.current.lineage,
             scheme=registration.scheme.name,
             params=registration.params,
         )
 
     def snapshot(self) -> Any:
-        with self._latch.read():
+        with self._versions.writer_mutex:
             return self._content.canonical()
 
     # -- structures ------------------------------------------------------------
 
     def resolve(self, kind: str) -> Any:
-        """The structure serving ``kind``, materialized under the read latch."""
-        with self._latch.read():
-            self._ds._check_attached()
-            return self._structure_locked(kind)
+        """The structure serving ``kind`` at the current version.
 
-    def _structure_locked(self, kind: str) -> Any:
-        """Materialize-or-return (read latch held; content cannot move)."""
-        structure = self._structures.get(kind)
-        if structure is not None:
-            return structure
-        with self._materialize_guard:
-            structure = self._structures.get(kind)
-            if structure is None:
-                structure = self._materialize(kind)
-                self._structures[kind] = structure
-            return structure
+        Pins the published version like any reader; first touch goes idle
+        and materializes under the writer mutex (see :meth:`_materialize`).
+        """
+        versions = self._versions
+        with versions.pinned() as version:
+            self._ds._check_attached()
+            structure = version.structures.get(kind)
+            if structure is not None:
+                return structure
+        return self._materialize(kind)
 
     def _materialize(self, kind: str) -> Any:
-        """Build the structure for ``kind`` from the *current* content.
+        """First-touch build of ``kind`` from the *current* content.
+
+        Runs under the writer mutex (callers must hold no announce slot:
+        a pinned reader blocking here would deadlock a draining writer) and
+        installs the structure into **both** left-right sides -- the
+        published side in place (readers on any live version observe the
+        kind appear with identical answers; the content did not change) and
+        the offline side as a private twin, so the next batch can fold into
+        it without touching what readers see.
 
         At version 0 the session's attach-time fingerprint addresses the
         ordinary content-addressed artifacts, so warm cache/store resolution
@@ -881,11 +915,35 @@ class _MutableState:
         :meth:`~repro.service.mutable.DatasetHandle._private_structure`, so
         in-place maintenance never corrupts cache-shared structures.
         """
-        if self._version == 0:
-            content, fingerprint = self._ds._data, self._ds._fingerprint
-        else:
-            content, fingerprint = self._content.canonical(), None
-        return self._build(kind, content, fingerprint)
+        versions = self._versions
+        with versions.writer_mutex:
+            structure = versions.current.structures.get(kind)
+            if structure is not None:
+                return structure
+            if versions.current.number == 0:
+                content, fingerprint = self._ds._data, self._ds._fingerprint
+            else:
+                content, fingerprint = self._content.canonical(), None
+            structure = self._build(kind, content, fingerprint)
+            versions.install(kind, structure, self._twin(kind, structure, content))
+            return structure
+
+    def _twin(self, kind: str, structure: Any, content: Any) -> Any:
+        """The offline-side twin of a published structure for ``kind``.
+
+        Only delta-capable monolithic kinds are mutated in place, so only
+        they need a second instance -- a codec round-trip when serializable,
+        else a second private build (privatization, not a cache miss: it is
+        not counted as a build).  Everything else shares one instance
+        across both left-right sides because nothing mutates it in place.
+        """
+        registration = self._ds.registration_for(kind)
+        scheme = registration.scheme
+        if registration.shards > 1 or scheme.apply_delta is None:
+            return structure
+        if scheme.serializable:
+            return scheme.load(scheme.dump(structure))
+        return scheme.preprocess(content, self.tracker)
 
     def _build(self, kind: str, content: Any, fingerprint: Optional[str]) -> Any:
         engine = self._engine
@@ -918,31 +976,40 @@ class _MutableState:
     # -- serving ---------------------------------------------------------------
 
     def _answer(
-        self, kind: str, query: Any, tracker: Optional[CostTracker] = None
+        self,
+        kind: str,
+        structure: Any,
+        query: Any,
+        tracker: Optional[CostTracker] = None,
     ) -> bool:
-        """Evaluate one query over the kind's structure (latch held).
+        """Evaluate one query over a pinned structure.
 
         Without a ``tracker`` the untracked production kernels answer
         (``answer_fast`` / the planner's fast scatter); with one, the
         analytic cost-charging evaluator runs -- the tracked path of
-        :meth:`Dataset.query_tracked`.
+        :meth:`Dataset.query_tracked`.  A kernel exception bumps
+        ``serve_errors`` before propagating, so failed serves are never
+        invisible to health accounting.
         """
-        structure = self._structure_locked(kind)
         registration = self._ds.registration_for(kind)
         started = time.perf_counter()
-        if registration.shards > 1:
-            if tracker is None:
-                answer = self._engine._planner.answer_fast(
-                    registration, structure, query, kind=kind
-                )
+        try:
+            if registration.shards > 1:
+                if tracker is None:
+                    answer = self._engine._planner.answer_fast(
+                        registration, structure, query, kind=kind
+                    )
+                else:
+                    answer = self._engine._planner.answer(
+                        kind, registration, structure, query, tracker
+                    )
+            elif tracker is None:
+                answer = registration.scheme.answer_fast(structure, query)
             else:
-                answer = self._engine._planner.answer(
-                    kind, registration, structure, query, tracker
-                )
-        elif tracker is None:
-            answer = registration.scheme.answer_fast(structure, query)
-        else:
-            answer = registration.scheme.answer(structure, query, tracker)
+                answer = registration.scheme.answer(structure, query, tracker)
+        except Exception:
+            self._engine._bump(kind, serve_errors=1)
+            raise
         self._engine._count_serve(
             kind, queries=1, serve_seconds=time.perf_counter() - started
         )
@@ -952,35 +1019,65 @@ class _MutableState:
     def query(
         self, kind: str, query: Any, tracker: Optional[CostTracker] = None
     ) -> bool:
-        with self._latch.read():
+        versions = self._versions
+        slot = versions.slot()
+        version = versions.pin(slot)
+        try:
             self._ds._check_attached()
-            return self._answer(kind, query, tracker)
+            structure = version.structures.get(kind)
+            while structure is None:
+                versions.release(slot)
+                self._materialize(kind)
+                version = versions.pin(slot)
+                structure = version.structures.get(kind)
+            return self._answer(kind, structure, query, tracker)
+        finally:
+            versions.release(slot)
 
     def query_batch(self, pairs: Sequence[Tuple[str, Any]]) -> List[bool]:
-        """All pairs under one read latch: every answer sees one version.
+        """All pairs against one pinned version: every answer sees one state.
 
         The batch is grouped by kind and each group runs through one
         ``answer_many`` kernel call -- vectorized like the immutable batch
-        path, but with the latch held once across every group, so the whole
-        batch is atomic against writers.
+        path, but with **one** version record pinned across every group, so
+        the whole batch is atomic against writers (one pointer read, not a
+        lock).  Kinds not yet materialized are built first while idle:
+        materialization takes the writer mutex, which an announced reader
+        must never block on.
         """
-        with self._latch.read():
+        versions = self._versions
+        groups = _group_by_kind(pairs)
+        slot = versions.slot()
+        version = versions.pin(slot)
+        try:
             self._ds._check_attached()
+            while any(version.structures.get(kind) is None for kind in groups):
+                versions.release(slot)
+                for kind in groups:
+                    if versions.current.structures.get(kind) is None:
+                        self._materialize(kind)
+                version = versions.pin(slot)
             answers: List[bool] = [False] * len(pairs)
-            for kind, (positions, queries) in _group_by_kind(pairs).items():
+            for kind, (positions, queries) in groups.items():
                 registration = self._ds.registration_for(kind)
-                structure = self._structure_locked(kind)
+                structure = version.structures[kind]
                 started = time.perf_counter()
-                if registration.shards > 1:
-                    planner = self._engine._planner
-                    group_answers = [
-                        planner.answer_fast(registration, structure, query, kind=kind)
-                        for query in queries
-                    ]
-                else:
-                    group_answers = registration.scheme.answer_many(
-                        structure, queries
-                    )
+                try:
+                    if registration.shards > 1:
+                        planner = self._engine._planner
+                        group_answers = [
+                            planner.answer_fast(
+                                registration, structure, query, kind=kind
+                            )
+                            for query in queries
+                        ]
+                    else:
+                        group_answers = registration.scheme.answer_many(
+                            structure, queries
+                        )
+                except Exception:
+                    self._engine._bump(kind, serve_errors=len(queries))
+                    raise
                 self._engine._count_serve(
                     kind,
                     queries=len(queries),
@@ -989,22 +1086,48 @@ class _MutableState:
                 for position, answer in zip(positions, group_answers):
                     answers[position] = answer
             return answers
+        finally:
+            versions.release(slot)
 
     # -- mutation --------------------------------------------------------------
 
     def apply_changes(self, changes: Iterable[Any]) -> ChangeLog:
+        """Apply one batch to every materialized kind; left-right publish.
+
+        Phase 1 runs entirely against the **offline** structure set, which
+        no reader can see: delta-capable monolithic kinds fold in place
+        through ``apply_delta`` (a mid-fold crash marks the kind torn --
+        the torn instance is replaced by the rebuild below, so a torn fold
+        can never be published), everything else rebuilds from the
+        post-batch content.  The new version is then published with one
+        atomic pointer store; readers pinned to the retired version are
+        drained, and phase 2 brings the retired set up to date (the same
+        delta re-applied, or the rebuilt structure twinned), making it the
+        next offline set.  Delta cost is paid twice -- O(|CHANGED|) each --
+        never an O(|D|) clone.
+
+        A rebuild failure drops the failing kind *and every kind not yet
+        rebuilt* from both sides (their pre-batch structures are stale and
+        must never serve the committed content); the version still
+        publishes -- content is the source of truth -- and the error
+        re-raises after both sides are consistent.  Next query per dropped
+        kind re-materializes from the post-batch content: degraded-and-
+        loud, never silently wrong.
+        """
         batch = list(changes)
-        with self._latch.write():
+        versions = self._versions
+        with versions.writer_mutex:
             self._ds._check_attached()
             self._content.validate(batch)
             effective = self._content.screen(batch)
             if not effective:
                 self.log.record(0, 0, "batch screened to no-ops")
                 return self.log
+            offline = versions.offline
             delta_kinds: List[Tuple[str, float]] = []  # (kind, apply seconds)
             rebuild_kinds: List[str] = []
             torn_kinds: List[str] = []
-            for kind, structure in self._structures.items():
+            for kind in sorted(offline):
                 registration = self._ds.registration_for(kind)
                 scheme = registration.scheme
                 if registration.shards == 1 and scheme.apply_delta is not None:
@@ -1012,8 +1135,8 @@ class _MutableState:
                     try:
                         if faults._PLAN is not None:
                             faults.on_delta_apply(kind)
-                        self._structures[kind] = scheme.apply_delta(
-                            structure, effective, self.tracker
+                        offline[kind] = scheme.apply_delta(
+                            offline[kind], effective, self.tracker
                         )
                         delta_kinds.append((kind, time.perf_counter() - started))
                         continue
@@ -1021,16 +1144,36 @@ class _MutableState:
                         # Contract: raised *before* mutating -- plain fallback.
                         pass
                     except Exception:
-                        # Crashed mid-apply: the structure may be torn.  The
-                        # batch still commits (content is the source of
-                        # truth); the structure is repaired by rebuild below,
-                        # so no reader ever sees a half-applied snapshot.
+                        # Crashed mid-fold: only the offline twin may be
+                        # torn; the published side was never touched, so no
+                        # reader can see the tear.  The batch still commits
+                        # (content is the source of truth) and the rebuild
+                        # below replaces the torn twin before publication.
                         torn_kinds.append(kind)
                 rebuild_kinds.append(kind)
             for change in effective:
                 self._content.apply(change)
-            self._version += 1
-            self._lineage = advance_lineage(self._lineage, self._version, effective)
+            number = versions.current.number + 1
+            lineage = advance_lineage(versions.current.lineage, number, effective)
+            rebuilt: Dict[str, Any] = {}
+            dropped: List[str] = []
+            rebuild_error: Optional[BaseException] = None
+            canonical: Any = None
+            if rebuild_kinds:
+                canonical = self._content.canonical()
+                fingerprint = dataset_fingerprint(canonical)
+                for index, kind in enumerate(rebuild_kinds):
+                    try:
+                        fresh = self._build(kind, canonical, fingerprint)
+                    except Exception as exc:
+                        dropped = rebuild_kinds[index:]
+                        for late in dropped:
+                            offline.pop(late, None)
+                        rebuild_error = exc
+                        break
+                    offline[kind] = fresh
+                    rebuilt[kind] = fresh
+            versions.publish(number, lineage)
             for kind, seconds in delta_kinds:
                 self._engine._bump(
                     kind,
@@ -1038,30 +1181,43 @@ class _MutableState:
                     delta_changes=len(effective),
                     delta_seconds=seconds,
                 )
-            if rebuild_kinds:
-                canonical = self._content.canonical()
-                fingerprint = dataset_fingerprint(canonical)
-                for kind in rebuild_kinds:
-                    try:
-                        self._structures[kind] = self._build(
-                            kind, canonical, fingerprint
-                        )
-                    except Exception:
-                        # Never leave a possibly-torn structure behind: drop
-                        # it so the next query lazily rebuilds (or raises) --
-                        # degraded-and-loud, never silently wrong.
-                        self._structures.pop(kind, None)
-                        raise
-                    self._engine._bump(kind, fallback_rebuilds=1)
-                    if kind in torn_kinds:
-                        self._engine._bump(kind, write_rollbacks=1)
+            for kind in rebuilt:
+                self._engine._bump(kind, fallback_rebuilds=1)
+                if kind in torn_kinds:
+                    self._engine._bump(kind, write_rollbacks=1)
+            # Phase 2: once readers drain off the retired side, bring it up
+            # to this version so it can serve as the next offline set.
+            versions.drain()
+            retired = versions.offline
+            for late in dropped:
+                retired.pop(late, None)
+            for kind, _seconds in delta_kinds:
+                scheme = self._ds.registration_for(kind).scheme
+                try:
+                    retired[kind] = scheme.apply_delta(
+                        retired[kind], effective, self.tracker
+                    )
+                except Exception:
+                    # The published side is intact and current; repair the
+                    # mirror from it so the next batch folds into a correct
+                    # twin.  Loud in the counters, invisible to readers.
+                    if canonical is None:
+                        canonical = self._content.canonical()
+                    retired[kind] = self._twin(
+                        kind, versions.current.structures[kind], canonical
+                    )
+                    self._engine._bump(kind, write_rollbacks=1)
+            for kind, fresh in rebuilt.items():
+                retired[kind] = self._twin(kind, fresh, canonical)
+            if rebuild_error is not None:
+                raise rebuild_error
             for kind, _seconds in delta_kinds:
                 self._schedule_persist(kind)
             screened = len(batch) - len(effective)
             self.log.record(
                 len(effective),
                 0,
-                f"v{self._version}: {len(effective)} change(s); "
+                f"v{number}: {len(effective)} change(s); "
                 f"delta={sorted(kind for kind, _ in delta_kinds)} "
                 f"rebuild={sorted(rebuild_kinds)}"
                 + (f", {screened} screened" if screened else ""),
@@ -1081,7 +1237,7 @@ class _MutableState:
     def _schedule_persist(self, kind: str) -> None:
         if not self._store_ready(kind):
             return
-        target = self._version
+        target = self._versions.current.number
         pool = self._engine._ensure_persist_pool()
         with self._persist_guard:
             self._persist_futures[kind] = pool.submit(self._persist, kind, target)
@@ -1089,23 +1245,30 @@ class _MutableState:
     def _persist(self, kind: str, target: int) -> None:
         """Dump ``kind``'s structure at version ``target`` if still current.
 
-        Mirrors the handle path: dump under the read latch (a consistent
-        snapshot), store write outside it; a stale target is skipped because
-        the newer batch queued its own task.
+        Mirrors the handle path: the dump runs with the version pinned
+        exactly like a reader (writers drain pinned readers before
+        re-folding a retired structure, so the bytes are a consistent
+        snapshot), and the store write runs unpinned; a stale target is
+        skipped because the newer batch queued its own task.
 
         Store failures (disk full, unwritable root) are retried with
         backoff per the recovery policy; a terminal failure is recorded in
         ``_persist_errors`` and raised by the next :meth:`flush` -- the
         in-memory structure stays current either way, only durability lags.
         """
-        with self._latch.read():
-            if self._version != target or self._persisted.get(kind, 0) >= target:
+        with self._versions.pinned() as version:
+            if version.number != target or self._persisted.get(kind, 0) >= target:
                 return
-            structure = self._structures.get(kind)
+            structure = version.structures.get(kind)
             if structure is None:
                 return
-            payload = self._ds.registration_for(kind).scheme.dump(structure)
-            key = self.artifact_key(kind)
+            registration = self._ds.registration_for(kind)
+            payload = registration.scheme.dump(structure)
+            key = ArtifactKey(
+                fingerprint=version.lineage,
+                scheme=registration.scheme.name,
+                params=registration.params,
+            )
         recovery = faults.policy()
         backoff = recovery.writebehind_backoff_seconds
         attempts = max(1, recovery.writebehind_attempts)
@@ -1139,12 +1302,10 @@ class _MutableState:
             futures = list(self._persist_futures.values())
         for future in futures:
             future.result()
-        with self._latch.read():
-            target = self._version
-            kinds = list(self._structures)
-        for kind in kinds:
+        current = self._versions.current
+        for kind in list(current.structures):
             if self._store_ready(kind):
-                self._persist(kind, target)
+                self._persist(kind, current.number)
         with self._persist_guard:
             errors = sorted(self._persist_errors.items())
         if errors:

@@ -212,6 +212,10 @@ class SchemeStats:
     #: Synchronous artifact writes that failed (structure served from
     #: memory; the store is stale or unwritable).
     persist_failures: int = 0
+    #: Queries whose answer kernel raised (the exception propagates to the
+    #: caller, but the failed serve is never invisible to health/SLO
+    #: accounting -- ``queries`` counts successes only).
+    serve_errors: int = 0
 
     @property
     def hit_rate(self) -> float:
@@ -271,6 +275,7 @@ class EngineStats:
         "writebehind_retries",
         "writebehind_failures",
         "persist_failures",
+        "serve_errors",
     )
 
     def health(self) -> Dict[str, int]:
@@ -769,7 +774,7 @@ class QueryEngine:
         """The structure serving ``kind`` for an attached dataset session.
 
         The single dispatch point behind every resolution surface: mutable
-        sessions materialize under their snapshot latch, shard-overridden
+        sessions materialize under their writer mutex, shard-overridden
         kinds go through the planner, and monolithic kinds walk
         cache -> store -> build -- always with the session's precomputed
         content identity, never a fingerprint-memo lookup.
@@ -821,14 +826,23 @@ class QueryEngine:
             # Route-aware scatter-gather: the query is rewritten and routed
             # once, and only the shards it scatters to are resolved (cold
             # shards build lazily, in parallel).
-            answer, serve_seconds = self._planner.serve(
-                kind, registration, ds.data, query, tracker, fingerprint=ds.fingerprint
-            )
+            try:
+                answer, serve_seconds = self._planner.serve(
+                    kind, registration, ds.data, query, tracker,
+                    fingerprint=ds.fingerprint,
+                )
+            except Exception:
+                self._bump(kind, serve_errors=1)
+                raise
             self._count_serve(kind, queries=1, serve_seconds=serve_seconds)
             return answer
         structure = self._resolve_for(ds, kind)
         started = time.perf_counter()
-        answer = registration.scheme.answer(structure, query, tracker)
+        try:
+            answer = registration.scheme.answer(structure, query, tracker)
+        except Exception:
+            self._bump(kind, serve_errors=1)
+            raise
         self._count_serve(kind, queries=1, serve_seconds=time.perf_counter() - started)
         return answer
 

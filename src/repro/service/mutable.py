@@ -12,16 +12,26 @@ machinery:
   by every mutable serving surface: the single-kind :class:`DatasetHandle`
   below and the multi-kind :class:`~repro.service.dataset.Dataset` sessions
   created by ``QueryEngine.attach(..., mutable=True)``;
-* :class:`SnapshotLatch` -- the writer-preferring reader--writer latch that
-  turns "apply a batch" into an atomic version step for every reader;
+* :class:`VersionedStructures` -- left-right versioned snapshot publication:
+  readers pin the current :class:`_Version` record with a single attribute
+  load and serve **lock-free** (no latch, no Condition -- a writer can never
+  block a reader), while writers serialize among themselves, fold each batch
+  into an offline twin set, publish the new version pointer atomically, and
+  re-apply the batch to the retired set -- delta cost is paid twice
+  (O(|CHANGED|) each), never an O(|D|) clone;
+* :class:`SnapshotLatch` -- the writer-preferring reader--writer latch the
+  serve path used before versioned publication.  No longer on any hot path;
+  kept exported for external callers that built on it (see the migration
+  note in ``docs/architecture.md``);
 * :func:`advance_lineage` -- the O(|CHANGED|) versioned-fingerprint chain
   that gives every applied batch a distinct artifact identity without an
-  O(|D|) re-hash.
+  O(|D|) re-hash, over the canonical change encoding of
+  :func:`canonical_change_bytes` (stable across processes, unlike ``repr``).
 
 ``QueryEngine.open_dataset(kind, data)`` returns a :class:`DatasetHandle`
 serving **one** kind; ``handle.apply_changes(batch)`` routes a batch of
 :mod:`repro.incremental.changes` records to the scheme's
-``PiScheme.apply_delta`` hook, mutating the structure in place in
+``PiScheme.apply_delta`` hook, mutating the offline structure in place in
 O(|CHANGED| * polylog).  Schemes without a hook -- and sharded registrations
 -- fall back automatically to a rebuild through the engine, where
 content-addressed shard artifacts turn the rebuild into a
@@ -31,7 +41,7 @@ asynchronously (write-behind); ``flush()``/``close()`` force the write.
 For datasets served under *several* kinds at once, prefer the dataset-first
 surface: ``engine.attach(name, data, mutable=True)`` (see
 :mod:`repro.service.dataset`), which folds each batch into every served
-structure behind one latch.
+structure behind one writer mutex and one published version pointer.
 
     >>> from repro.queries import membership_class, sorted_run_scheme
     >>> from repro.service.engine import QueryEngine
@@ -54,9 +64,20 @@ from __future__ import annotations
 import hashlib
 import threading
 import time
+import weakref
 from collections import Counter
 from contextlib import contextmanager
-from typing import TYPE_CHECKING, Any, Iterable, List, Optional, Sequence, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 from repro.core.cost import CostTracker
 from repro.core.errors import (
@@ -78,7 +99,14 @@ from repro.service.artifacts import ArtifactKey
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from repro.service.engine import QueryEngine, _Registration
 
-__all__ = ["SnapshotLatch", "MutableContent", "DatasetHandle", "advance_lineage"]
+__all__ = [
+    "SnapshotLatch",
+    "MutableContent",
+    "DatasetHandle",
+    "VersionedStructures",
+    "advance_lineage",
+    "canonical_change_bytes",
+]
 
 
 class SnapshotLatch:
@@ -89,6 +117,11 @@ class SnapshotLatch:
     reader -- a query observes the version before the batch or the version
     after it, never the middle.  Writer preference (new readers queue behind
     a waiting writer) bounds writer latency under heavy read traffic.
+
+    The mutable serving surfaces no longer read under this latch -- they
+    publish immutable version records through :class:`VersionedStructures`,
+    so readers never block on writers at all.  The latch stays exported for
+    external callers that coordinate their own snapshot steps with it.
     """
 
     def __init__(self) -> None:
@@ -98,12 +131,12 @@ class SnapshotLatch:
         self._writers_waiting = 0
 
     def acquire_read(self) -> None:
-        """Shared acquisition, plain-call form (the serving hot path).
+        """Shared acquisition, plain-call form.
 
         A ``@contextmanager`` generator costs a couple of microseconds per
-        entry/exit -- real money next to a sub-microsecond untracked query
-        kernel -- so the fast path pairs this with :meth:`release_read` in a
-        ``try/finally`` instead of entering :meth:`read`.
+        entry/exit, so latency-sensitive callers pair this with
+        :meth:`release_read` in a ``try/finally`` instead of entering
+        :meth:`read`.
         """
         with self._condition:
             while self._writer_active or self._writers_waiting:
@@ -111,8 +144,19 @@ class SnapshotLatch:
             self._readers += 1
 
     def release_read(self) -> None:
-        """Release one shared acquisition taken by :meth:`acquire_read`."""
+        """Release one shared acquisition taken by :meth:`acquire_read`.
+
+        An unmatched release raises instead of driving the reader count
+        negative -- a silent underflow would admit a writer while another
+        reader is still inside its critical section, turning a caller bug
+        into a torn snapshot.
+        """
         with self._condition:
+            if self._readers <= 0:
+                raise RuntimeError(
+                    "SnapshotLatch.release_read() without a matching "
+                    "acquire_read(): the latch is not read-held"
+                )
             self._readers -= 1
             if not self._readers:
                 self._condition.notify_all()
@@ -145,6 +189,286 @@ class SnapshotLatch:
                 self._condition.notify_all()
 
 
+# -- versioned snapshot publication (the lock-free read protocol) --------------
+
+#: Slot value of a thread that is not currently serving a pinned version.
+_IDLE = -1
+
+
+class _SlotAnchor:
+    """Thread-local sentinel whose death retires the thread's read slot."""
+
+    __slots__ = ("__weakref__",)
+
+
+def _retire_read_slot(indicator_ref: "weakref.ref", slot_id: int) -> None:
+    """Finalizer target for a thread's read slot.
+
+    Module-level on purpose: a bound-method callback would root the whole
+    indicator (and through it the dataset's structures) in weakref's global
+    registry until the owning *thread* exits.
+    """
+    indicator = indicator_ref()
+    if indicator is not None:
+        indicator._retire(slot_id)
+
+
+class _ReadIndicator:
+    """Per-thread read-announcement slots: the left-right read indicator.
+
+    Each reading thread owns one single-cell list per indicator; announcing
+    a read is one list-item store (``slot[0] = version_number``) and going
+    idle is another -- no lock, no Condition, nothing shared between
+    readers.  Writers scan the registered slots to wait out readers still
+    pinned to a retired version before mutating it.
+
+    Correctness rests on CPython's GIL making single-bytecode list/attribute
+    stores and loads sequentially consistent: the reader's
+    announce-then-recheck (:meth:`VersionedStructures.pin`) and the writer's
+    publish-then-scan (:meth:`wait_until_drained` after
+    :meth:`VersionedStructures.publish`) form the classic Dekker store/load
+    pairing, so a reader either re-observes the new version and retries, or
+    its announcement is visible to the writer's scan.
+
+    Slot lifecycle mirrors the engine's sharded query counters
+    (:class:`repro.service.engine._QueryCounterShards`): each slot is
+    anchored to a thread-local sentinel whose finalizer unregisters it when
+    the thread dies, so a long-lived dataset serving thread-per-request
+    traffic stays bounded by its *live* threads.
+    """
+
+    __slots__ = ("_local", "_slots", "_lock", "__weakref__")
+
+    def __init__(self) -> None:
+        self._local = threading.local()
+        self._slots: Dict[int, List[int]] = {}
+        self._lock = threading.Lock()
+
+    def slot(self) -> List[int]:
+        """This thread's announce cell, created and registered on first use."""
+        try:
+            return self._local.slot
+        except AttributeError:
+            pass
+        slot = [_IDLE]
+        anchor = _SlotAnchor()
+        weakref.finalize(anchor, _retire_read_slot, weakref.ref(self), id(slot))
+        with self._lock:
+            self._slots[id(slot)] = slot
+        self._local.anchor = anchor
+        self._local.slot = slot
+        return slot
+
+    def _retire(self, slot_id: int) -> None:
+        with self._lock:
+            self._slots.pop(slot_id, None)
+
+    def wait_until_drained(self, number: int) -> None:
+        """Block until no reader is announced below version ``number``.
+
+        Writer-side only.  Progress is guaranteed: a slot below ``number``
+        belongs to a reader that passed its recheck *before* the newer
+        version was published, so it is mid-serve and goes idle in bounded
+        time; every reader arriving after the publish pins ``number`` (or
+        newer) and is never waited on -- a continuous read stream cannot
+        starve the writer.
+        """
+        spins = 0
+        while True:
+            with self._lock:
+                draining = any(
+                    cell[0] != _IDLE and cell[0] < number
+                    for cell in self._slots.values()
+                )
+            if not draining:
+                return
+            spins += 1
+            # Yield immediately at first (serves are microseconds), back
+            # off to a short sleep if a reader is mid-kernel.
+            time.sleep(0 if spins < 100 else 0.00005)
+
+
+class _Version:
+    """One published snapshot of a mutable dataset: structures + identity.
+
+    Readers obtain the whole record with a single attribute load
+    (:attr:`VersionedStructures.current`) and serve from ``structures``
+    without further coordination.  After publication a record only ever
+    gains newly materialized kinds (GIL-atomic dict stores under the writer
+    mutex; both sides receive the same first-touch build, so readers on any
+    version observe identical answers for the new kind).
+    """
+
+    __slots__ = ("structures", "number", "lineage")
+
+    def __init__(self, structures: Dict[str, Any], number: int, lineage: str) -> None:
+        self.structures = structures
+        self.number = number
+        self.lineage = lineage
+
+
+class VersionedStructures:
+    """Left-right versioned snapshot publication for mutable serving.
+
+    The mutable read path used to take a shared :class:`SnapshotLatch` per
+    query; under a 90/10 read/write mix the writer-preferring queueing
+    inflated read p999 ~3x (see ``BENCH_workloads.json``).  This class
+    removes readers from the lock protocol entirely:
+
+    * **Readers** pin the current :class:`_Version` record lock-free: load
+      :attr:`current`, announce its number in a per-thread slot, re-check
+      that :attr:`current` did not move (retrying the rare publication
+      race), serve, go idle.  No shared lock is ever acquired, so a writer
+      can never block a reader.
+    * **Writers** serialize among themselves on :attr:`writer_mutex`, fold
+      the change batch into the private *offline* twin set (invisible to
+      readers), :meth:`publish` the new version with one atomic attribute
+      store, then :meth:`drain` the readers still pinned to the retired
+      version and re-apply the same batch to the retired set, which becomes
+      the next offline set.  Delta cost is paid twice -- O(|CHANGED|) each
+      time -- never an O(|D|) snapshot clone.
+
+    The two structure dicts alternate between the published and offline
+    roles forever.  Delta-capable monolithic kinds hold *twin instances*
+    (in-place maintenance on one side must never touch the other); kinds
+    that rebuild instead of folding (sharded, no ``apply_delta``) share one
+    instance across both sides because nothing mutates it in place.
+
+    Deadlock rule: a thread must be idle (slot released) before taking
+    :attr:`writer_mutex` -- writers drain inside the mutex, so an announced
+    reader blocking on the mutex would deadlock the drain.
+    """
+
+    __slots__ = ("writer_mutex", "current", "offline", "_indicator")
+
+    def __init__(self, lineage: str) -> None:
+        self.writer_mutex = threading.RLock()
+        self.current = _Version({}, 0, lineage)
+        self.offline: Dict[str, Any] = {}
+        self._indicator = _ReadIndicator()
+
+    # -- reader protocol -------------------------------------------------------
+
+    def slot(self) -> List[int]:
+        """The calling thread's announce slot (pair with :meth:`pin`)."""
+        return self._indicator.slot()
+
+    def pin(self, slot: List[int]) -> _Version:
+        """Announce-and-recheck: a version record safe to serve from.
+
+        The recheck closes the race with a concurrent publish: if the
+        pointer moved between the load and the announcement, the writer's
+        drain scan may have run before the announcement became visible, so
+        the loop goes idle and re-announces against the newer record.
+        """
+        while True:
+            version = self.current
+            slot[0] = version.number
+            if self.current is version:
+                return version
+            slot[0] = _IDLE
+
+    @staticmethod
+    def release(slot: List[int]) -> None:
+        """Go idle (idempotent; always reached via ``finally``)."""
+        slot[0] = _IDLE
+
+    @contextmanager
+    def pinned(self) -> Iterator[_Version]:
+        """Context-managed pin for cold paths (persist, resolve)."""
+        slot = self._indicator.slot()
+        version = self.pin(slot)
+        try:
+            yield version
+        finally:
+            slot[0] = _IDLE
+
+    # -- writer protocol (writer_mutex held) -----------------------------------
+
+    def install(self, kind: str, published: Any, offline: Any) -> None:
+        """First-touch materialization: both sides gain ``kind`` in place.
+
+        No version bump -- the content did not change, only a structure was
+        built for it -- so readers pinned to any live version observe the
+        kind appear with identical answers.
+        """
+        self.current.structures[kind] = published
+        self.offline[kind] = offline
+
+    def publish(self, number: int, lineage: str) -> Dict[str, Any]:
+        """Atomically publish the offline set as version ``number``.
+
+        One attribute store is the whole commit point: readers that load
+        :attr:`current` after it serve the new version.  Returns the
+        retired structure dict (also installed as the new :attr:`offline`);
+        the caller must :meth:`drain` before mutating it.
+        """
+        retired = self.current.structures
+        self.current = _Version(self.offline, number, lineage)
+        self.offline = retired
+        return retired
+
+    def drain(self) -> None:
+        """Wait until no reader is still pinned below the current version."""
+        self._indicator.wait_until_drained(self.current.number)
+
+
+# -- lineage (versioned content identity) --------------------------------------
+
+
+def _canonical_value_bytes(value: Any) -> bytes:
+    """A process-stable byte encoding of one change payload value.
+
+    Only value types whose ``repr`` is defined by the value (never by
+    identity or hash order) are accepted: numbers, strings, bytes, None,
+    and sequences of those.  Anything else -- a custom object whose default
+    repr embeds its memory address, a frozenset whose repr follows hash
+    order -- would make equal histories digest differently per process,
+    silently defeating the cross-worker artifact cache, so it is rejected
+    loudly instead.
+    """
+    if value is None or isinstance(value, (bool, int, float, str, bytes)):
+        return repr(value).encode("utf-8")
+    if isinstance(value, (tuple, list)):
+        return b"(" + b",".join(_canonical_value_bytes(item) for item in value) + b")"
+    raise DeltaError(
+        f"change value {value!r} of type {type(value).__name__} has no "
+        f"canonical encoding for the lineage digest; use numbers, strings, "
+        f"bytes or tuples of those"
+    )
+
+
+def canonical_change_bytes(change: Any) -> bytes:
+    """The canonical (process-stable) encoding of one change record.
+
+    :func:`advance_lineage` digests these bytes instead of ``repr(change)``:
+    a change type without a stable ``__repr__`` (the default object repr
+    embeds the memory address) used to give equal histories different
+    content identities per process.  Unknown record types raise
+    :class:`~repro.core.errors.DeltaError` -- rejected at batch validation,
+    before anything mutates.
+    """
+    if isinstance(change, TupleChange):
+        return (
+            b"tuple:"
+            + change.kind.value.encode("ascii")
+            + b":"
+            + _canonical_value_bytes(tuple(change.row))
+        )
+    if isinstance(change, EdgeChange):
+        return b"edge:%s:%d>%d" % (
+            change.kind.value.encode("ascii"),
+            change.source,
+            change.target,
+        )
+    if isinstance(change, PointWrite):
+        return b"point:%d=" % change.position + _canonical_value_bytes(change.value)
+    raise DeltaError(
+        f"unknown change record {type(change).__name__} has no canonical "
+        f"encoding for the lineage digest"
+    )
+
+
 def advance_lineage(lineage: str, version: int, effective: Sequence[Any]) -> str:
     """Chain one applied batch into a versioned content identity.
 
@@ -154,12 +478,16 @@ def advance_lineage(lineage: str, version: int, effective: Sequence[Any]) -> str
     base data share an identity exactly when their batches agree -- in which
     case their structures encode the same logical dataset -- while divergent
     histories can never clobber each other's persisted artifacts.
+
+    Batches are digested through :func:`canonical_change_bytes`, so the
+    identity is stable across processes and interpreter runs (``repr`` of a
+    change type without a stable ``__repr__`` is not).
     """
     digest = hashlib.sha256()
     digest.update(lineage.encode("ascii"))
     digest.update(f"|delta-v{version}|".encode("ascii"))
     for change in effective:
-        digest.update(repr(change).encode("utf-8"))
+        digest.update(canonical_change_bytes(change))
         digest.update(b"\x1f")
     return digest.hexdigest()
 
@@ -184,8 +512,9 @@ class MutableContent:
     change semantics (atomic validation, phantom-delete screening, working
     application order) are defined exactly once.
 
-    Not thread-safe on its own: callers serialize access through their
-    :class:`SnapshotLatch`.
+    Not thread-safe on its own: callers mutate it only under their
+    :class:`VersionedStructures` writer mutex.  Readers never touch the
+    content -- they serve from published structure snapshots.
     """
 
     def __init__(self, data: Any, tracker: CostTracker, log: ChangeLog) -> None:
@@ -228,7 +557,7 @@ class MutableContent:
 
     def _initial_row_ids(self) -> Optional[dict]:
         """Live row -> row-id list for relations, so deletes are O(1) lookups
-        instead of an O(|D|) scan under the write latch."""
+        instead of an O(|D|) scan on the write path."""
         if not _is_relation(self.working):
             return None
         row_ids: dict = {}
@@ -264,7 +593,13 @@ class MutableContent:
     # -- batch processing ------------------------------------------------------
 
     def validate(self, batch: Sequence[Any]) -> None:
-        """Reject malformed batches before anything mutates (batch atomicity)."""
+        """Reject malformed batches before anything mutates (batch atomicity).
+
+        Canonical-encodability is checked here too: a change whose payload
+        cannot be digested stably (see :func:`canonical_change_bytes`) must
+        be rejected *before* the working copy moves, not discovered when
+        :func:`advance_lineage` runs mid-commit.
+        """
         for change in batch:
             if isinstance(change, TupleChange):
                 element = self.element(change.row)
@@ -306,6 +641,7 @@ class MutableContent:
                     ) from exc
             else:
                 raise DeltaError(f"unknown change record {type(change).__name__}")
+            canonical_change_bytes(change)
 
     def screen(self, batch: Sequence[Any]) -> List[Any]:
         """Drop no-op deletes (absent elements/edges) and track the bag counts.
@@ -377,22 +713,25 @@ class DatasetHandle:
     * a **working copy** of the dataset (a :class:`MutableContent`), so the
       caller's object is never mutated and a fallback rebuild always has the
       post-batch content;
-    * a **private structure** -- for delta-capable monolithic schemes the
-      resolved structure is re-privatized through the scheme codec, so
-      in-place maintenance can never corrupt structures shared through the
-      engine cache;
-    * the **version counter** and the write-behind persistence state.
+    * **twin private structures** behind a :class:`VersionedStructures` --
+      for delta-capable monolithic schemes the resolved structure is
+      re-privatized through the scheme codec (twice: one instance per
+      left-right side), so in-place maintenance can never corrupt structures
+      shared through the engine cache;
+    * the **version records** and the write-behind persistence state.
 
-    Thread safety: any number of threads may call :meth:`query`
-    concurrently with one writer calling :meth:`apply_changes`; the
-    :class:`SnapshotLatch` serializes them.  Multiple concurrent writers are
-    also safe (they serialize on the latch), though batches then apply in
-    latch-acquisition order.
+    Thread safety: readers are lock-free.  Any number of threads may call
+    :meth:`query`/:meth:`query_batch` concurrently with writers calling
+    :meth:`apply_changes` and never block on them -- each read pins the
+    current published version (one attribute load plus a per-thread
+    announce slot) and always observes a fully-applied batch, never the
+    middle of one.  Writers serialize among themselves on the writer mutex;
+    concurrent batches apply in mutex-acquisition order.
 
     The handle serves exactly the kind it was opened for.  To serve one
-    mutable dataset under several kinds behind a single latch, use the
-    dataset-first surface (``engine.attach(..., mutable=True)``; see
-    :mod:`repro.service.dataset`).
+    mutable dataset under several kinds behind a single version pointer,
+    use the dataset-first surface (``engine.attach(..., mutable=True)``;
+    see :mod:`repro.service.dataset`).
     """
 
     def __init__(
@@ -405,22 +744,23 @@ class DatasetHandle:
         self._engine = engine
         self._kind = kind
         self._registration = registration
-        self._latch = SnapshotLatch()
         self._persist_guard = threading.Lock()
         self._persist_future = None
         # Terminal write-behind store failure, surfaced by the next flush()
         # (a newer batch replacing the future must not drop it).
         self._persist_error: Optional[BaseException] = None
         self._persisted_version = 0
-        self._version = 0
         self._closed = False
         self.tracker = CostTracker()
         self.log = ChangeLog()
 
         self._content = MutableContent(data, self.tracker, self.log)
         self._base_fingerprint = engine._fingerprint(data, kind=kind)
-        self._lineage = self._base_fingerprint
-        self._structure = self._private_structure(data)
+        self._versions = VersionedStructures(self._base_fingerprint)
+        published = self._private_structure(data)
+        self._versions.install(
+            kind, published, self._twin_structure(published, data)
+        )
 
     # -- structure ownership ---------------------------------------------------
 
@@ -445,6 +785,40 @@ class DatasetHandle:
         )
         return structure
 
+    def _twin_structure(self, structure: Any, content: Any) -> Any:
+        """The offline-side twin of a published structure.
+
+        Only delta-capable monolithic kinds are mutated in place, so only
+        they need a second instance -- a codec round-trip when serializable,
+        else a second private build (privatization, not a cache miss: it is
+        not counted as a build).  Everything else shares one instance across
+        both left-right sides.
+        """
+        scheme = self._registration.scheme
+        if self._registration.shards > 1 or scheme.apply_delta is None:
+            return structure
+        if scheme.serializable:
+            return scheme.load(scheme.dump(structure))
+        return scheme.preprocess(content, self.tracker)
+
+    def _rematerialize(self) -> None:
+        """Re-install structures after a failed repair-rebuild dropped them.
+
+        Callers must be idle (no announced slot): an announced reader
+        blocking on the writer mutex would deadlock a draining writer.
+        Benign to race -- every contender builds from the same post-batch
+        content under the mutex, and only the first installs.
+        """
+        versions = self._versions
+        with versions.writer_mutex:
+            if versions.current.structures.get(self._kind) is not None:
+                return
+            content = self._content.canonical()
+            published = self._private_structure(content)
+            versions.install(
+                self._kind, published, self._twin_structure(published, content)
+            )
+
     # -- identity and versions -------------------------------------------------
 
     @property
@@ -454,12 +828,12 @@ class DatasetHandle:
     @property
     def version(self) -> int:
         """Monotonic count of applied (non-empty) change batches."""
-        return self._version
+        return self._versions.current.number
 
     @property
     def dirty(self) -> bool:
         """True while a delta-maintained version awaits persistence."""
-        return self._persisted_version < self._version
+        return self._persisted_version < self._versions.current.number
 
     def fingerprint(self) -> str:
         """The versioned content identity: a lineage hash of the history.
@@ -468,7 +842,7 @@ class DatasetHandle:
         engine's ordinary artifact); later versions chain batches through
         :func:`advance_lineage`.
         """
-        return self._lineage
+        return self._versions.current.lineage
 
     def artifact_key(self) -> ArtifactKey:
         """Identity of this version's artifact in cache/store terms."""
@@ -480,33 +854,33 @@ class DatasetHandle:
 
     def dataset(self) -> Any:
         """A consistent snapshot of the current dataset content."""
-        with self._latch.read():
+        with self._versions.writer_mutex:
             return self._content.canonical()
 
     # -- serving ---------------------------------------------------------------
 
-    def _answer(self, query: Any) -> bool:
-        """Evaluate one query over the current structure (latch held).
+    def _answer(self, query: Any, structure: Any) -> bool:
+        """Evaluate one query over a pinned structure.
 
         The handle is the *analytic* mutable surface: evaluation charges the
         handle's own cost tracker (the |CHANGED|-vs-|D| accounting of the
         Section 4(7) experiments).  Untracked production serving goes
         through mutable :class:`~repro.service.dataset.Dataset` sessions.
+        A kernel exception bumps ``serve_errors`` before propagating, so
+        failed serves are never invisible to health accounting.
         """
         registration = self._registration
-        if self._structure is None:
-            # A failed repair-rebuild dropped the structure (see
-            # apply_changes); re-materialize from current content.  Benign
-            # under the read latch: writers are excluded, so content is
-            # stable and concurrent repairs build equivalent structures.
-            self._structure = self._private_structure(self._content.canonical())
         started = time.perf_counter()
-        if registration.shards > 1:
-            answer = self._engine._planner.answer(
-                self._kind, registration, self._structure, query, self.tracker
-            )
-        else:
-            answer = registration.scheme.answer(self._structure, query, self.tracker)
+        try:
+            if registration.shards > 1:
+                answer = self._engine._planner.answer(
+                    self._kind, registration, structure, query, self.tracker
+                )
+            else:
+                answer = registration.scheme.answer(structure, query, self.tracker)
+        except Exception:
+            self._engine._bump(self._kind, serve_errors=1)
+            raise
         self._engine._count_serve(
             self._kind, queries=1, serve_seconds=time.perf_counter() - started
         )
@@ -516,25 +890,52 @@ class DatasetHandle:
     def query(self, query: Any) -> bool:
         """Answer one query against the current version (snapshot-consistent).
 
-        Concurrent with other readers; serialized against writers by the
-        latch, so the answer reflects a fully-applied version.
+        Lock-free: pins the published version record and serves from it --
+        concurrent with other readers *and* with writers, which can never
+        block a read.  The answer always reflects a fully-applied version.
         """
-        with self._latch.read():
+        versions = self._versions
+        slot = versions.slot()
+        version = versions.pin(slot)
+        try:
             self._check_open()
-            return self._answer(query)
+            structure = version.structures.get(self._kind)
+            if structure is None:
+                # A failed repair-rebuild dropped the structure (see
+                # apply_changes); go idle, re-materialize from current
+                # content under the writer mutex, and re-pin.
+                versions.release(slot)
+                self._rematerialize()
+                version = versions.pin(slot)
+                structure = version.structures[self._kind]
+            return self._answer(query, structure)
+        finally:
+            versions.release(slot)
 
     def query_batch(self, queries: Iterable[Any]) -> List[bool]:
         """Answer several queries against **one** version (batch-atomic).
 
-        The read latch is held across the whole batch, so every answer
-        reflects the same fully-applied version -- the multi-probe
+        One version record is pinned across the whole batch, so every
+        answer reflects the same fully-applied version -- the multi-probe
         counterpart of :meth:`query`'s snapshot guarantee (and what the
         torn-snapshot stress test in ``tests/unit/test_mutable_engine.py``
-        pins down).
+        pins down).  Batch atomicity is one pointer read, not a lock.
         """
-        with self._latch.read():
+        batch = list(queries)
+        versions = self._versions
+        slot = versions.slot()
+        version = versions.pin(slot)
+        try:
             self._check_open()
-            return [self._answer(query) for query in queries]
+            structure = version.structures.get(self._kind)
+            if structure is None:
+                versions.release(slot)
+                self._rematerialize()
+                version = versions.pin(slot)
+                structure = version.structures[self._kind]
+            return [self._answer(query, structure) for query in batch]
+        finally:
+            versions.release(slot)
 
     # -- mutation --------------------------------------------------------------
 
@@ -544,15 +945,24 @@ class DatasetHandle:
         The batch is validated up front (malformed changes raise
         :class:`~repro.core.errors.DeltaError` with nothing applied), no-op
         deletes are screened out, and the remainder goes to the scheme's
-        ``apply_delta`` hook -- O(|CHANGED| * polylog) in-place maintenance.
-        When the scheme has no hook, the hook refuses the batch, or the kind
-        is sharded, the handle falls back to resolving the post-batch
+        ``apply_delta`` hook -- O(|CHANGED| * polylog) in-place maintenance
+        against the *offline* twin, which readers cannot see.  The new
+        version is then published with one atomic pointer store, readers
+        still pinned to the retired version are drained, and the batch is
+        re-applied to the retired twin (the next offline side) -- the
+        left-right double-apply, so delta cost is paid twice but an O(|D|)
+        clone is never paid at all.
+
+        When the scheme has no hook, the hook refuses the batch, or the
+        kind is sharded, the handle falls back to resolving the post-batch
         content through the engine: sharded kinds rebuild only the touched
         shards (content-addressed artifacts), monolithic kinds rebuild in
-        full.  Either way readers never observe an intermediate state.
+        full.  Either way readers never observe an intermediate state, and
+        a torn fold can never be published.
         """
         batch = list(changes)
-        with self._latch.write():
+        versions = self._versions
+        with versions.writer_mutex:
             self._check_open()
             self._content.validate(batch)
             effective = self._content.screen(batch)
@@ -562,30 +972,56 @@ class DatasetHandle:
                 return self.log
             registration = self._registration
             scheme = registration.scheme
+            offline = versions.offline
             applied_by_delta = False
             torn = False
             started = time.perf_counter()
-            if registration.shards == 1 and scheme.apply_delta is not None:
+            if (
+                registration.shards == 1
+                and scheme.apply_delta is not None
+                and offline.get(self._kind) is not None
+            ):
                 try:
                     if faults._PLAN is not None:
                         faults.on_delta_apply(self._kind)
-                    self._structure = scheme.apply_delta(
-                        self._structure, effective, self.tracker
+                    offline[self._kind] = scheme.apply_delta(
+                        offline[self._kind], effective, self.tracker
                     )
                     applied_by_delta = True
                 except DeltaError:
                     # Contract: raised *before* mutating -- plain fallback.
                     applied_by_delta = False
                 except Exception:
-                    # Crashed mid-apply: the structure may be torn.  The
-                    # batch still commits (content is the source of truth);
-                    # the rebuild below repairs the structure, so no torn
-                    # snapshot is ever published.
+                    # Crashed mid-fold: only the offline twin may be torn;
+                    # the published side was never touched, so no reader
+                    # can see the tear.  The batch still commits (content
+                    # is the source of truth) and the rebuild below
+                    # replaces the torn twin before anything is published.
                     torn = True
             for change in effective:
                 self._content.apply(change)
-            self._version += 1
-            self._lineage = advance_lineage(self._lineage, self._version, effective)
+            current = versions.current
+            number = current.number + 1
+            lineage = advance_lineage(current.lineage, number, effective)
+            canonical = None
+            fresh = None
+            if not applied_by_delta:
+                canonical = self._content.canonical()
+                try:
+                    fresh = self._private_structure(canonical)
+                except BaseException:
+                    # Never publish (or retain) a possibly-torn structure:
+                    # drop the kind from both sides, still commit the
+                    # version, and let the next query re-materialize from
+                    # the post-batch content -- degraded-and-loud, never
+                    # silently wrong.
+                    offline.pop(self._kind, None)
+                    versions.publish(number, lineage)
+                    versions.drain()
+                    versions.offline.pop(self._kind, None)
+                    raise
+                offline[self._kind] = fresh
+            versions.publish(number, lineage)
             elapsed = time.perf_counter() - started
             if applied_by_delta:
                 self._engine._bump(
@@ -594,32 +1030,43 @@ class DatasetHandle:
                     delta_changes=len(effective),
                     delta_seconds=elapsed,
                 )
-                self._schedule_persist()
             else:
-                try:
-                    self._structure = self._private_structure(
-                        self._content.canonical()
-                    )
-                except BaseException:
-                    # Never leave a possibly-torn structure behind: drop it
-                    # so the next query lazily re-materializes (see _answer)
-                    # -- degraded-and-loud, never silently wrong.
-                    self._structure = None
-                    raise
                 self._engine._bump(self._kind, fallback_rebuilds=1)
                 if torn:
                     self._engine._bump(self._kind, write_rollbacks=1)
-                if self._store_ready():
-                    # Uniform durability: the rebuilt structure also lands
-                    # under this version's key (the resolve above already
-                    # persisted it content-addressed).
-                    self._schedule_persist()
-                else:
-                    self._persisted_version = self._version
+            # Second apply: once readers drain off the retired side, bring
+            # it up to this version so it can serve as the next offline set.
+            versions.drain()
+            retired = versions.offline
+            if applied_by_delta:
+                try:
+                    retired[self._kind] = scheme.apply_delta(
+                        retired[self._kind], effective, self.tracker
+                    )
+                except Exception:
+                    # The published side is intact and current; repair the
+                    # mirror from it so the next batch folds into a correct
+                    # twin.  Loud in the counters, invisible to readers.
+                    retired[self._kind] = self._twin_structure(
+                        versions.current.structures[self._kind],
+                        self._content.canonical(),
+                    )
+                    self._engine._bump(self._kind, write_rollbacks=1)
+            else:
+                retired[self._kind] = self._twin_structure(fresh, canonical)
+            if applied_by_delta:
+                self._schedule_persist()
+            elif self._store_ready():
+                # Uniform durability: the rebuilt structure also lands
+                # under this version's key (the resolve above already
+                # persisted it content-addressed).
+                self._schedule_persist()
+            else:
+                self._persisted_version = number
             self.log.record(
                 len(effective),
                 0,
-                f"v{self._version}: {len(effective)} change(s) via "
+                f"v{number}: {len(effective)} change(s) via "
                 f"{'delta' if applied_by_delta else 'rebuild'}"
                 + (f", {len(batch) - len(effective)} screened" if len(batch) != len(effective) else ""),
             )
@@ -638,7 +1085,7 @@ class DatasetHandle:
         """Queue an asynchronous re-persist of the current dirty version."""
         if not self._store_ready():
             return
-        target = self._version
+        target = self._versions.current.number
         pool = self._engine._ensure_persist_pool()
         with self._persist_guard:
             self._persist_future = pool.submit(self._persist, target)
@@ -646,9 +1093,11 @@ class DatasetHandle:
     def _persist(self, target: int) -> None:
         """Dump version ``target`` if still current and write it through.
 
-        The dump runs under the read latch (a consistent snapshot; writers
-        wait), the store write outside it.  A stale target -- a newer batch
-        already applied -- is skipped; the newer batch queued its own task.
+        The dump runs with the version pinned exactly like a reader --
+        writers drain pinned readers before re-folding a retired structure,
+        so the bytes are a consistent snapshot -- and the store write runs
+        unpinned.  A stale target (a newer batch already published) is
+        skipped; the newer batch queued its own task.
 
         Store failures (disk full, unwritable root) are retried with
         backoff per the recovery policy; a terminal failure is recorded and
@@ -656,11 +1105,18 @@ class DatasetHandle:
         this task's future, the error is never silently dropped.  The
         in-memory structure stays current either way; only durability lags.
         """
-        with self._latch.read():
-            if self._version != target or self._persisted_version >= target:
+        with self._versions.pinned() as version:
+            if version.number != target or self._persisted_version >= target:
                 return
-            payload = self._registration.scheme.dump(self._structure)
-            key = self.artifact_key()
+            structure = version.structures.get(self._kind)
+            if structure is None:
+                return
+            payload = self._registration.scheme.dump(structure)
+            key = ArtifactKey(
+                fingerprint=version.lineage,
+                scheme=self._registration.scheme.name,
+                params=self._registration.params,
+            )
         recovery = faults.policy()
         backoff = recovery.writebehind_backoff_seconds
         attempts = max(1, recovery.writebehind_attempts)
@@ -695,15 +1151,13 @@ class DatasetHandle:
         if future is not None:
             future.result()
         if self._store_ready():
-            with self._latch.read():
-                target = self._version
-            self._persist(target)
+            self._persist(self._versions.current.number)
         with self._persist_guard:
             cause = self._persist_error
         if cause is not None:
             raise WriteBehindError(
                 f"write-behind persistence failed for kind {self._kind!r} "
-                f"at version {self._version}; the in-memory structure is "
+                f"at version {self.version}; the in-memory structure is "
                 f"current but the on-disk artifact is stale"
             ) from cause
 
@@ -730,7 +1184,7 @@ class DatasetHandle:
         try:
             self.flush()
         finally:
-            with self._latch.write():
+            with self._versions.writer_mutex:
                 self._closed = True
             self._engine._forget_handle(self)
 
