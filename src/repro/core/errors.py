@@ -113,6 +113,30 @@ class WriteBehindError(ServiceError):
     ``__cause__``."""
 
 
+class ProtocolError(ServiceError):
+    """Raised by the serving front's wire protocol
+    (:mod:`repro.service.frontend.protocol`) on malformed, oversized,
+    version-mismatched or unencodable frames.  A subclass of
+    :class:`ServiceError`: a protocol failure is a serving failure, and
+    clients catching the service hierarchy keep catching it."""
+
+
+class OverloadedError(ServiceError):
+    """Raised (and sent as a structured error frame) when the gateway's
+    admission control rejects a request: the dataset's in-flight permits
+    are exhausted and the waiting queue is at its watermark.  Explicit
+    load shedding -- the gateway never buffers unboundedly; back off and
+    retry."""
+
+
+class WorkerFailedError(ServiceError):
+    """Raised when a serving-front worker process died while holding a
+    request and the request could not be transparently retried: a write
+    that may or may not have applied, a read whose one retry also failed,
+    or a dataset whose home worker is gone and not yet re-homed.  Answers
+    are never silently wrong -- the failure is structured and loud."""
+
+
 class DeltaError(ReproError):
     """Raised by a scheme's ``apply_delta`` hook when a change batch cannot
     be applied incrementally (unsupported change kind, out-of-range target,

@@ -34,6 +34,14 @@ This package persists built structures and serves query batches against them:
     per-shard Pi-structures in parallel, persists each as an independent
     content-addressed artifact, and serves queries by scatter-gather.
 
+:mod:`repro.service.frontend`
+    The serving front: an asyncio TCP gateway (:class:`ServingFront`,
+    admission control + backpressure) over a multi-process worker pool
+    (:class:`Supervisor`) in which every worker hosts its own engine
+    against the *shared* on-disk store, plus the sync
+    :class:`RemoteClient` whose sessions duck-type :class:`Dataset` for
+    the workload drivers.
+
 :mod:`repro.service.mutable`
     :class:`DatasetHandle` -- versioned, snapshot-consistent serving of
     *mutable* datasets: lock-free readers pin atomically published version
@@ -192,7 +200,29 @@ __all__ = [
     "run_open_loop",
     # catalog factory (lazy; see __getattr__)
     "build_query_engine",
+    # serving front (lazy; see __getattr__)
+    "ServingFront",
+    "GatewayConfig",
+    "Supervisor",
+    "RemoteClient",
+    "RemoteDataset",
+    # new error types of the serving front
+    "ProtocolError",
+    "OverloadedError",
+    "WorkerFailedError",
 ]
+
+from repro.core.errors import (  # noqa: E402 - grouped with the lazy block
+    OverloadedError,
+    ProtocolError,
+    WorkerFailedError,
+)
+
+#: Serving-front names resolved lazily: the frontend pulls in asyncio and
+#: multiprocessing, which pure in-process users should not pay for.
+_FRONTEND_NAMES = frozenset(
+    {"ServingFront", "GatewayConfig", "Supervisor", "RemoteClient", "RemoteDataset"}
+)
 
 
 def __getattr__(name: str):
@@ -204,4 +234,8 @@ def __getattr__(name: str):
         from repro.catalog import build_query_engine
 
         return build_query_engine
+    if name in _FRONTEND_NAMES:
+        import repro.service.frontend as frontend
+
+        return getattr(frontend, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -498,6 +498,7 @@ class QueryEngine:
         self._handles: List[Any] = []
         self._handles_guard = threading.Lock()
         self._closed = False
+        self._close_lock = threading.Lock()
 
     # -- registration ----------------------------------------------------------
 
@@ -1228,35 +1229,46 @@ class QueryEngine:
         :class:`~repro.core.errors.WriteBehindError` after a disk-full
         write-behind) does not abort the shutdown: every dataset is still
         detached and every pool torn down, then the first failure is
-        re-raised so the stale-artifact condition cannot pass silently."""
-        errors: List[BaseException] = []
-        with self._datasets_guard:
-            names = list(self._datasets)
-        for name in names:
-            try:
-                self.detach(name)
-            except UnknownDatasetError:  # pragma: no cover - concurrent detach
-                pass
-            except Exception as exc:
-                errors.append(exc)
-        with self._handles_guard:
-            handles = list(self._handles)
-        for handle in handles:
-            try:
-                handle.close()
-            except Exception as exc:
-                errors.append(exc)
-        self._closed = True
-        self._planner.close()
-        with self._pool_guard:
-            if self._persist_pool is not None:
-                self._persist_pool.shutdown(wait=True)
-                self._persist_pool = None
-            if self._pool is not None:
-                self._pool.shutdown(wait=True)
-                self._pool = None
-        if errors:
-            raise errors[0]
+        re-raised so the stale-artifact condition cannot pass silently.
+
+        Idempotent: a second ``close()`` (including a concurrent one, which
+        blocks until the first finishes) is a no-op, even when the first
+        raised -- teardown completes before the error is re-raised.
+        ``submit()`` futures still queued at close time never hang: datasets
+        are detached before the pool drains, so each pending future resolves
+        with an :class:`~repro.core.errors.UnknownDatasetError` (a
+        :class:`~repro.core.errors.ServiceError`)."""
+        with self._close_lock:
+            if self._closed:
+                return
+            errors: List[BaseException] = []
+            with self._datasets_guard:
+                names = list(self._datasets)
+            for name in names:
+                try:
+                    self.detach(name)
+                except UnknownDatasetError:  # pragma: no cover - concurrent detach
+                    pass
+                except Exception as exc:
+                    errors.append(exc)
+            with self._handles_guard:
+                handles = list(self._handles)
+            for handle in handles:
+                try:
+                    handle.close()
+                except Exception as exc:
+                    errors.append(exc)
+            self._closed = True
+            self._planner.close()
+            with self._pool_guard:
+                if self._persist_pool is not None:
+                    self._persist_pool.shutdown(wait=True)
+                    self._persist_pool = None
+                if self._pool is not None:
+                    self._pool.shutdown(wait=True)
+                    self._pool = None
+            if errors:
+                raise errors[0]
 
     def __enter__(self) -> "QueryEngine":
         return self

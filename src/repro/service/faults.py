@@ -36,6 +36,17 @@ Injection sites and their recovery policies (see ``docs/architecture.md``,
     ``apply_delta`` raises mid-batch.  Recovery: the handle commits the
     batch to content and repairs the structure by rebuild, so no torn
     snapshot is ever published.
+``worker.serve``
+    A serving-front worker process dies mid-serve (the hook calls
+    ``os._exit``, so no cleanup runs -- a hard crash, not an exception).
+    Recovery: the supervisor detects the dead process, retries that
+    worker's in-flight reads once on a healthy worker (writes surface
+    :class:`~repro.core.errors.WorkerFailedError` -- they may or may not
+    have applied), re-homes mutable datasets by replaying their
+    acknowledged change journal, and restarts the worker with backoff
+    bounded by ``RecoveryPolicy.worker_restart_attempts`` /
+    ``worker_restart_backoff_seconds``.  Restarted workers are *not*
+    re-armed: the scenario models one crash event, not a crashing binary.
 
 Every scenario in :data:`SCENARIOS` is pinned by a test in
 ``tests/chaos/`` asserting both the recovery behavior and the health
@@ -85,6 +96,7 @@ SITES: Dict[str, Tuple[str, ...]] = {
     "shard.partial": ("raise", "slow"),
     "cache.put": ("evict-storm",),
     "mutable.delta": ("raise",),
+    "worker.serve": ("crash",),
 }
 
 
@@ -103,6 +115,11 @@ class RecoveryPolicy:
     slow_shard_seconds: float = 0.05
     #: Injected delay for a "slow" artifact read.
     slow_load_seconds: float = 0.05
+    #: Restart attempts for a crashed serving-front worker before the
+    #: supervisor gives the slot up as lost.
+    worker_restart_attempts: int = 3
+    #: Backoff before the first restart attempt (doubles each retry).
+    worker_restart_backoff_seconds: float = 0.05
 
 
 DEFAULT_POLICY = RecoveryPolicy()
@@ -372,6 +389,30 @@ def on_delta_apply(kind: str) -> None:
         raise InjectedFaultError(f"injected apply_delta failure for {kind!r}")
 
 
+#: Exit status a crashed worker dies with, so the supervisor (and tests)
+#: can tell an injected crash from an ordinary worker failure.
+WORKER_CRASH_EXIT = 113
+
+
+def on_worker_serve(kind: Optional[str]) -> None:
+    """Hook in the worker process serve loop, before evaluating a request.
+
+    Mode ``"crash"`` hard-kills the *current process* with ``os._exit`` --
+    no exception, no cleanup, no response frame -- which is exactly what
+    the supervisor's crash detection must cope with.  Only ever fires
+    inside a worker process whose pool shipped it a plan; the gateway
+    process never installs ``worker.serve`` specs.
+    """
+    plan = _PLAN
+    if plan is None:
+        return
+    spec = plan.first_firing("worker.serve", kind=kind)
+    if spec is not None and spec.mode == "crash":
+        import os
+
+        os._exit(WORKER_CRASH_EXIT)
+
+
 # -- the scenario registry -----------------------------------------------------
 
 #: name -> base specs.  ``scenario()`` turns a name into an armed-ready plan;
@@ -385,6 +426,7 @@ SCENARIOS: Dict[str, Tuple[FaultSpec, ...]] = {
     "eviction-storm": (FaultSpec("cache.put", "evict-storm", times=None),),
     "failed-delta-apply": (FaultSpec("mutable.delta", "raise"),),
     "disk-full-writebehind": (FaultSpec("store.write", "disk-full"),),
+    "dead-worker": (FaultSpec("worker.serve", "crash"),),
 }
 
 

@@ -1,0 +1,41 @@
+"""The serving front: escape the single process.
+
+One Python process serves at most one GIL's worth of queries; the front
+splits the stack into an asyncio gateway and N worker processes that
+share nothing in memory but everything on disk:
+
+* :mod:`~repro.service.frontend.protocol` -- versioned, length-prefixed
+  frames whose routing header the gateway reads and whose body only the
+  workers decode; structured errors map back onto the
+  :class:`~repro.core.errors.ServiceError` hierarchy.
+* :mod:`~repro.service.frontend.server` -- :class:`Gateway` (admission
+  permits per dataset, watermark backpressure, explicit ``Overloaded``
+  shedding) and :class:`ServingFront`, the one-call harness.
+* :mod:`~repro.service.frontend.supervisor` -- :class:`Supervisor`:
+  per-dataset routing, crash detection, retry-once for in-flight reads,
+  journal-replay re-homing of mutable datasets, restart with backoff.
+* :mod:`~repro.service.frontend.workers` -- the worker process: one
+  full-catalog :class:`~repro.service.engine.QueryEngine` per process
+  over the *shared* :class:`~repro.service.artifacts.ArtifactStore`
+  directory.  Content addressing is the coherence protocol: the first
+  worker to attach a dataset builds and persists its Pi-structures, the
+  rest load the same bytes by key.
+* :mod:`~repro.service.frontend.client` -- :class:`RemoteClient` /
+  :class:`RemoteDataset`, the sync client whose sessions duck-type
+  :class:`~repro.service.dataset.Dataset` so the workload drivers run
+  against the front unchanged.
+"""
+
+from repro.service.frontend.client import RemoteClient, RemoteDataset, drive_batches
+from repro.service.frontend.server import Gateway, GatewayConfig, ServingFront
+from repro.service.frontend.supervisor import Supervisor
+
+__all__ = [
+    "Gateway",
+    "GatewayConfig",
+    "RemoteClient",
+    "RemoteDataset",
+    "ServingFront",
+    "Supervisor",
+    "drive_batches",
+]

@@ -1,0 +1,317 @@
+"""Sync client for the serving front.
+
+:class:`RemoteClient` speaks the frame protocol over TCP with one
+connection *per calling thread* (thread-local sockets: the workload
+drivers run N closed-loop threads, and each gets its own pipelined-free,
+request-response stream).  :meth:`RemoteClient.attach` returns a
+:class:`RemoteDataset` that duck-types the local
+:class:`~repro.service.dataset.Dataset` session surface the workload
+harness binds against -- ``kinds`` / ``name`` / ``mutable`` /
+``dataset()`` / ``query`` / ``query_batch`` / ``apply_changes`` /
+``stats`` / ``detach`` -- so ``run_closed_loop`` / ``run_open_loop``
+drive the front end with unchanged specs and distributions::
+
+    client = RemoteClient(*front.address)
+    ds = client.attach("events", data, kinds=["list-membership"], mutable=True)
+    report = run_closed_loop(ds, spec, threads=4, operations=10_000)
+
+Structured error frames re-raise as their library exception classes
+(:func:`~repro.service.frontend.protocol.raise_remote`); transport
+failures raise :class:`~repro.core.errors.ProtocolError` and are counted
+in ``client.protocol_errors``, which CI's frontend smoke asserts stays 0.
+
+:func:`drive_batches` is the module-level load generator used by the
+scaling benchmark and CI: importable by name, so ``multiprocessing`` can
+spawn one generator per process and the client side of the measurement
+scales past one GIL just like the worker side does.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.errors import ProtocolError
+from repro.service.frontend import protocol
+
+__all__ = ["RemoteClient", "RemoteDataset", "drive_batches"]
+
+
+class RemoteClient:
+    """One serving-front endpoint, shared safely across threads."""
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        *,
+        codec: Optional[int] = None,
+        timeout: float = 60.0,
+        max_frame_bytes: int = protocol.DEFAULT_MAX_FRAME_BYTES,
+    ):
+        self._host = host
+        self._port = port
+        self._codec = protocol.default_codec() if codec is None else codec
+        self._timeout = timeout
+        self._max_frame_bytes = max_frame_bytes
+        self._local = threading.local()
+        self._conns_lock = threading.Lock()
+        self._conns: List[socket.socket] = []
+        self._errors_lock = threading.Lock()
+        #: Transport/protocol failures observed by this client.  Zero on a
+        #: healthy front: structured service errors do not count.
+        self.protocol_errors = 0
+
+    # -- transport -------------------------------------------------------------
+
+    def _connection(self) -> Tuple[socket.socket, Any, int]:
+        state = getattr(self._local, "state", None)
+        if state is None:
+            sock = socket.create_connection(
+                (self._host, self._port), timeout=self._timeout
+            )
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            stream = sock.makefile("rwb")
+            state = [sock, stream, 0]
+            self._local.state = state
+            with self._conns_lock:
+                self._conns.append(sock)
+        return state
+
+    def _drop_connection(self) -> None:
+        state = getattr(self._local, "state", None)
+        if state is not None:
+            self._local.state = None
+            try:
+                state[1].close()
+                state[0].close()
+            except OSError:
+                pass
+            with self._conns_lock:
+                if state[0] in self._conns:
+                    self._conns.remove(state[0])
+
+    def _count_protocol_error(self) -> None:
+        with self._errors_lock:
+            self.protocol_errors += 1
+
+    def request(self, op: str, *, dataset: Optional[str] = None,
+                value: Any = None) -> Any:
+        """One request-response round trip on this thread's connection."""
+        state = self._connection()
+        state[2] += 1
+        rid = state[2]
+        header = {"op": op, "rid": rid, "dataset": dataset}
+        try:
+            frame = protocol.pack_frame(
+                header, value, codec=self._codec,
+                max_frame_bytes=self._max_frame_bytes,
+            )
+        except ProtocolError:
+            self._count_protocol_error()
+            raise
+        stream = state[1]
+        try:
+            stream.write(frame)
+            stream.flush()
+            response = protocol.read_frame(
+                stream, max_frame_bytes=self._max_frame_bytes
+            )
+        except ProtocolError:
+            self._count_protocol_error()
+            self._drop_connection()
+            raise
+        except OSError as exc:
+            self._count_protocol_error()
+            self._drop_connection()
+            raise ProtocolError(f"connection to serving front lost: {exc}") from exc
+        if response is None:
+            self._count_protocol_error()
+            self._drop_connection()
+            raise ProtocolError("serving front closed the connection")
+        rheader, rbody, rcodec = response
+        if rheader.get("rid") not in (rid, None):
+            self._count_protocol_error()
+            self._drop_connection()
+            raise ProtocolError(
+                f"response rid {rheader.get('rid')} does not match request {rid}"
+            )
+        payload = protocol.decode_body(rbody, rcodec) if rbody else None
+        if rheader.get("ok"):
+            return payload
+        protocol.raise_remote(payload)
+
+    # -- the op surface --------------------------------------------------------
+
+    def ping(self) -> bool:
+        return self.request("ping", dataset="") == "pong"
+
+    def query_batch_for(self, dataset: str,
+                        pairs: Iterable[Tuple[str, Any]]) -> List[Any]:
+        """``query_batch`` without holding a :class:`RemoteDataset`."""
+        return self.request(
+            "query_batch", dataset=dataset,
+            value={"pairs": [tuple(pair) for pair in pairs]},
+        )
+
+    def attach(
+        self,
+        name: str,
+        data: Any,
+        *,
+        kinds: Optional[Sequence[str]] = None,
+        shards: int = 1,
+        mutable: bool = False,
+    ) -> "RemoteDataset":
+        """Attach ``data`` on the front (every worker for immutable data,
+        one home worker for mutable) and return the session facade."""
+        ack = self.request(
+            "attach",
+            dataset=name,
+            value={
+                "name": name,
+                "data": data,
+                "kinds": list(kinds) if kinds is not None else None,
+                "shards": shards,
+                "mutable": mutable,
+            },
+        )
+        return RemoteDataset(self, ack["name"], list(ack["kinds"]),
+                             bool(ack["mutable"]), data)
+
+    def close(self) -> None:
+        with self._conns_lock:
+            conns = list(self._conns)
+            self._conns.clear()
+        for sock in conns:
+            try:
+                sock.close()
+            except OSError:  # pragma: no cover
+                pass
+
+    def __enter__(self) -> "RemoteClient":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+
+class RemoteDataset:
+    """The remote twin of a :class:`~repro.service.dataset.Dataset` session.
+
+    ``dataset()`` returns the locally held attach payload -- the same
+    bind-time snapshot semantics the local harness has (templates bind
+    against content as of binding; later remote writes do not re-shape
+    already-bound templates).
+    """
+
+    def __init__(self, client: RemoteClient, name: str, kinds: List[str],
+                 mutable: bool, data: Any):
+        self._client = client
+        self._name = name
+        self._kinds = list(kinds)
+        self._mutable = mutable
+        self._data = data
+        self._detached = False
+
+    @property
+    def name(self) -> str:
+        return self._name
+
+    @property
+    def kinds(self) -> List[str]:
+        return list(self._kinds)
+
+    @property
+    def mutable(self) -> bool:
+        return self._mutable
+
+    def dataset(self) -> Any:
+        return self._data
+
+    def query(self, kind: str, query: Any) -> Any:
+        return self._client.request(
+            "query", dataset=self._name, value={"kind": kind, "query": query}
+        )
+
+    def query_batch(self, pairs: Iterable[Tuple[str, Any]]) -> List[Any]:
+        return self._client.request(
+            "query_batch", dataset=self._name,
+            value={"pairs": [tuple(pair) for pair in pairs]},
+        )
+
+    def apply_changes(self, changes: Iterable[Any]) -> Dict[str, Any]:
+        return self._client.request(
+            "apply_changes", dataset=self._name, value={"changes": list(changes)}
+        )
+
+    def stats(self) -> Dict[str, Any]:
+        return self._client.request("stats", dataset=self._name)
+
+    def detach(self) -> None:
+        if self._detached:
+            return
+        self._detached = True
+        self._client.request("detach", dataset=self._name)
+
+    def __enter__(self) -> "RemoteDataset":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.detach()
+
+
+def drive_batches(
+    host: str,
+    port: int,
+    batches: Sequence[Sequence[Tuple[str, Any]]],
+    *,
+    dataset: str,
+    threads: int = 1,
+    codec: Optional[int] = None,
+) -> Dict[str, Any]:
+    """Pump pre-generated query batches through the front, full tilt.
+
+    Splits ``batches`` round-robin across ``threads`` connections and
+    sends each as one ``query_batch`` frame.  Returns aggregate counts --
+    ``queries``, ``batches``, ``errors``, ``degraded``, ``wrong`` is left
+    to the caller since only it knows expected answers.  Runs inside load
+    generator *processes* for the scaling benchmark (module-level, so
+    ``multiprocessing`` spawn can import it by name).
+    """
+    client = RemoteClient(host, port, codec=codec)
+    counts = {"queries": 0, "batches": 0, "errors": 0, "degraded": 0}
+    counts_lock = threading.Lock()
+    answers: Dict[int, List[Any]] = {}
+
+    def run(thread_index: int) -> None:
+        local = {"queries": 0, "batches": 0, "errors": 0, "degraded": 0}
+        got: List[Any] = []
+        for index in range(thread_index, len(batches), threads):
+            batch = batches[index]
+            try:
+                result = client.query_batch_for(dataset, batch)
+            except Exception:
+                local["errors"] += 1
+                got.append(None)
+                continue
+            local["batches"] += 1
+            local["queries"] += len(batch)
+            local["degraded"] += sum(
+                1 for answer in result if getattr(answer, "partial", False)
+            )
+            got.append(result)
+        with counts_lock:
+            for key, delta in local.items():
+                counts[key] += delta
+            answers[thread_index] = got
+
+    workers = [threading.Thread(target=run, args=(i,)) for i in range(threads)]
+    for thread in workers:
+        thread.start()
+    for thread in workers:
+        thread.join()
+    client.close()
+    counts["answers"] = [answers[i] for i in range(threads)]
+    return counts

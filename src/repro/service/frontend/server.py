@@ -1,0 +1,330 @@
+"""The asyncio TCP gateway and the one-call serving-front harness.
+
+The :class:`Gateway` is deliberately thin: it reads length-prefixed
+frames, admits or sheds them, and relays the *opaque* body bytes to the
+backend (a :class:`~repro.service.frontend.supervisor.Supervisor`) -- it
+never decodes a request body, so frame decode cost lands on the worker
+processes, in parallel.
+
+Admission control and backpressure, per dataset:
+
+* ``max_inflight_per_dataset`` requests may be dispatched concurrently
+  (an :class:`asyncio.Semaphore` per dataset name);
+* up to ``queue_watermark`` more may *wait* for a permit;
+* anything past the watermark is rejected immediately with a structured
+  :class:`~repro.core.errors.OverloadedError` frame.  The gateway never
+  buffers unboundedly -- a slow pool surfaces as explicit ``Overloaded``
+  responses, not as silent queue growth and timeout collapse.
+
+:class:`ServingFront` assembles the whole front -- supervisor + worker
+pool + gateway thread -- behind a context manager::
+
+    with ServingFront(workers=2) as front:
+        client = RemoteClient(*front.address)
+        ...
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from dataclasses import dataclass
+from typing import Any, Dict, Optional, Tuple
+
+from repro.core.errors import OverloadedError, ProtocolError, ReproError, ServiceError
+from repro.service.frontend import protocol
+from repro.service.frontend.supervisor import Supervisor
+
+__all__ = ["GatewayConfig", "Gateway", "ServingFront"]
+
+
+@dataclass(frozen=True)
+class GatewayConfig:
+    """Admission and framing knobs (see docs/architecture.md,
+    "The serving front")."""
+
+    #: Concurrent dispatches allowed per dataset.
+    max_inflight_per_dataset: int = 64
+    #: Requests allowed to *wait* for a permit, per dataset, before the
+    #: gateway starts shedding with ``Overloaded``.
+    queue_watermark: int = 128
+    #: Hard frame-size ceiling, checked before the body is read.
+    max_frame_bytes: int = protocol.DEFAULT_MAX_FRAME_BYTES
+
+
+class _Admission:
+    """Per-dataset permit state: ``pending`` counts dispatched + waiting."""
+
+    __slots__ = ("semaphore", "pending")
+
+    def __init__(self, permits: int):
+        self.semaphore = asyncio.Semaphore(permits)
+        self.pending = 0
+
+
+class Gateway:
+    """Frame relay with admission control over a supervisor backend.
+
+    The backend contract is three methods -- ``submit(header, body, codec,
+    on_done)`` (``on_done`` may fire from any thread), ``health()`` and
+    ``close()`` -- which is exactly the :class:`Supervisor` surface, and
+    small enough that backpressure tests plug in a stub that never answers.
+    """
+
+    def __init__(self, backend: Any, config: Optional[GatewayConfig] = None):
+        self._backend = backend
+        self.config = config or GatewayConfig()
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._admission: Dict[Optional[str], _Admission] = {}
+        self.port: Optional[int] = None
+        self.counters: Dict[str, int] = {
+            "connections": 0,
+            "frames": 0,
+            "overloaded_rejections": 0,
+            "protocol_errors": 0,
+        }
+
+    async def start(self, host: str = "127.0.0.1", port: int = 0) -> None:
+        self._server = await asyncio.start_server(self._handle, host, port)
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def _handle(self, reader: asyncio.StreamReader,
+                      writer: asyncio.StreamWriter) -> None:
+        self.counters["connections"] += 1
+        write_lock = asyncio.Lock()
+        try:
+            while True:
+                try:
+                    frame = await protocol.read_frame_async(
+                        reader, max_frame_bytes=self.config.max_frame_bytes
+                    )
+                except ProtocolError as exc:
+                    # A malformed or oversized frame poisons the stream
+                    # position: answer structurally, then hang up.
+                    self.counters["protocol_errors"] += 1
+                    await self._write_error(writer, write_lock, None, None, exc)
+                    break
+                if frame is None:
+                    break
+                header, body, codec = frame
+                self.counters["frames"] += 1
+                op = header.get("op")
+                rid = header.get("rid")
+                if op not in protocol.REQUEST_OPS:
+                    self.counters["protocol_errors"] += 1
+                    await self._write_error(
+                        writer, write_lock, rid, codec,
+                        ProtocolError(f"unknown op {op!r}"),
+                    )
+                    continue
+                state = self._admission_for(header.get("dataset"))
+                limit = (self.config.max_inflight_per_dataset
+                         + self.config.queue_watermark)
+                if state.pending >= limit:
+                    self.counters["overloaded_rejections"] += 1
+                    await self._write_error(
+                        writer, write_lock, rid, codec,
+                        OverloadedError(
+                            f"dataset {header.get('dataset')!r} at admission "
+                            f"limit ({limit} pending); back off and retry"
+                        ),
+                    )
+                    continue
+                state.pending += 1
+                asyncio.ensure_future(
+                    self._process(state, header, body, codec, writer, write_lock)
+                )
+        except (ConnectionResetError, BrokenPipeError):  # pragma: no cover
+            pass
+        except asyncio.CancelledError:
+            # Shutdown path: _drain() cancels connection tasks.  Finish
+            # normally so the streams machinery's done-callback does not
+            # log the cancellation as an unhandled exception.
+            pass
+        finally:
+            writer.close()
+
+    def _admission_for(self, dataset: Optional[str]) -> _Admission:
+        state = self._admission.get(dataset)
+        if state is None:
+            state = _Admission(self.config.max_inflight_per_dataset)
+            self._admission[dataset] = state
+        return state
+
+    async def _process(self, state: _Admission, header: Dict[str, Any],
+                       body: bytes, codec: int, writer: asyncio.StreamWriter,
+                       write_lock: asyncio.Lock) -> None:
+        try:
+            async with state.semaphore:
+                try:
+                    rheader, rbody, rcodec = await self._dispatch(header, body, codec)
+                except ReproError as exc:
+                    await self._write_error(
+                        writer, write_lock, header.get("rid"), codec, exc
+                    )
+                    return
+            async with write_lock:
+                try:
+                    writer.write(protocol.pack_frame(
+                        rheader, body_bytes=rbody, codec=rcodec,
+                        max_frame_bytes=self.config.max_frame_bytes,
+                    ))
+                    await writer.drain()
+                except (ConnectionResetError, BrokenPipeError):  # pragma: no cover
+                    pass
+        finally:
+            state.pending -= 1
+
+    async def _dispatch(self, header: Dict[str, Any], body: bytes,
+                        codec: int) -> Tuple[Dict[str, Any], bytes, int]:
+        loop = asyncio.get_running_loop()
+        future: "asyncio.Future[Tuple[Dict[str, Any], bytes, int]]" = loop.create_future()
+
+        def on_done(rheader: Dict[str, Any], rbody: bytes, rcodec: int) -> None:
+            loop.call_soon_threadsafe(_resolve, (rheader, rbody, rcodec))
+
+        def _resolve(result: Tuple[Dict[str, Any], bytes, int]) -> None:
+            if not future.done():
+                future.set_result(result)
+
+        self._backend.submit(header, body, codec, on_done)
+        return await future
+
+    async def _write_error(self, writer: asyncio.StreamWriter,
+                           write_lock: asyncio.Lock, rid: Any,
+                           codec: Optional[int], exc: BaseException) -> None:
+        codec = protocol.CODEC_JSON if codec is None else codec
+        header = {"rid": rid, "ok": False, "op": None}
+        body = protocol.encode_body(protocol.error_payload(exc), codec)
+        async with write_lock:
+            try:
+                writer.write(protocol.pack_frame(header, body_bytes=body, codec=codec))
+                await writer.drain()
+            except (ConnectionResetError, BrokenPipeError):  # pragma: no cover
+                pass
+
+    def close(self) -> None:
+        if self._server is not None:
+            self._server.close()
+
+
+class ServingFront:
+    """Gateway + supervisor + N worker processes, one context manager.
+
+    All constructor arguments forward to :class:`Supervisor` (pool shape,
+    shared ``store_root``, fault plan) and :class:`GatewayConfig`
+    (admission knobs).  ``address`` is the ``(host, port)`` the gateway
+    actually bound -- port 0 picks a free one.
+    """
+
+    def __init__(
+        self,
+        workers: int = 2,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        store_root: Optional[str] = None,
+        engine_opts: Optional[Dict[str, Any]] = None,
+        config: Optional[GatewayConfig] = None,
+        policy: Optional[Any] = None,
+        fault_plan: Optional[Any] = None,
+        fault_workers: Optional[Any] = None,
+        start_method: str = "spawn",
+        max_queue_per_worker: int = 2048,
+    ):
+        self._host = host
+        self._port = port
+        self.supervisor = Supervisor(
+            workers,
+            store_root=store_root,
+            engine_opts=engine_opts,
+            policy=policy,
+            fault_plan=fault_plan,
+            fault_workers=fault_workers,
+            start_method=start_method,
+            max_queue_per_worker=max_queue_per_worker,
+        )
+        self.gateway = Gateway(self.supervisor, config)
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._thread: Optional[threading.Thread] = None
+        self._started = threading.Event()
+        self._start_error: Optional[BaseException] = None
+        self._running = False
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        if self.gateway.port is None:
+            raise ServiceError("serving front is not started")
+        return (self._host, self.gateway.port)
+
+    def start(self) -> "ServingFront":
+        if self._running:
+            raise ServiceError("serving front already started")
+        self.supervisor.start()
+        self._thread = threading.Thread(
+            target=self._run_loop, name="frontend-gateway", daemon=True
+        )
+        self._thread.start()
+        self._started.wait(timeout=30)
+        if self._start_error is not None:
+            self.supervisor.close()
+            raise ServiceError(
+                f"gateway failed to start: {self._start_error}"
+            ) from self._start_error
+        if self.gateway.port is None:
+            self.supervisor.close()
+            raise ServiceError("gateway did not come up within 30s")
+        self._running = True
+        return self
+
+    def _run_loop(self) -> None:
+        loop = asyncio.new_event_loop()
+        self._loop = loop
+        try:
+            loop.run_until_complete(self.gateway.start(self._host, self._port))
+        except BaseException as exc:  # pragma: no cover - bind failures
+            self._start_error = exc
+            self._started.set()
+            loop.close()
+            return
+        self._started.set()
+        try:
+            loop.run_forever()
+        finally:
+            try:
+                loop.run_until_complete(loop.shutdown_asyncgens())
+            finally:
+                loop.close()
+
+    async def _drain(self) -> None:
+        # Stop accepting, then cancel what is mid-flight so every handler's
+        # finally runs while the loop is still alive (no destroyed-task noise).
+        self.gateway.close()
+        tasks = [task for task in asyncio.all_tasks()
+                 if task is not asyncio.current_task()]
+        for task in tasks:
+            task.cancel()
+        await asyncio.gather(*tasks, return_exceptions=True)
+
+    def close(self) -> None:
+        if self._running and self._loop is not None:
+            loop = self._loop
+            try:
+                asyncio.run_coroutine_threadsafe(self._drain(), loop).result(
+                    timeout=10
+                )
+            except Exception:  # pragma: no cover - best-effort drain
+                pass
+            loop.call_soon_threadsafe(loop.stop)
+            if self._thread is not None:
+                self._thread.join(timeout=10)
+            self._running = False
+        self.supervisor.close()
+
+    def __enter__(self) -> "ServingFront":
+        if not self._running:
+            self.start()
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()

@@ -1,0 +1,734 @@
+"""Supervision of the worker pool: routing, crash detection, restarts.
+
+The :class:`Supervisor` owns N worker processes (see
+:mod:`repro.service.frontend.workers`) and is the single place requests
+are routed:
+
+*Per-dataset routing.*  Immutable datasets are attached on **every**
+worker (the content-addressed store makes the 2nd..Nth attach a cheap
+load, not a rebuild) and reads round-robin across healthy workers.
+Mutable datasets are **homed** on exactly one worker -- versions advance
+only there, so no stale replica can ever serve a read -- and the
+supervisor keeps a journal of every *acknowledged* change batch.
+
+*Crash detection and recovery.*  A monitor thread polls worker liveness.
+When a worker dies: its in-flight reads are retried **once** on a healthy
+worker; in-flight writes surface
+:class:`~repro.core.errors.WorkerFailedError` (they may or may not have
+applied -- retrying could double-apply, and answers must never be
+silently wrong); mutable datasets homed there are re-homed by replaying
+the attach frame plus the acknowledged journal onto a healthy worker
+(inbox FIFO ordering guarantees replay lands before any rerouted
+traffic); and the worker slot is restarted with exponential backoff
+bounded by :class:`~repro.service.faults.RecoveryPolicy`
+(``worker_restart_attempts`` / ``worker_restart_backoff_seconds`` -- the
+PR 7 recovery vocabulary).  Restarted workers re-attach every immutable
+dataset from the attach table and adopt any orphaned mutable homes.
+Restarts never re-arm a fault plan: the ``dead-worker`` scenario models
+one crash event, not a crashing binary.
+
+Health counters (``health()``): ``worker_restarts``, ``crashes_detected``,
+``retried_requests``, ``failed_requests``, ``rehomed_datasets``,
+``workers_lost``, ``replay_errors``.
+"""
+
+from __future__ import annotations
+
+import itertools
+import multiprocessing
+import queue as queue_mod
+import threading
+import time
+from typing import Any, Callable, Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.core.errors import (
+    OverloadedError,
+    ServiceError,
+    WorkerFailedError,
+)
+from repro.service.faults import DEFAULT_POLICY, FaultPlan, RecoveryPolicy
+from repro.service.frontend import protocol
+from repro.service.frontend.workers import worker_main
+
+__all__ = ["Supervisor"]
+
+#: Ops safe to retry on another worker after a crash: pure reads.
+_READ_OPS = frozenset({"query", "query_batch", "ping"})
+
+#: Non-counter stats keys: identity, not additive.
+_FIRST_KEYS = frozenset({"dataset", "mutable", "scheme", "shards", "hit_rate"})
+_MAX_KEYS = frozenset({"version"})
+
+_OnDone = Callable[[Dict[str, Any], bytes, int], None]
+
+
+def _merge_stats(base: Dict[str, Any], other: Dict[str, Any]) -> None:
+    """Fold one worker's stats snapshot into an aggregate, in place."""
+    for key, value in other.items():
+        if key not in base:
+            base[key] = value
+        elif isinstance(value, dict) and isinstance(base[key], dict):
+            _merge_stats(base[key], value)
+        elif isinstance(value, bool):
+            pass
+        elif isinstance(value, (int, float)) and isinstance(base[key], (int, float)):
+            if key in _MAX_KEYS:
+                base[key] = max(base[key], value)
+            elif key not in _FIRST_KEYS:
+                base[key] = base[key] + value
+
+
+class _Pending:
+    """One request in flight on one worker."""
+
+    __slots__ = ("header", "body", "codec", "on_done", "worker_id", "op",
+                 "dataset", "retried", "no_retry", "internal")
+
+    def __init__(self, header, body, codec, on_done, worker_id, *,
+                 no_retry=False, internal=False):
+        self.header = header
+        self.body = body
+        self.codec = codec
+        self.on_done = on_done
+        self.worker_id = worker_id
+        self.op = header.get("op")
+        self.dataset = header.get("dataset")
+        self.retried = False
+        self.no_retry = no_retry
+        self.internal = internal
+
+
+class _Broadcast:
+    """Aggregates N sub-responses into one; first error wins."""
+
+    def __init__(self, expected: int, on_done: _OnDone,
+                 combine: Optional[Callable[[List[Tuple[Dict[str, Any], bytes, int]]], Tuple[Dict[str, Any], bytes, int]]] = None):
+        self._expected = expected
+        self._on_done = on_done
+        self._combine = combine
+        self._lock = threading.Lock()
+        self._responses: List[Tuple[Dict[str, Any], bytes, int]] = []
+        self._error: Optional[Tuple[Dict[str, Any], bytes, int]] = None
+
+    def collect(self, header: Dict[str, Any], body: bytes, codec: int) -> None:
+        final = None
+        with self._lock:
+            if header.get("ok"):
+                self._responses.append((header, body, codec))
+            elif self._error is None:
+                self._error = (header, body, codec)
+            self._expected -= 1
+            if self._expected == 0:
+                if self._error is not None:
+                    final = self._error
+                elif self._combine is not None:
+                    final = self._combine(self._responses)
+                else:
+                    final = self._responses[0]
+        if final is not None:
+            self._on_done(*final)
+
+
+class _AttachEntry:
+    """One attached dataset as the supervisor knows it."""
+
+    __slots__ = ("header", "body", "codec", "mutable", "home", "journal")
+
+    def __init__(self, header, body, codec, mutable, home):
+        self.header = header
+        self.body = body
+        self.codec = codec
+        self.mutable = mutable
+        #: worker id homing a mutable dataset; None for immutable (served
+        #: everywhere) or an orphaned mutable awaiting a healthy worker.
+        self.home = home
+        #: acknowledged apply_changes frames, replayed on re-home/restart.
+        self.journal: List[Tuple[Dict[str, Any], bytes, int]] = []
+
+
+class _WorkerHandle:
+    __slots__ = ("worker_id", "generation", "process", "inbox", "healthy",
+                 "lost", "restart_count", "next_restart_at")
+
+    def __init__(self, worker_id, generation, process, inbox):
+        self.worker_id = worker_id
+        self.generation = generation
+        self.process = process
+        self.inbox = inbox
+        self.healthy = True
+        self.lost = False
+        self.restart_count = 0
+        self.next_restart_at = 0.0
+
+
+class Supervisor:
+    """The multi-process worker pool behind the gateway.
+
+    ``fault_plan`` (a :class:`~repro.service.faults.FaultPlan` or the
+    picklable ``(specs, seed, policy, name)`` tuple) ships to the workers
+    named in ``fault_workers`` (default: all) and is rebuilt inside each,
+    giving every armed worker its own seeded clock; the plan's
+    :class:`~repro.service.faults.RecoveryPolicy` doubles as the restart
+    policy unless ``policy`` overrides it.
+    """
+
+    def __init__(
+        self,
+        workers: int = 2,
+        *,
+        store_root: Optional[str] = None,
+        engine_opts: Optional[Dict[str, Any]] = None,
+        policy: Optional[RecoveryPolicy] = None,
+        fault_plan: Optional[Any] = None,
+        fault_workers: Optional[Sequence[int]] = None,
+        start_method: str = "spawn",
+        max_queue_per_worker: int = 2048,
+        poll_seconds: float = 0.02,
+        ready_timeout: float = 120.0,
+    ):
+        if workers < 1:
+            raise ServiceError(f"need at least one worker, got {workers}")
+        if isinstance(fault_plan, FaultPlan):
+            if policy is None:
+                policy = fault_plan.policy
+            fault_plan = (fault_plan.specs, fault_plan.seed, fault_plan.policy,
+                          fault_plan.name)
+        self._workers = workers
+        self._store_root = store_root
+        self._engine_opts = dict(engine_opts or {})
+        self._policy = policy or DEFAULT_POLICY
+        self._fault_plan = fault_plan
+        self._fault_workers: Optional[Set[int]] = (
+            None if fault_workers is None else set(fault_workers)
+        )
+        self._start_method = start_method
+        self._max_queue = max_queue_per_worker
+        self._poll_seconds = poll_seconds
+        self._ready_timeout = ready_timeout
+
+        self._ctx = multiprocessing.get_context(start_method)
+        self._outbox: Optional[Any] = None
+        self._handles: List[_WorkerHandle] = []
+        self._lock = threading.Lock()
+        self._inflight: Dict[int, _Pending] = {}
+        self._rids = itertools.count(1)
+        self._rr = 0
+        self._table: Dict[str, _AttachEntry] = {}
+        self._ready: Set[Tuple[int, int]] = set()
+        self._counters: Dict[str, int] = {
+            "worker_restarts": 0,
+            "crashes_detected": 0,
+            "retried_requests": 0,
+            "failed_requests": 0,
+            "rehomed_datasets": 0,
+            "workers_lost": 0,
+            "replay_errors": 0,
+        }
+        self._closed = False
+        self._started = False
+        self._stop = threading.Event()
+        self._collector: Optional[threading.Thread] = None
+        self._monitor: Optional[threading.Thread] = None
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def start(self) -> "Supervisor":
+        if self._started:
+            raise ServiceError("supervisor already started")
+        self._started = True
+        self._outbox = self._ctx.Queue()
+        for worker_id in range(self._workers):
+            self._handles.append(self._spawn(worker_id, 0, with_plan=True))
+        self._collector = threading.Thread(
+            target=self._collect_loop, name="frontend-collector", daemon=True
+        )
+        self._collector.start()
+        self._monitor = threading.Thread(
+            target=self._monitor_loop, name="frontend-monitor", daemon=True
+        )
+        self._monitor.start()
+        self._wait_ready()
+        return self
+
+    def _spawn(self, worker_id: int, generation: int, *, with_plan: bool) -> _WorkerHandle:
+        armed = (
+            with_plan
+            and self._fault_plan is not None
+            and (self._fault_workers is None or worker_id in self._fault_workers)
+        )
+        settings = {
+            "store_root": self._store_root,
+            "engine_opts": self._engine_opts,
+            "fault_plan": self._fault_plan if armed else None,
+        }
+        inbox = self._ctx.Queue(self._max_queue)
+        process = self._ctx.Process(
+            target=worker_main,
+            args=(worker_id, generation, inbox, self._outbox, settings),
+            name=f"frontend-worker-{worker_id}",
+            daemon=True,
+        )
+        process.start()
+        return _WorkerHandle(worker_id, generation, process, inbox)
+
+    def _wait_ready(self) -> None:
+        deadline = time.monotonic() + self._ready_timeout
+        expected = {(h.worker_id, h.generation) for h in self._handles}
+        while time.monotonic() < deadline:
+            with self._lock:
+                if expected <= self._ready:
+                    return
+            time.sleep(0.01)
+        self.close()
+        raise ServiceError(
+            f"worker pool not ready within {self._ready_timeout}s"
+        )
+
+    def close(self) -> None:
+        """Stop threads, drain workers, fail whatever is still in flight."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            handles = list(self._handles)
+            pending = list(self._inflight.values())
+            self._inflight.clear()
+        self._stop.set()
+        for handle in handles:
+            try:
+                handle.inbox.put_nowait(None)
+            except Exception:
+                pass
+        if self._outbox is not None:
+            self._outbox.put(("stop",))
+        for handle in handles:
+            handle.process.join(timeout=5)
+            if handle.process.is_alive():
+                handle.process.terminate()
+                handle.process.join(timeout=5)
+        for thread in (self._collector, self._monitor):
+            if thread is not None and thread is not threading.current_thread():
+                thread.join(timeout=5)
+        closed = ServiceError("serving front is closed")
+        for p in pending:
+            self._deliver_error(p, closed)
+
+    def __enter__(self) -> "Supervisor":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    # -- introspection ---------------------------------------------------------
+
+    @property
+    def workers(self) -> int:
+        """Target pool size."""
+        return self._workers
+
+    @property
+    def healthy_workers(self) -> int:
+        with self._lock:
+            return sum(1 for h in self._handles if h.healthy)
+
+    def health(self) -> Dict[str, int]:
+        with self._lock:
+            snapshot = dict(self._counters)
+            snapshot["workers"] = self._workers
+            snapshot["healthy_workers"] = sum(1 for h in self._handles if h.healthy)
+        return snapshot
+
+    # -- request submission ----------------------------------------------------
+
+    def submit(
+        self,
+        header: Dict[str, Any],
+        body: bytes,
+        codec: int,
+        on_done: _OnDone,
+    ) -> None:
+        """Route one request; ``on_done(header, body, codec)`` fires exactly
+        once, from a supervisor thread.
+
+        Raises synchronously on conditions the caller must answer itself:
+        :class:`~repro.core.errors.OverloadedError` when the target
+        worker's queue is full, :class:`~repro.core.errors.ServiceError`
+        when closed, :class:`~repro.core.errors.WorkerFailedError` when no
+        healthy worker can take the request.
+        """
+        op = header.get("op")
+        name = header.get("dataset")
+        if op == "stats":
+            on_done = self._inject_health(on_done)
+        with self._lock:
+            if self._closed:
+                raise ServiceError("serving front is closed")
+            if op == "attach":
+                self._submit_attach_locked(header, body, codec, on_done)
+                return
+            entry = self._table.get(name) if name is not None else None
+            if op == "detach" and entry is not None and not entry.mutable:
+                del self._table[name]
+                self._submit_broadcast_locked(
+                    header, body, codec, self._healthy_locked(), on_done
+                )
+                return
+            if op == "stats" and (entry is None or not entry.mutable):
+                targets = self._healthy_locked()
+                if len(targets) > 1:
+                    self._submit_broadcast_locked(
+                        header, body, codec, targets, on_done,
+                        combine=self._combine_stats,
+                    )
+                    return
+            if entry is not None and entry.mutable:
+                handle = self._handle_for_locked(entry.home)
+                if handle is None:
+                    raise WorkerFailedError(
+                        f"dataset {name!r} lost its home worker and is not "
+                        "yet re-homed; retry shortly"
+                    )
+                if op == "detach":
+                    del self._table[name]
+            else:
+                handle = self._next_healthy_locked()
+            no_retry = op not in _READ_OPS
+            self._enqueue_locked(
+                handle, _Pending(header, body, codec, on_done, handle.worker_id,
+                                 no_retry=no_retry)
+            )
+
+    def call(
+        self,
+        op: str,
+        *,
+        dataset: Optional[str] = None,
+        value: Any = None,
+        codec: int = protocol.CODEC_JSON,
+        timeout: float = 60.0,
+    ) -> Any:
+        """Blocking convenience wrapper over :meth:`submit`: encode, wait,
+        decode, raising remote errors as their library classes."""
+        body = protocol.encode_body(value, codec) if value is not None else b""
+        header = {"op": op, "rid": 0, "dataset": dataset}
+        done = threading.Event()
+        box: Dict[str, Any] = {}
+
+        def on_done(rheader: Dict[str, Any], rbody: bytes, rcodec: int) -> None:
+            box["response"] = (rheader, rbody, rcodec)
+            done.set()
+
+        self.submit(header, body, codec, on_done)
+        if not done.wait(timeout):
+            raise ServiceError(f"no response to {op!r} within {timeout}s")
+        rheader, rbody, rcodec = box["response"]
+        payload = protocol.decode_body(rbody, rcodec) if rbody else None
+        if rheader.get("ok"):
+            return payload
+        protocol.raise_remote(payload)
+
+    # -- locked routing helpers ------------------------------------------------
+
+    def _healthy_locked(self) -> List[_WorkerHandle]:
+        return [h for h in self._handles if h.healthy]
+
+    def _handle_for_locked(self, worker_id: Optional[int]) -> Optional[_WorkerHandle]:
+        if worker_id is None:
+            return None
+        for handle in self._handles:
+            if handle.worker_id == worker_id and handle.healthy:
+                return handle
+        return None
+
+    def _next_healthy_locked(self) -> _WorkerHandle:
+        healthy = self._healthy_locked()
+        if not healthy:
+            raise WorkerFailedError("no healthy workers in the pool")
+        self._rr += 1
+        return healthy[self._rr % len(healthy)]
+
+    def _home_counts_locked(self) -> Dict[int, int]:
+        counts: Dict[int, int] = {}
+        for entry in self._table.values():
+            if entry.mutable and entry.home is not None:
+                counts[entry.home] = counts.get(entry.home, 0) + 1
+        return counts
+
+    def _least_loaded_locked(self) -> _WorkerHandle:
+        healthy = self._healthy_locked()
+        if not healthy:
+            raise WorkerFailedError("no healthy workers in the pool")
+        counts = self._home_counts_locked()
+        return min(healthy, key=lambda h: (counts.get(h.worker_id, 0), h.worker_id))
+
+    def _enqueue_locked(self, handle: _WorkerHandle, pending: _Pending) -> None:
+        rid = next(self._rids)
+        self._inflight[rid] = pending
+        try:
+            handle.inbox.put_nowait(("req", rid, pending.header, pending.body,
+                                     pending.codec))
+        except queue_mod.Full:
+            del self._inflight[rid]
+            raise OverloadedError(
+                f"worker {handle.worker_id} queue is full "
+                f"({self._max_queue} requests deep)"
+            ) from None
+
+    def _submit_attach_locked(self, header, body, codec, on_done) -> None:
+        params = protocol.decode_body(body, codec)
+        name = params["name"]
+        mutable = bool(params.get("mutable", False))
+        if mutable:
+            targets = [self._least_loaded_locked()]
+        else:
+            targets = self._healthy_locked()
+            if not targets:
+                raise WorkerFailedError("no healthy workers in the pool")
+        entry = _AttachEntry(header, body, codec, mutable,
+                             targets[0].worker_id if mutable else None)
+
+        def record_then_done(rheader: Dict[str, Any], rbody: bytes, rcodec: int) -> None:
+            if rheader.get("ok"):
+                with self._lock:
+                    self._table[name] = entry
+            on_done(rheader, rbody, rcodec)
+
+        self._submit_broadcast_locked(header, body, codec, targets, record_then_done)
+
+    def _submit_broadcast_locked(self, header, body, codec, targets, on_done,
+                                 combine=None) -> None:
+        if not targets:
+            raise WorkerFailedError("no healthy workers in the pool")
+        broadcast = _Broadcast(len(targets), on_done, combine)
+        for handle in targets:
+            self._enqueue_locked(
+                handle,
+                _Pending(header, body, codec, broadcast.collect, handle.worker_id,
+                         no_retry=True),
+            )
+
+    def _inject_health(self, on_done: _OnDone) -> _OnDone:
+        """Fold the pool's health counters into a stats response, so one
+        remote ``stats()`` shows engine counters *and* the supervision story
+        (``worker_restarts``, retries, re-homes)."""
+
+        def wrapped(rheader: Dict[str, Any], rbody: bytes, rcodec: int) -> None:
+            if rheader.get("ok"):
+                try:
+                    payload = protocol.decode_body(rbody, rcodec)
+                    if isinstance(payload, dict):
+                        payload["frontend"] = self.health()
+                        rbody = protocol.encode_body(payload, rcodec)
+                except Exception:  # pragma: no cover - stats stay best-effort
+                    pass
+            on_done(rheader, rbody, rcodec)
+
+        return wrapped
+
+    @staticmethod
+    def _combine_stats(
+        responses: List[Tuple[Dict[str, Any], bytes, int]]
+    ) -> Tuple[Dict[str, Any], bytes, int]:
+        header, body, codec = responses[0]
+        merged = protocol.decode_body(body, codec)
+        for _, other_body, other_codec in responses[1:]:
+            _merge_stats(merged, protocol.decode_body(other_body, other_codec))
+        return header, protocol.encode_body(merged, codec), codec
+
+    # -- response collection ---------------------------------------------------
+
+    def _collect_loop(self) -> None:
+        while True:
+            message = self._outbox.get()
+            tag = message[0]
+            if tag == "stop":
+                return
+            if tag == "ready":
+                _, worker_id, generation = message
+                with self._lock:
+                    self._ready.add((worker_id, generation))
+                continue
+            _, worker_id, generation, rid, rheader, rbody, rcodec = message
+            with self._lock:
+                pending = self._inflight.pop(rid, None)
+                if (
+                    pending is not None
+                    and rheader.get("ok")
+                    and pending.op == "apply_changes"
+                    and not pending.internal
+                ):
+                    entry = self._table.get(pending.dataset)
+                    if entry is not None and entry.mutable:
+                        entry.journal.append(
+                            (pending.header, pending.body, pending.codec)
+                        )
+            if pending is not None:
+                pending.on_done(rheader, rbody, rcodec)
+
+    # -- crash detection and restart -------------------------------------------
+
+    def _monitor_loop(self) -> None:
+        while not self._stop.wait(self._poll_seconds):
+            deliveries: List[Tuple[_Pending, BaseException]] = []
+            to_restart: List[_WorkerHandle] = []
+            now = time.monotonic()
+            with self._lock:
+                if self._closed:
+                    return
+                for handle in self._handles:
+                    if handle.healthy and not handle.process.is_alive():
+                        deliveries.extend(self._on_crash_locked(handle, now))
+                for handle in self._handles:
+                    if (
+                        not handle.healthy
+                        and not handle.lost
+                        and now >= handle.next_restart_at
+                    ):
+                        to_restart.append(handle)
+            for pending, error in deliveries:
+                self._deliver_error(pending, error)
+            for handle in to_restart:
+                self._restart(handle)
+
+    def _on_crash_locked(
+        self, handle: _WorkerHandle, now: float
+    ) -> List[Tuple[_Pending, BaseException]]:
+        handle.healthy = False
+        self._counters["crashes_detected"] += 1
+        exitcode = handle.process.exitcode
+        dead_id = handle.worker_id
+        failures: List[Tuple[_Pending, BaseException]] = []
+
+        # Re-home mutable datasets whose home just died: replay the attach
+        # frame plus the acknowledged journal onto the least-loaded healthy
+        # worker.  FIFO inboxes order the replay before any rerouted reads.
+        for name, entry in self._table.items():
+            if not entry.mutable or entry.home != dead_id:
+                continue
+            healthy = self._healthy_locked()
+            if not healthy:
+                entry.home = None  # orphaned until a worker comes back
+                continue
+            self._rehome_locked(name, entry)
+
+        # In-flight on the dead worker: reads retry once, everything else
+        # fails loudly (a write may or may not have applied).
+        dead_rids = [rid for rid, p in self._inflight.items()
+                     if p.worker_id == dead_id]
+        for rid in dead_rids:
+            pending = self._inflight.pop(rid)
+            retry_handle: Optional[_WorkerHandle] = None
+            if not pending.no_retry and not pending.retried:
+                entry = self._table.get(pending.dataset)
+                if entry is not None and entry.mutable:
+                    retry_handle = self._handle_for_locked(entry.home)
+                else:
+                    healthy = self._healthy_locked()
+                    if healthy:
+                        self._rr += 1
+                        retry_handle = healthy[self._rr % len(healthy)]
+            if retry_handle is None:
+                failures.append((pending, WorkerFailedError(
+                    f"worker {dead_id} died (exit {exitcode}) holding "
+                    f"{pending.op!r} for dataset {pending.dataset!r}"
+                )))
+                continue
+            pending.retried = True
+            pending.worker_id = retry_handle.worker_id
+            try:
+                self._enqueue_locked(retry_handle, pending)
+                self._counters["retried_requests"] += 1
+            except OverloadedError as exc:
+                failures.append((pending, exc))
+
+        backoff = self._policy.worker_restart_backoff_seconds * (
+            2 ** handle.restart_count
+        )
+        handle.next_restart_at = now + backoff
+        if handle.restart_count >= self._policy.worker_restart_attempts:
+            handle.lost = True
+            self._counters["workers_lost"] += 1
+        return failures
+
+    def _rehome_locked(self, name: str, entry: _AttachEntry) -> None:
+        new_home = self._least_loaded_locked()
+        entry.home = new_home.worker_id
+        self._counters["rehomed_datasets"] += 1
+        frames = [(entry.header, entry.body, entry.codec)] + list(entry.journal)
+        for fheader, fbody, fcodec in frames:
+            try:
+                self._enqueue_locked(
+                    new_home,
+                    _Pending(fheader, fbody, fcodec, self._replay_done,
+                             new_home.worker_id, no_retry=True, internal=True),
+                )
+            except OverloadedError:
+                self._counters["replay_errors"] += 1
+
+    def _replay_done(self, rheader: Dict[str, Any], rbody: bytes, rcodec: int) -> None:
+        if not rheader.get("ok"):
+            with self._lock:
+                self._counters["replay_errors"] += 1
+
+    def _restart(self, handle: _WorkerHandle) -> None:
+        # Spawn outside the lock (it forks an interpreter); adopt under it.
+        try:
+            replacement = self._spawn(
+                handle.worker_id, handle.generation + 1, with_plan=False
+            )
+        except Exception:
+            with self._lock:
+                handle.restart_count += 1
+                if handle.restart_count > self._policy.worker_restart_attempts:
+                    if not handle.lost:
+                        handle.lost = True
+                        self._counters["workers_lost"] += 1
+                    return
+                backoff = self._policy.worker_restart_backoff_seconds * (
+                    2 ** handle.restart_count
+                )
+                handle.next_restart_at = time.monotonic() + backoff
+            return
+        with self._lock:
+            if self._closed:
+                replacement.process.terminate()
+                return
+            handle.process = replacement.process
+            handle.inbox = replacement.inbox
+            handle.generation = replacement.generation
+            handle.restart_count += 1
+            # Replay the attach table: every immutable dataset, plus any
+            # orphaned mutable home this worker can adopt.
+            for name, entry in self._table.items():
+                if entry.mutable:
+                    if entry.home is None:
+                        entry.home = handle.worker_id
+                        self._counters["rehomed_datasets"] += 1
+                        frames = [(entry.header, entry.body, entry.codec)]
+                        frames += list(entry.journal)
+                    else:
+                        continue
+                else:
+                    frames = [(entry.header, entry.body, entry.codec)]
+                for fheader, fbody, fcodec in frames:
+                    try:
+                        self._enqueue_locked(
+                            handle,
+                            _Pending(fheader, fbody, fcodec, self._replay_done,
+                                     handle.worker_id, no_retry=True,
+                                     internal=True),
+                        )
+                    except OverloadedError:
+                        self._counters["replay_errors"] += 1
+            handle.healthy = True
+            self._counters["worker_restarts"] += 1
+
+    # -- error delivery --------------------------------------------------------
+
+    def _deliver_error(self, pending: _Pending, error: BaseException) -> None:
+        with self._lock:
+            self._counters["failed_requests"] += 1
+        header = {"rid": pending.header.get("rid"), "ok": False,
+                  "op": pending.op}
+        body = protocol.encode_body(protocol.error_payload(error), pending.codec)
+        pending.on_done(header, body, pending.codec)

@@ -1,0 +1,191 @@
+"""Worker processes of the serving front: one ``QueryEngine`` each.
+
+A worker is a child process running :func:`worker_main`: it builds a
+full-catalog engine against the *shared* on-disk
+:class:`~repro.service.artifacts.ArtifactStore` directory, then drains its
+inbox queue -- decode a request body, serve it through the dataset-first
+engine surface, encode the response, put it on the shared outbox.  Because
+artifacts are content-addressed, workers are cache-coherent for free: the
+first worker to attach a dataset builds and persists the Pi-structures,
+every later worker (and every restarted worker) loads the same bytes by
+key.  Nothing is shared in memory; the store directory *is* the
+coherence protocol.
+
+The request-handling logic lives in :func:`handle_request` /
+:func:`handle_frame`, plain functions over an engine -- the process loop
+around them is deliberately thin, so the protocol semantics are unit
+tested in-process without spawning anything.
+
+Queue message shapes (all picklable):
+
+* inbox:  ``("req", rid, header, body_bytes, codec)`` or ``None`` to stop
+* outbox: ``("ready", worker_id, generation)`` on startup, then
+  ``("res", worker_id, generation, rid, header, body_bytes, codec)``
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional, Tuple
+
+from repro.core.errors import ProtocolError, ReproError, ServiceError
+from repro.service import faults
+from repro.service.faults import DegradedAnswer, FaultPlan
+from repro.service.frontend import protocol
+
+__all__ = ["handle_request", "handle_frame", "worker_main"]
+
+
+def _coerce_answer(answer: Any) -> Any:
+    """Kernel answers can be numpy truthiness; the wire speaks bool.
+
+    :class:`~repro.service.faults.DegradedAnswer` passes through unchanged
+    -- its ``partial``/``reason`` payload is exactly what must survive the
+    wire.
+    """
+    if isinstance(answer, DegradedAnswer):
+        return answer
+    if isinstance(answer, (list, tuple)):
+        return [_coerce_answer(item) for item in answer]
+    if isinstance(answer, bool) or answer is None:
+        return answer
+    if isinstance(answer, (int, float, str)):
+        return answer
+    try:
+        return bool(answer)
+    except Exception as exc:  # pragma: no cover - defensive
+        raise ProtocolError(f"unencodable answer {type(answer).__name__}") from exc
+
+
+def handle_request(engine: Any, header: Dict[str, Any], params: Any) -> Any:
+    """Serve one decoded request against ``engine``; raises on error.
+
+    ``header`` carries routing identity (``op``, ``dataset``); ``params``
+    is the decoded body.  This is the entire op surface of the protocol.
+    """
+    op = header.get("op")
+    name = header.get("dataset")
+    if op == "ping":
+        return "pong"
+    if op == "attach":
+        ds = engine.attach(
+            params["name"],
+            params["data"],
+            kinds=params.get("kinds"),
+            shards=params.get("shards", 1),
+            mutable=params.get("mutable", False),
+        )
+        return {
+            "name": ds.name,
+            "kinds": list(ds.kinds),
+            "mutable": ds.mutable,
+            "version": ds.version,
+        }
+    if name is None:
+        raise ProtocolError(f"op {op!r} requires a dataset in the frame header")
+    ds = engine.dataset(name)
+    if op == "query":
+        kind = params["kind"]
+        if faults._PLAN is not None:
+            faults.on_worker_serve(kind)
+        return _coerce_answer(ds.query(kind, params["query"]))
+    if op == "query_batch":
+        pairs = [(kind, query) for kind, query in params["pairs"]]
+        if faults._PLAN is not None:
+            faults.on_worker_serve(pairs[0][0] if pairs else None)
+        # concurrent=False: parallelism comes from sibling worker
+        # *processes*; a thread fan-out inside one GIL buys nothing here.
+        return _coerce_answer(ds.query_batch(pairs, concurrent=False))
+    if op == "apply_changes":
+        log = ds.apply_changes(params["changes"])
+        return {
+            "version": ds.version,
+            "changed": log.changed,
+            "input_changes": log.input_changes,
+            "output_changes": log.output_changes,
+        }
+    if op == "stats":
+        return ds.stats()
+    if op == "detach":
+        ds.detach()
+        return True
+    raise ProtocolError(f"unknown op {op!r}; one of {sorted(protocol.REQUEST_OPS)}")
+
+
+def handle_frame(
+    engine: Any, header: Dict[str, Any], body: bytes, codec: int
+) -> Tuple[Dict[str, Any], bytes]:
+    """Decode, serve, encode: one request frame -> one response frame.
+
+    Library errors (and worker bugs) become structured error frames -- the
+    loop around this never dies on a bad request, only on a injected
+    ``worker.serve`` crash, which is the point of that scenario.
+    """
+    rid = header.get("rid")
+    try:
+        params = protocol.decode_body(body, codec) if body else None
+        value = handle_request(engine, header, params)
+        response_header = {"rid": rid, "ok": True, "op": header.get("op")}
+        return response_header, protocol.encode_body(value, codec)
+    except ReproError as exc:
+        payload = protocol.error_payload(exc)
+    except Exception as exc:
+        # A worker bug must surface as a structured error, not a hung
+        # request; raise_remote maps unknown names to ServiceError.
+        payload = protocol.error_payload(exc)
+    response_header = {"rid": rid, "ok": False, "op": header.get("op")}
+    return response_header, protocol.encode_body(payload, codec)
+
+
+def _build_engine(settings: Dict[str, Any]) -> Any:
+    from repro.catalog import build_query_engine
+    from repro.service.artifacts import ArtifactStore
+
+    opts = dict(settings.get("engine_opts") or {})
+    store_root = settings.get("store_root")
+    if store_root is not None:
+        opts["store"] = ArtifactStore(store_root)
+    return build_query_engine(**opts)
+
+
+def _install_plan(plan_spec: Optional[Tuple[Any, ...]]) -> None:
+    if plan_spec is None:
+        return
+    specs, seed, policy, name = plan_spec
+    faults.install_fault_plan(
+        FaultPlan(specs, seed=seed, policy=policy, name=name)
+    )
+
+
+def worker_main(
+    worker_id: int,
+    generation: int,
+    inbox: Any,
+    outbox: Any,
+    settings: Dict[str, Any],
+) -> None:  # pragma: no cover - runs in a child process
+    """Process entry point: build the engine, announce readiness, drain.
+
+    ``settings`` is a picklable dict: ``store_root``, ``engine_opts``, and
+    optionally ``fault_plan`` as a ``(specs, seed, policy, name)`` tuple --
+    :class:`~repro.service.faults.FaultPlan` itself holds a lock and does
+    not pickle, so it is rebuilt here, giving the worker its own seeded
+    clock.
+    """
+    _install_plan(settings.get("fault_plan"))
+    engine = _build_engine(settings)
+    outbox.put(("ready", worker_id, generation))
+    try:
+        while True:
+            message = inbox.get()
+            if message is None:
+                break
+            _tag, rid, header, body, codec = message
+            response_header, response_body = handle_frame(engine, header, body, codec)
+            outbox.put(
+                ("res", worker_id, generation, rid, response_header, response_body, codec)
+            )
+    finally:
+        try:
+            engine.close()
+        except ServiceError:
+            pass

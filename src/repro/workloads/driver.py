@@ -21,6 +21,19 @@ and a before/after window over ``Dataset.stats()`` counters so latency can
 be correlated with cache hits, delta batches and rebuilds per run.
 
 Reads go through ``Dataset.query``; writes through ``Dataset.apply_changes``.
+
+The ``dataset`` argument is duck-typed, exactly like ``fault_plan``: any
+object with the session surface (``kinds`` / ``name`` / ``mutable`` /
+``dataset()`` / ``query`` / ``query_batch`` / ``apply_changes`` /
+``stats``) drives unchanged.  In particular a
+:class:`~repro.service.frontend.client.RemoteDataset` -- the serving
+front's sync client session -- makes both drivers *remote* load
+generators: same specs, same distributions, same report, with the gateway,
+worker pool and wire protocol inside the measured path::
+
+    client = RemoteClient(*front.address)
+    ds = client.attach("events", data, kinds=["list-membership"], mutable=True)
+    report = run_closed_loop(ds, spec, threads=4, operations=10_000)
 """
 
 from __future__ import annotations

@@ -16,6 +16,7 @@ The suite is deselected from tier-1 by the ``chaos`` marker (see
 from __future__ import annotations
 
 import os
+import time
 
 import pytest
 
@@ -317,10 +318,138 @@ def test_disk_full_sync_build_serves_from_memory(tmp_path):
         assert engine.stats().per_kind["list-membership"].builds == 1
 
 
+# -- worker.serve --------------------------------------------------------------
+
+
+def _fast_worker_policy():
+    return RecoveryPolicy(
+        worker_restart_attempts=3,
+        worker_restart_backoff_seconds=0.01,
+    )
+
+
+def _await_full_strength(supervisor, budget_seconds=10.0):
+    """Poll until every worker slot is healthy again; the budget bounds the
+    whole restart story (backoff + spawn + engine boot + replay)."""
+    deadline = time.monotonic() + budget_seconds
+    while time.monotonic() < deadline:
+        health = supervisor.health()
+        if health["healthy_workers"] == health["workers"]:
+            return health
+        time.sleep(0.02)
+    return supervisor.health()
+
+
+def test_dead_worker_reads_retry_once_and_pool_restores(tmp_path):
+    """A worker killed mid-read (``worker.serve`` crash on worker 0): the
+    in-flight read is retried once on a healthy sibling -- every answer
+    stays exactly right, no call errors -- and the slot restarts within the
+    backoff budget, re-attaching the dataset from the supervisor's table."""
+    from repro.service.frontend.supervisor import Supervisor
+
+    data = tuple(range(64))
+    expected = set(data)
+    plan = scenario("dead-worker", seed=CHAOS_SEED, after=2 + CHAOS_SEED % 3)
+    supervisor = Supervisor(
+        2,
+        store_root=str(tmp_path),
+        policy=_fast_worker_policy(),
+        fault_plan=plan,
+        fault_workers=(0,),
+        poll_seconds=0.005,
+    )
+    supervisor.start()
+    try:
+        supervisor.call(
+            "attach", dataset="d",
+            value={"name": "d", "data": data, "kinds": ["list-membership"],
+                   "shards": 1, "mutable": False},
+        )
+        for query in range(-4, 36):
+            answer = supervisor.call(
+                "query", dataset="d",
+                value={"kind": "list-membership", "query": query},
+            )
+            assert answer is (query in expected)  # never silently wrong
+        health = _await_full_strength(supervisor)
+        assert health["healthy_workers"] == 2
+        assert health["crashes_detected"] == 1
+        assert health["worker_restarts"] >= 1
+        assert health["retried_requests"] >= 1
+        assert health["failed_requests"] == 0
+        # The restarted slot serves from the replayed attach table.
+        assert supervisor.call(
+            "query", dataset="d",
+            value={"kind": "list-membership", "query": 7},
+        ) is True
+    finally:
+        supervisor.close()
+
+
+def test_dead_worker_rehomes_mutable_dataset_with_its_journal(tmp_path):
+    """The crashed worker *homed* a mutable dataset: the supervisor replays
+    the attach frame plus every acknowledged change batch onto a healthy
+    worker, so post-crash reads see all pre-crash writes."""
+    from repro.service.frontend.supervisor import Supervisor
+
+    data = tuple(range(32))
+    plan = scenario("dead-worker", seed=CHAOS_SEED, after=1)
+    supervisor = Supervisor(
+        2,
+        store_root=str(tmp_path),
+        policy=_fast_worker_policy(),
+        fault_plan=plan,
+        fault_workers=(0,),
+        poll_seconds=0.005,
+    )
+    supervisor.start()
+    try:
+        ack = supervisor.call(
+            "attach", dataset="mut",
+            value={"name": "mut", "data": data, "kinds": ["list-membership"],
+                   "shards": 1, "mutable": True},
+        )
+        assert ack["mutable"] is True
+
+        def read(query):
+            return supervisor.call(
+                "query", dataset="mut",
+                value={"kind": "list-membership", "query": query},
+            )
+
+        supervisor.call(
+            "apply_changes", dataset="mut",
+            value={"changes": [_insert(99)]},
+        )
+        supervisor.call(
+            "apply_changes", dataset="mut",
+            value={"changes": [TupleChange(ChangeKind.DELETE, (5,))]},
+        )
+        assert read(99) is True    # 1st home read: skipped by after=1
+        assert read(5) is False    # 2nd: the home worker dies mid-read,
+        #                            the retry lands after journal replay
+        assert read(31) is True
+        health = _await_full_strength(supervisor)
+        assert health["healthy_workers"] == 2
+        assert health["crashes_detected"] == 1
+        assert health["rehomed_datasets"] == 1
+        assert health["retried_requests"] >= 1
+        # The re-homed copy keeps versioning from the replayed journal.
+        stats = supervisor.call("stats", dataset="mut")
+        assert stats["version"] == 2
+        assert stats["frontend"]["worker_restarts"] >= 1
+    finally:
+        supervisor.close()
+
+
 # -- registry completeness -----------------------------------------------------
 
 #: scenario name -> the test(s) above that pin its recovery contract.
 PINNED = {
+    "dead-worker": (
+        test_dead_worker_reads_retry_once_and_pool_restores,
+        test_dead_worker_rehomes_mutable_dataset_with_its_journal,
+    ),
     "corrupt-artifact": (
         test_corrupt_artifact_recovers_by_bounded_retry,
         test_corrupt_artifact_persistent_rebuilds_from_source,

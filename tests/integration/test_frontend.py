@@ -1,0 +1,138 @@
+"""End-to-end serving-front tests (ISSUE 9): gateway + 2 worker processes.
+
+One module-scoped :class:`ServingFront` (two spawn-start workers over a
+shared on-disk store) serves every test here; each test uses its own
+dataset names so order does not matter.  The headline assertions:
+
+* the full op surface works over the wire (attach / query / query_batch /
+  apply_changes / stats / detach) with answers identical to a local
+  engine's,
+* remote errors re-raise as their library classes,
+* the workload drivers (closed- and open-loop) run unchanged against a
+  :class:`RemoteDataset` with zero errors and zero client protocol
+  errors -- the satellite-f duck-typing contract.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import ProtocolError, UnknownDatasetError
+from repro.incremental.changes import ChangeKind, TupleChange
+from repro.service.frontend import RemoteClient, ServingFront
+from repro.workloads import UniformKeys, WorkloadSpec, ZipfKeys, run_closed_loop, run_open_loop
+
+
+@pytest.fixture(scope="module")
+def front(tmp_path_factory):
+    root = tmp_path_factory.mktemp("front-store")
+    with ServingFront(workers=2, store_root=str(root)) as serving:
+        yield serving
+
+
+@pytest.fixture(scope="module")
+def client(front):
+    with RemoteClient(*front.address) as remote:
+        yield remote
+
+
+def test_ping_and_full_immutable_surface(client):
+    assert client.ping()
+    data = tuple(range(128))
+    with client.attach("imm", data, kinds=["list-membership", "minimum-range-query"]) as ds:
+        assert ds.name == "imm"
+        assert set(ds.kinds) == {"list-membership", "minimum-range-query"}
+        assert ds.mutable is False
+        assert ds.dataset() == data
+
+        assert ds.query("list-membership", 7) is True
+        assert ds.query("list-membership", 999) is False
+        # RMQ travels as a tagged tuple and answers like the local engine.
+        assert ds.query("minimum-range-query", (0, 127, 0)) is True
+        answers = ds.query_batch(
+            [("list-membership", q) for q in (0, 64, 127, 128, -1)]
+        )
+        assert answers == [True, True, True, False, False]
+
+        stats = ds.stats()
+        # Aggregated over both workers, with the supervision story injected.
+        assert stats["frontend"]["workers"] == 2
+        assert stats["frontend"]["healthy_workers"] == 2
+        assert stats["frontend"]["worker_restarts"] == 0
+        assert stats["kinds"]["list-membership"]["queries"] >= 5
+    # context exit detached: the name is gone on every worker
+    with pytest.raises(UnknownDatasetError):
+        client.request("query", dataset="imm",
+                       value={"kind": "list-membership", "query": 1})
+
+
+def test_mutable_dataset_is_homed_and_versioned(client):
+    data = tuple(range(64))
+    ds = client.attach("mut", data, kinds=["list-membership"], mutable=True)
+    assert ds.mutable is True
+    assert ds.query("list-membership", 99) is False
+    ack = ds.apply_changes([TupleChange(ChangeKind.INSERT, (99,))])
+    assert ack["version"] == 1
+    assert ack["changed"] == 1
+    assert ds.query("list-membership", 99) is True
+    ack = ds.apply_changes([TupleChange(ChangeKind.DELETE, (7,))])
+    assert ack["version"] == 2
+    assert ds.query("list-membership", 7) is False
+    stats = ds.stats()
+    assert stats["mutable"] is True
+    assert stats["version"] == 2
+    assert "frontend" in stats
+    ds.detach()
+    ds.detach()  # idempotent client-side
+
+
+def test_remote_errors_carry_their_classes(client):
+    with pytest.raises(UnknownDatasetError):
+        client.request("stats", dataset="never-attached")
+    with pytest.raises(ProtocolError, match="unknown op"):
+        client.request("reboot", dataset="x")
+    # Structured errors do not poison the connection or count as
+    # protocol errors client-side... except the unknown op above, which
+    # is itself a ProtocolError raised from a *structured* frame.
+    assert client.ping()
+    assert client.protocol_errors == 0
+
+
+def test_answers_match_a_local_reference(client):
+    data = tuple(range(0, 200, 3))
+    reference = set(data)
+    with client.attach("ref", data, kinds=["list-membership"]) as ds:
+        queries = list(range(-5, 205, 7))
+        answers = ds.query_batch([("list-membership", q) for q in queries])
+        assert answers == [q in reference for q in queries]
+
+
+def test_closed_loop_driver_runs_unchanged_remotely(client):
+    data = tuple(range(256))
+    spec = WorkloadSpec(
+        mix={"list-membership": 1.0},
+        write_ratio=0.1,
+        distribution=ZipfKeys(1.1),
+        seed=7,
+    )
+    with client.attach("wl-closed", data, kinds=["list-membership"],
+                       mutable=True) as ds:
+        report = run_closed_loop(ds, spec, threads=2, operations=120)
+    assert report.errors == {}
+    assert report.operations == 120
+    assert report.writes >= 1
+    assert client.protocol_errors == 0
+
+
+def test_open_loop_driver_runs_unchanged_remotely(client):
+    data = tuple(range(256))
+    spec = WorkloadSpec(
+        mix={"list-membership": 1.0},
+        distribution=UniformKeys(),
+        seed=3,
+    )
+    with client.attach("wl-open", data, kinds=["list-membership"]) as ds:
+        report = run_open_loop(ds, spec, schedule=[(150.0, 0.4)], concurrency=2)
+    assert report.errors == {}
+    assert report.operations >= 1
+    assert client.protocol_errors == 0

@@ -1,0 +1,235 @@
+"""Gateway admission-control unit tests (ISSUE 9, satellite c).
+
+The gateway is tested against stub backends -- no worker pool, no engine --
+so these tests pin the *admission* semantics in isolation:
+
+* up to ``max_inflight_per_dataset`` requests dispatch concurrently,
+* up to ``queue_watermark`` more wait for a permit,
+* everything past the watermark is rejected immediately with a structured
+  ``Overloaded`` error frame (bounded buffering: the backend never sees
+  more than ``max_inflight`` requests at once),
+* per-dataset isolation: one saturated dataset does not shed another's
+  traffic,
+* protocol violations (unknown op, bad magic, oversized frame) answer
+  structurally instead of silently dropping the connection.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.core.errors import UnknownDatasetError
+from repro.service.frontend import protocol
+from repro.service.frontend.server import Gateway, GatewayConfig
+
+
+class _BlackHoleBackend:
+    """Accepts requests and never answers: the saturated-pool stand-in."""
+
+    def __init__(self):
+        self.submitted = []
+
+    def submit(self, header, body, codec, on_done):
+        self.submitted.append((header, on_done))
+
+    def health(self):
+        return {}
+
+    def close(self):
+        pass
+
+
+class _EchoBackend:
+    """Answers every request immediately with an ok frame."""
+
+    def submit(self, header, body, codec, on_done):
+        rheader = {"rid": header.get("rid"), "ok": True, "op": header.get("op")}
+        on_done(rheader, protocol.encode_body("pong", codec), codec)
+
+    def health(self):
+        return {}
+
+    def close(self):
+        pass
+
+
+class _RaisingBackend:
+    """Raises synchronously from submit, like the supervisor does for an
+    unknown dataset or a full worker queue."""
+
+    def submit(self, header, body, codec, on_done):
+        raise UnknownDatasetError(f"no dataset {header.get('dataset')!r}")
+
+    def health(self):
+        return {}
+
+    def close(self):
+        pass
+
+
+@contextlib.contextmanager
+def serving(backend, config=None):
+    """Run a Gateway on a private event-loop thread; yield it, then drain."""
+    gateway = Gateway(backend, config)
+    loop = asyncio.new_event_loop()
+    started = threading.Event()
+
+    def run():
+        asyncio.set_event_loop(loop)
+        loop.run_until_complete(gateway.start())
+        started.set()
+        try:
+            loop.run_forever()
+        finally:
+            loop.close()
+
+    thread = threading.Thread(target=run, daemon=True)
+    thread.start()
+    assert started.wait(10), "gateway did not start"
+    try:
+        yield gateway
+    finally:
+        async def drain():
+            gateway.close()
+            tasks = [t for t in asyncio.all_tasks() if t is not asyncio.current_task()]
+            for t in tasks:
+                t.cancel()
+            await asyncio.gather(*tasks, return_exceptions=True)
+
+        asyncio.run_coroutine_threadsafe(drain(), loop).result(timeout=10)
+        loop.call_soon_threadsafe(loop.stop)
+        thread.join(timeout=10)
+
+
+@contextlib.contextmanager
+def raw_connection(gateway):
+    sock = socket.create_connection(("127.0.0.1", gateway.port), timeout=10)
+    sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+    stream = sock.makefile("rwb")
+    try:
+        yield stream
+    finally:
+        stream.close()
+        sock.close()
+
+
+def _send(stream, op, rid, dataset, value=None):
+    stream.write(protocol.pack_frame({"op": op, "rid": rid, "dataset": dataset}, value))
+    stream.flush()
+
+
+def _recv_error(stream):
+    frame = protocol.read_frame(stream)
+    assert frame is not None
+    header, body, codec = frame
+    assert header["ok"] is False
+    return header, protocol.decode_body(body, codec)
+
+
+def test_watermark_sheds_with_structured_overloaded_frames():
+    backend = _BlackHoleBackend()
+    config = GatewayConfig(max_inflight_per_dataset=2, queue_watermark=3)
+    with serving(backend, config) as gateway:
+        with raw_connection(gateway) as stream:
+            # Pipeline 9 queries without reading: 2 dispatch, 3 wait for a
+            # permit, 4 cross the watermark and must be shed.
+            for rid in range(9):
+                _send(stream, "query", rid, "d", {"kind": "k", "query": rid})
+            rejected = [_recv_error(stream) for _ in range(4)]
+            for header, payload in rejected:
+                assert payload["type"] == "OverloadedError"
+                assert "back off" in payload["message"]
+            assert sorted(h["rid"] for h, _ in rejected) == [5, 6, 7, 8]
+        assert gateway.counters["overloaded_rejections"] == 4
+        # Bounded buffering: the backend saw exactly the permit holders.
+        deadline = time.monotonic() + 5
+        while len(backend.submitted) < 2 and time.monotonic() < deadline:
+            time.sleep(0.01)
+        assert len(backend.submitted) == 2
+
+
+def test_admission_is_per_dataset():
+    backend = _BlackHoleBackend()
+    config = GatewayConfig(max_inflight_per_dataset=1, queue_watermark=0)
+    with serving(backend, config) as gateway:
+        with raw_connection(gateway) as stream:
+            _send(stream, "query", 1, "a", {"kind": "k", "query": 1})
+            _send(stream, "query", 2, "a", {"kind": "k", "query": 2})  # shed
+            _send(stream, "query", 3, "b", {"kind": "k", "query": 3})  # admitted
+            header, payload = _recv_error(stream)
+            assert header["rid"] == 2
+            assert payload["type"] == "OverloadedError"
+        assert gateway.counters["overloaded_rejections"] == 1
+
+
+def test_unknown_op_answers_and_keeps_the_connection():
+    with serving(_EchoBackend()) as gateway:
+        with raw_connection(gateway) as stream:
+            _send(stream, "shutdown", 1, "d")
+            header, payload = _recv_error(stream)
+            assert payload["type"] == "ProtocolError"
+            assert "unknown op" in payload["message"]
+            # The stream position is intact: the next request still serves.
+            _send(stream, "ping", 2, "")
+            frame = protocol.read_frame(stream)
+            assert frame is not None and frame[0]["ok"] is True
+        assert gateway.counters["protocol_errors"] == 1
+        assert gateway.counters["frames"] == 2
+
+
+def test_malformed_frame_answers_then_hangs_up():
+    with serving(_EchoBackend()) as gateway:
+        with raw_connection(gateway) as stream:
+            stream.write(b"XX" + bytes(10))
+            stream.flush()
+            _, payload = _recv_error(stream)
+            assert payload["type"] == "ProtocolError"
+            # A corrupt stream position cannot be resynchronized: EOF next.
+            assert protocol.read_frame(stream) is None
+        assert gateway.counters["protocol_errors"] == 1
+
+
+def test_oversized_frame_rejected_without_buffering():
+    config = GatewayConfig(max_frame_bytes=256)
+    with serving(_EchoBackend(), config) as gateway:
+        with raw_connection(gateway) as stream:
+            oversized = protocol.pack_frame(
+                {"op": "attach", "rid": 1, "dataset": "d"}, list(range(512))
+            )
+            assert len(oversized) > 256
+            stream.write(oversized)
+            stream.flush()
+            _, payload = _recv_error(stream)
+            assert payload["type"] == "ProtocolError"
+            assert "exceeds" in payload["message"]
+
+
+def test_synchronous_backend_error_maps_to_its_class():
+    with serving(_RaisingBackend()) as gateway:
+        with raw_connection(gateway) as stream:
+            _send(stream, "query", 7, "ghost", {"kind": "k", "query": 1})
+            header, payload = _recv_error(stream)
+            assert header["rid"] == 7
+            assert payload["type"] == "UnknownDatasetError"
+            # The permit was released: the next request is admitted too.
+            _send(stream, "query", 8, "ghost", {"kind": "k", "query": 1})
+            header, payload = _recv_error(stream)
+            assert header["rid"] == 8
+        assert gateway.counters["overloaded_rejections"] == 0
+
+
+def test_clean_disconnect_is_not_a_protocol_error():
+    with serving(_EchoBackend()) as gateway:
+        with raw_connection(gateway) as stream:
+            _send(stream, "ping", 1, "")
+            assert protocol.read_frame(stream)[0]["ok"] is True
+        deadline = time.monotonic() + 5
+        while gateway.counters["connections"] < 1 and time.monotonic() < deadline:
+            time.sleep(0.01)
+        assert gateway.counters["protocol_errors"] == 0

@@ -351,3 +351,84 @@ def test_build_time_and_serve_time_are_separated(tmp_path):
         assert stats.build_seconds > 0
         assert stats.serve_seconds > 0
         assert stats.hit_rate == pytest.approx(3 / 4)
+
+
+# -- close() lifecycle (ISSUE 9, satellite a) ----------------------------------
+
+
+def test_close_is_idempotent_and_reentrant():
+    engine = QueryEngine()
+    engine.register("membership", membership_class(), sorted_run_scheme())
+    ds = engine.attach("d", (1, 2, 3), kinds=["membership"])
+    assert ds.query("membership", 2)
+    engine.close()
+    engine.close()  # second close: a no-op, not a double-teardown
+    with pytest.raises(ServiceError, match="closed"):
+        engine.execute(_legacy_request("membership", (1,), 1))
+
+
+def test_concurrent_closes_race_to_one_teardown():
+    import threading
+
+    engine = QueryEngine()
+    engine.register("membership", membership_class(), sorted_run_scheme())
+    engine.attach("d", tuple(range(64)), kinds=["membership"])
+    barrier = threading.Barrier(4)
+    failures = []
+
+    def closer():
+        barrier.wait()
+        try:
+            engine.close()
+        except BaseException as exc:  # pragma: no cover - the regression
+            failures.append(exc)
+
+    threads = [threading.Thread(target=closer) for _ in range(4)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert not failures
+
+
+def test_pending_submits_resolve_with_service_error_on_close():
+    """Futures still queued when close() lands never hang and never return
+    a fabricated answer: the pool drains them into UnknownDatasetError
+    (close detaches the session before the queued query runs)."""
+    import threading
+
+    release = threading.Event()
+    started = threading.Event()
+
+    def preprocess(data, tracker):
+        return set(data)
+
+    def evaluate(structure, query, tracker):
+        started.set()
+        release.wait(10)
+        return query in structure
+
+    engine = QueryEngine(max_workers=1)
+    engine.register(
+        "slow-membership",
+        membership_class(),
+        PiScheme(name="slow-set", preprocess=preprocess, evaluate=evaluate),
+    )
+    ds = engine.attach("d", (1, 2, 3), kinds=["slow-membership"])
+    blocker = ds.submit("slow-membership", 1)  # occupies the only worker
+    assert started.wait(10)
+    queued = [ds.submit("slow-membership", q) for q in (2, 3, 9)]
+
+    closer = threading.Thread(target=engine.close)
+    closer.start()
+    release.set()
+    closer.join(timeout=30)
+    assert not closer.is_alive()
+
+    assert blocker.result(timeout=10) is True  # already running: completes
+    for future in queued:
+        with pytest.raises(ServiceError):
+            future.result(timeout=10)
+    # And submitting after close is an explicit error, not a pool crash.
+    with pytest.raises(ServiceError):
+        ds.submit("slow-membership", 1)
