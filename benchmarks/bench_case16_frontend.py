@@ -35,9 +35,10 @@ import time
 
 from conftest import bench_size, format_table
 
-from repro.service.frontend import ServingFront
+from repro.service.faults import RecoveryPolicy, scenario
+from repro.service.frontend import RemoteClient, ServingFront
 from repro.service.frontend.client import drive_batches
-from repro.workloads import ZipfKeys
+from repro.workloads import UniformKeys, WorkloadSpec, ZipfKeys, run_closed_loop
 
 SEED = 20130826
 JSON_PATH = "BENCH_workloads.json"
@@ -56,6 +57,17 @@ MIN_SPEEDUP = 2.0
 #: keep SCALE_WORKERS busy without the client becoming the bottleneck.
 GENERATORS = 4
 GENERATOR_THREADS = 2
+
+#: Tail-resilience (ISSUE 10) run shape: a small closed-loop read mix over
+#: a 2-worker front where worker 0 serves every query SLOW_SECONDS late.
+TAIL_OPS = 60
+TAIL_THREADS = 2
+TAIL_SIZE = min(SIZE, 4096)
+SLOW_SECONDS = 0.15
+HEDGE_DELAY_MS = 10.0
+#: Generous end-to-end budget for the hedged run: exercises the deadline
+#: plumbing without expecting any expiry.
+TAIL_DEADLINE_MS = 5_000.0
 
 
 def _zipf_batches():
@@ -124,6 +136,123 @@ def _serve_and_pump(workers, store_root, batches):
         qps, counts, results = _pump(front.address, batches)
         client.close()
     return qps, counts, results
+
+
+def _tail_run(store_root, *, slow, hedge_delay_ms, deadline_ms=None):
+    """One closed-loop read pass; returns (WorkloadReport, supervisor health)."""
+    plan, fault_workers = None, None
+    if slow:
+        plan = scenario(
+            "slow-worker", seed=SEED % 997,
+            policy=RecoveryPolicy(slow_worker_seconds=SLOW_SECONDS),
+        )
+        fault_workers = (0,)
+    spec = WorkloadSpec(
+        mix={"list-membership": 1.0}, distribution=UniformKeys(), seed=SEED
+    )
+    with ServingFront(
+        workers=2, store_root=store_root, fault_plan=plan,
+        fault_workers=fault_workers, hedge_delay_ms=hedge_delay_ms,
+    ) as front:
+        client = RemoteClient(*front.address)
+        with client.attach("tail", tuple(range(TAIL_SIZE)),
+                           kinds=["list-membership"]) as ds:
+            report = run_closed_loop(
+                ds, spec, threads=TAIL_THREADS, operations=TAIL_OPS,
+                deadline_ms=deadline_ms,
+            )
+            health = front.supervisor.health()
+        client.close()
+    return report, health
+
+
+def test_tail_resilience(tmp_path, experiment_report, bench_json):
+    """Hedged reads bound the tail under one slowed worker.
+
+    Three runs over the same store: a healthy control, the slow worker
+    *without* hedging (the read p99 absorbs the full injected delay), and
+    the slow worker *with* hedging plus a generous end-to-end deadline (the
+    p99 collapses to roughly the hedge delay).  Recorded under
+    ``tail_resilience`` and gated where >= 2 cores make the race physical.
+    """
+    store_root = str(tmp_path / "store")
+
+    healthy, _ = _tail_run(store_root, slow=False, hedge_delay_ms=HEDGE_DELAY_MS)
+    unhedged, _ = _tail_run(store_root, slow=True, hedge_delay_ms=None)
+    hedged, health = _tail_run(
+        store_root, slow=True, hedge_delay_ms=HEDGE_DELAY_MS,
+        deadline_ms=TAIL_DEADLINE_MS,
+    )
+
+    for report in (healthy, unhedged, hedged):
+        assert report.errors == {}
+        assert report.operations == TAIL_OPS
+    assert hedged.hedged >= 1
+    assert hedged.deadline_exceeded == 0
+
+    cpu_count = os.cpu_count() or 1
+    gate_enforced = cpu_count >= 2
+    if gate_enforced:
+        # Without hedging the tail absorbs the injected delay in full...
+        assert unhedged.read_latency.p99 >= SLOW_SECONDS * 0.9
+        # ...with hedging the race to the healthy sibling caps it.
+        assert hedged.read_latency.p99 <= SLOW_SECONDS * 0.5, (
+            f"hedged p99 {hedged.read_latency.p99 * 1e3:.1f} ms did not stay "
+            f"under half the injected {SLOW_SECONDS * 1e3:.0f} ms delay"
+        )
+
+    bench_json(
+        "tail_resilience",
+        {
+            "size": TAIL_SIZE,
+            "operations": TAIL_OPS,
+            "threads": TAIL_THREADS,
+            "slow_seconds": SLOW_SECONDS,
+            "hedge_delay_ms": HEDGE_DELAY_MS,
+            "deadline_ms": TAIL_DEADLINE_MS,
+            "healthy_p99_us": healthy.read_latency.p99 * 1e6,
+            "unhedged_p99_us": unhedged.read_latency.p99 * 1e6,
+            "hedged_p99_us": hedged.read_latency.p99 * 1e6,
+            # The hedged tail's floor is hedge_delay + the monitor poll, so
+            # compare it against the *larger* of the healthy control and
+            # that floor; the unhedged ratio shows what hedging bought.
+            "hedged_p99_over_healthy": (
+                hedged.read_latency.p99 / healthy.read_latency.p99
+                if healthy.read_latency.p99 > 0 else 0.0
+            ),
+            "unhedged_p99_over_healthy": (
+                unhedged.read_latency.p99 / healthy.read_latency.p99
+                if healthy.read_latency.p99 > 0 else 0.0
+            ),
+            "hedged": hedged.hedged,
+            "hedge_wins": health["hedge_wins"],
+            "deadline_exceeded": hedged.deadline_exceeded,
+            "errors": sum(hedged.errors.values()),
+            "cpu_count": cpu_count,
+            "gate_enforced": gate_enforced,
+        },
+        path=JSON_PATH,
+    )
+    experiment_report(
+        f"case 16b: tail resilience, {TAIL_OPS} membership reads x "
+        f"{TAIL_THREADS} threads, worker 0 slowed {SLOW_SECONDS * 1e3:.0f} ms "
+        f"(gate {'ON' if gate_enforced else f'OFF: {cpu_count} core(s)'})",
+        format_table(
+            ["run", "p50 ms", "p99 ms", "hedged", "expired"],
+            [
+                ["healthy control",
+                 f"{healthy.read_latency.p50 * 1e3:.2f}",
+                 f"{healthy.read_latency.p99 * 1e3:.2f}", 0, 0],
+                ["slow, unhedged",
+                 f"{unhedged.read_latency.p50 * 1e3:.2f}",
+                 f"{unhedged.read_latency.p99 * 1e3:.2f}", 0, 0],
+                ["slow, hedged",
+                 f"{hedged.read_latency.p50 * 1e3:.2f}",
+                 f"{hedged.read_latency.p99 * 1e3:.2f}",
+                 hedged.hedged, hedged.deadline_exceeded],
+            ],
+        ),
+    )
 
 
 def test_frontend_scaling(tmp_path, experiment_report, bench_json):

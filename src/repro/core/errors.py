@@ -129,6 +129,43 @@ class OverloadedError(ServiceError):
     retry."""
 
 
+class DeadlineExceededError(ServiceError):
+    """Raised when a request's end-to-end deadline budget expires before an
+    answer is produced: at the gateway (already expired on arrival or while
+    waiting for an admission permit), in the supervisor (no worker response
+    within the remaining budget), or in a worker (the frame aged out in the
+    inbox before serving started).  Carries the request identity and the
+    budget arithmetic so operators can see *where* the time went; the
+    serving front's wire protocol preserves these fields across the wire.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        op: "str | None" = None,
+        dataset: "str | None" = None,
+        elapsed_ms: "float | None" = None,
+        budget_ms: "float | None" = None,
+    ):
+        super().__init__(message)
+        self.op = op
+        self.dataset = dataset
+        self.elapsed_ms = elapsed_ms
+        self.budget_ms = budget_ms
+
+    def wire_details(self) -> dict:
+        """Structured fields for the error frame (see
+        :func:`repro.service.frontend.protocol.error_payload`)."""
+        details = {
+            "op": self.op,
+            "dataset": self.dataset,
+            "elapsed_ms": self.elapsed_ms,
+            "budget_ms": self.budget_ms,
+        }
+        return {key: value for key, value in details.items() if value is not None}
+
+
 class WorkerFailedError(ServiceError):
     """Raised when a serving-front worker process died while holding a
     request and the request could not be transparently retried: a write

@@ -96,7 +96,7 @@ SITES: Dict[str, Tuple[str, ...]] = {
     "shard.partial": ("raise", "slow"),
     "cache.put": ("evict-storm",),
     "mutable.delta": ("raise",),
-    "worker.serve": ("crash",),
+    "worker.serve": ("crash", "slow"),
 }
 
 
@@ -120,6 +120,20 @@ class RecoveryPolicy:
     worker_restart_attempts: int = 3
     #: Backoff before the first restart attempt (doubles each retry).
     worker_restart_backoff_seconds: float = 0.05
+    #: Injected delay for a "slow" (alive but stalled) worker serve.
+    slow_worker_seconds: float = 0.05
+    #: Cross-worker retries the supervisor may spend on one read whose
+    #: worker died or timed out (writes never retry: they may have applied).
+    read_retry_budget: int = 2
+    #: Base backoff before a supervisor read retry; doubles each attempt
+    #: and is jittered to avoid retry synchronization.
+    retry_backoff_seconds: float = 0.01
+    #: Consecutive failures (crashes, deadline expiries) on one worker
+    #: before its circuit breaker opens and routing stops sending it reads.
+    breaker_failure_threshold: int = 5
+    #: Seconds an open breaker waits before letting one half-open probe
+    #: through; the probe's outcome closes or re-opens the breaker.
+    breaker_reset_seconds: float = 0.25
 
 
 DEFAULT_POLICY = RecoveryPolicy()
@@ -399,18 +413,25 @@ def on_worker_serve(kind: Optional[str]) -> None:
 
     Mode ``"crash"`` hard-kills the *current process* with ``os._exit`` --
     no exception, no cleanup, no response frame -- which is exactly what
-    the supervisor's crash detection must cope with.  Only ever fires
-    inside a worker process whose pool shipped it a plan; the gateway
-    process never installs ``worker.serve`` specs.
+    the supervisor's crash detection must cope with.  Mode ``"slow"``
+    sleeps instead: the worker stays alive but stalls, which is the harder
+    failure -- liveness polling sees a healthy process while every caller
+    waits -- and exactly what deadlines, hedged reads and circuit breakers
+    exist to absorb.  Only ever fires inside a worker process whose pool
+    shipped it a plan; the gateway process never installs ``worker.serve``
+    specs.
     """
     plan = _PLAN
     if plan is None:
         return
     spec = plan.first_firing("worker.serve", kind=kind)
-    if spec is not None and spec.mode == "crash":
+    if spec is None:
+        return
+    if spec.mode == "crash":
         import os
 
         os._exit(WORKER_CRASH_EXIT)
+    time.sleep(spec.delay_seconds or plan.policy.slow_worker_seconds)
 
 
 # -- the scenario registry -----------------------------------------------------
@@ -427,6 +448,7 @@ SCENARIOS: Dict[str, Tuple[FaultSpec, ...]] = {
     "failed-delta-apply": (FaultSpec("mutable.delta", "raise"),),
     "disk-full-writebehind": (FaultSpec("store.write", "disk-full"),),
     "dead-worker": (FaultSpec("worker.serve", "crash"),),
+    "slow-worker": (FaultSpec("worker.serve", "slow", times=None),),
 }
 
 

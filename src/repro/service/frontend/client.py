@@ -20,6 +20,24 @@ Structured error frames re-raise as their library exception classes
 failures raise :class:`~repro.core.errors.ProtocolError` and are counted
 in ``client.protocol_errors``, which CI's frontend smoke asserts stays 0.
 
+Resilience (idempotent reads only -- ``ping`` / ``query`` /
+``query_batch`` / ``stats``):
+
+* a ``deadline_ms`` budget (client-wide default, per-dataset via
+  :meth:`RemoteDataset.set_deadline`, or per-request) rides the frame
+  header end to end and bounds the local socket wait;
+* ``Overloaded`` / ``WorkerFailed`` responses are retried with jittered
+  exponential backoff up to ``retry_budget`` attempts (counted in
+  ``client.retries``), never past the deadline;
+* a broken socket (``ConnectionResetError`` / ``BrokenPipeError`` / a
+  clean EOF) is transparently reconnected **once** per request (counted
+  in ``client.reconnects``).
+
+Writes (``attach`` / ``apply_changes`` / ``detach``) never retry and
+never resend after a reconnect: a lost connection mid-write may or may
+not have applied, and answers must never be silently wrong -- the
+failure surfaces as :class:`~repro.core.errors.ProtocolError`.
+
 :func:`drive_batches` is the module-level load generator used by the
 scaling benchmark and CI: importable by name, so ``multiprocessing`` can
 spawn one generator per process and the client side of the measurement
@@ -28,14 +46,24 @@ scales past one GIL just like the worker side does.
 
 from __future__ import annotations
 
+import random
 import socket
 import threading
+import time
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
-from repro.core.errors import ProtocolError
+from repro.core.errors import (
+    DeadlineExceededError,
+    OverloadedError,
+    ProtocolError,
+    WorkerFailedError,
+)
 from repro.service.frontend import protocol
 
 __all__ = ["RemoteClient", "RemoteDataset", "drive_batches"]
+
+#: Ops safe to resend: reads with no server-side effects.
+_IDEMPOTENT_OPS = frozenset({"ping", "query", "query_batch", "stats"})
 
 
 class RemoteClient:
@@ -49,19 +77,39 @@ class RemoteClient:
         codec: Optional[int] = None,
         timeout: float = 60.0,
         max_frame_bytes: int = protocol.DEFAULT_MAX_FRAME_BYTES,
+        deadline_ms: Optional[float] = None,
+        retry_budget: int = 2,
+        retry_backoff_seconds: float = 0.01,
     ):
         self._host = host
         self._port = port
         self._codec = protocol.default_codec() if codec is None else codec
         self._timeout = timeout
         self._max_frame_bytes = max_frame_bytes
+        #: Default end-to-end budget attached to every request; None means
+        #: no deadline unless the call site provides one.
+        self._deadline_ms = deadline_ms
+        self._retry_budget = retry_budget
+        self._retry_backoff = retry_backoff_seconds
+        # Jitter perturbs retry *timing* only; fixed seed keeps runs
+        # reproducible.
+        self._rng = random.Random(0xC11E)
         self._local = threading.local()
         self._conns_lock = threading.Lock()
         self._conns: List[socket.socket] = []
         self._errors_lock = threading.Lock()
         #: Transport/protocol failures observed by this client.  Zero on a
-        #: healthy front: structured service errors do not count.
+        #: healthy front: structured service errors do not count, and
+        #: neither does a transparent reconnect that succeeds.
         self.protocol_errors = 0
+        #: Idempotent reads resent after backoff (Overloaded/WorkerFailed).
+        self.retries = 0
+        #: Broken sockets transparently re-dialed for idempotent reads.
+        self.reconnects = 0
+
+    def set_deadline(self, deadline_ms: Optional[float]) -> None:
+        """Set (or clear, with None) the client-wide default budget."""
+        self._deadline_ms = deadline_ms
 
     # -- transport -------------------------------------------------------------
 
@@ -97,12 +145,69 @@ class RemoteClient:
             self.protocol_errors += 1
 
     def request(self, op: str, *, dataset: Optional[str] = None,
-                value: Any = None) -> Any:
-        """One request-response round trip on this thread's connection."""
+                value: Any = None, deadline_ms: Optional[float] = None) -> Any:
+        """One request-response exchange on this thread's connection.
+
+        Idempotent reads get the resilience envelope (budgeted backoff
+        retries, one transparent reconnect, deadline accounting); writes
+        take exactly one shot and fail loudly.
+        """
+        if deadline_ms is None:
+            deadline_ms = self._deadline_ms
+        idempotent = op in _IDEMPOTENT_OPS
+        start = time.monotonic()
+        attempt = 0
+        reconnected = False
+        while True:
+            remaining = None
+            if deadline_ms is not None:
+                remaining = deadline_ms - (time.monotonic() - start) * 1000.0
+                if remaining <= 0:
+                    raise DeadlineExceededError(
+                        f"request {op!r} ran out of budget on the client "
+                        f"({deadline_ms} ms, including local retries)",
+                        op=op, dataset=dataset,
+                        elapsed_ms=(time.monotonic() - start) * 1000.0,
+                        budget_ms=float(deadline_ms),
+                    )
+            try:
+                return self._roundtrip(op, dataset, value, remaining)
+            except (ConnectionResetError, BrokenPipeError) as exc:
+                # The socket died under us.  A read can safely re-dial and
+                # resend once; a write may already have applied, so it
+                # must fail loudly instead.
+                if idempotent and not reconnected:
+                    reconnected = True
+                    with self._errors_lock:
+                        self.reconnects += 1
+                    continue
+                self._count_protocol_error()
+                raise ProtocolError(
+                    f"connection to serving front lost: {exc}"
+                ) from exc
+            except (OverloadedError, WorkerFailedError):
+                if not idempotent or attempt >= self._retry_budget:
+                    raise
+                attempt += 1
+                backoff = self._retry_backoff * (2 ** (attempt - 1))
+                backoff *= 0.5 + self._rng.random()
+                if remaining is not None:
+                    backoff = min(backoff, max(0.0, remaining / 1000.0))
+                with self._errors_lock:
+                    self.retries += 1
+                time.sleep(backoff)
+
+    def _roundtrip(self, op: str, dataset: Optional[str], value: Any,
+                   deadline_ms: Optional[float]) -> Any:
+        """One frame out, one frame back.  Raises ``ConnectionResetError``
+        / ``BrokenPipeError`` raw (the caller decides whether a resend is
+        safe); everything else surfaces as library errors."""
         state = self._connection()
         state[2] += 1
         rid = state[2]
-        header = {"op": op, "rid": rid, "dataset": dataset}
+        header: Dict[str, Any] = {"op": op, "rid": rid, "dataset": dataset}
+        if deadline_ms is not None:
+            header["deadline_ms"] = deadline_ms
         try:
             frame = protocol.pack_frame(
                 header, value, codec=self._codec,
@@ -111,7 +216,13 @@ class RemoteClient:
         except ProtocolError:
             self._count_protocol_error()
             raise
-        stream = state[1]
+        sock, stream = state[0], state[1]
+        # Bound the socket wait by the budget (plus slack for the typed
+        # error frame to come back) so an expiry is never a 60s stall.
+        if deadline_ms is not None:
+            sock.settimeout(min(self._timeout, deadline_ms / 1000.0 + 5.0))
+        else:
+            sock.settimeout(self._timeout)
         try:
             stream.write(frame)
             stream.flush()
@@ -122,14 +233,18 @@ class RemoteClient:
             self._count_protocol_error()
             self._drop_connection()
             raise
+        except (ConnectionResetError, BrokenPipeError):
+            self._drop_connection()
+            raise
         except OSError as exc:
             self._count_protocol_error()
             self._drop_connection()
             raise ProtocolError(f"connection to serving front lost: {exc}") from exc
         if response is None:
-            self._count_protocol_error()
+            # Clean EOF: the peer hung up between requests -- same
+            # recovery story as a reset socket.
             self._drop_connection()
-            raise ProtocolError("serving front closed the connection")
+            raise ConnectionResetError("serving front closed the connection")
         rheader, rbody, rcodec = response
         if rheader.get("rid") not in (rid, None):
             self._count_protocol_error()
@@ -214,6 +329,12 @@ class RemoteDataset:
         self._mutable = mutable
         self._data = data
         self._detached = False
+        self._deadline_ms: Optional[float] = None
+
+    def set_deadline(self, deadline_ms: Optional[float]) -> None:
+        """Attach a ``deadline_ms`` budget to every request of this
+        session (None clears it; the client-wide default still applies)."""
+        self._deadline_ms = deadline_ms
 
     @property
     def name(self) -> str:
@@ -232,22 +353,27 @@ class RemoteDataset:
 
     def query(self, kind: str, query: Any) -> Any:
         return self._client.request(
-            "query", dataset=self._name, value={"kind": kind, "query": query}
+            "query", dataset=self._name, value={"kind": kind, "query": query},
+            deadline_ms=self._deadline_ms,
         )
 
     def query_batch(self, pairs: Iterable[Tuple[str, Any]]) -> List[Any]:
         return self._client.request(
             "query_batch", dataset=self._name,
             value={"pairs": [tuple(pair) for pair in pairs]},
+            deadline_ms=self._deadline_ms,
         )
 
     def apply_changes(self, changes: Iterable[Any]) -> Dict[str, Any]:
         return self._client.request(
-            "apply_changes", dataset=self._name, value={"changes": list(changes)}
+            "apply_changes", dataset=self._name,
+            value={"changes": list(changes)},
+            deadline_ms=self._deadline_ms,
         )
 
     def stats(self) -> Dict[str, Any]:
-        return self._client.request("stats", dataset=self._name)
+        return self._client.request("stats", dataset=self._name,
+                                    deadline_ms=self._deadline_ms)
 
     def detach(self) -> None:
         if self._detached:

@@ -3,7 +3,7 @@
 One frame on the wire::
 
     magic    2 bytes   b"PF"
-    version  u8        PROTOCOL_VERSION (reject anything else)
+    version  u8        PROTOCOL_VERSION (any of SUPPORTED_VERSIONS accepted)
     codec    u8        0 = JSON, 1 = msgpack (msgpack only if installed)
     hlen     u16 BE    header byte length
     blen     u32 BE    body byte length
@@ -14,7 +14,11 @@ The header carries only what the gateway needs to route and admit a
 request -- the op name, the client's request id and the dataset name -- so
 the gateway never decodes the body: it relays the opaque body bytes to a
 worker process, which pays the decode cost in parallel with every other
-worker.  Frames whose total size exceeds ``max_frame_bytes`` are rejected
+worker.  Protocol v2 adds one *optional* header field: ``deadline_ms``,
+the request's remaining end-to-end budget in milliseconds at send time.
+The header is a plain dict, so v1 frames (no field) decode unchanged --
+a frame without a deadline simply has none, and v1 peers keep working
+against a v2 front.  Frames whose total size exceeds ``max_frame_bytes`` are rejected
 with :class:`~repro.core.errors.ProtocolError` *before* the body is read:
 the gateway refuses to buffer what it will not serve.
 
@@ -67,6 +71,7 @@ except ImportError:  # pragma: no cover - the baked image has no msgpack
 
 __all__ = [
     "PROTOCOL_VERSION",
+    "SUPPORTED_VERSIONS",
     "MAGIC",
     "CODEC_JSON",
     "CODEC_MSGPACK",
@@ -86,7 +91,11 @@ __all__ = [
 ]
 
 MAGIC = b"PF"
-PROTOCOL_VERSION = 1
+#: The version this side *emits*: 2 (optional ``deadline_ms`` header field).
+PROTOCOL_VERSION = 2
+#: Every version this side *accepts*.  v1 frames are identical on the wire
+#: except that their headers never carry ``deadline_ms``.
+SUPPORTED_VERSIONS = (1, 2)
 CODEC_JSON = 0
 CODEC_MSGPACK = 1
 #: 8 MiB: comfortably holds a 2^16-element attach payload or a
@@ -96,9 +105,12 @@ DEFAULT_MAX_FRAME_BYTES = 8 * 1024 * 1024
 
 _PREFIX = struct.Struct(">2sBBHI")
 
-#: Every request op a frontend peer may send.
+#: Every request op a frontend peer may send.  ``snapshot`` returns a
+#: dataset's current content + version; the supervisor uses it to
+#: checkpoint mutable-dataset journals (bounded re-home replay).
 REQUEST_OPS = frozenset(
-    {"attach", "query", "query_batch", "apply_changes", "stats", "detach", "ping"}
+    {"attach", "query", "query_batch", "apply_changes", "stats", "detach",
+     "ping", "snapshot"}
 )
 
 _CHANGE_TYPES: Dict[str, type] = {
@@ -296,10 +308,10 @@ def _parse_prefix(
     magic, version, codec, hlen, blen = _PREFIX.unpack(prefix)
     if magic != MAGIC:
         raise ProtocolError(f"bad frame magic {magic!r}")
-    if version != PROTOCOL_VERSION:
+    if version not in SUPPORTED_VERSIONS:
         raise ProtocolError(
             f"unsupported protocol version {version}; this side speaks "
-            f"{PROTOCOL_VERSION}"
+            f"{sorted(SUPPORTED_VERSIONS)}"
         )
     if codec not in (CODEC_JSON, CODEC_MSGPACK):
         raise ProtocolError(f"unknown codec byte {codec}")
@@ -402,8 +414,20 @@ ERROR_TYPES: Dict[str, type] = {
 
 
 def error_payload(exc: BaseException) -> Dict[str, Any]:
-    """The structured body of an error frame."""
-    return {"type": type(exc).__name__, "message": str(exc)}
+    """The structured body of an error frame.
+
+    Errors exposing a ``wire_details()`` method (e.g.
+    :class:`~repro.core.errors.DeadlineExceededError` with its op/dataset/
+    elapsed/budget fields) ship those fields alongside type and message, so
+    the client-side re-raise carries the same structure the server saw.
+    """
+    payload: Dict[str, Any] = {"type": type(exc).__name__, "message": str(exc)}
+    details = getattr(exc, "wire_details", None)
+    if callable(details):
+        fields = details()
+        if fields:
+            payload["details"] = fields
+    return payload
 
 
 def raise_remote(payload: Dict[str, Any]) -> None:
@@ -412,10 +436,18 @@ def raise_remote(payload: Dict[str, Any]) -> None:
     Names outside the :class:`~repro.core.errors.ReproError` hierarchy
     (a worker bug, say) surface as :class:`~repro.core.errors.ServiceError`
     carrying the original type name -- loud and catchable, never silent.
+    ``details`` fields (when the frame carries them and the class accepts
+    them as keyword arguments) are restored onto the raised exception.
     """
     name = payload.get("type", "ServiceError")
     message = payload.get("message", "remote error")
     cls = ERROR_TYPES.get(name)
     if cls is None:
         raise _errors.ServiceError(f"remote {name}: {message}")
+    details = payload.get("details")
+    if isinstance(details, dict) and details:
+        try:
+            raise cls(message, **details)
+        except TypeError:
+            pass  # class does not take these kwargs; fall through
     raise cls(message)

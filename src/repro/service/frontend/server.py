@@ -16,6 +16,15 @@ Admission control and backpressure, per dataset:
   buffers unboundedly -- a slow pool surfaces as explicit ``Overloaded``
   responses, not as silent queue growth and timeout collapse.
 
+Deadline propagation: a frame may carry a relative ``deadline_ms``
+budget (protocol v2).  The gateway stamps the arrival instant, rejects
+already-expired work *before* admission with a typed
+:class:`~repro.core.errors.DeadlineExceededError` (counter
+``deadline_expired``), re-checks after the permit wait (time spent
+queueing is part of the budget), and forwards only the *remaining*
+budget downstream -- so the supervisor and workers each see an honest
+number.
+
 :class:`ServingFront` assembles the whole front -- supervisor + worker
 pool + gateway thread -- behind a context manager::
 
@@ -28,10 +37,17 @@ from __future__ import annotations
 
 import asyncio
 import threading
+import time
 from dataclasses import dataclass
 from typing import Any, Dict, Optional, Tuple
 
-from repro.core.errors import OverloadedError, ProtocolError, ReproError, ServiceError
+from repro.core.errors import (
+    DeadlineExceededError,
+    OverloadedError,
+    ProtocolError,
+    ReproError,
+    ServiceError,
+)
 from repro.service.frontend import protocol
 from repro.service.frontend.supervisor import Supervisor
 
@@ -82,6 +98,7 @@ class Gateway:
             "frames": 0,
             "overloaded_rejections": 0,
             "protocol_errors": 0,
+            "deadline_expired": 0,
         }
 
     async def start(self, host: str = "127.0.0.1", port: int = 0) -> None:
@@ -107,6 +124,7 @@ class Gateway:
                 if frame is None:
                     break
                 header, body, codec = frame
+                arrival = time.monotonic()
                 self.counters["frames"] += 1
                 op = header.get("op")
                 rid = header.get("rid")
@@ -115,6 +133,33 @@ class Gateway:
                     await self._write_error(
                         writer, write_lock, rid, codec,
                         ProtocolError(f"unknown op {op!r}"),
+                    )
+                    continue
+                deadline_ms = header.get("deadline_ms")
+                if deadline_ms is not None and not isinstance(
+                    deadline_ms, (int, float)
+                ):
+                    self.counters["protocol_errors"] += 1
+                    await self._write_error(
+                        writer, write_lock, rid, codec,
+                        ProtocolError(
+                            f"deadline_ms must be a number, "
+                            f"got {type(deadline_ms).__name__}"
+                        ),
+                    )
+                    continue
+                if deadline_ms is not None and deadline_ms <= 0:
+                    # Already expired on arrival: shed before admission,
+                    # the cheapest point to refuse doomed work.
+                    self.counters["deadline_expired"] += 1
+                    await self._write_error(
+                        writer, write_lock, rid, codec,
+                        DeadlineExceededError(
+                            f"request {op!r} arrived with an exhausted "
+                            f"budget ({deadline_ms} ms remaining)",
+                            op=op, dataset=header.get("dataset"),
+                            elapsed_ms=0.0, budget_ms=float(deadline_ms),
+                        ),
                     )
                     continue
                 state = self._admission_for(header.get("dataset"))
@@ -132,7 +177,8 @@ class Gateway:
                     continue
                 state.pending += 1
                 asyncio.ensure_future(
-                    self._process(state, header, body, codec, writer, write_lock)
+                    self._process(state, header, body, codec, writer,
+                                  write_lock, arrival)
                 )
         except (ConnectionResetError, BrokenPipeError):  # pragma: no cover
             pass
@@ -153,9 +199,49 @@ class Gateway:
 
     async def _process(self, state: _Admission, header: Dict[str, Any],
                        body: bytes, codec: int, writer: asyncio.StreamWriter,
-                       write_lock: asyncio.Lock) -> None:
+                       write_lock: asyncio.Lock,
+                       arrival: Optional[float] = None) -> None:
+        deadline_ms = header.get("deadline_ms")
+
+        async def shed_expired(waited_ms: float) -> None:
+            self.counters["deadline_expired"] += 1
+            await self._write_error(
+                writer, write_lock, header.get("rid"), codec,
+                DeadlineExceededError(
+                    f"request {header.get('op')!r} expired waiting for "
+                    f"an admission permit",
+                    op=header.get("op"),
+                    dataset=header.get("dataset"),
+                    elapsed_ms=waited_ms,
+                    budget_ms=float(deadline_ms),
+                ),
+            )
+
         try:
-            async with state.semaphore:
+            if deadline_ms is not None:
+                # The permit wait itself is bounded by the budget: a
+                # request queued behind a saturated dataset is shed at
+                # its deadline, never parked indefinitely.
+                try:
+                    await asyncio.wait_for(
+                        state.semaphore.acquire(), timeout=deadline_ms / 1000.0
+                    )
+                except asyncio.TimeoutError:
+                    await shed_expired((time.monotonic() - arrival) * 1000.0
+                                       if arrival is not None else deadline_ms)
+                    return
+            else:
+                await state.semaphore.acquire()
+            try:
+                if deadline_ms is not None and arrival is not None:
+                    # The permit wait spent part of the budget; forward
+                    # only what remains, or shed if nothing does.
+                    waited_ms = (time.monotonic() - arrival) * 1000.0
+                    remaining = deadline_ms - waited_ms
+                    if remaining <= 0:
+                        await shed_expired(waited_ms)
+                        return
+                    header["deadline_ms"] = remaining
                 try:
                     rheader, rbody, rcodec = await self._dispatch(header, body, codec)
                 except ReproError as exc:
@@ -163,6 +249,8 @@ class Gateway:
                         writer, write_lock, header.get("rid"), codec, exc
                     )
                     return
+            finally:
+                state.semaphore.release()
             async with write_lock:
                 try:
                     writer.write(protocol.pack_frame(
@@ -231,6 +319,8 @@ class ServingFront:
         fault_workers: Optional[Any] = None,
         start_method: str = "spawn",
         max_queue_per_worker: int = 2048,
+        hedge_delay_ms: Optional[float] = 50.0,
+        journal_checkpoint_batches: Optional[int] = 64,
     ):
         self._host = host
         self._port = port
@@ -243,6 +333,8 @@ class ServingFront:
             fault_workers=fault_workers,
             start_method=start_method,
             max_queue_per_worker=max_queue_per_worker,
+            hedge_delay_ms=hedge_delay_ms,
+            journal_checkpoint_batches=journal_checkpoint_batches,
         )
         self.gateway = Gateway(self.supervisor, config)
         self._loop: Optional[asyncio.AbstractEventLoop] = None

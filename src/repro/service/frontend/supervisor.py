@@ -1,4 +1,4 @@
-"""Supervision of the worker pool: routing, crash detection, restarts.
+"""Supervision of the worker pool: routing, deadlines, hedging, breakers.
 
 The :class:`Supervisor` owns N worker processes (see
 :mod:`repro.service.frontend.workers`) and is the single place requests
@@ -9,43 +9,95 @@ worker (the content-addressed store makes the 2nd..Nth attach a cheap
 load, not a rebuild) and reads round-robin across healthy workers.
 Mutable datasets are **homed** on exactly one worker -- versions advance
 only there, so no stale replica can ever serve a read -- and the
-supervisor keeps a journal of every *acknowledged* change batch.
+supervisor keeps a journal of every *acknowledged* change batch.  The
+journal is bounded: after ``journal_checkpoint_batches`` acknowledged
+batches the supervisor snapshots the home worker's current content
+(``snapshot`` op), persists it to the shared
+:class:`~repro.service.artifacts.ArtifactStore` under the
+``frontend-journal-checkpoint`` scheme, swaps it in as the new attach
+baseline, and truncates the replayed entries.  FIFO inbox/outbox
+ordering makes the truncation exact: every batch acknowledged before the
+snapshot response is *in* the snapshot, every later batch is appended to
+the journal after the truncation.
+
+*Deadlines.*  Clients attach a relative ``deadline_ms`` budget to a
+frame; the gateway forwards the remaining budget and :meth:`submit`
+stamps the absolute ``deadline_mono`` instant (``time.monotonic()`` --
+CLOCK_MONOTONIC is system-wide on Linux, so worker processes share it).
+Already-expired work is refused synchronously; in-flight work that
+outlives its budget is swept by the monitor thread and answered with a
+typed :class:`~repro.core.errors.DeadlineExceededError` -- never a
+silent stall.  Workers shed frames that aged out in their inbox
+(``deadline_expired_worker``); the supervisor counts its own expiries
+under ``deadline_expired_supervisor``.
+
+*Hedged reads.*  Reads on immutable datasets are served identically by
+every worker (the paper's determinism guarantee: answers depend only on
+the dataset and the Pi-structures, which are content-addressed), so a
+read still unanswered after ``hedge_delay_ms`` is *hedged*: a duplicate
+is enqueued on a second worker and the first answer wins.  The loser's
+response is dropped, its worker neither credited nor blamed.  Counters:
+``hedged_requests``, ``hedge_wins``.
+
+*Circuit breakers.*  Each worker slot carries a breaker: consecutive
+infrastructure failures (crashes while holding work, deadline expiries)
+open it and the slot stops receiving routed traffic; after
+``breaker_reset_seconds`` a single half-open probe is admitted, and its
+outcome closes or re-opens the breaker.  Breakers deliberately survive
+restarts -- a flapping worker stays isolated between crashes instead of
+re-entering rotation at full weight.  Application errors (a bad query)
+count as *successes*: the worker answered.
+
+*Budgeted retries.*  Reads orphaned by a crash are retried up to
+``read_retry_budget`` times with jittered exponential backoff
+(``retry_backoff_seconds`` base), deferred through the monitor thread so
+a crashed pool is not hammered in lockstep.  Writes still fail loudly:
+they may or may not have applied, and answers are never silently wrong.
+
+*Graceful drain.*  :meth:`drain` marks a worker unroutable, waits for
+its in-flight work up to a deadline, then re-homes its mutable datasets
+through the same attach+journal replay path used after a crash (skipping
+-- and reporting -- any dataset that still has an unacknowledged write
+on the old home).  :meth:`undrain` returns the slot to rotation.
 
 *Crash detection and recovery.*  A monitor thread polls worker liveness.
-When a worker dies: its in-flight reads are retried **once** on a healthy
-worker; in-flight writes surface
-:class:`~repro.core.errors.WorkerFailedError` (they may or may not have
-applied -- retrying could double-apply, and answers must never be
-silently wrong); mutable datasets homed there are re-homed by replaying
-the attach frame plus the acknowledged journal onto a healthy worker
-(inbox FIFO ordering guarantees replay lands before any rerouted
-traffic); and the worker slot is restarted with exponential backoff
-bounded by :class:`~repro.service.faults.RecoveryPolicy`
-(``worker_restart_attempts`` / ``worker_restart_backoff_seconds`` -- the
-PR 7 recovery vocabulary).  Restarted workers re-attach every immutable
-dataset from the attach table and adopt any orphaned mutable homes.
-Restarts never re-arm a fault plan: the ``dead-worker`` scenario models
-one crash event, not a crashing binary.
+When a worker dies: its in-flight reads enter the retry path above;
+in-flight writes surface :class:`~repro.core.errors.WorkerFailedError`;
+mutable datasets homed there are re-homed by replaying the attach frame
+plus the acknowledged journal onto a healthy worker (inbox FIFO ordering
+guarantees replay lands before any rerouted traffic); and the worker
+slot is restarted with exponential backoff bounded by
+:class:`~repro.service.faults.RecoveryPolicy`.  Restarts never re-arm a
+fault plan: the ``dead-worker`` scenario models one crash event, not a
+crashing binary.
 
 Health counters (``health()``): ``worker_restarts``, ``crashes_detected``,
 ``retried_requests``, ``failed_requests``, ``rehomed_datasets``,
-``workers_lost``, ``replay_errors``.
+``workers_lost``, ``replay_errors``, ``deadline_expired_supervisor``,
+``deadline_expired_worker``, ``hedged_requests``, ``hedge_wins``,
+``breaker_opened``, ``breaker_closed``, ``breaker_probes``,
+``journal_checkpoints``, ``journal_checkpoint_failures``, ``drains``,
+plus a ``breakers`` map of per-worker breaker states.
 """
 
 from __future__ import annotations
 
+import hashlib
 import itertools
 import multiprocessing
 import queue as queue_mod
+import random
 import threading
 import time
 from typing import Any, Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.core.errors import (
+    DeadlineExceededError,
     OverloadedError,
     ServiceError,
     WorkerFailedError,
 )
+from repro.service.artifacts import ArtifactKey, ArtifactStore
 from repro.service.faults import DEFAULT_POLICY, FaultPlan, RecoveryPolicy
 from repro.service.frontend import protocol
 from repro.service.frontend.workers import worker_main
@@ -55,9 +107,16 @@ __all__ = ["Supervisor"]
 #: Ops safe to retry on another worker after a crash: pure reads.
 _READ_OPS = frozenset({"query", "query_batch", "ping"})
 
+#: Reads whose answers are position-independent on immutable datasets --
+#: the only ops eligible for hedging.
+_HEDGE_OPS = frozenset({"query", "query_batch"})
+
 #: Non-counter stats keys: identity, not additive.
 _FIRST_KEYS = frozenset({"dataset", "mutable", "scheme", "shards", "hit_rate"})
 _MAX_KEYS = frozenset({"version"})
+
+#: ArtifactStore scheme name under which journal checkpoints persist.
+_CHECKPOINT_SCHEME = "frontend-journal-checkpoint"
 
 _OnDone = Callable[[Dict[str, Any], bytes, int], None]
 
@@ -78,14 +137,96 @@ def _merge_stats(base: Dict[str, Any], other: Dict[str, Any]) -> None:
                 base[key] = base[key] + value
 
 
+def _strip_deadline(header: Dict[str, Any]) -> Dict[str, Any]:
+    """A copy of ``header`` without deadline fields, for durable frames.
+
+    Attach records and journal entries are replayed arbitrarily later (on
+    re-home, restart, or drain); a deadline frozen into them would make
+    every replay arrive already expired.
+    """
+    if "deadline_ms" in header or "deadline_mono" in header:
+        return {k: v for k, v in header.items()
+                if k not in ("deadline_ms", "deadline_mono")}
+    return header
+
+
+class _CircuitBreaker:
+    """Per-worker closed -> open -> half-open -> closed state machine.
+
+    Pure bookkeeping: the supervisor drives it under its own lock and
+    translates returned transition events into counters.
+    """
+
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half_open"
+
+    __slots__ = ("threshold", "reset_seconds", "state", "failures",
+                 "opened_at", "probing")
+
+    def __init__(self, threshold: int, reset_seconds: float):
+        self.threshold = threshold
+        self.reset_seconds = reset_seconds
+        self.state = self.CLOSED
+        self.failures = 0
+        self.opened_at = 0.0
+        self.probing = False
+
+    def allow_probe(self, now: float) -> bool:
+        """True exactly once per reset window: admit a half-open probe."""
+        if self.state == self.OPEN and now - self.opened_at >= self.reset_seconds:
+            self.state = self.HALF_OPEN
+            self.probing = True
+            return True
+        return False
+
+    def record_success(self) -> Optional[str]:
+        self.failures = 0
+        if self.state != self.CLOSED:
+            self.state = self.CLOSED
+            self.probing = False
+            return "closed"
+        return None
+
+    def record_failure(self, now: float) -> Optional[str]:
+        self.failures += 1
+        if self.state == self.HALF_OPEN:
+            self.state = self.OPEN
+            self.opened_at = now
+            self.probing = False
+            return "opened"
+        if self.state == self.CLOSED and self.failures >= self.threshold:
+            self.state = self.OPEN
+            self.opened_at = now
+            return "opened"
+        return None
+
+
+class _Hedge:
+    """Links the two racing copies of one hedged read; first answer wins."""
+
+    __slots__ = ("primary", "secondary", "done")
+
+    def __init__(self, primary: "_Pending", secondary: "_Pending"):
+        self.primary = primary
+        self.secondary = secondary
+        self.done = False
+
+    def sibling(self, pending: "_Pending") -> "_Pending":
+        return self.secondary if pending is self.primary else self.primary
+
+
 class _Pending:
     """One request in flight on one worker."""
 
     __slots__ = ("header", "body", "codec", "on_done", "worker_id", "op",
-                 "dataset", "retried", "no_retry", "internal")
+                 "dataset", "retries", "no_retry", "internal", "rid",
+                 "deadline_at", "enqueued_at", "hedge", "hedge_eligible",
+                 "is_hedge")
 
     def __init__(self, header, body, codec, on_done, worker_id, *,
-                 no_retry=False, internal=False):
+                 no_retry=False, internal=False, hedge_eligible=False,
+                 is_hedge=False):
         self.header = header
         self.body = body
         self.codec = codec
@@ -93,9 +234,15 @@ class _Pending:
         self.worker_id = worker_id
         self.op = header.get("op")
         self.dataset = header.get("dataset")
-        self.retried = False
+        self.retries = 0
         self.no_retry = no_retry
         self.internal = internal
+        self.rid = 0
+        self.deadline_at = header.get("deadline_mono")
+        self.enqueued_at = 0.0
+        self.hedge: Optional[_Hedge] = None
+        self.hedge_eligible = hedge_eligible
+        self.is_hedge = is_hedge
 
 
 class _Broadcast:
@@ -132,7 +279,8 @@ class _Broadcast:
 class _AttachEntry:
     """One attached dataset as the supervisor knows it."""
 
-    __slots__ = ("header", "body", "codec", "mutable", "home", "journal")
+    __slots__ = ("header", "body", "codec", "mutable", "home", "journal",
+                 "checkpointing")
 
     def __init__(self, header, body, codec, mutable, home):
         self.header = header
@@ -142,15 +290,19 @@ class _AttachEntry:
         #: worker id homing a mutable dataset; None for immutable (served
         #: everywhere) or an orphaned mutable awaiting a healthy worker.
         self.home = home
-        #: acknowledged apply_changes frames, replayed on re-home/restart.
+        #: acknowledged apply_changes frames, replayed on re-home/restart;
+        #: bounded by journal checkpointing.
         self.journal: List[Tuple[Dict[str, Any], bytes, int]] = []
+        #: a snapshot request is outstanding; suppresses re-triggering.
+        self.checkpointing = False
 
 
 class _WorkerHandle:
     __slots__ = ("worker_id", "generation", "process", "inbox", "healthy",
-                 "lost", "restart_count", "next_restart_at")
+                 "lost", "restart_count", "next_restart_at", "breaker",
+                 "draining")
 
-    def __init__(self, worker_id, generation, process, inbox):
+    def __init__(self, worker_id, generation, process, inbox, breaker):
         self.worker_id = worker_id
         self.generation = generation
         self.process = process
@@ -159,6 +311,9 @@ class _WorkerHandle:
         self.lost = False
         self.restart_count = 0
         self.next_restart_at = 0.0
+        #: survives restarts on purpose: a flapping worker stays isolated.
+        self.breaker = breaker
+        self.draining = False
 
 
 class Supervisor:
@@ -170,6 +325,11 @@ class Supervisor:
     giving every armed worker its own seeded clock; the plan's
     :class:`~repro.service.faults.RecoveryPolicy` doubles as the restart
     policy unless ``policy`` overrides it.
+
+    ``hedge_delay_ms`` (None disables) is how long an immutable read may
+    sit unanswered before a duplicate races on a second worker;
+    ``journal_checkpoint_batches`` (None disables) bounds the mutable
+    journal between checkpoints.
     """
 
     def __init__(
@@ -185,6 +345,8 @@ class Supervisor:
         max_queue_per_worker: int = 2048,
         poll_seconds: float = 0.02,
         ready_timeout: float = 120.0,
+        hedge_delay_ms: Optional[float] = 50.0,
+        journal_checkpoint_batches: Optional[int] = 64,
     ):
         if workers < 1:
             raise ServiceError(f"need at least one worker, got {workers}")
@@ -193,6 +355,13 @@ class Supervisor:
                 policy = fault_plan.policy
             fault_plan = (fault_plan.specs, fault_plan.seed, fault_plan.policy,
                           fault_plan.name)
+        if hedge_delay_ms is not None and hedge_delay_ms < 0:
+            raise ServiceError(f"hedge_delay_ms must be >= 0, got {hedge_delay_ms}")
+        if journal_checkpoint_batches is not None and journal_checkpoint_batches < 1:
+            raise ServiceError(
+                f"journal_checkpoint_batches must be >= 1, "
+                f"got {journal_checkpoint_batches}"
+            )
         self._workers = workers
         self._store_root = store_root
         self._engine_opts = dict(engine_opts or {})
@@ -205,12 +374,21 @@ class Supervisor:
         self._max_queue = max_queue_per_worker
         self._poll_seconds = poll_seconds
         self._ready_timeout = ready_timeout
+        self._hedge_delay = (
+            None if hedge_delay_ms is None else hedge_delay_ms / 1000.0
+        )
+        self._checkpoint_batches = journal_checkpoint_batches
+        self._store = ArtifactStore(store_root) if store_root is not None else None
+        # Retry jitter only perturbs *timing*, never answers; a fixed seed
+        # keeps chaos runs reproducible.
+        self._jitter = random.Random(0x5EED)
 
         self._ctx = multiprocessing.get_context(start_method)
         self._outbox: Optional[Any] = None
         self._handles: List[_WorkerHandle] = []
         self._lock = threading.Lock()
         self._inflight: Dict[int, _Pending] = {}
+        self._deferred: List[Tuple[float, _Pending]] = []
         self._rids = itertools.count(1)
         self._rr = 0
         self._table: Dict[str, _AttachEntry] = {}
@@ -223,6 +401,16 @@ class Supervisor:
             "rehomed_datasets": 0,
             "workers_lost": 0,
             "replay_errors": 0,
+            "deadline_expired_supervisor": 0,
+            "deadline_expired_worker": 0,
+            "hedged_requests": 0,
+            "hedge_wins": 0,
+            "breaker_opened": 0,
+            "breaker_closed": 0,
+            "breaker_probes": 0,
+            "journal_checkpoints": 0,
+            "journal_checkpoint_failures": 0,
+            "drains": 0,
         }
         self._closed = False
         self._started = False
@@ -269,7 +457,11 @@ class Supervisor:
             daemon=True,
         )
         process.start()
-        return _WorkerHandle(worker_id, generation, process, inbox)
+        breaker = _CircuitBreaker(
+            self._policy.breaker_failure_threshold,
+            self._policy.breaker_reset_seconds,
+        )
+        return _WorkerHandle(worker_id, generation, process, inbox, breaker)
 
     def _wait_ready(self) -> None:
         deadline = time.monotonic() + self._ready_timeout
@@ -292,7 +484,9 @@ class Supervisor:
             self._closed = True
             handles = list(self._handles)
             pending = list(self._inflight.values())
+            pending.extend(p for _, p in self._deferred)
             self._inflight.clear()
+            self._deferred = []
         self._stop.set()
         for handle in handles:
             try:
@@ -311,6 +505,10 @@ class Supervisor:
                 thread.join(timeout=5)
         closed = ServiceError("serving front is closed")
         for p in pending:
+            if p.hedge is not None:
+                if p.hedge.done:
+                    continue
+                p.hedge.done = True
             self._deliver_error(p, closed)
 
     def __enter__(self) -> "Supervisor":
@@ -331,11 +529,14 @@ class Supervisor:
         with self._lock:
             return sum(1 for h in self._handles if h.healthy)
 
-    def health(self) -> Dict[str, int]:
+    def health(self) -> Dict[str, Any]:
         with self._lock:
-            snapshot = dict(self._counters)
+            snapshot: Dict[str, Any] = dict(self._counters)
             snapshot["workers"] = self._workers
             snapshot["healthy_workers"] = sum(1 for h in self._handles if h.healthy)
+            snapshot["breakers"] = {
+                str(h.worker_id): h.breaker.state for h in self._handles
+            }
         return snapshot
 
     # -- request submission ----------------------------------------------------
@@ -350,6 +551,11 @@ class Supervisor:
         """Route one request; ``on_done(header, body, codec)`` fires exactly
         once, from a supervisor thread.
 
+        A relative ``deadline_ms`` budget in the header is converted here
+        to an absolute ``deadline_mono`` instant shared with the workers;
+        already-expired work raises
+        :class:`~repro.core.errors.DeadlineExceededError` synchronously.
+
         Raises synchronously on conditions the caller must answer itself:
         :class:`~repro.core.errors.OverloadedError` when the target
         worker's queue is full, :class:`~repro.core.errors.ServiceError`
@@ -358,6 +564,18 @@ class Supervisor:
         """
         op = header.get("op")
         name = header.get("dataset")
+        deadline_ms = header.get("deadline_ms")
+        if isinstance(deadline_ms, (int, float)):
+            if deadline_ms <= 0:
+                with self._lock:
+                    self._counters["deadline_expired_supervisor"] += 1
+                raise DeadlineExceededError(
+                    f"request {op!r} arrived with an exhausted budget "
+                    f"({deadline_ms} ms remaining)",
+                    op=op, dataset=name,
+                    elapsed_ms=0.0, budget_ms=float(deadline_ms),
+                )
+            header["deadline_mono"] = time.monotonic() + deadline_ms / 1000.0
         if op == "stats":
             on_done = self._inject_health(on_done)
         with self._lock:
@@ -391,11 +609,16 @@ class Supervisor:
                 if op == "detach":
                     del self._table[name]
             else:
-                handle = self._next_healthy_locked()
+                handle = self._next_dispatch_locked()
             no_retry = op not in _READ_OPS
+            hedge_eligible = (
+                self._hedge_delay is not None
+                and op in _HEDGE_OPS
+                and (entry is None or not entry.mutable)
+            )
             self._enqueue_locked(
                 handle, _Pending(header, body, codec, on_done, handle.worker_id,
-                                 no_retry=no_retry)
+                                 no_retry=no_retry, hedge_eligible=hedge_eligible)
             )
 
     def call(
@@ -406,11 +629,21 @@ class Supervisor:
         value: Any = None,
         codec: int = protocol.CODEC_JSON,
         timeout: float = 60.0,
+        deadline_ms: Optional[float] = None,
     ) -> Any:
         """Blocking convenience wrapper over :meth:`submit`: encode, wait,
-        decode, raising remote errors as their library classes."""
+        decode, raising remote errors as their library classes.
+
+        ``deadline_ms`` rides the frame header end to end; the local wait
+        is clamped to slightly past the budget so an expiry surfaces as
+        the supervisor's typed error, not a silent stall here.
+        """
         body = protocol.encode_body(value, codec) if value is not None else b""
-        header = {"op": op, "rid": 0, "dataset": dataset}
+        header: Dict[str, Any] = {"op": op, "rid": 0, "dataset": dataset}
+        wait = timeout
+        if deadline_ms is not None:
+            header["deadline_ms"] = deadline_ms
+            wait = min(timeout, deadline_ms / 1000.0 + 5.0)
         done = threading.Event()
         box: Dict[str, Any] = {}
 
@@ -419,18 +652,113 @@ class Supervisor:
             done.set()
 
         self.submit(header, body, codec, on_done)
-        if not done.wait(timeout):
-            raise ServiceError(f"no response to {op!r} within {timeout}s")
+        if not done.wait(wait):
+            raise DeadlineExceededError(
+                f"no response to {op!r} within {wait}s",
+                op=op, dataset=dataset,
+                elapsed_ms=wait * 1000.0,
+                budget_ms=deadline_ms if deadline_ms is not None
+                else timeout * 1000.0,
+            )
         rheader, rbody, rcodec = box["response"]
         payload = protocol.decode_body(rbody, rcodec) if rbody else None
         if rheader.get("ok"):
             return payload
         protocol.raise_remote(payload)
 
+    # -- drain -----------------------------------------------------------------
+
+    def drain(self, worker_id: int, *, timeout: float = 5.0) -> Dict[str, Any]:
+        """Gracefully take ``worker_id`` out of rotation.
+
+        Stops new dispatch immediately, waits up to ``timeout`` seconds
+        for its in-flight work, then re-homes mutable datasets homed
+        there via the attach+journal replay path.  Datasets with an
+        unacknowledged write still on the old home are *not* re-homed
+        (replaying around an unacknowledged write could diverge from what
+        the client was told); they are reported under ``"skipped"`` and
+        stay routable on the draining worker until :meth:`undrain` or a
+        later :meth:`drain`.
+        """
+        with self._lock:
+            if self._closed:
+                raise ServiceError("serving front is closed")
+            handle = self._handle_by_id_locked(worker_id)
+            if handle is None:
+                raise ServiceError(f"no worker {worker_id} in the pool")
+            handle.draining = True
+            self._counters["drains"] += 1
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            with self._lock:
+                busy = sum(1 for p in self._inflight.values()
+                           if p.worker_id == worker_id)
+            if busy == 0:
+                break
+            time.sleep(min(self._poll_seconds, 0.01))
+        rehomed: List[str] = []
+        skipped: List[str] = []
+        with self._lock:
+            remaining = sum(1 for p in self._inflight.values()
+                            if p.worker_id == worker_id)
+            busy_writes = {
+                p.dataset for p in self._inflight.values()
+                if p.worker_id == worker_id and not p.internal
+                and p.op not in _READ_OPS
+            }
+            for name, entry in list(self._table.items()):
+                if not entry.mutable or entry.home != worker_id:
+                    continue
+                if name in busy_writes:
+                    skipped.append(name)
+                    continue
+                try:
+                    self._rehome_locked(name, entry)
+                except WorkerFailedError:
+                    skipped.append(name)
+                    continue
+                rehomed.append(name)
+                # Free the now-stale copy on the drained worker; routing
+                # already points at the new home, so this is pure cleanup.
+                detach_header = {"op": "detach", "rid": 0, "dataset": name}
+                try:
+                    self._enqueue_locked(
+                        handle,
+                        _Pending(detach_header, b"", entry.codec,
+                                 self._replay_done, worker_id,
+                                 no_retry=True, internal=True),
+                    )
+                except OverloadedError:
+                    pass
+        return {
+            "worker_id": worker_id,
+            "drained": remaining == 0,
+            "inflight": remaining,
+            "rehomed": rehomed,
+            "skipped": skipped,
+        }
+
+    def undrain(self, worker_id: int) -> None:
+        """Return a drained worker to the dispatch rotation."""
+        with self._lock:
+            handle = self._handle_by_id_locked(worker_id)
+            if handle is None:
+                raise ServiceError(f"no worker {worker_id} in the pool")
+            handle.draining = False
+
     # -- locked routing helpers ------------------------------------------------
 
     def _healthy_locked(self) -> List[_WorkerHandle]:
         return [h for h in self._handles if h.healthy]
+
+    def _dispatchable_locked(self) -> List[_WorkerHandle]:
+        return [h for h in self._handles if h.healthy and not h.draining]
+
+    def _handle_by_id_locked(self, worker_id: int) -> Optional[_WorkerHandle]:
+        for handle in self._handles:
+            if handle.worker_id == worker_id:
+                return handle
+        return None
 
     def _handle_for_locked(self, worker_id: Optional[int]) -> Optional[_WorkerHandle]:
         if worker_id is None:
@@ -440,12 +768,23 @@ class Supervisor:
                 return handle
         return None
 
-    def _next_healthy_locked(self) -> _WorkerHandle:
-        healthy = self._healthy_locked()
-        if not healthy:
+    def _next_dispatch_locked(self) -> _WorkerHandle:
+        """Pick a worker for routed traffic: probes first, then round-robin
+        over closed breakers; if every breaker is open, fall back to all
+        dispatchable workers rather than failing the request."""
+        candidates = self._dispatchable_locked()
+        if not candidates:
             raise WorkerFailedError("no healthy workers in the pool")
+        now = time.monotonic()
+        for handle in candidates:
+            if handle.breaker.allow_probe(now):
+                self._counters["breaker_probes"] += 1
+                return handle
+        closed = [h for h in candidates
+                  if h.breaker.state == _CircuitBreaker.CLOSED]
+        pool = closed or candidates
         self._rr += 1
-        return healthy[self._rr % len(healthy)]
+        return pool[self._rr % len(pool)]
 
     def _home_counts_locked(self) -> Dict[int, int]:
         counts: Dict[int, int] = {}
@@ -455,14 +794,17 @@ class Supervisor:
         return counts
 
     def _least_loaded_locked(self) -> _WorkerHandle:
-        healthy = self._healthy_locked()
-        if not healthy:
+        candidates = self._dispatchable_locked()
+        if not candidates:
             raise WorkerFailedError("no healthy workers in the pool")
         counts = self._home_counts_locked()
-        return min(healthy, key=lambda h: (counts.get(h.worker_id, 0), h.worker_id))
+        return min(candidates,
+                   key=lambda h: (counts.get(h.worker_id, 0), h.worker_id))
 
     def _enqueue_locked(self, handle: _WorkerHandle, pending: _Pending) -> None:
         rid = next(self._rids)
+        pending.rid = rid
+        pending.enqueued_at = time.monotonic()
         self._inflight[rid] = pending
         try:
             handle.inbox.put_nowait(("req", rid, pending.header, pending.body,
@@ -484,7 +826,7 @@ class Supervisor:
             targets = self._healthy_locked()
             if not targets:
                 raise WorkerFailedError("no healthy workers in the pool")
-        entry = _AttachEntry(header, body, codec, mutable,
+        entry = _AttachEntry(_strip_deadline(header), body, codec, mutable,
                              targets[0].worker_id if mutable else None)
 
         def record_then_done(rheader: Dict[str, Any], rbody: bytes, rcodec: int) -> None:
@@ -510,7 +852,7 @@ class Supervisor:
     def _inject_health(self, on_done: _OnDone) -> _OnDone:
         """Fold the pool's health counters into a stats response, so one
         remote ``stats()`` shows engine counters *and* the supervision story
-        (``worker_restarts``, retries, re-homes)."""
+        (``worker_restarts``, retries, re-homes, breakers)."""
 
         def wrapped(rheader: Dict[str, Any], rbody: bytes, rcodec: int) -> None:
             if rheader.get("ok"):
@@ -535,6 +877,16 @@ class Supervisor:
             _merge_stats(merged, protocol.decode_body(other_body, other_codec))
         return header, protocol.encode_body(merged, codec), codec
 
+    # -- circuit breaker accounting (lock held) --------------------------------
+
+    def _breaker_success_locked(self, handle: _WorkerHandle) -> None:
+        if handle.breaker.record_success() == "closed":
+            self._counters["breaker_closed"] += 1
+
+    def _breaker_failure_locked(self, handle: _WorkerHandle, now: float) -> None:
+        if handle.breaker.record_failure(now) == "opened":
+            self._counters["breaker_opened"] += 1
+
     # -- response collection ---------------------------------------------------
 
     def _collect_loop(self) -> None:
@@ -549,27 +901,135 @@ class Supervisor:
                     self._ready.add((worker_id, generation))
                 continue
             _, worker_id, generation, rid, rheader, rbody, rcodec = message
+            deliver = False
             with self._lock:
                 pending = self._inflight.pop(rid, None)
-                if (
-                    pending is not None
-                    and rheader.get("ok")
-                    and pending.op == "apply_changes"
-                    and not pending.internal
-                ):
-                    entry = self._table.get(pending.dataset)
-                    if entry is not None and entry.mutable:
-                        entry.journal.append(
-                            (pending.header, pending.body, pending.codec)
-                        )
-            if pending is not None:
+                if pending is not None:
+                    deliver = True
+                    handle = self._handle_by_id_locked(worker_id)
+                    current = (
+                        handle is not None and handle.generation == generation
+                    )
+                    if (
+                        not rheader.get("ok")
+                        and rheader.get("etype") == "DeadlineExceededError"
+                    ):
+                        # The frame aged out in the worker's inbox: a
+                        # slowness signal, and an expiry the client sees.
+                        self._counters["deadline_expired_worker"] += 1
+                        if current:
+                            self._breaker_failure_locked(
+                                handle, time.monotonic()
+                            )
+                    elif current:
+                        # Any answer -- including an application error --
+                        # means the worker is alive and serving.
+                        self._breaker_success_locked(handle)
+                    if pending.hedge is not None:
+                        hedge = pending.hedge
+                        if hedge.done:  # pragma: no cover - defensive
+                            deliver = False
+                        else:
+                            hedge.done = True
+                            sibling = hedge.sibling(pending)
+                            self._inflight.pop(sibling.rid, None)
+                            if pending.is_hedge and rheader.get("ok"):
+                                self._counters["hedge_wins"] += 1
+                    if (
+                        deliver
+                        and rheader.get("ok")
+                        and pending.op == "apply_changes"
+                        and not pending.internal
+                    ):
+                        entry = self._table.get(pending.dataset)
+                        if entry is not None and entry.mutable:
+                            entry.journal.append(
+                                (_strip_deadline(pending.header), pending.body,
+                                 pending.codec)
+                            )
+                            self._maybe_checkpoint_locked(pending.dataset, entry)
+            if pending is not None and deliver:
                 pending.on_done(rheader, rbody, rcodec)
 
-    # -- crash detection and restart -------------------------------------------
+    # -- journal checkpointing -------------------------------------------------
+
+    def _maybe_checkpoint_locked(self, name: str, entry: _AttachEntry) -> None:
+        if (
+            self._checkpoint_batches is None
+            or len(entry.journal) < self._checkpoint_batches
+            or entry.checkpointing
+        ):
+            return
+        home = self._handle_for_locked(entry.home)
+        if home is None:
+            return
+        entry.checkpointing = True
+        snapshot_header = {"op": "snapshot", "rid": 0, "dataset": name}
+        try:
+            self._enqueue_locked(
+                home,
+                _Pending(snapshot_header, b"", entry.codec,
+                         self._checkpoint_done(name), home.worker_id,
+                         no_retry=True, internal=True),
+            )
+        except OverloadedError:
+            entry.checkpointing = False
+            self._counters["journal_checkpoint_failures"] += 1
+
+    def _checkpoint_done(self, name: str) -> _OnDone:
+        """Completion of a snapshot request: swap the attach baseline,
+        truncate the journal, persist the checkpoint.
+
+        Runs on the collector thread, which is also the only thread that
+        appends to the journal -- so between the snapshot response and
+        this truncation no batch can sneak in, and FIFO ordering
+        guarantees the journal holds exactly the batches the snapshot
+        already contains.
+        """
+
+        def finish(rheader: Dict[str, Any], rbody: bytes, rcodec: int) -> None:
+            store = self._store
+            new_body: Optional[bytes] = None
+            version = 0
+            with self._lock:
+                entry = self._table.get(name)
+                if entry is None or not entry.mutable:
+                    return
+                entry.checkpointing = False
+                if not rheader.get("ok"):
+                    self._counters["journal_checkpoint_failures"] += 1
+                    return
+                try:
+                    snapshot = protocol.decode_body(rbody, rcodec)
+                    params = protocol.decode_body(entry.body, entry.codec)
+                    params["data"] = snapshot["data"]
+                    version = snapshot.get("version", 0)
+                    new_body = protocol.encode_body(params, entry.codec)
+                except Exception:
+                    self._counters["journal_checkpoint_failures"] += 1
+                    return
+                entry.body = new_body
+                entry.journal.clear()
+                self._counters["journal_checkpoints"] += 1
+            if store is not None and new_body is not None:
+                key = ArtifactKey(
+                    fingerprint=hashlib.sha256(name.encode("utf-8")).hexdigest(),
+                    scheme=_CHECKPOINT_SCHEME,
+                    params=f"{name}@v{version}",
+                )
+                try:
+                    store.put(key, new_body)
+                except Exception:
+                    with self._lock:
+                        self._counters["journal_checkpoint_failures"] += 1
+
+        return finish
+
+    # -- crash detection, deadlines, hedging, retries --------------------------
 
     def _monitor_loop(self) -> None:
         while not self._stop.wait(self._poll_seconds):
-            deliveries: List[Tuple[_Pending, BaseException]] = []
+            deliveries: List[Tuple[_Pending, BaseException, Optional[str]]] = []
             to_restart: List[_WorkerHandle] = []
             now = time.monotonic()
             with self._lock:
@@ -578,6 +1038,9 @@ class Supervisor:
                 for handle in self._handles:
                     if handle.healthy and not handle.process.is_alive():
                         deliveries.extend(self._on_crash_locked(handle, now))
+                self._sweep_deadlines_locked(now, deliveries)
+                self._fire_hedges_locked(now)
+                self._process_deferred_locked(now, deliveries)
                 for handle in self._handles:
                     if (
                         not handle.healthy
@@ -585,19 +1048,129 @@ class Supervisor:
                         and now >= handle.next_restart_at
                     ):
                         to_restart.append(handle)
-            for pending, error in deliveries:
-                self._deliver_error(pending, error)
+            for pending, error, counter in deliveries:
+                self._deliver_error(pending, error, counter=counter)
             for handle in to_restart:
                 self._restart(handle)
 
+    def _deadline_error(self, pending: _Pending, now: float) -> DeadlineExceededError:
+        budget_ms = pending.header.get("deadline_ms")
+        elapsed_ms = (now - pending.enqueued_at) * 1000.0 if pending.enqueued_at else None
+        return DeadlineExceededError(
+            f"no response to {pending.op!r} for dataset {pending.dataset!r} "
+            f"within its {budget_ms} ms budget",
+            op=pending.op, dataset=pending.dataset,
+            elapsed_ms=elapsed_ms,
+            budget_ms=budget_ms if isinstance(budget_ms, (int, float)) else None,
+        )
+
+    def _sweep_deadlines_locked(
+        self, now: float,
+        deliveries: List[Tuple[_Pending, BaseException, Optional[str]]],
+    ) -> None:
+        """Answer every in-flight request whose budget just ran out; the
+        worker holding it is penalised on its breaker (it was too slow)."""
+        expired = [rid for rid, p in self._inflight.items()
+                   if p.deadline_at is not None and now >= p.deadline_at]
+        for rid in expired:
+            pending = self._inflight.pop(rid, None)
+            if pending is None:
+                continue
+            handle = self._handle_by_id_locked(pending.worker_id)
+            if handle is not None:
+                self._breaker_failure_locked(handle, now)
+            if pending.hedge is not None:
+                hedge = pending.hedge
+                if hedge.done:
+                    continue
+                hedge.done = True
+                sibling = hedge.sibling(pending)
+                if self._inflight.pop(sibling.rid, None) is not None:
+                    sibling_handle = self._handle_by_id_locked(sibling.worker_id)
+                    if sibling_handle is not None:
+                        self._breaker_failure_locked(sibling_handle, now)
+            self._counters["deadline_expired_supervisor"] += 1
+            deliveries.append((pending, self._deadline_error(pending, now), None))
+
+    def _fire_hedges_locked(self, now: float) -> None:
+        """Race a duplicate of any immutable read that has waited past the
+        hedge delay on a second worker; first answer wins."""
+        if self._hedge_delay is None:
+            return
+        for pending in list(self._inflight.values()):
+            if (
+                pending.hedge is not None
+                or not pending.hedge_eligible
+                or pending.is_hedge
+                or now - pending.enqueued_at < self._hedge_delay
+            ):
+                continue
+            candidates = [
+                h for h in self._handles
+                if h.healthy and not h.draining
+                and h.worker_id != pending.worker_id
+                and h.breaker.state == _CircuitBreaker.CLOSED
+            ]
+            if not candidates:
+                pending.hedge_eligible = False
+                continue
+            self._rr += 1
+            target = candidates[self._rr % len(candidates)]
+            copy = _Pending(pending.header, pending.body, pending.codec,
+                            pending.on_done, target.worker_id,
+                            no_retry=True, is_hedge=True)
+            try:
+                self._enqueue_locked(target, copy)
+            except OverloadedError:
+                pending.hedge_eligible = False
+                continue
+            hedge = _Hedge(pending, copy)
+            pending.hedge = hedge
+            copy.hedge = hedge
+            self._counters["hedged_requests"] += 1
+
+    def _process_deferred_locked(
+        self, now: float,
+        deliveries: List[Tuple[_Pending, BaseException, Optional[str]]],
+    ) -> None:
+        """Re-dispatch crash-orphaned reads whose backoff elapsed."""
+        still: List[Tuple[float, _Pending]] = []
+        for due_at, pending in self._deferred:
+            if pending.deadline_at is not None and now >= pending.deadline_at:
+                self._counters["deadline_expired_supervisor"] += 1
+                deliveries.append(
+                    (pending, self._deadline_error(pending, now), None)
+                )
+                continue
+            if now < due_at:
+                still.append((due_at, pending))
+                continue
+            entry = self._table.get(pending.dataset)
+            try:
+                if entry is not None and entry.mutable:
+                    target = self._handle_for_locked(entry.home)
+                    if target is None:
+                        raise WorkerFailedError(
+                            f"dataset {pending.dataset!r} has no home worker"
+                        )
+                else:
+                    target = self._next_dispatch_locked()
+                pending.worker_id = target.worker_id
+                self._enqueue_locked(target, pending)
+                self._counters["retried_requests"] += 1
+            except (WorkerFailedError, OverloadedError) as exc:
+                deliveries.append((pending, exc, "failed_requests"))
+        self._deferred = still
+
     def _on_crash_locked(
         self, handle: _WorkerHandle, now: float
-    ) -> List[Tuple[_Pending, BaseException]]:
+    ) -> List[Tuple[_Pending, BaseException, Optional[str]]]:
         handle.healthy = False
         self._counters["crashes_detected"] += 1
+        self._breaker_failure_locked(handle, now)
         exitcode = handle.process.exitcode
         dead_id = handle.worker_id
-        failures: List[Tuple[_Pending, BaseException]] = []
+        failures: List[Tuple[_Pending, BaseException, Optional[str]]] = []
 
         # Re-home mutable datasets whose home just died: replay the attach
         # frame plus the acknowledged journal onto the least-loaded healthy
@@ -605,41 +1178,44 @@ class Supervisor:
         for name, entry in self._table.items():
             if not entry.mutable or entry.home != dead_id:
                 continue
-            healthy = self._healthy_locked()
-            if not healthy:
+            entry.checkpointing = False  # any outstanding snapshot died too
+            try:
+                self._rehome_locked(name, entry)
+            except WorkerFailedError:
                 entry.home = None  # orphaned until a worker comes back
-                continue
-            self._rehome_locked(name, entry)
 
-        # In-flight on the dead worker: reads retry once, everything else
-        # fails loudly (a write may or may not have applied).
+        # In-flight on the dead worker: reads enter the budgeted-backoff
+        # retry path, everything else fails loudly (a write may or may not
+        # have applied).  A hedged read whose sibling still races elsewhere
+        # is simply dropped -- the sibling covers it.
         dead_rids = [rid for rid, p in self._inflight.items()
                      if p.worker_id == dead_id]
         for rid in dead_rids:
             pending = self._inflight.pop(rid)
-            retry_handle: Optional[_WorkerHandle] = None
-            if not pending.no_retry and not pending.retried:
-                entry = self._table.get(pending.dataset)
-                if entry is not None and entry.mutable:
-                    retry_handle = self._handle_for_locked(entry.home)
-                else:
-                    healthy = self._healthy_locked()
-                    if healthy:
-                        self._rr += 1
-                        retry_handle = healthy[self._rr % len(healthy)]
-            if retry_handle is None:
-                failures.append((pending, WorkerFailedError(
-                    f"worker {dead_id} died (exit {exitcode}) holding "
-                    f"{pending.op!r} for dataset {pending.dataset!r}"
-                )))
+            if pending.hedge is not None:
+                hedge = pending.hedge
+                if hedge.done:
+                    continue
+                sibling = hedge.sibling(pending)
+                if sibling.rid in self._inflight:
+                    sibling.hedge = None
+                    continue
+                pending.hedge = None
+            if (
+                not pending.no_retry
+                and pending.retries < self._policy.read_retry_budget
+            ):
+                pending.retries += 1
+                backoff = self._policy.retry_backoff_seconds * (
+                    2 ** (pending.retries - 1)
+                )
+                backoff *= 0.5 + self._jitter.random()
+                self._deferred.append((now + backoff, pending))
                 continue
-            pending.retried = True
-            pending.worker_id = retry_handle.worker_id
-            try:
-                self._enqueue_locked(retry_handle, pending)
-                self._counters["retried_requests"] += 1
-            except OverloadedError as exc:
-                failures.append((pending, exc))
+            failures.append((pending, WorkerFailedError(
+                f"worker {dead_id} died (exit {exitcode}) holding "
+                f"{pending.op!r} for dataset {pending.dataset!r}"
+            ), "failed_requests"))
 
         backoff = self._policy.worker_restart_backoff_seconds * (
             2 ** handle.restart_count
@@ -697,11 +1273,14 @@ class Supervisor:
             handle.inbox = replacement.inbox
             handle.generation = replacement.generation
             handle.restart_count += 1
+            # The slot's breaker survives the restart on purpose; the new
+            # process must prove itself through the half-open probe.
             # Replay the attach table: every immutable dataset, plus any
-            # orphaned mutable home this worker can adopt.
+            # orphaned mutable home this worker can adopt (unless it is
+            # draining -- an operator is taking it out of rotation).
             for name, entry in self._table.items():
                 if entry.mutable:
-                    if entry.home is None:
+                    if entry.home is None and not handle.draining:
                         entry.home = handle.worker_id
                         self._counters["rehomed_datasets"] += 1
                         frames = [(entry.header, entry.body, entry.codec)]
@@ -725,9 +1304,15 @@ class Supervisor:
 
     # -- error delivery --------------------------------------------------------
 
-    def _deliver_error(self, pending: _Pending, error: BaseException) -> None:
-        with self._lock:
-            self._counters["failed_requests"] += 1
+    def _deliver_error(
+        self,
+        pending: _Pending,
+        error: BaseException,
+        counter: Optional[str] = "failed_requests",
+    ) -> None:
+        if counter is not None:
+            with self._lock:
+                self._counters[counter] += 1
         header = {"rid": pending.header.get("rid"), "ok": False,
                   "op": pending.op}
         body = protocol.encode_body(protocol.error_payload(error), pending.codec)

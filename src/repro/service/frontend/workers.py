@@ -25,14 +25,51 @@ Queue message shapes (all picklable):
 
 from __future__ import annotations
 
+import time
 from typing import Any, Dict, Optional, Tuple
 
-from repro.core.errors import ProtocolError, ReproError, ServiceError
+from repro.core.errors import (
+    DeadlineExceededError,
+    ProtocolError,
+    ReproError,
+    ServiceError,
+)
 from repro.service import faults
 from repro.service.faults import DegradedAnswer, FaultPlan
 from repro.service.frontend import protocol
 
 __all__ = ["handle_request", "handle_frame", "worker_main"]
+
+
+def check_deadline(header: Dict[str, Any]) -> None:
+    """Refuse work whose budget expired while the frame sat in the inbox.
+
+    The supervisor stamps ``deadline_mono`` (an absolute
+    ``time.monotonic()`` instant -- CLOCK_MONOTONIC is system-wide, so
+    parent and child processes share it) next to the client's original
+    ``deadline_ms`` budget.  A worker that starts an already-expired serve
+    would burn CPU on an answer nobody is waiting for; shedding it here is
+    the cheapest point in the pipeline.
+    """
+    deadline_mono = header.get("deadline_mono")
+    if deadline_mono is None:
+        return
+    now = time.monotonic()
+    if now < deadline_mono:
+        return
+    budget_ms = header.get("deadline_ms")
+    overshoot_ms = (now - deadline_mono) * 1000.0
+    elapsed_ms = (
+        budget_ms + overshoot_ms if isinstance(budget_ms, (int, float)) else None
+    )
+    raise DeadlineExceededError(
+        f"request {header.get('op')!r} expired before serving started "
+        f"(budget {budget_ms} ms, {overshoot_ms:.1f} ms past deadline)",
+        op=header.get("op"),
+        dataset=header.get("dataset"),
+        elapsed_ms=elapsed_ms,
+        budget_ms=budget_ms if isinstance(budget_ms, (int, float)) else None,
+    )
 
 
 def _coerce_answer(answer: Any) -> Any:
@@ -105,6 +142,8 @@ def handle_request(engine: Any, header: Dict[str, Any], params: Any) -> Any:
         }
     if op == "stats":
         return ds.stats()
+    if op == "snapshot":
+        return {"data": ds.dataset(), "version": ds.version}
     if op == "detach":
         ds.detach()
         return True
@@ -122,6 +161,7 @@ def handle_frame(
     """
     rid = header.get("rid")
     try:
+        check_deadline(header)
         params = protocol.decode_body(body, codec) if body else None
         value = handle_request(engine, header, params)
         response_header = {"rid": rid, "ok": True, "op": header.get("op")}
@@ -132,7 +172,10 @@ def handle_frame(
         # A worker bug must surface as a structured error, not a hung
         # request; raise_remote maps unknown names to ServiceError.
         payload = protocol.error_payload(exc)
-    response_header = {"rid": rid, "ok": False, "op": header.get("op")}
+    # ``etype`` lets the supervisor classify failures (deadline expiries
+    # feed circuit breakers and counters) without decoding the body.
+    response_header = {"rid": rid, "ok": False, "op": header.get("op"),
+                       "etype": payload["type"]}
     return response_header, protocol.encode_body(payload, codec)
 
 

@@ -127,6 +127,13 @@ class WorkloadReport:
     #: Answers explicitly marked partial (``DegradedAnswer`` under an armed
     #: fault plan) -- correct-or-degraded, never silently wrong.
     degraded: int = 0
+    #: Operations answered with a typed ``DeadlineExceededError`` -- the
+    #: budget ran out somewhere in the pipeline (also present in
+    #: ``errors``; broken out because it is the headline resilience number).
+    deadline_exceeded: int = 0
+    #: Serving-front hedged reads fired during the run (from the
+    #: ``frontend.hedged_requests`` counter delta; 0 for local sessions).
+    hedged: int = 0
 
     def to_dict(self) -> Dict[str, Any]:
         record: Dict[str, Any] = {
@@ -140,6 +147,8 @@ class WorkloadReport:
             "per_kind": {k: v.to_dict() for k, v in self.per_kind.items()},
             "errors": dict(self.errors),
             "degraded": self.degraded,
+            "deadline_exceeded": self.deadline_exceeded,
+            "hedged": self.hedged,
             "stats_window": self.stats_window,
             "spec": self.spec,
         }
@@ -222,6 +231,34 @@ def _merge(
     return reads, writes, per_kind, errors
 
 
+def _apply_deadline(dataset: Any, deadline_ms: Optional[float]) -> None:
+    """Propagate a per-request budget onto the session, duck-typed.
+
+    Remote sessions (:class:`~repro.service.frontend.client.RemoteDataset`)
+    expose ``set_deadline``; asking a session without one for deadlines is
+    a spec error, not something to ignore silently.
+    """
+    setter = getattr(dataset, "set_deadline", None)
+    if callable(setter):
+        setter(deadline_ms)
+    elif deadline_ms is not None:
+        raise WorkloadError(
+            f"deadline_ms={deadline_ms} needs a session with set_deadline "
+            f"(e.g. the serving front's RemoteDataset); "
+            f"{type(dataset).__name__} has none"
+        )
+
+
+def _hedged_delta(stats_window: Dict[str, Any]) -> int:
+    """Hedged-read count for the run, from the frontend counter delta."""
+    frontend = stats_window.get("frontend")
+    if isinstance(frontend, dict):
+        value = frontend.get("hedged_requests")
+        if isinstance(value, (int, float)):
+            return int(value)
+    return 0
+
+
 def _armed(fault_plan: Any):
     """``fault_plan.armed()`` when given, else a no-op context.
 
@@ -245,6 +282,7 @@ def run_closed_loop(
     think_seconds: float = 0.0,
     warmup: int = 0,
     fault_plan: Any = None,
+    deadline_ms: Optional[float] = None,
 ) -> WorkloadReport:
     """Drive ``operations`` total ops from ``threads`` closed-loop workers.
 
@@ -259,6 +297,12 @@ def run_closed_loop(
     can be measured; answers explicitly marked partial are counted in
     ``WorkloadReport.degraded``, and injected failures surface through the
     normal error counts.
+
+    ``deadline_ms`` attaches an end-to-end budget to every operation (the
+    session must expose ``set_deadline``, as
+    :class:`~repro.service.frontend.client.RemoteDataset` does); expiries
+    are counted in ``WorkloadReport.deadline_exceeded`` and the front's
+    hedged reads in ``WorkloadReport.hedged``.
     """
     if threads < 1:
         raise WorkloadError(f"threads must be >= 1, got {threads}")
@@ -270,6 +314,8 @@ def run_closed_loop(
     spans: List[Tuple[float, float]] = [(0.0, 0.0)] * threads
     barrier = threading.Barrier(threads)
     before = _stats_snapshot(dataset)
+    if deadline_ms is not None:
+        _apply_deadline(dataset, deadline_ms)
 
     def worker(worker_id: int) -> None:
         stream = bound.stream(worker_id)
@@ -299,15 +345,22 @@ def run_closed_loop(
         threading.Thread(target=worker, args=(index,), name=f"workload-{index}")
         for index in range(threads)
     ]
-    with _armed(fault_plan):
-        for thread in workers:
-            thread.start()
-        for thread in workers:
-            thread.join()
+    try:
+        with _armed(fault_plan):
+            for thread in workers:
+                thread.start()
+            for thread in workers:
+                thread.join()
+    finally:
+        # Clear the budget before the closing stats round trip: the report
+        # must come back even when the run itself was expiring.
+        if deadline_ms is not None:
+            _apply_deadline(dataset, None)
 
     reads, writes, per_kind, errors = _merge(recorders)
     duration = max(end for _, end in spans) - min(start for start, _ in spans)
     completed = len(reads) + len(writes)
+    stats_window = _window(before, _stats_snapshot(dataset))
     return WorkloadReport(
         mode="closed",
         operations=operations,
@@ -319,9 +372,12 @@ def run_closed_loop(
         write_latency=LatencyStats.from_samples(writes),
         per_kind={k: LatencyStats.from_samples(v) for k, v in sorted(per_kind.items())},
         errors=errors,
-        stats_window=_window(before, _stats_snapshot(dataset)),
-        spec=dict(spec.provenance(), threads=threads, think_seconds=think_seconds),
+        stats_window=stats_window,
+        spec=dict(spec.provenance(), threads=threads, think_seconds=think_seconds,
+                  **({"deadline_ms": deadline_ms} if deadline_ms is not None else {})),
         degraded=sum(recorder.degraded for recorder in recorders),
+        deadline_exceeded=errors.get("DeadlineExceededError", 0),
+        hedged=_hedged_delta(stats_window),
     )
 
 
@@ -332,6 +388,7 @@ def run_open_loop(
     schedule: Sequence[Tuple[float, float]],
     concurrency: int = 4,
     fault_plan: Any = None,
+    deadline_ms: Optional[float] = None,
 ) -> WorkloadReport:
     """Drive an offered-load schedule of ``(offered_qps, seconds)`` phases.
 
@@ -341,8 +398,8 @@ def run_open_loop(
     is charged to the operation (no coordinated omission).  Per phase the
     report records offered vs. achieved qps -- the saturation curve.
 
-    ``fault_plan`` is armed for the whole schedule, exactly as in
-    :func:`run_closed_loop`.
+    ``fault_plan`` is armed for the whole schedule, and ``deadline_ms``
+    attaches a per-operation budget, exactly as in :func:`run_closed_loop`.
     """
     phases = list(schedule)
     if not phases:
@@ -368,6 +425,8 @@ def run_open_loop(
         answer = _execute(dataset, op)
         return time.perf_counter(), answer
 
+    if deadline_ms is not None:
+        _apply_deadline(dataset, deadline_ms)
     pool = ThreadPoolExecutor(max_workers=concurrency, thread_name_prefix="workload")
     plan_context = _armed(fault_plan)
     plan_context.__enter__()
@@ -412,6 +471,8 @@ def run_open_loop(
     finally:
         pool.shutdown(wait=True)
         plan_context.__exit__(None, None, None)
+        if deadline_ms is not None:
+            _apply_deadline(dataset, None)
 
     duration = sum(
         record["completed"] / record["achieved_qps"]
@@ -419,6 +480,7 @@ def run_open_loop(
         if record["achieved_qps"] > 0
     )
     completed = len(all_reads) + len(all_writes)
+    stats_window = _window(before, _stats_snapshot(dataset))
     return WorkloadReport(
         mode="open",
         operations=sum(record["operations"] for record in phase_records),
@@ -430,8 +492,11 @@ def run_open_loop(
         write_latency=LatencyStats.from_samples(all_writes),
         per_kind={k: LatencyStats.from_samples(v) for k, v in sorted(per_kind.items())},
         errors=recorder.errors,
-        stats_window=_window(before, _stats_snapshot(dataset)),
-        spec=dict(spec.provenance(), concurrency=concurrency),
+        stats_window=stats_window,
+        spec=dict(spec.provenance(), concurrency=concurrency,
+                  **({"deadline_ms": deadline_ms} if deadline_ms is not None else {})),
         phases=phase_records,
         degraded=recorder.degraded,
+        deadline_exceeded=recorder.errors.get("DeadlineExceededError", 0),
+        hedged=_hedged_delta(stats_window),
     )

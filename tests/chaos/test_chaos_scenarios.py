@@ -442,6 +442,152 @@ def test_dead_worker_rehomes_mutable_dataset_with_its_journal(tmp_path):
         supervisor.close()
 
 
+def test_slow_worker_expired_reads_surface_typed_deadline_errors(tmp_path):
+    """A persistently slow worker (``worker.serve`` slow on worker 0) under
+    a per-request deadline: every read that lands on the slow copy surfaces
+    a typed :class:`DeadlineExceededError` well inside the client timeout --
+    never a silent stall -- and the breaker isolates the slow worker so the
+    healthy sibling keeps answering exactly right."""
+    from repro.core.errors import DeadlineExceededError
+    from repro.service.frontend import RemoteClient, ServingFront
+
+    data = tuple(range(64))
+    expected = set(data)
+    policy = RecoveryPolicy(
+        slow_worker_seconds=0.25,
+        breaker_failure_threshold=3,
+        breaker_reset_seconds=60.0,  # stays open for the whole test
+    )
+    plan = scenario("slow-worker", seed=CHAOS_SEED, policy=policy)
+    with ServingFront(
+        workers=2, store_root=str(tmp_path), fault_plan=plan,
+        fault_workers=(0,), hedge_delay_ms=None,
+    ) as front:
+        client = RemoteClient(*front.address, retry_budget=0)
+        try:
+            ds = client.attach("d", data, kinds=["list-membership"])
+            ds.set_deadline(80.0)
+            expired = served = 0
+            for query in range(16):
+                start = time.monotonic()
+                try:
+                    answer = ds.query("list-membership", query)
+                except DeadlineExceededError as exc:
+                    expired += 1
+                    assert exc.op == "query"
+                    assert exc.dataset == "d"
+                else:
+                    served += 1
+                    assert answer is (query in expected)
+                # typed shedding, not a stall: each call resolves fast
+                assert time.monotonic() - start < 5.0
+            health = front.supervisor.health()
+            assert expired >= 1 and served >= 1
+            assert (
+                health["deadline_expired_supervisor"]
+                + health["deadline_expired_worker"]
+            ) >= expired
+            # deadline expiries are shed work, not infrastructure failures
+            assert health["failed_requests"] == 0
+            assert health["breakers"]["0"] == "open"
+            assert health["breakers"]["1"] == "closed"
+            assert health["breaker_opened"] == 1
+        finally:
+            client.close()
+
+
+def test_slow_worker_breaker_opens_then_halfopen_probe_recloses(tmp_path):
+    """The full breaker cycle: deadline expiries on the slow worker trip
+    its breaker (closed -> open), traffic routes around it, and once the
+    injected slowness is exhausted a half-open probe re-admits the worker
+    (open -> half_open -> closed)."""
+    from repro.core.errors import DeadlineExceededError
+    from repro.service.frontend import RemoteClient, ServingFront
+
+    data = tuple(range(64))
+    expected = set(data)
+    policy = RecoveryPolicy(
+        slow_worker_seconds=0.2,
+        breaker_failure_threshold=3,
+        breaker_reset_seconds=0.3,
+    )
+    # Finite firings: after six slow serves worker 0 is fast again, so the
+    # half-open probe that lands there can succeed and close the breaker.
+    plan = scenario("slow-worker", seed=CHAOS_SEED, policy=policy, times=6)
+    with ServingFront(
+        workers=2, store_root=str(tmp_path), fault_plan=plan,
+        fault_workers=(0,), hedge_delay_ms=None,
+    ) as front:
+        client = RemoteClient(*front.address, retry_budget=0)
+        try:
+            ds = client.attach("d", data, kinds=["list-membership"])
+            ds.set_deadline(60.0)
+            expired = 0
+            for query in range(16):
+                try:
+                    answer = ds.query("list-membership", query)
+                except DeadlineExceededError:
+                    expired += 1
+                else:
+                    assert answer is (query in expected)
+            health = front.supervisor.health()
+            assert expired >= policy.breaker_failure_threshold
+            assert health["breakers"]["0"] == "open"
+            assert health["breaker_opened"] == 1
+            # Past the reset window, traffic itself probes and re-admits.
+            time.sleep(policy.breaker_reset_seconds + 0.1)
+            ds.set_deadline(None)
+            for query in range(12):
+                assert ds.query("list-membership", query) is True
+            deadline = time.monotonic() + 5.0
+            while time.monotonic() < deadline:
+                health = front.supervisor.health()
+                if health["breakers"]["0"] == "closed":
+                    break
+                ds.query("list-membership", 1)
+                time.sleep(0.02)
+            assert health["breakers"]["0"] == "closed"
+            assert health["breaker_probes"] >= 1
+            assert health["breaker_closed"] >= 1
+        finally:
+            client.close()
+
+
+def test_slow_worker_hedged_reads_keep_tail_bounded(tmp_path):
+    """With hedging on (and no deadline), reads stuck on the slow worker
+    are raced against a healthy sibling after ``hedge_delay_ms``: the first
+    answer wins, every answer stays exactly right, and the run finishes in
+    a fraction of the unhedged worst case."""
+    from repro.service.frontend import RemoteClient, ServingFront
+
+    data = tuple(range(64))
+    expected = set(data)
+    slow = 0.4
+    policy = RecoveryPolicy(slow_worker_seconds=slow)
+    plan = scenario("slow-worker", seed=CHAOS_SEED, policy=policy)
+    with ServingFront(
+        workers=2, store_root=str(tmp_path), fault_plan=plan,
+        fault_workers=(0,), hedge_delay_ms=25.0,
+    ) as front:
+        client = RemoteClient(*front.address)
+        try:
+            ds = client.attach("d", data, kinds=["list-membership"])
+            count = 8
+            start = time.monotonic()
+            for query in range(count):
+                assert ds.query("list-membership", query) is (query in expected)
+            elapsed = time.monotonic() - start
+            health = front.supervisor.health()
+            assert health["hedged_requests"] >= 1
+            assert health["hedge_wins"] >= 1
+            assert health["failed_requests"] == 0
+            # Round-robin parks ~half the reads on the slow worker; without
+            # hedging that alone costs ~(count / 2) * slow seconds.
+            assert elapsed < (count / 2) * slow
+        finally:
+            client.close()
+
+
 # -- registry completeness -----------------------------------------------------
 
 #: scenario name -> the test(s) above that pin its recovery contract.
@@ -466,6 +612,11 @@ PINNED = {
     "failed-delta-apply": (
         test_failed_delta_apply_commits_batch_and_repairs,
         test_failed_delta_apply_on_handle_commits_and_repairs,
+    ),
+    "slow-worker": (
+        test_slow_worker_expired_reads_surface_typed_deadline_errors,
+        test_slow_worker_breaker_opens_then_halfopen_probe_recloses,
+        test_slow_worker_hedged_reads_keep_tail_bounded,
     ),
     "disk-full-writebehind": (
         test_disk_full_writebehind_retries_then_flush_raises,

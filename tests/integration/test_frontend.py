@@ -15,9 +15,12 @@ dataset names so order does not matter.  The headline assertions:
 
 from __future__ import annotations
 
+import socket
+import time
+
 import pytest
 
-from repro.core.errors import ProtocolError, UnknownDatasetError
+from repro.core.errors import DeadlineExceededError, ProtocolError, UnknownDatasetError
 from repro.incremental.changes import ChangeKind, TupleChange
 from repro.service.frontend import RemoteClient, ServingFront
 from repro.workloads import UniformKeys, WorkloadSpec, ZipfKeys, run_closed_loop, run_open_loop
@@ -122,6 +125,91 @@ def test_closed_loop_driver_runs_unchanged_remotely(client):
     assert report.operations == 120
     assert report.writes >= 1
     assert client.protocol_errors == 0
+
+
+def test_deadline_travels_the_wire(client):
+    """A generous budget never interferes; an impossible one surfaces as a
+    typed :class:`DeadlineExceededError` carrying the request identity --
+    from whichever layer (gateway, supervisor, worker) shed it first."""
+    data = tuple(range(32))
+    with client.attach("dl", data, kinds=["list-membership"]) as ds:
+        ds.set_deadline(10_000.0)
+        assert ds.query("list-membership", 7) is True
+        ds.set_deadline(0.001)  # sub-microsecond: expires in flight
+        with pytest.raises(DeadlineExceededError) as excinfo:
+            ds.query("list-membership", 7)
+        assert excinfo.value.op == "query"
+        assert excinfo.value.dataset == "dl"
+        ds.set_deadline(None)
+        assert ds.query("list-membership", 7) is True
+
+
+def test_client_reconnects_transparently_for_idempotent_reads(front):
+    """A broken socket under an idempotent read heals with one transparent
+    reconnect (no error, no protocol_errors count); the same break under a
+    write fails loudly -- the client cannot know whether it applied."""
+    data = tuple(range(16))
+    with RemoteClient(*front.address) as remote:
+        with remote.attach("reconn", data, kinds=["list-membership"],
+                           mutable=True) as ds:
+            assert ds.query("list-membership", 3) is True
+            remote._local.state[0].shutdown(socket.SHUT_RDWR)
+            assert ds.query("list-membership", 3) is True
+            assert remote.reconnects == 1
+            assert remote.protocol_errors == 0
+
+            remote._local.state[0].shutdown(socket.SHUT_RDWR)
+            with pytest.raises(ProtocolError, match="connection"):
+                ds.apply_changes([TupleChange(ChangeKind.INSERT, (99,))])
+            assert remote.protocol_errors == 1
+            # The next call opens a fresh connection and serves normally.
+            assert ds.query("list-membership", 3) is True
+
+
+def test_journal_checkpoints_and_drain_rehomes(tmp_path):
+    """Satellite pair on a dedicated front: after N acked write batches the
+    supervisor checkpoints the mutable dataset to the shared store and
+    truncates its journal; ``drain`` then re-homes the dataset onto the
+    sibling worker with every write intact."""
+    with ServingFront(workers=2, store_root=str(tmp_path),
+                      journal_checkpoint_batches=2) as serving:
+        with RemoteClient(*serving.address) as remote:
+            ds = remote.attach("mutchk", tuple(range(32)),
+                               kinds=["list-membership"], mutable=True)
+            for value in range(100, 105):
+                ds.apply_changes([TupleChange(ChangeKind.INSERT, (value,))])
+            # Checkpointing is asynchronous: wait for the two swaps
+            # (batches 1-2 and 3-4; batch 5 stays journaled).
+            deadline = time.monotonic() + 10.0
+            while time.monotonic() < deadline:
+                if serving.supervisor.health()["journal_checkpoints"] >= 2:
+                    break
+                time.sleep(0.02)
+            health = serving.supervisor.health()
+            assert health["journal_checkpoints"] >= 2
+            assert health["journal_checkpoint_failures"] == 0
+            # The checkpoint artifacts landed in the shared store.
+            assert any(tmp_path.rglob("*frontend-journal-checkpoint*"))
+
+            # Drain whichever worker homes the dataset; the other drain is
+            # a no-op for it.
+            report = serving.supervisor.drain(0)
+            if "mutchk" not in report["rehomed"]:
+                serving.supervisor.undrain(0)
+                report = serving.supervisor.drain(1)
+            assert "mutchk" in report["rehomed"]
+            assert report["drained"] is True
+            assert serving.supervisor.health()["drains"] >= 1
+
+            # Post-drain, reads see every pre-drain write and new writes
+            # land on the new home.  Note the version counter restarts
+            # from the checkpoint baseline after a re-home: batches 1-4
+            # were folded into the attach body, batch 5 replayed as v1.
+            for value in range(100, 105):
+                assert ds.query("list-membership", value) is True
+            ack = ds.apply_changes([TupleChange(ChangeKind.INSERT, (200,))])
+            assert ack["version"] == 2
+            assert ds.query("list-membership", 200) is True
 
 
 def test_open_loop_driver_runs_unchanged_remotely(client):

@@ -258,3 +258,75 @@ def test_new_error_types_map_without_protocol_edits():
 def test_unknown_remote_error_degrades_to_service_error():
     with pytest.raises(ServiceError, match="remote KeyError: lost"):
         protocol.raise_remote({"type": "KeyError", "message": "lost"})
+
+
+# -- v2 deadlines (ISSUE 10) ---------------------------------------------------
+
+
+@pytest.mark.parametrize("codec", CODECS)
+@settings(max_examples=60, deadline=None)
+@given(
+    rid=st.integers(0, 2**31),
+    deadline_ms=st.floats(
+        min_value=0.001, max_value=1e9, allow_nan=False, allow_infinity=False
+    ),
+)
+def test_deadline_header_round_trips_in_both_codecs(codec, rid, deadline_ms):
+    """``deadline_ms`` is an *optional* header field: frames that carry it
+    round-trip it exactly, frames that omit it stay byte-compatible with
+    what a v1 peer emits."""
+    header = {"op": "query", "rid": rid, "dataset": "d", "deadline_ms": deadline_ms}
+    rheader, _, rcodec = protocol.unpack_frame(
+        protocol.pack_frame(header, {"kind": "k", "query": 1}, codec=codec)
+    )
+    assert rcodec == codec
+    assert rheader["deadline_ms"] == pytest.approx(deadline_ms)
+    bare = {"op": "query", "rid": rid, "dataset": "d"}
+    rheader, _, _ = protocol.unpack_frame(protocol.pack_frame(bare, None, codec=codec))
+    assert "deadline_ms" not in rheader
+
+
+@settings(max_examples=40, deadline=None)
+@given(rid=st.integers(0, 2**31), value=wire_values)
+def test_v1_frames_still_decode(rid, value):
+    """A v1 peer's frames (version byte 1, no deadline field) must keep
+    parsing: the wire layout is identical, only the version byte differs."""
+    raw = protocol.pack_frame({"op": "query", "rid": rid, "dataset": "d"}, value)
+    assert raw[2] == protocol.PROTOCOL_VERSION
+    v1_raw = raw[:2] + bytes([1]) + raw[3:]
+    header, body, codec = protocol.unpack_frame(v1_raw)
+    assert header == {"op": "query", "rid": rid, "dataset": "d"}
+    assert_wire_equal(protocol.decode_body(body, codec), value)
+
+
+@pytest.mark.parametrize("codec", CODECS)
+@settings(max_examples=60, deadline=None)
+@given(
+    op=st.sampled_from(sorted(protocol.REQUEST_OPS)),
+    dataset=st.text(min_size=1, max_size=16),
+    elapsed_ms=st.floats(min_value=0, max_value=1e6, allow_nan=False),
+    budget_ms=st.none()
+    | st.floats(min_value=0.001, max_value=1e6, allow_nan=False),
+)
+def test_deadline_error_details_survive_the_wire(codec, op, dataset, elapsed_ms, budget_ms):
+    """A worker-side DeadlineExceededError reconstructs client-side with
+    its op/dataset/budget arithmetic intact (via wire_details ->
+    error_payload -> raise_remote)."""
+    original = error_mod.DeadlineExceededError(
+        "budget expired", op=op, dataset=dataset,
+        elapsed_ms=elapsed_ms, budget_ms=budget_ms,
+    )
+    payload = protocol.decode_body(
+        protocol.encode_body(protocol.error_payload(original), codec), codec
+    )
+    assert payload["type"] == "DeadlineExceededError"
+    with pytest.raises(error_mod.DeadlineExceededError) as excinfo:
+        protocol.raise_remote(payload)
+    remote = excinfo.value
+    assert remote.op == op
+    assert remote.dataset == dataset
+    assert remote.elapsed_ms == pytest.approx(elapsed_ms)
+    if budget_ms is None:
+        assert remote.budget_ms is None
+    else:
+        assert remote.budget_ms == pytest.approx(budget_ms)

@@ -224,6 +224,99 @@ def test_synchronous_backend_error_maps_to_its_class():
         assert gateway.counters["overloaded_rejections"] == 0
 
 
+# -- deadline admission (ISSUE 10) ---------------------------------------------
+
+
+class _RecordingEchoBackend(_EchoBackend):
+    """Echo backend that keeps the headers it was asked to serve."""
+
+    def __init__(self):
+        self.headers = []
+
+    def submit(self, header, body, codec, on_done):
+        self.headers.append(dict(header))
+        super().submit(header, body, codec, on_done)
+
+
+def _send_with_deadline(stream, op, rid, dataset, deadline_ms, value=None):
+    header = {"op": op, "rid": rid, "dataset": dataset, "deadline_ms": deadline_ms}
+    stream.write(protocol.pack_frame(header, value))
+    stream.flush()
+
+
+def test_expired_deadline_rejected_before_admission():
+    """``deadline_ms <= 0`` means the budget was spent before the frame
+    arrived: the gateway sheds it with a typed error without touching the
+    admission permits or the backend, and the connection stays usable."""
+    backend = _RecordingEchoBackend()
+    with serving(backend) as gateway:
+        with raw_connection(gateway) as stream:
+            _send_with_deadline(stream, "query", 1, "d", 0,
+                                {"kind": "k", "query": 1})
+            header, payload = _recv_error(stream)
+            assert header["rid"] == 1
+            assert payload["type"] == "DeadlineExceededError"
+            assert payload["details"]["op"] == "query"
+            assert payload["details"]["dataset"] == "d"
+            _send(stream, "ping", 2, "")
+            assert protocol.read_frame(stream)[0]["ok"] is True
+        assert gateway.counters["deadline_expired"] == 1
+        assert gateway.counters["protocol_errors"] == 0
+        # The expired frame never reached the backend.
+        assert [h["op"] for h in backend.headers] == ["ping"]
+
+
+def test_admitted_deadline_forwards_remaining_budget():
+    """An in-budget frame is forwarded with ``deadline_ms`` rewritten to
+    what is *left* after the permit wait -- never more than the client
+    sent."""
+    backend = _RecordingEchoBackend()
+    with serving(backend) as gateway:
+        with raw_connection(gateway) as stream:
+            _send_with_deadline(stream, "query", 1, "d", 5000.0,
+                                {"kind": "k", "query": 1})
+            frame = protocol.read_frame(stream)
+            assert frame is not None and frame[0]["ok"] is True
+        (header,) = backend.headers
+        assert 0 < header["deadline_ms"] <= 5000.0
+        assert gateway.counters["deadline_expired"] == 0
+
+
+def test_deadline_expiring_in_the_permit_queue_is_shed():
+    """A request whose budget dies while waiting for an admission permit is
+    shed *after* the wait with the same typed error, instead of burning a
+    worker on an answer nobody wants."""
+    backend = _BlackHoleBackend()
+    config = GatewayConfig(max_inflight_per_dataset=1, queue_watermark=2)
+    with serving(backend, config) as gateway:
+        with raw_connection(gateway) as stream:
+            # rid 1 holds the only permit forever (black-hole backend);
+            # rid 2 queues behind it with a 50 ms budget.
+            _send(stream, "query", 1, "d", {"kind": "k", "query": 1})
+            _send_with_deadline(stream, "query", 2, "d", 50.0,
+                                {"kind": "k", "query": 2})
+            header, payload = _recv_error(stream)
+            assert header["rid"] == 2
+            assert payload["type"] == "DeadlineExceededError"
+            assert "permit" in payload["message"]
+        assert gateway.counters["deadline_expired"] == 1
+        assert len(backend.submitted) == 1  # only the permit holder
+
+
+def test_non_numeric_deadline_is_a_protocol_error():
+    backend = _RecordingEchoBackend()
+    with serving(backend) as gateway:
+        with raw_connection(gateway) as stream:
+            _send_with_deadline(stream, "query", 1, "d", "soon",
+                                {"kind": "k", "query": 1})
+            header, payload = _recv_error(stream)
+            assert header["rid"] == 1
+            assert payload["type"] == "ProtocolError"
+            assert "deadline_ms" in payload["message"]
+        assert gateway.counters["protocol_errors"] == 1
+        assert backend.headers == []
+
+
 def test_clean_disconnect_is_not_a_protocol_error():
     with serving(_EchoBackend()) as gateway:
         with raw_connection(gateway) as stream:
